@@ -1,0 +1,132 @@
+"""Figure 12 — dynamic DC enumeration on deletes: DynEI vs DynHS.
+
+Paper: enumeration-phase runtime only on delete batches; (a) growing
+deletes, (b) 10 % deletes with growing column counts.  Deletions are more
+expensive than insertions for both algorithms (non-minimal DCs must be
+identified and the result re-grown over the remaining evidence), with
+DynEI ahead throughout.  Reproduction: same sweeps at scaled sizes;
+expected shape — DynEI below DynHS; delete enumeration slower than the
+corresponding insert enumeration.
+"""
+
+from _harness import (
+    ResultTable,
+    geometric_speedup,
+    rows_for,
+    timed,
+)
+
+from repro.enumeration import DynHS, dynei_delete
+from repro.enumeration.mmcs import mmcs_enumerate
+from repro.evidence import (
+    apply_delete_evidence,
+    build_evidence_state,
+    delete_evidence_by_recompute,
+)
+from repro.predicates import build_predicate_space
+from repro.relational.loader import relation_from_rows
+from repro.workloads import DATASETS, pick_delete_rids
+
+SIZE_DATASETS = ("Airport", "Claim", "Dit", "Tax")
+RATIOS = (0.05, 0.1, 0.2)
+COLUMN_DATASET = "FD"
+COLUMN_COUNTS = (5, 8, 11, 14)
+
+
+def _prepare_delete(name, ratio, column_names=None):
+    """Build (space, sigma, previous_evidence, removed, remaining) with the
+    evidence phase done outside any timed region."""
+    rows = DATASETS[name].rows(rows_for(name), seed=0)
+    relation = relation_from_rows(DATASETS[name].header, rows)
+    space = build_predicate_space(relation, column_names=column_names)
+    state = build_evidence_state(relation, space)
+    sigma = mmcs_enumerate(space, list(state.evidence))
+    previous_evidence = list(state.evidence)
+    doomed = pick_delete_rids(relation, ratio, seed=5)
+    delta = delete_evidence_by_recompute(relation, state, doomed)
+    removed = apply_delete_evidence(state, delta)
+    relation.delete(doomed)
+    state.indexes.remove_rows(doomed)
+    remaining = list(state.evidence)
+    return space, sigma, previous_evidence, removed, remaining
+
+
+def _measure_pair(space, sigma, previous_evidence, removed, remaining):
+    result_dynei, t_dynei = timed(
+        lambda: dynei_delete(space, sigma, removed, remaining)
+    )
+    enumerator = DynHS(space, previous_evidence)  # crit bootstrap untimed
+    _, t_dynhs = timed(
+        lambda: enumerator.delete_evidence(removed, remaining)
+    )
+    assert result_dynei == enumerator.dc_masks, "enumerators disagree"
+    return t_dynei, t_dynhs
+
+
+def test_fig12a_delete_size_sweep(benchmark):
+    table = ResultTable(
+        "Figure 12a — enumeration on deletes, growing batches (s)",
+        ["dataset", "ratio", "removed evidences", "DynEI", "DynHS"],
+        "fig12a_enum_deletes_size.txt",
+    )
+    pairs = []
+    for name in SIZE_DATASETS:
+        for ratio in RATIOS:
+            space, sigma, previous, removed, remaining = _prepare_delete(
+                name, ratio
+            )
+            t_dynei, t_dynhs = _measure_pair(
+                space, sigma, previous, removed, remaining
+            )
+            pairs.append((t_dynhs, t_dynei))
+            table.add(name, ratio, len(removed), t_dynei, t_dynhs)
+    speedup = geometric_speedup(pairs)
+    table.finish(
+        shape_notes=[
+            f"DynEI over DynHS geometric-mean speedup {speedup:.1f}x "
+            "(paper: DynEI ahead; deletes costlier than inserts for both)",
+        ]
+    )
+    assert speedup > 1.0
+
+    space, sigma, previous, removed, remaining = _prepare_delete(
+        SIZE_DATASETS[2], 0.1
+    )
+    benchmark.pedantic(
+        lambda: dynei_delete(space, sigma, removed, remaining),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig12b_column_sweep(benchmark):
+    table = ResultTable(
+        "Figure 12b — enumeration on deletes (10%), growing columns (s)",
+        ["dataset", "columns", "predicates", "DynEI", "DynHS"],
+        "fig12b_enum_deletes_columns.txt",
+    )
+    header = DATASETS[COLUMN_DATASET].header
+    ratios = []
+    for n_columns in COLUMN_COUNTS:
+        column_names = list(header[:n_columns])
+        space, sigma, previous, removed, remaining = _prepare_delete(
+            COLUMN_DATASET, 0.1, column_names=column_names
+        )
+        t_dynei, t_dynhs = _measure_pair(
+            space, sigma, previous, removed, remaining
+        )
+        table.add(COLUMN_DATASET, n_columns, space.n_bits, t_dynei, t_dynhs)
+        ratios.append(t_dynhs / t_dynei if t_dynei > 0 else 1.0)
+    table.finish(
+        shape_notes=[
+            f"DynHS/DynEI ratio spans {min(ratios):.1f}x – {max(ratios):.1f}x "
+            "across column counts (paper: DynEI much faster for more columns)",
+        ]
+    )
+    assert max(ratios) > 1.0
+
+    benchmark.pedantic(
+        lambda: _prepare_delete(
+            COLUMN_DATASET, 0.1, column_names=list(header[:5])
+        ),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,81 @@
+"""Figure 7 — memory consumption of 3DC vs IncDC.
+
+Paper: minimum JVM heap needed per algorithm (λ = 0.1 inserts); IncDC
+required up to 8× more memory because its index scheme covers every DC in
+Σ.  Reproduction: tracemalloc peak bytes of the maintenance structures for
+the same workload — same quantity (peak working set of the algorithm's
+structures) without JVM noise.  Expected shape: IncDC's peak exceeds
+3DC's on every dataset, by a growing factor on DC-rich datasets.
+"""
+
+import tracemalloc
+
+from _harness import (
+    ResultTable,
+    SWEEP_DATASETS,
+    clone_discoverer,
+    fitted_state_payload,
+    insert_workload,
+)
+
+from repro.baselines import IncDC
+
+DATASETS_FIG7 = tuple(SWEEP_DATASETS) + ("Hospital", "Inspection")
+
+
+def _peak_bytes(callable_):
+    tracemalloc.start()
+    try:
+        callable_()
+        _, peak = tracemalloc.get_traced_memory()
+        return peak
+    finally:
+        tracemalloc.stop()
+
+
+def test_fig7_memory(benchmark):
+    table = ResultTable(
+        "Figure 7 — peak maintenance memory (MiB), λ=0.1 inserts",
+        ["dataset", "3DC", "IncDC", "ratio"],
+        "fig7_memory.txt",
+    )
+    ratios = []
+    for name in DATASETS_FIG7:
+        static_rows, delta_rows = insert_workload(name, 0.1)
+        payload = fitted_state_payload(name, static_rows)
+
+        def run_3dc():
+            discoverer = clone_discoverer(payload)
+            discoverer.insert(delta_rows)
+
+        def run_incdc():
+            base = clone_discoverer(payload)
+            incdc = IncDC(base.relation, base.space, base.dc_masks)
+            incdc.insert(delta_rows)
+
+        peak_3dc = _peak_bytes(run_3dc)
+        peak_incdc = _peak_bytes(run_incdc)
+        ratio = peak_incdc / peak_3dc if peak_3dc else float("inf")
+        ratios.append(ratio)
+        table.add(
+            name,
+            round(peak_3dc / 2**20, 2),
+            round(peak_incdc / 2**20, 2),
+            round(ratio, 2),
+        )
+
+    higher = sum(r > 1.0 for r in ratios)
+    table.finish(
+        shape_notes=[
+            f"IncDC peak exceeds 3DC on {higher}/{len(ratios)} datasets "
+            "(paper: all, up to 8x)",
+        ]
+    )
+    assert higher >= len(ratios) - 1
+
+    static_rows, delta_rows = insert_workload("Tax", 0.1)
+    payload = fitted_state_payload("Tax", static_rows)
+    benchmark.pedantic(
+        lambda: _peak_bytes(lambda: clone_discoverer(payload).insert(delta_rows)),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,65 @@
+"""Figure 9 — evidence inference among the incremental tuples (Base vs Opt).
+
+Paper: DynEvi(Base) applies the symmetric-evidence inference only against
+static tuples; DynEvi(Opt) also applies it among the incremental tuples,
+so each intra-batch pair is reconciled once instead of twice.  Runtime
+improves, increasingly with batch size.  Reproduction: evidence-building
+time only, growing insert batches, both modes.  Expected shape: Opt ≤
+Base everywhere, with the gap widening as the batch grows.
+"""
+
+from _harness import (
+    ResultTable,
+    SWEEP_DATASETS,
+    clone_discoverer,
+    fitted_state_payload,
+    insert_workload,
+    rows_for,
+)
+
+RATIOS = (0.05, 0.1, 0.2, 0.3, 0.4)
+
+
+def _evidence_time(payload, delta_rows, infer_within_delta):
+    discoverer = clone_discoverer(payload)
+    discoverer.infer_within_delta = infer_within_delta
+    result = discoverer.insert(delta_rows)
+    return result.timings["evidence"]
+
+
+def test_fig9_inference_strategies(benchmark):
+    table = ResultTable(
+        "Figure 9 — dynamic evidence building: DynEvi(Base) vs DynEvi(Opt)",
+        ["dataset", "|Δr|", "Base s", "Opt s", "speedup"],
+        "fig9_inference.txt",
+    )
+    small_gap = []
+    large_gap = []
+    for name in SWEEP_DATASETS:
+        total = int(rows_for(name) * 1.2)
+        for index, ratio in enumerate(RATIOS):
+            static_rows, delta_rows = insert_workload(name, ratio, total_rows=total)
+            payload = fitted_state_payload(name, static_rows)
+            base_time = _evidence_time(payload, delta_rows, False)
+            opt_time = _evidence_time(payload, delta_rows, True)
+            speedup = base_time / opt_time if opt_time else 1.0
+            table.add(name, len(delta_rows), base_time, opt_time, speedup)
+            (small_gap if index == 0 else large_gap).append(speedup)
+
+    mean_large = sum(large_gap) / len(large_gap)
+    table.finish(
+        shape_notes=[
+            f"Opt over Base mean speedup {mean_large:.2f}x at larger "
+            "batches (paper: runtime improves, particularly with more tuples)",
+        ]
+    )
+    # Intra-batch pairs are a minority of the work at these ratios; Opt
+    # must at least not lose, and win on average for large batches.
+    assert mean_large > 1.0
+
+    static_rows, delta_rows = insert_workload("Dit", 0.3)
+    payload = fitted_state_payload("Dit", static_rows)
+    benchmark.pedantic(
+        lambda: _evidence_time(payload, delta_rows, True),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration.
+
+Runs with ``pytest benchmarks/ --benchmark-only``.  Each module reproduces
+one table or figure; the detailed paper-style tables are printed and
+persisted under ``benchmarks/results/``.
+"""
+
+import sys
+from pathlib import Path
+
+# Make `_harness` importable regardless of how pytest was invoked.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,82 @@
+"""DC ranking and approximate DCs on the Tax dataset.
+
+DC discovery returns thousands of constraints even for small data; the
+scoring functions of [4], [11] and approximate DCs [4], [7] make the
+result explorable.  Both need the evidence *multiplicity* — the statistic
+3DC keeps available in dynamic settings (one of its design goals, see
+Section II).  This example:
+
+1. discovers DCs on a Tax-like table (zip→city/state FDs, salary→rate OD),
+2. ranks them by succinctness + coverage,
+3. relaxes to approximate DCs at growing ε and shows how noise-broken
+   constraints (here: a corrupted rate column) re-emerge as approximate,
+4. shows that the statistics stay exact across an update batch.
+
+Run:  python examples/dc_ranking_explorer.py
+"""
+
+import random
+
+from repro import DCDiscoverer, parse_dc
+from repro.dcs import violation_count
+from repro.workloads import DATASETS
+
+
+def main():
+    rng = random.Random(3)
+    spec = DATASETS["Tax"]
+    rows = list(spec.rows(200, seed=1))
+
+    # Corrupt the salary→rate order dependency in a handful of rows: the
+    # exact OD disappears, but it should survive as an approximate DC.
+    salary_position = spec.header.index("salary")
+    rate_position = spec.header.index("rate")
+    for index in rng.sample(range(len(rows)), 5):
+        row = list(rows[index])
+        row[rate_position] = row[salary_position] // 100 + rng.randint(5, 40)
+        rows[index] = tuple(row)
+
+    from repro import relation_from_rows
+
+    relation = relation_from_rows(spec.header, rows)
+    # Focus the space on the columns the Tax constraints live on — the
+    # usual workflow when exploring rules for a known quality problem.
+    focus = ["zip", "city", "state", "marital", "has_child",
+             "salary", "rate", "child_exemp"]
+    discoverer = DCDiscoverer(relation, column_names=focus)
+    print(f"static discovery: {discoverer.fit()}")
+
+    print("\ntop-10 DCs by interestingness:")
+    for entry in discoverer.rank(top_k=10):
+        print(
+            f"  score={entry.score:.3f} (succ={entry.succinctness:.2f}, "
+            f"cov={entry.coverage:.2f})  {entry.dc}"
+        )
+
+    od_text = "!(t.salary < t'.salary & t.rate > t'.rate)"
+    od_mask = parse_dc(od_text, discoverer.space)
+    total_pairs = discoverer.evidence_set.total_pairs()
+    violations = violation_count(discoverer.evidence_set, od_mask)
+    print(f"\nthe corrupted order dependency: {od_text}")
+    print(
+        f"  violated by {violations} of {total_pairs} ordered pairs "
+        f"({violations / total_pairs:.2%}) -> not an exact DC"
+    )
+
+    for epsilon in (0.0005, 0.002, 0.01):
+        approximate = discoverer.approximate(epsilon)
+        recovered = any(dc.mask == od_mask for dc in approximate)
+        print(
+            f"  ε={epsilon:<7}: {len(approximate):5d} approximate DCs, "
+            f"salary→rate OD recovered: {recovered}"
+        )
+
+    print("\napplying an update batch and re-ranking (statistics stay exact):")
+    discoverer.insert(spec.rows(30, seed=9))
+    discoverer.delete(list(discoverer.relation.rids())[:10])
+    for entry in discoverer.rank(top_k=3):
+        print(f"  score={entry.score:.3f}  {entry.dc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works in offline environments without
+the ``wheel`` package (pip then uses the ``setup.py develop`` code path
+instead of PEP 517 editable wheels).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["repro-dc = repro.cli:main"]},
+)

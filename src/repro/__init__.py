@@ -1,0 +1,74 @@
+"""repro — 3DC: Discovering Denial Constraints in Dynamic Datasets.
+
+A from-scratch Python reproduction of Pena, Porto & Naumann (ICDE 2024).
+The public API centers on :class:`repro.DCDiscoverer`:
+
+    >>> from repro import DCDiscoverer, load_csv
+    >>> relation = load_csv("staff.csv")
+    >>> discoverer = DCDiscoverer(relation)
+    >>> discoverer.fit()                        # static bootstrap
+    >>> discoverer.insert([(5, "Ema", 2002, 3, 1)])   # incremental insert
+    >>> discoverer.delete([3])                        # incremental delete
+    >>> for dc in discoverer.dcs:
+    ...     print(dc)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+reproduction of every table and figure of the paper.
+"""
+
+from repro.core import (
+    DCDiscoverer,
+    DiscoveryResult,
+    UpdateResult,
+    load_state,
+    save_state,
+)
+from repro.dcs import DenialConstraint, approximate_dcs, rank_dcs
+from repro.predicates import (
+    Operator,
+    Predicate,
+    PredicateSpace,
+    build_predicate_space,
+    format_dc,
+    parse_dc,
+    parse_predicate,
+)
+from repro.relational import (
+    Column,
+    ColumnType,
+    Relation,
+    Schema,
+    load_csv,
+    relation_from_rows,
+    sort_by_numeric_columns,
+)
+from repro.evidence import EvidenceSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DCDiscoverer",
+    "DiscoveryResult",
+    "UpdateResult",
+    "save_state",
+    "load_state",
+    "DenialConstraint",
+    "approximate_dcs",
+    "rank_dcs",
+    "Operator",
+    "Predicate",
+    "PredicateSpace",
+    "build_predicate_space",
+    "format_dc",
+    "parse_dc",
+    "parse_predicate",
+    "Column",
+    "ColumnType",
+    "Relation",
+    "Schema",
+    "load_csv",
+    "relation_from_rows",
+    "sort_by_numeric_columns",
+    "EvidenceSet",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Baseline algorithms the paper compares 3DC against.
+
+- :class:`~repro.baselines.incdc.IncDC` — the only prior dynamic DC
+  algorithm [15] (insert-only, per-DC index probing);
+- :func:`~repro.baselines.ecp.ecp_discover` — the fastest static algorithm
+  [14], re-run from scratch on the updated data;
+- :func:`~repro.baselines.fastdc.fastdc_discover` — the original FastDC
+  [4] (naive pair evidence + DFS cover search).
+"""
+
+from repro.baselines.incdc import DensePredicateIndexes, IncDC
+from repro.baselines.ecp import StaticDiscoveryResult, ecp_discover
+from repro.baselines.fastdc import fastdc_discover
+
+__all__ = [
+    "IncDC",
+    "DensePredicateIndexes",
+    "StaticDiscoveryResult",
+    "ecp_discover",
+    "fastdc_discover",
+]

@@ -1,0 +1,31 @@
+"""Helpers for raw-``int`` bit patterns.
+
+The evidence engine's hot loops operate on raw Python ints (see
+:mod:`repro.bitmaps`); these free functions cover the few operations the
+``int`` type does not provide directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+def iter_bits(bits: int) -> Iterator[int]:
+    """Yield the positions of set bits in ascending order."""
+    while bits:
+        low = bits & -bits
+        yield low.bit_length() - 1
+        bits ^= low
+
+
+def bits_from(items: Iterable[int]) -> int:
+    """Bit pattern with a set bit per item."""
+    bits = 0
+    for item in items:
+        bits |= 1 << item
+    return bits
+
+
+def popcount(bits: int) -> int:
+    """Number of set bits."""
+    return bits.bit_count()

@@ -1,0 +1,136 @@
+"""Bitset backed by a single arbitrary-precision Python integer.
+
+Bit ``i`` set means "row id ``i`` is a member".  All binary operations
+return new ``IntBitset`` instances; in-place variants mutate ``self``.
+The underlying integer is exposed as :attr:`bits` so hot loops inside the
+evidence engine can drop down to raw ``int`` arithmetic when profiling
+says it matters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class IntBitset:
+    """A set of non-negative integers stored as bits of one ``int``."""
+
+    __slots__ = ("bits",)
+
+    def __init__(self, bits: int = 0):
+        if bits < 0:
+            raise ValueError("IntBitset cannot hold negative bit patterns")
+        self.bits = bits
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_iterable(cls, items: Iterable[int]) -> "IntBitset":
+        """Build a bitset from any iterable of non-negative ints."""
+        bits = 0
+        for item in items:
+            bits |= 1 << item
+        return cls(bits)
+
+    @classmethod
+    def full(cls, n: int) -> "IntBitset":
+        """Return the bitset {0, 1, ..., n-1}."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return cls((1 << n) - 1)
+
+    def copy(self) -> "IntBitset":
+        return IntBitset(self.bits)
+
+    # -- element operations ------------------------------------------------
+
+    def add(self, item: int) -> None:
+        self.bits |= 1 << item
+
+    def discard(self, item: int) -> None:
+        self.bits &= ~(1 << item)
+
+    def __contains__(self, item: int) -> bool:
+        return item >= 0 and (self.bits >> item) & 1 == 1
+
+    # -- set algebra ---------------------------------------------------------
+
+    def __and__(self, other: "IntBitset") -> "IntBitset":
+        return IntBitset(self.bits & other.bits)
+
+    def __or__(self, other: "IntBitset") -> "IntBitset":
+        return IntBitset(self.bits | other.bits)
+
+    def __xor__(self, other: "IntBitset") -> "IntBitset":
+        return IntBitset(self.bits ^ other.bits)
+
+    def __sub__(self, other: "IntBitset") -> "IntBitset":
+        return IntBitset(self.bits & ~other.bits)
+
+    def __iand__(self, other: "IntBitset") -> "IntBitset":
+        self.bits &= other.bits
+        return self
+
+    def __ior__(self, other: "IntBitset") -> "IntBitset":
+        self.bits |= other.bits
+        return self
+
+    def __ixor__(self, other: "IntBitset") -> "IntBitset":
+        self.bits ^= other.bits
+        return self
+
+    def __isub__(self, other: "IntBitset") -> "IntBitset":
+        self.bits &= ~other.bits
+        return self
+
+    def intersects(self, other: "IntBitset") -> bool:
+        return (self.bits & other.bits) != 0
+
+    def issubset(self, other: "IntBitset") -> bool:
+        return (self.bits & ~other.bits) == 0
+
+    def issuperset(self, other: "IntBitset") -> bool:
+        return (other.bits & ~self.bits) == 0
+
+    # -- inspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.bits.bit_count()
+
+    def __bool__(self) -> bool:
+        return self.bits != 0
+
+    def __iter__(self) -> Iterator[int]:
+        """Yield members in ascending order."""
+        bits = self.bits
+        while bits:
+            low = bits & -bits
+            yield low.bit_length() - 1
+            bits ^= low
+
+    def min(self) -> int:
+        """Smallest member; raises ``ValueError`` when empty."""
+        if not self.bits:
+            raise ValueError("min() of empty bitset")
+        return (self.bits & -self.bits).bit_length() - 1
+
+    def max(self) -> int:
+        """Largest member; raises ``ValueError`` when empty."""
+        if not self.bits:
+            raise ValueError("max() of empty bitset")
+        return self.bits.bit_length() - 1
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IntBitset):
+            return self.bits == other.bits
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.bits)
+
+    def __repr__(self) -> str:
+        members = list(self)
+        if len(members) > 12:
+            head = ", ".join(map(str, members[:12]))
+            return f"IntBitset({{{head}, ...}} len={len(members)})"
+        return f"IntBitset({{{', '.join(map(str, members))}}})"

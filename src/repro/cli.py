@@ -1,0 +1,179 @@
+"""Command-line interface for dynamic DC discovery on CSV data.
+
+Subcommands mirror the 3DC life cycle:
+
+- ``discover``  — static bootstrap on a CSV, print DCs, save the state;
+- ``insert``    — load a state, insert rows from a CSV, print the changes;
+- ``delete``    — load a state, delete rows by rid, print the changes;
+- ``rank``      — load a state, print the top-k ranked DCs;
+- ``datasets``  — generate one of the synthetic evaluation datasets.
+
+Example::
+
+    repro-dc discover staff.csv --state staff.state.json --top 10
+    repro-dc insert --state staff.state.json new_rows.csv
+    repro-dc delete --state staff.state.json --rids 3 7 12
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+
+from repro.core.discoverer import DCDiscoverer
+from repro.core.state_io import load_state, save_state
+from repro.relational.loader import load_csv
+from repro.workloads.datasets import dataset_names, generate_dataset
+
+
+def _print_dcs(discoverer: DCDiscoverer, top: int) -> None:
+    dcs = discoverer.dcs
+    shown = dcs if top <= 0 else dcs[:top]
+    for dc in shown:
+        print(f"  {dc}")
+    if 0 < top < len(dcs):
+        print(f"  ... ({len(dcs) - top} more)")
+
+
+def _cmd_discover(args) -> int:
+    relation = load_csv(args.csv, null_policy=args.null_policy)
+    discoverer = DCDiscoverer(
+        relation,
+        cross_column_ratio=args.cross_ratio,
+        allow_cross_columns=not args.no_cross_columns,
+    )
+    result = discoverer.fit()
+    print(result)
+    _print_dcs(discoverer, args.top)
+    if args.state:
+        save_state(discoverer, args.state)
+        print(f"state saved to {args.state}")
+    return 0
+
+
+def _cmd_insert(args) -> int:
+    discoverer = load_state(args.state)
+    relation = load_csv(
+        args.csv, schema=discoverer.relation.schema, null_policy=args.null_policy
+    )
+    result = discoverer.insert(relation.rows())
+    print(result)
+    _print_dcs(discoverer, args.top)
+    save_state(discoverer, args.state)
+    print(f"state saved to {args.state}")
+    return 0
+
+
+def _cmd_delete(args) -> int:
+    discoverer = load_state(args.state)
+    result = discoverer.delete(args.rids)
+    print(result)
+    _print_dcs(discoverer, args.top)
+    save_state(discoverer, args.state)
+    print(f"state saved to {args.state}")
+    return 0
+
+
+def _cmd_rank(args) -> int:
+    discoverer = load_state(args.state)
+    for entry in discoverer.rank(top_k=args.top):
+        print(
+            f"  score={entry.score:.3f} "
+            f"(succ={entry.succinctness:.2f}, cov={entry.coverage:.2f})  "
+            f"{entry.dc}"
+        )
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.relational.profiling import profile_relation
+
+    relation = load_csv(args.csv, null_policy=args.null_policy)
+    profile = profile_relation(relation, cross_column_ratio=args.cross_ratio)
+    print(profile.summary())
+    print("\nper-column pair statistics:")
+    for column in profile.columns:
+        flag = " (key-like)" if column.is_key_like else ""
+        print(
+            f"  {column.name:20s} {column.type_name:7s} "
+            f"distinct={column.n_distinct:6d} top={column.top_frequency:.2f} "
+            f"p_eq={column.p_equal:.3f} H={column.entropy_bits:.2f}b{flag}"
+        )
+    return 0
+
+
+def _cmd_datasets(args) -> int:
+    if args.name is None:
+        for name in dataset_names():
+            print(f"  {name}")
+        return 0
+    relation = generate_dataset(args.name, args.rows, seed=args.seed)
+    writer = csv.writer(sys.stdout if args.out is None else open(args.out, "w", newline=""))
+    writer.writerow(relation.schema.names)
+    for row in relation.rows():
+        writer.writerow(row)
+    if args.out:
+        print(f"wrote {len(relation)} rows to {args.out}", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dc",
+        description="3DC: dynamic denial-constraint discovery",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("discover", help="static discovery on a CSV")
+    p.add_argument("csv", help="input CSV file (with header)")
+    p.add_argument("--state", help="path to save the 3DC state JSON")
+    p.add_argument("--top", type=int, default=20, help="DCs to print (0 = all)")
+    p.add_argument("--cross-ratio", type=float, default=0.3)
+    p.add_argument("--no-cross-columns", action="store_true")
+    p.add_argument("--null-policy", choices=["reject", "drop", "fill"], default="reject")
+    p.set_defaults(func=_cmd_discover)
+
+    p = sub.add_parser("insert", help="insert rows from a CSV into a saved state")
+    p.add_argument("csv", help="CSV of rows to insert (same header)")
+    p.add_argument("--state", required=True)
+    p.add_argument("--top", type=int, default=20)
+    p.add_argument("--null-policy", choices=["reject", "drop", "fill"], default="reject")
+    p.set_defaults(func=_cmd_insert)
+
+    p = sub.add_parser("delete", help="delete rows (by rid) from a saved state")
+    p.add_argument("--state", required=True)
+    p.add_argument("--rids", type=int, nargs="+", required=True)
+    p.add_argument("--top", type=int, default=20)
+    p.set_defaults(func=_cmd_delete)
+
+    p = sub.add_parser("rank", help="rank the DCs of a saved state")
+    p.add_argument("--state", required=True)
+    p.add_argument("--top", type=int, default=20)
+    p.set_defaults(func=_cmd_rank)
+
+    p = sub.add_parser(
+        "profile", help="evidence-entropy profile of a CSV (discovery feasibility)"
+    )
+    p.add_argument("csv")
+    p.add_argument("--cross-ratio", type=float, default=0.3)
+    p.add_argument("--null-policy", choices=["reject", "drop", "fill"], default="reject")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("datasets", help="list or generate synthetic datasets")
+    p.add_argument("name", nargs="?", help="dataset name (omit to list)")
+    p.add_argument("--rows", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", help="output CSV path (default: stdout)")
+    p.set_defaults(func=_cmd_datasets)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""The 3DC core: the dynamic DC discoverer, result objects, enumeration
+backends, and state persistence."""
+
+from repro.core.discoverer import DCDiscoverer
+from repro.core.results import DiscoveryResult, UpdateResult
+from repro.core.backends import DynEIBackend, DynHSBackend, make_backend
+from repro.core.state_io import load_state, save_state, state_from_dict, state_to_dict
+
+__all__ = [
+    "DCDiscoverer",
+    "DiscoveryResult",
+    "UpdateResult",
+    "DynEIBackend",
+    "DynHSBackend",
+    "make_backend",
+    "save_state",
+    "load_state",
+    "state_to_dict",
+    "state_from_dict",
+]

@@ -1,0 +1,330 @@
+"""The 3DC discoverer — stateful dynamic DC discovery (Figure 2).
+
+:class:`DCDiscoverer` owns the relation, the predicate space, the column
+indexes, the evidence set (with multiplicities), the optional per-tuple
+evidence index, and the current minimal-DC antichain.  ``fit()`` performs
+the static bootstrap (any static algorithm could seed 3DC; we use the
+evidence-context pipeline + evidence inversion, the ECP analog);
+``insert()`` / ``delete()`` / ``update()`` maintain everything
+incrementally.
+
+The predicate space is frozen at ``fit()`` time from the initial data —
+matching the paper, where the space (and hence the DC search space) is a
+property of the schema and the initial value distributions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.backends import make_backend
+from repro.core.results import DiscoveryResult, UpdateResult
+from repro.dcs.denial_constraint import DenialConstraint
+from repro.dcs.ranking import DCScore, rank_dcs
+from repro.dcs.approximate import approximate_dcs
+from repro.evidence.builder import build_evidence_state
+from repro.evidence.deletes import (
+    apply_delete_evidence,
+    delete_evidence_by_recompute,
+    delete_evidence_with_index,
+)
+from repro.evidence.incremental import (
+    apply_insert_evidence,
+    incremental_evidence_for_insert,
+)
+from repro.predicates.space import (
+    DEFAULT_CROSS_COLUMN_RATIO,
+    PredicateSpace,
+    build_predicate_space,
+)
+from repro.relational.relation import Relation
+
+
+class DCDiscoverer:
+    """Dynamic denial-constraint discovery over one relation.
+
+    :param relation: the initial relation instance (may be empty).
+    :param cross_column_ratio: shared-value threshold for cross-column
+        predicates (Section III-A4; default 30 %).
+    :param allow_cross_columns: disable to restrict the space to
+        single-column predicates.
+    :param column_names: restrict the predicate space to these columns
+        (used by the column-scaling experiments).
+    :param maintain_tuple_index: keep the per-tuple evidence index that
+        accelerates deletes (Section V-C); slight insert-time overhead.
+    :param delete_strategy: ``"index"`` (needs the tuple index) or
+        ``"recompute"`` (Figure 10 compares the two).
+    :param infer_within_delta: apply evidence inference among the
+        incremental tuples themselves (the Figure 9 "Opt" strategy).
+    :param enumeration_backend: ``"dynei"`` (3DC) or ``"dynhs"`` ([19]).
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        cross_column_ratio: float = DEFAULT_CROSS_COLUMN_RATIO,
+        allow_cross_columns: bool = True,
+        column_names: Optional[Sequence[str]] = None,
+        maintain_tuple_index: bool = True,
+        delete_strategy: str = "index",
+        infer_within_delta: bool = True,
+        enumeration_backend: str = "dynei",
+    ):
+        if delete_strategy not in ("index", "recompute"):
+            raise ValueError(
+                f"delete_strategy must be 'index' or 'recompute', "
+                f"got {delete_strategy!r}"
+            )
+        if delete_strategy == "index" and not maintain_tuple_index:
+            raise ValueError(
+                "delete_strategy='index' requires maintain_tuple_index=True"
+            )
+        self.relation = relation
+        self.cross_column_ratio = cross_column_ratio
+        self.allow_cross_columns = allow_cross_columns
+        self.column_names = tuple(column_names) if column_names else None
+        self.maintain_tuple_index = maintain_tuple_index
+        self.delete_strategy = delete_strategy
+        self.infer_within_delta = infer_within_delta
+        self.enumeration_backend = enumeration_backend
+        self.space: Optional[PredicateSpace] = None
+        self._state = None
+        self._backend = None
+        self._fitted = False
+        self._monitors = []
+        self._watchers = []
+
+    # -- bootstrap -----------------------------------------------------------
+
+    def fit(self) -> DiscoveryResult:
+        """Run the static discovery on the current relation state."""
+        started = time.perf_counter()
+        self.space = build_predicate_space(
+            self.relation,
+            cross_column_ratio=self.cross_column_ratio,
+            allow_cross_columns=self.allow_cross_columns,
+            column_names=self.column_names,
+        )
+        space_time = time.perf_counter() - started
+
+        started = time.perf_counter()
+        self._state = build_evidence_state(
+            self.relation,
+            self.space,
+            maintain_tuple_index=self.maintain_tuple_index,
+        )
+        evidence_time = time.perf_counter() - started
+
+        started = time.perf_counter()
+        self._backend = make_backend(self.enumeration_backend, self.space)
+        self._backend.bootstrap(list(self._state.evidence))
+        enumeration_time = time.perf_counter() - started
+
+        self._fitted = True
+        return DiscoveryResult(
+            n_rows=len(self.relation),
+            n_predicates=self.space.n_bits,
+            n_evidence=len(self._state.evidence),
+            n_dcs=len(self.dc_masks),
+            timings={
+                "space": space_time,
+                "evidence": evidence_time,
+                "enumeration": enumeration_time,
+            },
+        )
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("call fit() before incremental maintenance")
+
+    # -- incremental maintenance -----------------------------------------------
+
+    def insert(self, rows: Iterable[Sequence]) -> UpdateResult:
+        """Insert a batch of rows and update evidence and DCs."""
+        self._require_fitted()
+        previous_masks = set(self._backend.masks)
+
+        started = time.perf_counter()
+        new_rids = self.relation.insert(rows)
+        if new_rids:
+            self._state.indexes.add_rows(new_rids)
+            evidence_delta = incremental_evidence_for_insert(
+                self.relation,
+                self._state,
+                new_rids,
+                infer_within_delta=self.infer_within_delta,
+            )
+            new_masks = apply_insert_evidence(self._state, evidence_delta)
+            for monitor in self._monitors:
+                monitor.apply_insert_delta(evidence_delta, len(self.relation))
+            for watcher in self._watchers:
+                watcher.on_insert(new_rids)
+        else:
+            new_masks = []
+        evidence_time = time.perf_counter() - started
+
+        started = time.perf_counter()
+        self._backend.insert(new_masks)
+        enumeration_time = time.perf_counter() - started
+
+        return self._update_result(
+            "insert", new_rids, len(new_masks), previous_masks,
+            evidence_time, enumeration_time,
+        )
+
+    def delete(self, rids: Iterable[int]) -> UpdateResult:
+        """Delete a batch of rows (by rid) and update evidence and DCs."""
+        self._require_fitted()
+        rid_list = sorted(rids)
+        # Validate before touching any state: evidence subtraction happens
+        # before the relation delete, so a bad rid must not get that far.
+        for rid in rid_list:
+            if not self.relation.is_alive(rid):
+                raise KeyError(f"rid {rid} is not an alive row")
+        if len(set(rid_list)) != len(rid_list):
+            raise ValueError("duplicate rids in delete batch")
+        previous_masks = set(self._backend.masks)
+
+        started = time.perf_counter()
+        if rid_list:
+            if self.delete_strategy == "index":
+                evidence_delta = delete_evidence_with_index(
+                    self.relation, self._state, rid_list
+                )
+            else:
+                evidence_delta = delete_evidence_by_recompute(
+                    self.relation, self._state, rid_list
+                )
+            removed_masks = apply_delete_evidence(self._state, evidence_delta)
+            self.relation.delete(rid_list)
+            self._state.indexes.remove_rows(rid_list)
+            for monitor in self._monitors:
+                monitor.apply_delete_delta(evidence_delta, len(self.relation))
+            for watcher in self._watchers:
+                watcher.on_delete(rid_list)
+        else:
+            removed_masks = []
+        evidence_time = time.perf_counter() - started
+
+        started = time.perf_counter()
+        self._backend.delete(removed_masks, list(self._state.evidence))
+        enumeration_time = time.perf_counter() - started
+
+        return self._update_result(
+            "delete", rid_list, len(removed_masks), previous_masks,
+            evidence_time, enumeration_time,
+        )
+
+    def update(
+        self, delete_rids: Iterable[int], insert_rows: Iterable[Sequence]
+    ) -> tuple:
+        """Mixed update, modeled as deletes followed by inserts
+        (Section III-B).  Returns ``(delete_result, insert_result)``."""
+        return self.delete(delete_rids), self.insert(insert_rows)
+
+    def _update_result(
+        self, kind, rids, n_changed, previous_masks, evidence_time, enum_time
+    ) -> UpdateResult:
+        current = self._backend.masks
+        current_set = set(current)
+        return UpdateResult(
+            kind=kind,
+            delta_size=len(rids),
+            n_rows=len(self.relation),
+            n_evidence=len(self._state.evidence),
+            n_evidence_changed=n_changed,
+            n_dcs=len(current),
+            n_new_dcs=len(current_set - previous_masks),
+            n_removed_dcs=len(previous_masks - current_set),
+            rids=list(rids),
+            timings={"evidence": evidence_time, "enumeration": enum_time},
+        )
+
+    # -- results ------------------------------------------------------------------
+
+    @property
+    def dc_masks(self) -> List[int]:
+        """Current minimal DC predicate masks (the empty mask excluded)."""
+        self._require_fitted()
+        return [mask for mask in self._backend.masks if mask]
+
+    @property
+    def dcs(self) -> List[DenialConstraint]:
+        """Current minimal, non-trivial DCs."""
+        return [DenialConstraint(mask, self.space) for mask in self.dc_masks]
+
+    @property
+    def canonical_dcs(self) -> List[DenialConstraint]:
+        """Current DCs with implied operator pairs rewritten to their
+        canonical single operator (``{≤,≥}→{=}``, ``{≠,≤}→{<}``,
+        ``{≠,≥}→{>}``) and the resulting duplicates removed — a smaller,
+        semantically equivalent presentation of :attr:`dcs`."""
+        from repro.dcs.canonical import canonicalize_masks
+
+        return [
+            DenialConstraint(mask, self.space)
+            for mask in canonicalize_masks(self.dc_masks, self.space)
+        ]
+
+    @property
+    def evidence_set(self):
+        """The maintained evidence set (with multiplicities)."""
+        self._require_fitted()
+        return self._state.evidence
+
+    @property
+    def engine_state(self):
+        """The full evidence-engine state (indexes, tuple index, …)."""
+        self._require_fitted()
+        return self._state
+
+    def rank(self, top_k: Optional[int] = None, **weights) -> List[DCScore]:
+        """Rank the current DCs by interestingness (Section II)."""
+        return rank_dcs(self.dcs, self.evidence_set, top_k=top_k, **weights)
+
+    def approximate(self, epsilon: float) -> List[DenialConstraint]:
+        """Approximate DCs from the maintained evidence multiplicities."""
+        self._require_fitted()
+        masks = approximate_dcs(self.space, self._state.evidence, epsilon)
+        return [DenialConstraint(mask, self.space) for mask in masks if mask]
+
+    def attach_approximate_monitor(self, epsilon: float):
+        """Track the ε-approximate DCs across future updates.
+
+        Returns an :class:`~repro.dcs.dynamic_approximate.ApproximateDCMonitor`
+        whose violation counters are maintained exactly on every
+        ``insert``/``delete`` of this discoverer (the dynamic
+        approximate-DC layer the paper defers to future work).
+        """
+        self._require_fitted()
+        from repro.dcs.dynamic_approximate import ApproximateDCMonitor
+
+        monitor = ApproximateDCMonitor(
+            self.space, self._state.evidence, epsilon, len(self.relation)
+        )
+        self._monitors.append(monitor)
+        return monitor
+
+    def attach_violation_watcher(self, dcs: Iterable[DenialConstraint]):
+        """Maintain the violating pairs of the given DCs across updates.
+
+        The DCs need not be valid — watching *invalid* constraints (e.g.
+        business rules the data is known to break) is the typical
+        data-cleaning use.  Returns a
+        :class:`~repro.dcs.watcher.ViolationWatcher` updated on every
+        ``insert``/``delete`` of this discoverer.
+        """
+        self._require_fitted()
+        from repro.dcs.watcher import ViolationWatcher
+
+        watcher = ViolationWatcher(self.relation, self._state.indexes, dcs)
+        self._watchers.append(watcher)
+        return watcher
+
+    def __repr__(self) -> str:
+        status = "fitted" if self._fitted else "unfitted"
+        return (
+            f"DCDiscoverer({status}, {len(self.relation)} rows, "
+            f"backend={self.enumeration_backend})"
+        )

@@ -1,0 +1,53 @@
+"""Result objects returned by the 3DC discoverer.
+
+Each discovery/maintenance call reports the statistics the paper's
+evaluation plots: evidence counts, new-evidence counts, DC counts, DC
+churn, and per-phase wall-clock timings (Figures 8 and 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class DiscoveryResult:
+    """Outcome of the initial (static) discovery."""
+
+    n_rows: int
+    n_predicates: int
+    n_evidence: int
+    n_dcs: int
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        times = ", ".join(f"{k}={v:.3f}s" for k, v in self.timings.items())
+        return (
+            f"DiscoveryResult(rows={self.n_rows}, predicates={self.n_predicates}, "
+            f"evidence={self.n_evidence}, dcs={self.n_dcs}, {times})"
+        )
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of one incremental maintenance step (insert or delete)."""
+
+    kind: str  # "insert" or "delete"
+    delta_size: int
+    n_rows: int
+    n_evidence: int
+    n_evidence_changed: int  # new masks (insert) / vanished masks (delete)
+    n_dcs: int
+    n_new_dcs: int
+    n_removed_dcs: int
+    rids: List[int] = field(default_factory=list)
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        times = ", ".join(f"{k}={v:.3f}s" for k, v in self.timings.items())
+        return (
+            f"UpdateResult({self.kind} |Δr|={self.delta_size}, rows={self.n_rows}, "
+            f"evidence={self.n_evidence} ({self.n_evidence_changed:+d} changed), "
+            f"dcs={self.n_dcs} (+{self.n_new_dcs}/-{self.n_removed_dcs}), {times})"
+        )

@@ -1,0 +1,165 @@
+"""Persistence of 3DC intermediates between sessions.
+
+3DC's whole point is reusing the evidence set and DC antichain of a
+previous discovery (Figure 2).  This module serializes the full discoverer
+state — schema, alive rows (with their original rids), the exact predicate
+space, the evidence multiplicities, the DC antichain, and the per-tuple
+evidence index — to a JSON document, so a later process can resume
+incremental maintenance without re-running the static bootstrap.
+
+Masks are hex strings (they exceed 64 bits routinely); rids are decimal
+string keys (JSON objects demand string keys).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.backends import make_backend
+from repro.core.discoverer import DCDiscoverer
+from repro.evidence.builder import EvidenceEngineState
+from repro.evidence.evidence_set import EvidenceSet
+from repro.evidence.indexes import ColumnIndexes
+from repro.evidence.tuple_index import TupleEvidenceIndex
+from repro.predicates.space import build_space_from_pairs
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, ColumnType, Schema
+
+FORMAT_NAME = "3dc-state"
+FORMAT_VERSION = 1
+
+
+def _tuple_index_to_dict(tuple_index: TupleEvidenceIndex) -> dict:
+    return {
+        "owned": {
+            str(rid): {format(mask, "x"): count for mask, count in counter.items()}
+            for rid, counter in tuple_index.owned.items()
+        },
+        "partners": {
+            str(rid): format(bits, "x")
+            for rid, bits in tuple_index.partners_of.items()
+        },
+    }
+
+
+def _tuple_index_from_dict(payload: dict) -> TupleEvidenceIndex:
+    tuple_index = TupleEvidenceIndex()
+    tuple_index.owned = {
+        int(rid): {int(mask, 16): count for mask, count in counter.items()}
+        for rid, counter in payload["owned"].items()
+    }
+    tuple_index.partners_of = {
+        int(rid): int(bits, 16) for rid, bits in payload["partners"].items()
+    }
+    return tuple_index
+
+
+def state_to_dict(discoverer: DCDiscoverer) -> dict:
+    """Serialize a fitted discoverer to a JSON-compatible dict."""
+    if discoverer.space is None:
+        raise RuntimeError("cannot serialize an unfitted discoverer")
+    relation = discoverer.relation
+    state = discoverer.engine_state
+    if state.tuple_index is not None:
+        # The index's lazy corrections need the retained values of dead
+        # rows, which do not survive serialization — settle them now.
+        state.tuple_index.compact(relation, discoverer.space)
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "config": {
+            "cross_column_ratio": discoverer.cross_column_ratio,
+            "allow_cross_columns": discoverer.allow_cross_columns,
+            "column_names": list(discoverer.column_names)
+            if discoverer.column_names
+            else None,
+            "maintain_tuple_index": discoverer.maintain_tuple_index,
+            "delete_strategy": discoverer.delete_strategy,
+            "infer_within_delta": discoverer.infer_within_delta,
+            "enumeration_backend": discoverer.enumeration_backend,
+        },
+        "schema": [
+            [column.name, column.ctype.value] for column in relation.schema
+        ],
+        "rows": {str(rid): list(relation.row(rid)) for rid in relation.rids()},
+        "next_rid": relation.next_rid,
+        "space_pairs": [
+            [group.predicates[0].lhs, group.predicates[0].rhs]
+            for group in discoverer.space.groups
+        ],
+        "evidence": {
+            format(mask, "x"): count
+            for mask, count in state.evidence.counts.items()
+        },
+        "sigma": [format(mask, "x") for mask in discoverer._backend.masks],
+        "tuple_index": (
+            _tuple_index_to_dict(state.tuple_index)
+            if state.tuple_index is not None
+            else None
+        ),
+    }
+
+
+def state_from_dict(payload: dict) -> DCDiscoverer:
+    """Rebuild a fitted discoverer from :func:`state_to_dict` output."""
+    if payload.get("format") != FORMAT_NAME:
+        raise ValueError(f"not a {FORMAT_NAME} document")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported state version {payload.get('version')!r}")
+
+    schema = Schema(
+        Column(name, ColumnType(ctype)) for name, ctype in payload["schema"]
+    )
+    rows_by_rid = {
+        int(rid): tuple(
+            float(value)
+            if column.ctype is ColumnType.FLOAT and isinstance(value, int)
+            else value
+            for value, column in zip(row, schema)
+        )
+        for rid, row in payload["rows"].items()
+    }
+    relation = Relation.from_sparse_rows(schema, rows_by_rid, payload["next_rid"])
+
+    config = payload["config"]
+    discoverer = DCDiscoverer(relation, **config)
+    discoverer.space = build_space_from_pairs(
+        schema, [tuple(pair) for pair in payload["space_pairs"]]
+    )
+
+    evidence = EvidenceSet(
+        {int(mask, 16): count for mask, count in payload["evidence"].items()}
+    )
+    tuple_index = (
+        _tuple_index_from_dict(payload["tuple_index"])
+        if payload["tuple_index"] is not None
+        else None
+    )
+    discoverer._state = EvidenceEngineState(
+        space=discoverer.space,
+        indexes=ColumnIndexes(relation),
+        evidence=evidence,
+        tuple_index=tuple_index,
+    )
+    backend = make_backend(config["enumeration_backend"], discoverer.space)
+    try:
+        backend.set_masks(
+            [int(mask, 16) for mask in payload["sigma"]], list(evidence)
+        )
+    except NotImplementedError:
+        backend.bootstrap(list(evidence))
+    discoverer._backend = backend
+    discoverer._fitted = True
+    return discoverer
+
+
+def save_state(discoverer: DCDiscoverer, path) -> None:
+    """Write the discoverer state as JSON to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(state_to_dict(discoverer), handle)
+
+
+def load_state(path) -> DCDiscoverer:
+    """Load a discoverer state written by :func:`save_state`."""
+    with open(path) as handle:
+        return state_from_dict(json.load(handle))

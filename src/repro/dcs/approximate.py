@@ -1,0 +1,90 @@
+"""Approximate DC enumeration — the paper's future-work extension.
+
+An *approximate* DC may be violated by up to ``ε · n·(n−1)`` ordered tuple
+pairs [4], [7], [11].  The violation count of a predicate set ``φ`` is the
+total multiplicity of the evidences containing it,
+
+    viol(φ) = Σ_{e ⊇ φ} count(e),
+
+which is exactly why 3DC keeps the evidence multiplicity available
+(Section VI).  ``viol`` is anti-monotone (supersets have fewer covering
+evidences), so the ε-valid sets form an upward-closed family and the goal
+is its minimal elements.
+
+The enumeration is a branch-and-prune DFS over the predicate lattice.
+Branch soundness: every predicate of a *minimal* ε-valid set is necessary,
+i.e. dropping it pushes the violation count back over budget, which forces
+the predicate to be absent from at least one evidence covering the current
+set — so branching only on predicates missing from some covering evidence
+is complete.  Duplicates are avoided with the standard banned-set scheme
+and results are minimized at the end.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bitmaps.bitutils import iter_bits
+from repro.enumeration.inversion import minimize_masks
+from repro.evidence.evidence_set import EvidenceSet
+from repro.predicates.space import PredicateSpace
+
+
+def violation_count(evidence_set: EvidenceSet, mask: int) -> int:
+    """Total multiplicity of evidences containing every predicate of
+    ``mask`` — the number of ordered pairs violating the DC."""
+    return sum(
+        count
+        for evidence, count in evidence_set.counts.items()
+        if evidence & mask == mask
+    )
+
+
+def approximate_dcs(
+    space: PredicateSpace,
+    evidence_set: EvidenceSet,
+    epsilon: float,
+) -> List[int]:
+    """All minimal non-trivial DC masks violated by at most an ``epsilon``
+    fraction of ordered tuple pairs.
+
+    ``epsilon = 0`` degenerates to exact DC discovery (cross-checked in
+    the test suite against the exact enumerators).
+    """
+    if not 0.0 <= epsilon < 1.0:
+        raise ValueError(f"epsilon must be in [0, 1), got {epsilon}")
+    total = evidence_set.total_pairs()
+    budget = int(epsilon * total)
+    items = sorted(
+        evidence_set.counts.items(), key=lambda item: -item[1]
+    )  # big counts first: earlier pruning
+    full_mask = space.full_mask
+    satisfiable_with = space.satisfiable_with
+    results = []
+
+    def recurse(current: int, banned: int, covering: list) -> None:
+        violations = sum(count for _, count in covering)
+        if violations <= budget:
+            results.append(current)
+            return
+        # Predicates that appear in `current`'s covering evidences only
+        # partially — the only ones that can reduce the violation count.
+        candidate_bits = 0
+        for evidence, _ in covering:
+            candidate_bits |= full_mask & ~evidence
+        candidate_bits &= ~banned & ~current
+        new_banned = banned
+        for bit in iter_bits(candidate_bits):
+            new_banned |= 1 << bit
+            if not satisfiable_with(current, bit):
+                continue
+            extended = current | (1 << bit)
+            narrowed = [
+                (evidence, count)
+                for evidence, count in covering
+                if (evidence >> bit) & 1
+            ]
+            recurse(extended, new_banned, narrowed)
+
+    recurse(0, 0, items)
+    return sorted(minimize_masks(results))

@@ -1,0 +1,56 @@
+"""Operator-implication canonicalization of DC masks.
+
+Set-minimal enumeration can report pairs of *semantically equivalent* DCs
+whose predicate sets are incomparable, because operator combinations imply
+each other within a group:
+
+- ``{≤, ≥}``  ≡  ``{=}``
+- ``{≠, ≤}``  ≡  ``{<}``
+- ``{≠, ≥}``  ≡  ``{>}``
+
+(e.g. ``¬(t.A ≤ t'.A ∧ t.A ≥ t'.A)`` is ``¬(t.A = t'.A)``).  The paper's
+minimality notion is implication-based (Section I); enumeration-layer
+results are set-minimal, as in the FastDC/Hydra implementations, and this
+module optionally rewrites them to the canonical single-operator form and
+drops the duplicates that emerge.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.enumeration.inversion import minimize_masks
+from repro.predicates.operator import Operator
+from repro.predicates.space import PredicateSpace
+
+#: (pair of operators) -> equivalent single operator, within one group.
+_REWRITES = (
+    ((Operator.LE, Operator.GE), Operator.EQ),
+    ((Operator.NE, Operator.LE), Operator.LT),
+    ((Operator.NE, Operator.GE), Operator.GT),
+)
+
+
+def canonicalize_mask(mask: int, space: PredicateSpace) -> int:
+    """Rewrite implied operator pairs to their canonical single operator."""
+    for group in space.groups:
+        group_bits = mask & group.mask
+        if not group_bits or not group.numeric:
+            continue
+        for (first, second), replacement in _REWRITES:
+            first_bit = group.bit_of_op.get(first)
+            second_bit = group.bit_of_op.get(second)
+            replacement_bit = group.bit_of_op.get(replacement)
+            if first_bit is None or second_bit is None or replacement_bit is None:
+                continue
+            pair = (1 << first_bit) | (1 << second_bit)
+            if mask & pair == pair:
+                mask = (mask & ~pair) | (1 << replacement_bit)
+    return mask
+
+
+def canonicalize_masks(masks: Iterable[int], space: PredicateSpace) -> List[int]:
+    """Canonicalize a DC collection, dropping duplicates and any DC that
+    became a superset of another after rewriting."""
+    rewritten = {canonicalize_mask(mask, space) for mask in masks}
+    return sorted(minimize_masks(rewritten))

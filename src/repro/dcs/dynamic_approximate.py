@@ -1,0 +1,178 @@
+"""Dynamic maintenance of approximate DCs — the paper's future work.
+
+Section VIII defers "the enumeration of different forms of approximate DCs
+in dynamic settings" to future research, while Sections II and V argue the
+prerequisite is an *evidence multiplicity* that stays exact across updates
+— which 3DC's evidence engine provides.  This module builds the dynamic
+layer on top of it.
+
+The subtlety that makes approximate DCs harder than exact ones: validity
+is ``viol(φ) = Σ_{e ⊇ φ} count(e) ≤ ε·N(N−1)``, and *both* sides move
+under updates — inserts raise violation counts but also raise the budget,
+deletes do the reverse — so neither operation is monotone for the DC
+family and no small "touched region" exists as in the exact case.
+
+:class:`ApproximateDCMonitor` therefore splits the work:
+
+- **Exact incremental accounting** (cheap, every update): per-DC violation
+  counters are updated from the evidence *delta* of the batch, the budget
+  from the new pair total.  DCs that crossed the budget are reported
+  immediately (soundness: every reported invalidation is real).
+- **Completeness on demand**: a :meth:`refresh` re-enumerates the minimal
+  approximate DCs from the maintained multiplicities and reports the
+  diff.  :attr:`needs_refresh` tells when the incremental state may be
+  missing newly-minimal DCs (any invalidation, or a budget move across
+  some DC's counter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.dcs.approximate import approximate_dcs
+from repro.evidence.evidence_set import EvidenceSet
+from repro.predicates.space import PredicateSpace
+
+
+@dataclass
+class MonitorReport:
+    """Outcome of folding one update batch into the monitor."""
+
+    kind: str  # "insert" or "delete"
+    budget: int
+    n_rows: int
+    invalidated: List[int] = field(default_factory=list)
+    revalidated_candidates: List[int] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """No tracked DC changed validity state."""
+        return not self.invalidated and not self.revalidated_candidates
+
+
+@dataclass
+class RefreshReport:
+    """Diff produced by a full re-enumeration."""
+
+    added: List[int]
+    removed: List[int]
+    n_dcs: int
+
+
+class ApproximateDCMonitor:
+    """Tracks the minimal ε-approximate DCs of a maintained evidence set."""
+
+    def __init__(
+        self,
+        space: PredicateSpace,
+        evidence_set: EvidenceSet,
+        epsilon: float,
+        n_rows: int,
+    ):
+        if not 0.0 <= epsilon < 1.0:
+            raise ValueError(f"epsilon must be in [0, 1), got {epsilon}")
+        self.space = space
+        self.epsilon = epsilon
+        self._n_rows = n_rows
+        self._evidence = evidence_set  # shared with the discoverer
+        self._masks: List[int] = approximate_dcs(space, evidence_set, epsilon)
+        self._violations: Dict[int, int] = {
+            mask: self._count_violations(mask) for mask in self._masks
+        }
+        self._over_budget: Dict[int, int] = {}
+        self._needs_refresh = False
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def budget(self) -> int:
+        """Maximum tolerated violating ordered pairs at the current size."""
+        return int(self.epsilon * self._n_rows * (self._n_rows - 1))
+
+    @property
+    def dc_masks(self) -> List[int]:
+        """Tracked approximate DC masks currently within budget."""
+        return sorted(self._masks)
+
+    @property
+    def needs_refresh(self) -> bool:
+        """Whether newly-minimal DCs may be missing from the tracked set."""
+        return self._needs_refresh
+
+    def violations(self, mask: int) -> int:
+        """Maintained violation count of a tracked DC."""
+        if mask in self._violations:
+            return self._violations[mask]
+        if mask in self._over_budget:
+            return self._over_budget[mask]
+        raise KeyError(f"DC {mask:#x} is not tracked")
+
+    def _count_violations(self, mask: int) -> int:
+        return sum(
+            count
+            for evidence, count in self._evidence.counts.items()
+            if evidence & mask == mask
+        )
+
+    def _apply_delta(self, kind: str, delta: EvidenceSet, n_rows: int):
+        sign = 1 if kind == "insert" else -1
+        for evidence, count in delta.counts.items():
+            signed = sign * count
+            for mask in self._violations:
+                if evidence & mask == mask:
+                    self._violations[mask] += signed
+            for mask in self._over_budget:
+                if evidence & mask == mask:
+                    self._over_budget[mask] += signed
+        self._n_rows = n_rows
+        budget = self.budget
+
+        invalidated = [
+            mask for mask, viol in self._violations.items() if viol > budget
+        ]
+        for mask in invalidated:
+            self._over_budget[mask] = self._violations.pop(mask)
+        self._masks = [mask for mask in self._masks if mask in self._violations]
+
+        revalidated = [
+            mask for mask, viol in self._over_budget.items() if viol <= budget
+        ]
+        # Re-admitting them directly could break minimality (a smaller set
+        # might also have fallen under budget); they are surfaced as
+        # candidates and resolved by refresh().
+        if invalidated or revalidated:
+            self._needs_refresh = True
+        return MonitorReport(
+            kind=kind,
+            budget=budget,
+            n_rows=n_rows,
+            invalidated=sorted(invalidated),
+            revalidated_candidates=sorted(revalidated),
+        )
+
+    def apply_insert_delta(self, delta: EvidenceSet, n_rows: int) -> MonitorReport:
+        """Fold in the evidence delta of an insert batch (``E_Δr``)."""
+        return self._apply_delta("insert", delta, n_rows)
+
+    def apply_delete_delta(self, delta: EvidenceSet, n_rows: int) -> MonitorReport:
+        """Fold in the evidence delta of a delete batch."""
+        return self._apply_delta("delete", delta, n_rows)
+
+    # -- completeness ------------------------------------------------------------
+
+    def refresh(self) -> RefreshReport:
+        """Re-enumerate from the maintained multiplicities; return the diff."""
+        previous = set(self._masks) | set(self._over_budget)
+        self._masks = approximate_dcs(self.space, self._evidence, self.epsilon)
+        self._violations = {
+            mask: self._count_violations(mask) for mask in self._masks
+        }
+        self._over_budget = {}
+        self._needs_refresh = False
+        current = set(self._masks)
+        return RefreshReport(
+            added=sorted(current - previous),
+            removed=sorted(previous - current),
+            n_dcs=len(self._masks),
+        )

@@ -1,0 +1,104 @@
+"""Semantic (operator-aware) implication between DCs.
+
+Set-minimality treats predicate sets syntactically; the paper's minimality
+notion (Section I) is *implication*-based: a DC is redundant if another DC
+with an implied predicate set exists.  Within one predicate group the
+implication structure is fully determined by the satisfiable patterns
+(Trichotomy Law): a valuation that satisfies an operator set ``S``
+satisfies exactly the operators in the intersection of all patterns
+containing ``S``.  That yields a complete per-group implication test and,
+lifted over groups, a sound and complete pairwise implication test for
+predicate sets built from single-group predicates:
+
+    ``sat(P) ⊆ sat(Q)``  ⟺  every group's Q-bits lie in the implication
+    closure of that group's P-bits.
+
+For DCs the direction flips: ``¬Q`` implies ``¬P`` when every pair
+satisfying ``P`` satisfies ``Q`` (violators of ``¬P`` violate ``¬Q``).
+
+:func:`semantic_minimize` removes every DC semantically implied by another
+— a strictly stronger cleanup than the rewrite-based
+:mod:`repro.dcs.canonical` (which it subsumes up to the canonical spelling
+of the survivors).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.predicates.space import PredicateSpace
+
+
+def group_closure(group, bits: int) -> int:
+    """Implication closure of an operator bit set within one group.
+
+    Returns the bits of every operator satisfied by *all* valuations that
+    satisfy ``bits``; an unsatisfiable ``bits`` (no pattern contains it)
+    closes to the full group mask (it implies everything vacuously).
+    """
+    closure = group.mask
+    found = False
+    for pattern in group.patterns:
+        if bits & ~pattern == 0:
+            closure &= pattern
+            found = True
+    if not found:
+        return group.mask
+    return closure
+
+
+def predicates_closure(space: PredicateSpace, mask: int) -> int:
+    """Implication closure of a predicate mask, group by group.
+
+    An unsatisfiable group (its bits fit no pattern) makes the whole set
+    unsatisfiable, which implies *every* predicate — the closure is then
+    the full space.  ``group_closure`` signals that case by returning the
+    full group mask, which a satisfiable bit set can never close to
+    (every pattern is a proper subset of its group).
+    """
+    closure = 0
+    for group in space.groups:
+        bits = mask & group.mask
+        if bits:
+            grown = group_closure(group, bits)
+            if grown == group.mask:
+                return space.full_mask
+            closure |= grown
+    return closure
+
+
+def satisfaction_implies(space: PredicateSpace, mask_p: int, mask_q: int) -> bool:
+    """Whether every tuple pair satisfying ``P`` also satisfies ``Q``."""
+    return mask_q & ~predicates_closure(space, mask_p) == 0
+
+
+def dc_implies(space: PredicateSpace, dc_q: int, dc_p: int) -> bool:
+    """Whether the DC ``¬Q`` implies the DC ``¬P``.
+
+    ``¬Q ⊨ ¬P`` exactly when every violator of ``¬P`` (a pair satisfying
+    all of ``P``) also violates ``¬Q`` (satisfies all of ``Q``).
+    """
+    return satisfaction_implies(space, dc_p, dc_q)
+
+
+def semantic_minimize(space: PredicateSpace, masks: Iterable[int]) -> List[int]:
+    """Drop every DC that is semantically implied by another in the list.
+
+    Among semantically equivalent DCs the one with the smaller closure
+    spelling (and, tie-breaking, the smaller mask) is kept, so the result
+    is deterministic.
+    """
+    unique = sorted(set(masks), key=lambda mask: (mask.bit_count(), mask))
+    closures = {mask: predicates_closure(space, mask) for mask in unique}
+    kept: List[int] = []
+    for mask in unique:
+        redundant = False
+        for other in kept:
+            # `other` implies `mask` as a DC when satisfying all of
+            # mask's predicates satisfies all of other's.
+            if closures[other] & ~closures[mask] == 0:
+                redundant = True
+                break
+        if not redundant:
+            kept.append(mask)
+    return sorted(kept)

@@ -1,0 +1,96 @@
+"""Interestingness ranking of discovered DCs.
+
+DC discovery typically returns thousands of constraints; the scoring
+functions of [4], [11] rank them by *succinctness* (shorter is better) and
+*coverage* (how much of the data actively supports the constraint).
+Coverage needs the evidence multiplicity — the statistic 3DC maintains
+during evidence building precisely so these rankings stay available in
+dynamic settings (Section II, "DC Ranking").
+
+Adaptation note: FastDC measures DC length in syntax symbols; we use the
+predicate count, which orders identically for the predicate shapes in our
+spaces.  Coverage follows FastDC's weighting — an evidence satisfying
+``k`` of the DC's ``m`` predicates contributes weight ``(k + 1) / (m + 1)``
+per tuple pair, so pairs that nearly violate the DC (and are thus "close
+witnesses" of it) count most.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.dcs.denial_constraint import DenialConstraint
+from repro.evidence.evidence_set import EvidenceSet
+
+
+@dataclass(frozen=True)
+class DCScore:
+    """Scoring breakdown for one DC."""
+
+    dc: DenialConstraint
+    succinctness: float
+    coverage: float
+    score: float
+
+
+def succinctness(dc: DenialConstraint) -> float:
+    """``1 / |φ|`` — single-predicate DCs score 1.0."""
+    size = len(dc)
+    if size == 0:
+        return 0.0
+    return 1.0 / size
+
+
+def coverage(dc: DenialConstraint, evidence_set: EvidenceSet) -> float:
+    """Multiplicity-weighted coverage in ``[0, 1]``."""
+    size = len(dc)
+    if size == 0:
+        return 0.0
+    total = evidence_set.total_pairs()
+    if total == 0:
+        return 0.0
+    mask = dc.mask
+    weighted = 0
+    for evidence, count in evidence_set.counts.items():
+        satisfied = (evidence & mask).bit_count()
+        weighted += count * (satisfied + 1)
+    return weighted / (total * (size + 1))
+
+
+def score_dc(
+    dc: DenialConstraint,
+    evidence_set: EvidenceSet,
+    succinctness_weight: float = 0.5,
+    coverage_weight: float = 0.5,
+) -> DCScore:
+    """Combined interestingness score of one DC."""
+    succ = succinctness(dc)
+    cov = coverage(dc, evidence_set)
+    return DCScore(
+        dc=dc,
+        succinctness=succ,
+        coverage=cov,
+        score=succinctness_weight * succ + coverage_weight * cov,
+    )
+
+
+def rank_dcs(
+    dcs: Sequence[DenialConstraint],
+    evidence_set: EvidenceSet,
+    succinctness_weight: float = 0.5,
+    coverage_weight: float = 0.5,
+    top_k: int = None,
+) -> List[DCScore]:
+    """Rank DCs by combined score, best first.
+
+    :param top_k: return only the best ``top_k`` entries (None = all).
+    """
+    scored = [
+        score_dc(dc, evidence_set, succinctness_weight, coverage_weight)
+        for dc in dcs
+    ]
+    scored.sort(key=lambda entry: (-entry.score, entry.dc.mask))
+    if top_k is not None:
+        return scored[:top_k]
+    return scored

@@ -1,0 +1,130 @@
+"""Compile denial constraints to SQL.
+
+DCs state that no *pair* of rows may jointly satisfy all predicates, so a
+DC compiles naturally to a self-join that returns its violating pairs —
+the standard way to deploy discovered DCs as data-quality checks in a
+relational system.  This module renders:
+
+- :func:`violations_query` — a SELECT returning the violating row pairs of
+  one DC (empty result ⟺ the DC holds);
+- :func:`violation_count_query` — the COUNT variant, e.g. for monitoring
+  dashboards or approximate-DC thresholds;
+- :func:`create_table_statement` / :func:`insert_rows` — helpers to ship a
+  :class:`~repro.relational.relation.Relation` into any DB-API database.
+
+The generated SQL is deliberately engine-neutral (ANSI joins, double-quote
+identifier quoting); the test suite executes it against ``sqlite3`` and
+checks the result pairs against the in-memory violation oracle.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dcs.denial_constraint import DenialConstraint
+from repro.predicates.operator import Operator
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnType
+
+_SQL_OPERATORS = {
+    Operator.EQ: "=",
+    Operator.NE: "<>",
+    Operator.LT: "<",
+    Operator.LE: "<=",
+    Operator.GT: ">",
+    Operator.GE: ">=",
+}
+
+#: Column name used to carry stable rids into the database.
+RID_COLUMN = "_rid"
+
+
+def quote_identifier(name: str) -> str:
+    """ANSI-quote an identifier (doubling embedded quotes)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def sql_condition(dc: DenialConstraint, left_alias: str = "t", right_alias: str = "u") -> str:
+    """The conjunction of the DC's predicates over two row aliases."""
+    parts = [
+        f"{left_alias}.{quote_identifier(p.lhs)} "
+        f"{_SQL_OPERATORS[p.op]} "
+        f"{right_alias}.{quote_identifier(p.rhs)}"
+        for p in dc.predicates
+    ]
+    return " AND ".join(parts)
+
+
+def violations_query(dc: DenialConstraint, table: str) -> str:
+    """SELECT returning the ordered violating pairs ``(t_rid, u_rid)``.
+
+    The table must carry the :data:`RID_COLUMN` (written by
+    :func:`create_table_statement`); an empty result means the DC holds.
+    """
+    quoted = quote_identifier(table)
+    rid = quote_identifier(RID_COLUMN)
+    condition = sql_condition(dc)
+    return (
+        f"SELECT t.{rid} AS t_rid, u.{rid} AS u_rid\n"
+        f"FROM {quoted} t\n"
+        f"JOIN {quoted} u ON t.{rid} <> u.{rid}\n"
+        f"WHERE {condition}\n"
+        f"ORDER BY t_rid, u_rid"
+    )
+
+
+def violation_count_query(dc: DenialConstraint, table: str) -> str:
+    """COUNT of ordered violating pairs (the ``viol(φ)`` of approximate DCs)."""
+    quoted = quote_identifier(table)
+    rid = quote_identifier(RID_COLUMN)
+    condition = sql_condition(dc)
+    return (
+        f"SELECT COUNT(*)\n"
+        f"FROM {quoted} t\n"
+        f"JOIN {quoted} u ON t.{rid} <> u.{rid}\n"
+        f"WHERE {condition}"
+    )
+
+
+_SQL_TYPES = {
+    ColumnType.STRING: "TEXT",
+    ColumnType.INTEGER: "INTEGER",
+    ColumnType.FLOAT: "REAL",
+}
+
+
+def create_table_statement(relation: Relation, table: str) -> str:
+    """CREATE TABLE with the relation's columns plus the rid column."""
+    columns = [f"{quote_identifier(RID_COLUMN)} INTEGER PRIMARY KEY"]
+    columns.extend(
+        f"{quote_identifier(column.name)} {_SQL_TYPES[column.ctype]}"
+        for column in relation.schema
+    )
+    return f"CREATE TABLE {quote_identifier(table)} ({', '.join(columns)})"
+
+
+def insert_rows(connection, relation: Relation, table: str) -> int:
+    """Insert all alive rows (with their rids) via a DB-API connection."""
+    placeholders = ", ".join("?" for _ in range(len(relation.schema) + 1))
+    statement = f"INSERT INTO {quote_identifier(table)} VALUES ({placeholders})"
+    rows = [(rid, *relation.row(rid)) for rid in relation.rids()]
+    connection.executemany(statement, rows)
+    return len(rows)
+
+
+def deploy_checks(
+    dcs: List[DenialConstraint], table: str, name_prefix: str = "dc"
+) -> str:
+    """A SQL script of named views, one per DC, each listing violations.
+
+    Querying ``<prefix>_<i>_violations`` after future data changes gives a
+    standing data-quality check for every discovered constraint.
+    """
+    statements = []
+    for index, dc in enumerate(dcs):
+        view = quote_identifier(f"{name_prefix}_{index}_violations")
+        statements.append(
+            f"-- {dc}\n"
+            f"CREATE VIEW {view} AS\n{violations_query(dc, table)};"
+        )
+    return "\n\n".join(statements)

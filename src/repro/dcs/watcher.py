@@ -1,0 +1,135 @@
+"""Incremental violation watching for a fixed set of DCs.
+
+Discovery tells you *which* constraints hold; production data quality also
+needs the converse — given constraints you trust (e.g. the top-ranked
+discovered DCs, or hand-written rules), know at all times *which row pairs
+violate them* as the table changes.  This is the detection problem of the
+authors' companion work on fast DC-violation detection [13], solved here
+with the same column indexes the evidence engine maintains:
+
+- a new row only creates violations involving itself → one index-probe
+  refinement per watched DC per inserted row;
+- a deleted row only removes violations involving itself → a set filter.
+
+The watcher integrates with :class:`~repro.core.discoverer.DCDiscoverer`
+via :meth:`DCDiscoverer.attach_violation_watcher`, or can be driven
+manually with :meth:`on_insert` / :meth:`on_delete`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.bitmaps.bitutils import iter_bits
+from repro.dcs.denial_constraint import DenialConstraint
+from repro.dcs.violations import violating_partners
+from repro.evidence.indexes import ColumnIndexes
+from repro.relational.relation import Relation
+
+Pair = Tuple[int, int]
+
+
+class ViolationWatcher:
+    """Maintains the ordered violating pairs of watched DCs."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        indexes: ColumnIndexes,
+        dcs: Iterable[DenialConstraint],
+    ):
+        self.relation = relation
+        self.indexes = indexes
+        self.dcs: List[DenialConstraint] = list(dcs)
+        self._pairs: Dict[int, Set[Pair]] = {dc.mask: set() for dc in self.dcs}
+        seen_bits = 0
+        for rid in relation.rids():
+            self._absorb_row(rid, restrict_bits=seen_bits)
+            seen_bits |= 1 << rid
+
+    def _absorb_row(self, rid: int, restrict_bits: int = None) -> Dict[int, Set[Pair]]:
+        """Record the violations row ``rid`` forms with indexed partners.
+
+        ``restrict_bits`` limits partners (used during the initial scan to
+        count each pair once per direction sweep); ``None`` = all indexed.
+        Returns the newly found pairs per DC mask.
+        """
+        found: Dict[int, Set[Pair]] = {}
+        for dc in self.dcs:
+            as_first, as_second = violating_partners(
+                dc, self.relation, self.indexes, rid
+            )
+            if restrict_bits is not None:
+                as_first &= restrict_bits
+                as_second &= restrict_bits
+            fresh = set()
+            for partner in iter_bits(as_first):
+                fresh.add((rid, partner))
+            for partner in iter_bits(as_second):
+                fresh.add((partner, rid))
+            if fresh:
+                self._pairs[dc.mask] |= fresh
+                found[dc.mask] = fresh
+        return found
+
+    # -- queries ------------------------------------------------------------
+
+    def violations(self, dc: DenialConstraint) -> Set[Pair]:
+        """Current ordered violating pairs of a watched DC (a copy)."""
+        try:
+            return set(self._pairs[dc.mask])
+        except KeyError:
+            raise KeyError(f"DC {dc} is not watched") from None
+
+    def violated_dcs(self) -> List[DenialConstraint]:
+        """Watched DCs that currently have at least one violation."""
+        return [dc for dc in self.dcs if self._pairs[dc.mask]]
+
+    def total_violations(self) -> int:
+        """Total ordered violating pairs across all watched DCs."""
+        return sum(len(pairs) for pairs in self._pairs.values())
+
+    # -- maintenance -----------------------------------------------------------
+
+    def on_insert(self, new_rids: Iterable[int]) -> Dict[int, Set[Pair]]:
+        """Absorb freshly inserted (and already indexed) rows.
+
+        Returns the new violating pairs per DC mask — the rows' "damage
+        report".  Pairs among the batch are reported once.
+        """
+        report: Dict[int, Set[Pair]] = {}
+        absorbed_bits = 0
+        new_bits = 0
+        for rid in new_rids:
+            new_bits |= 1 << rid
+        indexed = self.indexes.indexed_bits
+        for rid in sorted(new_rids):
+            # Partners: all old rows plus batch rows already absorbed —
+            # each new-new pair is reported by its later member.
+            restrict = (indexed & ~new_bits) | absorbed_bits
+            for mask, fresh in self._absorb_row(rid, restrict_bits=restrict).items():
+                report.setdefault(mask, set()).update(fresh)
+            absorbed_bits |= 1 << rid
+        return report
+
+    def on_delete(self, rids: Iterable[int]) -> Dict[int, Set[Pair]]:
+        """Drop all violating pairs that involve the deleted rows.
+
+        Returns the removed pairs per DC mask.
+        """
+        doomed = set(rids)
+        report: Dict[int, Set[Pair]] = {}
+        for mask, pairs in self._pairs.items():
+            removed = {
+                pair for pair in pairs if pair[0] in doomed or pair[1] in doomed
+            }
+            if removed:
+                pairs -= removed
+                report[mask] = removed
+        return report
+
+    def __repr__(self) -> str:
+        return (
+            f"ViolationWatcher({len(self.dcs)} DCs, "
+            f"{self.total_violations()} violating pairs)"
+        )

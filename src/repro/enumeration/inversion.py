@@ -1,0 +1,137 @@
+"""Static evidence inversion (the EI algorithm of Hydra [3]).
+
+DC validity reduces to hitting sets: ``φ`` is valid iff no evidence
+contains all of its predicates, i.e. ``φ`` hits every *complement*
+``P \\ e``.  Evidence inversion maintains the antichain of minimal valid
+DCs while folding in one evidence at a time: DCs contained in the new
+evidence are violated and get *refined* by extending them with predicates
+outside the evidence; refinements dominated by current DCs are dropped,
+and unsatisfiable (trivial-DC) refinements are pruned at generation time —
+every subset of a satisfiable predicate set is satisfiable, so this loses
+no minimal non-trivial DC.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.bitmaps.bitutils import iter_bits
+from repro.enumeration.settrie import SetTrie
+from repro.predicates.space import PredicateSpace
+
+
+def refine_sigma(
+    space: PredicateSpace,
+    sigma: SetTrie,
+    evidence_masks: Iterable[int],
+    blocking_sigma: SetTrie = None,
+) -> SetTrie:
+    """Fold ``evidence_masks`` into the DC antichain ``sigma`` (in place).
+
+    This is the core loop shared by the static EI bootstrap and the DynEI
+    insert/delete passes (Algorithm 2 lines 3-9).  Returns ``sigma``.
+
+    :param blocking_sigma: an additional trie of DCs that are known valid
+        for every mask in ``evidence_masks`` and should prune candidates
+        but never be refined themselves.  DynEI's delete pass passes the
+        surviving DCs here so the re-grow loop only carries the (small)
+        working set of seed descendants.
+    """
+    full_mask = space.full_mask
+    satisfiable_with = space.satisfiable_with
+    for evidence in evidence_masks:
+        violated = sigma.subsets_of(evidence)
+        if not violated:
+            continue
+        # Candidates are dominated ("line 8" of Algorithm 2) exactly by
+        # DCs with a single predicate outside the evidence: a dominating
+        # σ ⊆ v∪{p} with v ⊆ e satisfies σ∖e ⊆ {p}, and σ∖e = ∅ would
+        # mean σ itself is violated (and removed).  One linear int-op pass
+        # over the antichain collects all of them, bucketed by that
+        # outside bit — cheaper than a trie traversal for this
+        # whole-collection scan in CPython.
+        blocker_buckets = {}
+        outside_space = ~evidence
+        for stored in sigma.mask_set:
+            outside = stored & outside_space
+            if outside and outside & (outside - 1) == 0:
+                blocker_buckets.setdefault(
+                    outside.bit_length() - 1, []
+                ).append(stored & evidence)
+        if blocking_sigma is not None:
+            for stored in blocking_sigma.mask_set:
+                outside = stored & outside_space
+                if outside and outside & (outside - 1) == 0:
+                    blocker_buckets.setdefault(
+                        outside.bit_length() - 1, []
+                    ).append(stored & evidence)
+        for dc_mask in violated:
+            sigma.remove(dc_mask)
+        complement = full_mask & ~evidence
+        for dc_mask in violated:
+            for bit in iter_bits(complement):
+                if not satisfiable_with(dc_mask, bit):
+                    continue
+                blockers = blocker_buckets.get(bit)
+                if blockers is not None and any(
+                    inside & ~dc_mask == 0 for inside in blockers
+                ):
+                    continue
+                sigma.insert(dc_mask | (1 << bit))
+    return sigma
+
+
+def maximal_masks(masks: Iterable[int]) -> List[int]:
+    """Deduplicate evidence masks and order them largest-first.
+
+    In principle only set-maximal evidences can violate DCs.  For the
+    evidences this engine produces, however, distinct masks are *never*
+    comparable: every predicate group contributes exactly one of its
+    satisfiable patterns (``{=,≤,≥}`` / ``{≠,<,≤}`` / ``{≠,>,≥}``, or
+    ``{=}`` / ``{≠}``), and the patterns of a group are pairwise
+    incomparable — so ``e₁ ⊆ e₂`` forces equality group by group.  Subset
+    filtering would be an O(|E|²) no-op; this function therefore only
+    dedupes and sorts by descending popcount (large evidences have small
+    complements and spawn few refinements, which keeps the DC antichain
+    small through most of an inversion pass).
+    """
+    return sorted(set(masks), key=lambda mask: -mask.bit_count())
+
+
+def minimize_masks(masks: Iterable[int]) -> List[int]:
+    """Keep only the set-minimal masks (drop supersets of other masks)."""
+    ordered = sorted(masks, key=lambda mask: mask.bit_count())
+    trie = SetTrie()
+    minimal = []
+    for mask in ordered:
+        if trie.has_subset_of(mask):
+            continue
+        trie.insert(mask)
+        minimal.append(mask)
+    return minimal
+
+
+def invert_evidence(
+    space: PredicateSpace,
+    evidence_masks: Iterable[int],
+    seed_masks: Optional[Iterable[int]] = None,
+) -> List[int]:
+    """Enumerate all minimal, non-trivial DC masks valid for the evidence.
+
+    With the default seed (the empty predicate set) this is the static EI
+    algorithm.  A custom ``seed_masks`` antichain turns it into the re-grow
+    pass used by DynEI's delete case; the result is minimized at the end
+    because a seeded run may temporarily hold comparable sets.
+    """
+    if seed_masks is None:
+        sigma = SetTrie([0])
+    else:
+        sigma = SetTrie(seed_masks)
+    # Only maximal evidences can violate anything; maximal_masks also
+    # returns them largest-first, which keeps the antichain small through
+    # most of the pass (small complements spawn few refinements).
+    refine_sigma(space, sigma, maximal_masks(evidence_masks))
+    # The empty mask survives only when there is no evidence at all (fewer
+    # than two alive tuples).  It is kept here — the antichain invariant of
+    # the dynamic passes needs it — and filtered at the presentation layer.
+    return sorted(minimize_masks(sigma.masks()))

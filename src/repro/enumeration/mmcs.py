@@ -1,0 +1,107 @@
+"""MMCS — minimal hitting set enumeration (Murakami & Uno [8]).
+
+DC enumeration is hitting-set enumeration over the *complements* of the
+evidences [7]: a DC is valid iff its predicate set intersects ``P \\ e``
+for every evidence ``e``.  MMCS explores hitting sets depth-first while
+maintaining, for every chosen vertex, its set of *critical* hyperedges
+(edges hit by that vertex alone); a branch is pruned as soon as a chosen
+vertex loses all critical edges, which guarantees only minimal hitting
+sets are emitted — no post-minimization needed.
+
+Trivial-DC pruning composes soundly: every subset of a satisfiable
+predicate set is satisfiable, so pruning unsatisfiable partial sets never
+blocks the path to a satisfiable minimal hitting set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.bitmaps.bitutils import iter_bits
+from repro.predicates.space import PredicateSpace
+
+
+def complement_edges(space: PredicateSpace, evidence_masks: Iterable[int]) -> List[int]:
+    """Deduplicated, minimized hyperedges ``P \\ e``.
+
+    An edge that is a superset of another is hit whenever the smaller one
+    is, so it can be dropped without changing the minimal hitting sets.
+    """
+    full_mask = space.full_mask
+    edges = sorted(
+        {full_mask & ~evidence for evidence in evidence_masks},
+        key=lambda mask: mask.bit_count(),
+    )
+    minimized = []
+    for edge in edges:
+        if any(kept & edge == kept for kept in minimized):
+            continue
+        minimized.append(edge)
+    return minimized
+
+
+def mmcs_hitting_sets(
+    space: PredicateSpace, edges: List[int], universe_mask: int = None
+) -> List[int]:
+    """All minimal, satisfiable hitting sets of ``edges`` as bitmasks.
+
+    :param universe_mask: restrict hitting sets to subsets of this mask
+        (used by DynEI's targeted delete re-grow); edges that do not
+        intersect the universe make the problem infeasible and yield [].
+    """
+    results = []
+    if universe_mask is None:
+        universe_mask = space.full_mask
+    if not edges:
+        return [0]
+    if any(edge & universe_mask == 0 for edge in edges):
+        return []
+    satisfiable_with = space.satisfiable_with
+    n_edges = len(edges)
+
+    def recurse(current: int, crit: dict, uncov: list, cand: int) -> None:
+        if not uncov:
+            results.append(current)
+            return
+        # Choose the uncovered edge with the fewest candidate vertices.
+        chosen = min(uncov, key=lambda index: (edges[index] & cand).bit_count())
+        branch_vertices = edges[chosen] & cand
+        if not branch_vertices:
+            return
+        remaining_cand = cand
+        for vertex in iter_bits(branch_vertices):
+            remaining_cand &= ~(1 << vertex)
+            if not satisfiable_with(current, vertex):
+                continue
+            # New criticality: vertices of `current` keep only critical
+            # edges the new vertex does not hit; prune when one starves.
+            new_crit = {}
+            starved = False
+            for member, member_edges in crit.items():
+                filtered = [
+                    index for index in member_edges if not (edges[index] >> vertex) & 1
+                ]
+                if not filtered:
+                    starved = True
+                    break
+                new_crit[member] = filtered
+            if starved:
+                continue
+            new_crit[vertex] = [
+                index for index in uncov if (edges[index] >> vertex) & 1
+            ]
+            new_uncov = [
+                index for index in uncov if not (edges[index] >> vertex) & 1
+            ]
+            recurse(current | (1 << vertex), new_crit, new_uncov, remaining_cand)
+
+    recurse(0, {}, list(range(n_edges)), universe_mask)
+    return results
+
+
+def mmcs_enumerate(
+    space: PredicateSpace, evidence_masks: Iterable[int]
+) -> List[int]:
+    """Enumerate all minimal non-trivial DC masks via hitting sets."""
+    edges = complement_edges(space, evidence_masks)
+    return sorted(mmcs_hitting_sets(space, edges))

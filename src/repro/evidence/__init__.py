@@ -1,0 +1,47 @@
+"""Evidence sets and their maintenance under inserts and deletes.
+
+This package implements Section V of the paper: the evidence set with
+multiplicities, the column indexes, the evidence-context reconciliation
+pipeline (Algorithm 1), the insert and delete maintenance strategies, the
+per-tuple evidence index, and a naive pair-scan oracle used for testing
+and baselines.
+"""
+
+from repro.evidence.evidence_set import EvidenceSet
+from repro.evidence.indexes import ColumnIndexes, EqualityIndex, RangeIndex
+from repro.evidence.contexts import build_contexts
+from repro.evidence.builder import (
+    EvidenceEngineState,
+    build_evidence_state,
+    collect_contexts,
+)
+from repro.evidence.incremental import (
+    apply_insert_evidence,
+    incremental_evidence_for_insert,
+)
+from repro.evidence.deletes import (
+    apply_delete_evidence,
+    delete_evidence_by_recompute,
+    delete_evidence_with_index,
+)
+from repro.evidence.tuple_index import TupleEvidenceIndex
+from repro.evidence.naive import naive_evidence_set, naive_incremental_evidence
+
+__all__ = [
+    "EvidenceSet",
+    "ColumnIndexes",
+    "EqualityIndex",
+    "RangeIndex",
+    "build_contexts",
+    "EvidenceEngineState",
+    "build_evidence_state",
+    "collect_contexts",
+    "incremental_evidence_for_insert",
+    "apply_insert_evidence",
+    "delete_evidence_by_recompute",
+    "delete_evidence_with_index",
+    "apply_delete_evidence",
+    "TupleEvidenceIndex",
+    "naive_evidence_set",
+    "naive_incremental_evidence",
+]

@@ -1,0 +1,90 @@
+"""Static evidence-set building (the ECP analog, Section IV).
+
+Processes alive tuples in ascending rid order; tuple ``t`` reconciles one
+context pipeline against the partners *after* it and the symmetric
+evidences ``e(t', t)`` are inferred (Section V-B3), so each unordered pair
+is reconciled exactly once.  Optionally maintains the per-tuple evidence
+index that accelerates later deletes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.evidence.contexts import build_contexts
+from repro.evidence.evidence_set import EvidenceSet
+from repro.evidence.indexes import ColumnIndexes
+from repro.evidence.tuple_index import TupleEvidenceIndex
+from repro.predicates.space import PredicateSpace
+from repro.relational.relation import Relation
+
+
+@dataclass
+class EvidenceEngineState:
+    """Everything the evidence engine carries between update batches."""
+
+    space: PredicateSpace
+    indexes: ColumnIndexes
+    evidence: EvidenceSet
+    tuple_index: Optional[TupleEvidenceIndex] = None
+    stats: dict = field(default_factory=dict)
+
+
+def collect_contexts(
+    space: PredicateSpace,
+    contexts: dict,
+    evidence_set: EvidenceSet,
+    symmetric_bits: Optional[int] = None,
+) -> None:
+    """Fold reconciled contexts into ``evidence_set``.
+
+    Each context contributes its evidence once per partner; the symmetric
+    evidence of the swapped pairs is inferred and added for the partners
+    selected by ``symmetric_bits`` (default: all partners).
+    """
+    symmetrize = space.symmetrize
+    for evidence, bits in contexts.items():
+        count = bits.bit_count()
+        if count:
+            evidence_set.add(evidence, count)
+        if symmetric_bits is None:
+            sym_count = count
+        else:
+            sym_count = (bits & symmetric_bits).bit_count()
+        if sym_count:
+            evidence_set.add(symmetrize(evidence), sym_count)
+
+
+def build_evidence_state(
+    relation: Relation,
+    space: PredicateSpace,
+    maintain_tuple_index: bool = False,
+    checkpoint_step: int = 32,
+) -> EvidenceEngineState:
+    """Build the full evidence set of ``relation`` from scratch.
+
+    :param maintain_tuple_index: also populate the per-tuple evidence index
+        used by the fast delete strategy (Section V-C); the paper reports
+        only a slight build-time overhead for it.
+    """
+    indexes = ColumnIndexes(relation, step=checkpoint_step)
+    evidence_set = EvidenceSet()
+    tuple_index = TupleEvidenceIndex() if maintain_tuple_index else None
+
+    remaining = relation.alive_bits
+    for rid in relation.rids():
+        remaining &= ~(1 << rid)
+        if not remaining:
+            break
+        contexts = build_contexts(space, relation, rid, remaining, indexes)
+        collect_contexts(space, contexts, evidence_set)
+        if tuple_index is not None:
+            tuple_index.record_contexts(rid, contexts)
+
+    return EvidenceEngineState(
+        space=space,
+        indexes=indexes,
+        evidence=evidence_set,
+        tuple_index=tuple_index,
+    )

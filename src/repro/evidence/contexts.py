@@ -1,0 +1,68 @@
+"""Evidence-context reconciliation — the pipeline of Algorithm 1.
+
+An evidence context ``(t, rids) → e`` states that every pair ``(t, t')``
+with ``t' ∈ rids`` yields evidence ``e``.  For one tuple ``t`` the pipeline
+starts from a single context mapping all partners to the low-selectivity
+``ahead`` presumption (operators ``{≠, >, ≥}``; Section V-A) and runs one
+reconciliation stage per predicate group: index probes split the partner
+set into its *equal* / *greater* / *smaller* classes and rewrite the
+group's bits.  Contexts with identical evidence are merged after every
+stage, which is what exploits the evidence redundancy of [14].
+"""
+
+from __future__ import annotations
+
+from repro.evidence.indexes import ColumnIndexes
+from repro.predicates.space import PredicateSpace
+from repro.relational.relation import Relation
+
+
+def build_contexts(
+    space: PredicateSpace,
+    relation: Relation,
+    rid: int,
+    partner_bits: int,
+    indexes: ColumnIndexes,
+) -> dict:
+    """Reconciled evidence contexts for tuple ``rid`` against ``partner_bits``.
+
+    Returns a mapping ``evidence mask → partner rid bits``; the values
+    partition ``partner_bits``.  ``indexes`` must cover every partner rid.
+    """
+    if not partner_bits:
+        return {}
+    row = relation.row(rid)
+    contexts = {space.ahead_mask: partner_bits}
+    for group in space.groups:
+        value = row[group.lhs_position]
+        eq_bits, gt_bits = indexes.probe_group(group, value)
+        eq_bits &= partner_bits
+        gt_bits &= partner_bits
+        if not eq_bits and not gt_bits:
+            # Every partner is in the presumed 'smaller' class already.
+            continue
+        group_clear = ~group.mask
+        group_eq = group.eq_bits
+        group_gt = group.gt_bits
+        group_lt = group.lt_bits
+        refined = {}
+        for evidence, bits in contexts.items():
+            base = evidence & group_clear
+            eq_class = bits & eq_bits
+            if eq_class:
+                key = base | group_eq
+                refined[key] = refined.get(key, 0) | eq_class
+                bits &= ~eq_class
+                if not bits:
+                    continue
+            gt_class = bits & gt_bits
+            if gt_class:
+                key = base | group_gt
+                refined[key] = refined.get(key, 0) | gt_class
+                bits &= ~gt_class
+                if not bits:
+                    continue
+            key = base | group_lt
+            refined[key] = refined.get(key, 0) | bits
+        contexts = refined
+    return contexts

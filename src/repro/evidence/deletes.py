@@ -1,0 +1,118 @@
+"""Evidence-set maintenance for deletes (Section V-C).
+
+Two strategies compute the evidence ``E_Δr`` of all ordered pairs touching
+the delete batch:
+
+- :func:`delete_evidence_by_recompute` re-runs one context pipeline per
+  deleted tuple against the not-yet-processed alive tuples (the direct
+  approach);
+- :func:`delete_evidence_with_index` retrieves each dying tuple's *owned*
+  pairs from the per-tuple evidence index, corrects them lazily for
+  partners that died before, and reconciles only the non-owned pairs
+  (the faster approach, Figure 10).
+
+Both must run *before* the rows are removed from the column indexes — the
+dying tuples still need to be probed as partners.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.bitmaps.bitutils import iter_bits
+from repro.evidence.builder import EvidenceEngineState, collect_contexts
+from repro.evidence.contexts import build_contexts
+from repro.evidence.evidence_set import EvidenceSet
+from repro.relational.relation import Relation
+
+
+def delete_evidence_by_recompute(
+    relation: Relation,
+    state: EvidenceEngineState,
+    delete_rids: Iterable[int],
+) -> EvidenceSet:
+    """Recompute the evidence produced by the delete batch from scratch.
+
+    Precondition: the batch rows are still alive in ``relation`` and still
+    present in ``state.indexes``.
+    """
+    delete_list = sorted(delete_rids)
+    evidence_delta = EvidenceSet()
+    remaining = relation.alive_bits
+    space = state.space
+    for rid in delete_list:
+        remaining &= ~(1 << rid)
+        contexts = build_contexts(space, relation, rid, remaining, state.indexes)
+        collect_contexts(space, contexts, evidence_delta)
+    return evidence_delta
+
+
+def delete_evidence_with_index(
+    relation: Relation,
+    state: EvidenceEngineState,
+    delete_rids: Iterable[int],
+) -> EvidenceSet:
+    """Compute the delete batch's evidence using the per-tuple index.
+
+    For each dying tuple ``t``:
+
+    1. Its *owned* pairs come from the index.  The stored aggregate may
+       include partners that died earlier (staleness is lazy); the
+       evidence of those few both-dead pairs is recomputed directly from
+       the retained row values and subtracted.
+    2. Its *non-owned* pairs — partners that are alive, not yet processed
+       in this batch, and not covered by the index entry — are reconciled
+       with one context pipeline.
+
+    Each unordered pair is thereby counted exactly once: pairs owned by a
+    batch member are counted at the owner's step (1); pairs between ``t``
+    and a surviving non-partner at ``t``'s step (2).
+
+    :raises RuntimeError: when the engine state has no tuple index.
+    """
+    tuple_index = state.tuple_index
+    if tuple_index is None:
+        raise RuntimeError(
+            "delete_evidence_with_index requires a tuple evidence index; "
+            "build the state with maintain_tuple_index=True"
+        )
+    delete_list = sorted(delete_rids)
+    evidence_delta = EvidenceSet()
+    space = state.space
+    symmetrize = space.symmetrize
+    alive_bits = relation.alive_bits  # batch rows are still alive here
+    processed_bits = 0
+
+    for rid in delete_list:
+        rid_bit = 1 << rid
+        partners = tuple_index.partners(rid)
+        # (1) Owned pairs, corrected for partners that are already gone
+        # (died in an earlier batch, or processed earlier in this one).
+        for evidence, count in tuple_index.owned_evidence(rid).items():
+            evidence_delta.add(evidence, count)
+            evidence_delta.add(symmetrize(evidence), count)
+        stale = partners & (~alive_bits | processed_bits)
+        if stale:
+            row = relation.row(rid)
+            evidence_of_pair = space.evidence_of_pair
+            for partner in iter_bits(stale):
+                evidence = evidence_of_pair(row, relation.row(partner))
+                evidence_delta.subtract(evidence, 1)
+                evidence_delta.subtract(symmetrize(evidence), 1)
+        # (2) Non-owned pairs with surviving, unprocessed tuples.
+        others = alive_bits & ~processed_bits & ~partners & ~rid_bit
+        if others:
+            contexts = build_contexts(space, relation, rid, others, state.indexes)
+            collect_contexts(space, contexts, evidence_delta)
+        processed_bits |= rid_bit
+        tuple_index.drop_tuple(rid)
+
+    return evidence_delta
+
+
+def apply_delete_evidence(
+    state: EvidenceEngineState, evidence_delta: EvidenceSet
+) -> list:
+    """Subtract ``E_Δr`` from the running evidence set; return the masks
+    whose multiplicity dropped to zero (the delete-case ``E^inc``)."""
+    return state.evidence.subtract_all(evidence_delta)

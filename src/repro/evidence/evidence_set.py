@@ -1,0 +1,112 @@
+"""The evidence set ``E_r`` with multiplicities.
+
+An evidence is the set of predicates one *ordered* tuple pair satisfies,
+stored as an ``int`` mask over the predicate space.  The evidence set maps
+each distinct evidence to its *multiplicity* — the number of ordered tuple
+pairs producing it (Section III-A7).  Multiplicities make delete
+maintenance possible (an evidence only disappears when its count reaches
+zero) and feed DC ranking and approximate-DC enumeration.
+
+Invariant: for a relation with ``n`` alive rows, the total multiplicity is
+``n · (n − 1)`` (every ordered pair of distinct tuples contributes one
+evidence).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+
+class EvidenceSet:
+    """A multiset of evidence masks."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self, counts: Dict[int, int] = None):
+        self.counts = dict(counts) if counts else {}
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, mask: int, count: int = 1) -> None:
+        """Increase the multiplicity of ``mask`` by ``count``."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self.counts[mask] = self.counts.get(mask, 0) + count
+
+    def subtract(self, mask: int, count: int = 1) -> bool:
+        """Decrease the multiplicity of ``mask``; return ``True`` when the
+        evidence disappeared (multiplicity reached zero).
+
+        :raises KeyError: if ``mask`` is not present.
+        :raises ValueError: if the subtraction would go negative — that
+            always indicates corrupted maintenance, never valid data.
+        """
+        current = self.counts.get(mask)
+        if current is None:
+            raise KeyError(f"evidence {mask:#x} not in evidence set")
+        if count > current:
+            raise ValueError(
+                f"cannot subtract {count} from multiplicity {current} "
+                f"of evidence {mask:#x}"
+            )
+        if count == current:
+            del self.counts[mask]
+            return True
+        self.counts[mask] = current - count
+        return False
+
+    def merge(self, other: "EvidenceSet") -> list:
+        """Add all of ``other``; return the masks that were new to ``self``
+        (the insert-case ``E^inc`` of Algorithm 2)."""
+        new_masks = []
+        for mask, count in other.counts.items():
+            if mask not in self.counts:
+                new_masks.append(mask)
+                self.counts[mask] = count
+            else:
+                self.counts[mask] += count
+        return new_masks
+
+    def subtract_all(self, other: "EvidenceSet") -> list:
+        """Subtract all of ``other``; return the masks whose multiplicity
+        reached zero (the delete-case ``E^inc``)."""
+        removed = []
+        for mask, count in other.counts.items():
+            if self.subtract(mask, count):
+                removed.append(mask)
+        return removed
+
+    # -- inspection ----------------------------------------------------------
+
+    def __contains__(self, mask: int) -> bool:
+        return mask in self.counts
+
+    def __len__(self) -> int:
+        """Number of distinct evidences."""
+        return len(self.counts)
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate the distinct evidence masks."""
+        return iter(self.counts)
+
+    def count(self, mask: int) -> int:
+        """Multiplicity of ``mask`` (0 when absent)."""
+        return self.counts.get(mask, 0)
+
+    def total_pairs(self) -> int:
+        """Total multiplicity — must equal ``n·(n−1)`` for ``n`` alive rows."""
+        return sum(self.counts.values())
+
+    def copy(self) -> "EvidenceSet":
+        return EvidenceSet(self.counts)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EvidenceSet):
+            return self.counts == other.counts
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"EvidenceSet({len(self.counts)} distinct, "
+            f"{self.total_pairs()} pairs)"
+        )

@@ -1,0 +1,174 @@
+"""Column indexes driving evidence reconciliation (Section V-B1).
+
+Two index families, both mapping to raw-``int`` rid bit patterns:
+
+- :class:`EqualityIndex` — hash map ``value → rids with that value``,
+  the position-list-index analog of [9]; probed by categorical groups and
+  by the equality class of numeric groups.
+- :class:`RangeIndex` — sorted distinct values plus *checkpointed* suffix
+  bitmaps: checkpoint ``i`` holds the union of rid sets of all values at
+  sorted positions ``≥ i · step``.  A greater-than probe unions at most
+  ``step`` equality entries and one checkpoint, the pure-Python analog of
+  the paper's two-layered (binned) bitmap index.  Checkpoints are rebuilt
+  lazily after mutations.
+
+Both support incremental ``add``/``remove`` so the discoverer can maintain
+them across update batches instead of rebuilding from scratch (Algorithm 1
+line 1 indexes the *updated* table).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from typing import Iterable
+
+from repro.relational.relation import Relation
+
+DEFAULT_CHECKPOINT_STEP = 32
+
+
+class EqualityIndex:
+    """Hash index: column value → bit pattern of rids holding it."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self):
+        self.entries = {}
+
+    def add(self, rid: int, value) -> None:
+        self.entries[value] = self.entries.get(value, 0) | (1 << rid)
+
+    def remove(self, rid: int, value) -> None:
+        bits = self.entries.get(value, 0) & ~(1 << rid)
+        if bits:
+            self.entries[value] = bits
+        else:
+            self.entries.pop(value, None)
+
+    def probe(self, value) -> int:
+        """Rids whose column value equals ``value`` (0 when none)."""
+        return self.entries.get(value, 0)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class RangeIndex:
+    """Sorted index answering equal / strictly-greater probes on a numeric
+    column with checkpointed suffix bitmaps."""
+
+    __slots__ = ("entries", "values", "step", "_checkpoints", "_dirty")
+
+    def __init__(self, step: int = DEFAULT_CHECKPOINT_STEP):
+        if step < 1:
+            raise ValueError("checkpoint step must be >= 1")
+        self.entries = {}
+        self.values = []  # sorted distinct values
+        self.step = step
+        self._checkpoints = []
+        self._dirty = True
+
+    def add(self, rid: int, value) -> None:
+        bits = self.entries.get(value)
+        if bits is None:
+            insort(self.values, value)
+            self.entries[value] = 1 << rid
+        else:
+            self.entries[value] = bits | (1 << rid)
+        self._dirty = True
+
+    def remove(self, rid: int, value) -> None:
+        bits = self.entries.get(value, 0) & ~(1 << rid)
+        if bits:
+            self.entries[value] = bits
+        else:
+            self.entries.pop(value, None)
+            position = bisect_right(self.values, value) - 1
+            if position >= 0 and self.values[position] == value:
+                del self.values[position]
+        self._dirty = True
+
+    def _rebuild_checkpoints(self) -> None:
+        # checkpoint[i] = union of entries for values at positions >= i*step
+        n_checkpoints = len(self.values) // self.step + 1
+        checkpoints = [0] * (n_checkpoints + 1)
+        suffix = 0
+        for position in range(len(self.values) - 1, -1, -1):
+            suffix |= self.entries[self.values[position]]
+            if position % self.step == 0:
+                checkpoints[position // self.step] = suffix
+        self._checkpoints = checkpoints
+        self._dirty = False
+
+    def eq_gt(self, value) -> tuple:
+        """Return ``(eq_bits, gt_bits)``: rids with column value equal to,
+        respectively strictly greater than, ``value``."""
+        if self._dirty:
+            self._rebuild_checkpoints()
+        eq_bits = self.entries.get(value, 0)
+        position = bisect_right(self.values, value)
+        block_end = -(-position // self.step) * self.step  # next checkpoint
+        gt_bits = 0
+        for index in range(position, min(block_end, len(self.values))):
+            gt_bits |= self.entries[self.values[index]]
+        checkpoint = block_end // self.step
+        if checkpoint < len(self._checkpoints):
+            gt_bits |= self._checkpoints[checkpoint]
+        return eq_bits, gt_bits
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class ColumnIndexes:
+    """Per-column equality and range indexes over the alive rows of a
+    relation, maintained across update batches."""
+
+    def __init__(self, relation: Relation, step: int = DEFAULT_CHECKPOINT_STEP):
+        self.relation = relation
+        self.step = step
+        self.equality = []
+        self.ranges: list = []
+        for column in relation.schema:
+            self.equality.append(EqualityIndex())
+            self.ranges.append(RangeIndex(step) if column.is_numeric else None)
+        self.indexed_bits = 0
+        self.add_rows(relation.rids())
+
+    def add_rows(self, rids: Iterable[int]) -> None:
+        """Index the given rows (values read from the relation)."""
+        for rid in rids:
+            bit = 1 << rid
+            if self.indexed_bits & bit:
+                raise ValueError(f"rid {rid} is already indexed")
+            self.indexed_bits |= bit
+            for position in range(len(self.relation.schema)):
+                value = self.relation.value(rid, position)
+                self.equality[position].add(rid, value)
+                range_index = self.ranges[position]
+                if range_index is not None:
+                    range_index.add(rid, value)
+
+    def remove_rows(self, rids: Iterable[int]) -> None:
+        """Drop the given rows from all indexes."""
+        for rid in rids:
+            bit = 1 << rid
+            if not self.indexed_bits & bit:
+                raise ValueError(f"rid {rid} is not indexed")
+            self.indexed_bits &= ~bit
+            for position in range(len(self.relation.schema)):
+                value = self.relation.value(rid, position)
+                self.equality[position].remove(rid, value)
+                range_index = self.ranges[position]
+                if range_index is not None:
+                    range_index.remove(rid, value)
+
+    def probe_group(self, group, value) -> tuple:
+        """Probe the indexes of ``group``'s rhs column with the lhs value.
+
+        Returns ``(eq_bits, gt_bits)`` over indexed rids; ``gt_bits`` is 0
+        for categorical groups (no order classes).
+        """
+        if group.numeric:
+            return self.ranges[group.rhs_position].eq_gt(value)
+        return self.equality[group.rhs_position].probe(value), 0

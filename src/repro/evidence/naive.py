@@ -1,0 +1,48 @@
+"""Naive pair-scan evidence building — the FastDC-style oracle.
+
+Evaluates every ordered tuple pair directly against the predicate space.
+Quadratic and slow, but independent of the bitmap/index machinery, which
+makes it the correctness oracle for the context pipeline in tests and the
+"FastDC" evidence phase of the baseline comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.evidence.evidence_set import EvidenceSet
+from repro.predicates.space import PredicateSpace
+from repro.relational.relation import Relation
+
+
+def naive_evidence_set(relation: Relation, space: PredicateSpace) -> EvidenceSet:
+    """Full evidence set of all ordered pairs of alive tuples."""
+    evidence_set = EvidenceSet()
+    rows = [(rid, relation.row(rid)) for rid in relation.rids()]
+    evidence_of_pair = space.evidence_of_pair
+    for rid_t, row_t in rows:
+        for rid_u, row_u in rows:
+            if rid_t != rid_u:
+                evidence_set.add(evidence_of_pair(row_t, row_u))
+    return evidence_set
+
+
+def naive_incremental_evidence(
+    relation: Relation, space: PredicateSpace, delta_rids: Iterable[int]
+) -> EvidenceSet:
+    """Evidence of all ordered pairs with at least one tuple in ``delta``.
+
+    Works for both inserts (rows already inserted and alive) and deletes
+    (rows still alive, about to be removed).
+    """
+    delta = set(delta_rids)
+    evidence_set = EvidenceSet()
+    rows = [(rid, relation.row(rid)) for rid in relation.rids()]
+    evidence_of_pair = space.evidence_of_pair
+    for rid_t, row_t in rows:
+        for rid_u, row_u in rows:
+            if rid_t == rid_u:
+                continue
+            if rid_t in delta or rid_u in delta:
+                evidence_set.add(evidence_of_pair(row_t, row_u))
+    return evidence_set

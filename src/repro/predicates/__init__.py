@@ -1,0 +1,32 @@
+"""Predicates, predicate spaces, and predicate groups.
+
+A DC predicate has the form ``t.A θ t'.B`` with
+``θ ∈ {=, ≠, <, ≤, >, ≥}`` (Section III-A).  The
+:class:`~repro.predicates.space.PredicateSpace` assigns every predicate a
+bit position so that evidences and DC predicate sets become plain integer
+bitmasks; :class:`~repro.predicates.space.PredicateGroup` partitions the
+space into the pipeline stages of Algorithm 1 (predicates differing only
+in the operator).
+"""
+
+from repro.predicates.operator import (
+    CATEGORICAL_OPERATORS,
+    NUMERIC_OPERATORS,
+    Operator,
+)
+from repro.predicates.predicate import Predicate
+from repro.predicates.space import PredicateGroup, PredicateSpace, build_predicate_space
+from repro.predicates.parser import format_dc, parse_dc, parse_predicate
+
+__all__ = [
+    "Operator",
+    "CATEGORICAL_OPERATORS",
+    "NUMERIC_OPERATORS",
+    "Predicate",
+    "PredicateGroup",
+    "PredicateSpace",
+    "build_predicate_space",
+    "parse_predicate",
+    "parse_dc",
+    "format_dc",
+]

@@ -1,0 +1,133 @@
+"""The comparison-operator algebra behind DC predicates.
+
+Besides evaluation, the DC algorithms need three structural relations on
+operators (Section V-B3):
+
+- *negation* — ``¬(a = b)`` is ``a ≠ b``; used by hitting-set reasoning;
+- *converse* — ``a < b  ⇔  b > a``; used by evidence inference to derive
+  ``e(t', t)`` from ``e(t, t')``;
+- *implication* — ``a < b`` implies ``a ≤ b`` and ``a ≠ b``; it induces the
+  three satisfiable operator patterns ``{=, ≤, ≥}``, ``{≠, <, ≤}``,
+  ``{≠, >, ≥}`` (Trichotomy Law) that drive trivial-DC pruning.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Operator(enum.Enum):
+    """A binary comparison operator."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def eval(self, a, b) -> bool:
+        """Evaluate ``a θ b``."""
+        if self is Operator.EQ:
+            return a == b
+        if self is Operator.NE:
+            return a != b
+        if self is Operator.LT:
+            return a < b
+        if self is Operator.LE:
+            return a <= b
+        if self is Operator.GT:
+            return a > b
+        return a >= b
+
+    @property
+    def negation(self) -> "Operator":
+        """The operator satisfied exactly when ``self`` is not."""
+        return _NEGATION[self]
+
+    @property
+    def converse(self) -> "Operator":
+        """The operator θ' with ``a θ b  ⇔  b θ' a``."""
+        return _CONVERSE[self]
+
+    @property
+    def implied(self) -> frozenset:
+        """All operators θ' (including ``self``) with ``a θ b ⇒ a θ' b``."""
+        return _IMPLIED[self]
+
+    @property
+    def is_order(self) -> bool:
+        """Whether this is a range operator (<, ≤, >, ≥)."""
+        return self in (Operator.LT, Operator.LE, Operator.GT, Operator.GE)
+
+    @property
+    def symbol(self) -> str:
+        return _SYMBOLS[self]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_NEGATION = {
+    Operator.EQ: Operator.NE,
+    Operator.NE: Operator.EQ,
+    Operator.LT: Operator.GE,
+    Operator.GE: Operator.LT,
+    Operator.GT: Operator.LE,
+    Operator.LE: Operator.GT,
+}
+
+_CONVERSE = {
+    Operator.EQ: Operator.EQ,
+    Operator.NE: Operator.NE,
+    Operator.LT: Operator.GT,
+    Operator.GT: Operator.LT,
+    Operator.LE: Operator.GE,
+    Operator.GE: Operator.LE,
+}
+
+_IMPLIED = {
+    Operator.EQ: frozenset({Operator.EQ, Operator.LE, Operator.GE}),
+    Operator.NE: frozenset({Operator.NE}),
+    Operator.LT: frozenset({Operator.LT, Operator.LE, Operator.NE}),
+    Operator.GT: frozenset({Operator.GT, Operator.GE, Operator.NE}),
+    Operator.LE: frozenset({Operator.LE}),
+    Operator.GE: frozenset({Operator.GE}),
+}
+
+_SYMBOLS = {
+    Operator.EQ: "=",
+    Operator.NE: "≠",
+    Operator.LT: "<",
+    Operator.LE: "≤",
+    Operator.GT: ">",
+    Operator.GE: "≥",
+}
+
+#: Operators allowed on categorical (string) column pairs [4].
+CATEGORICAL_OPERATORS = (Operator.EQ, Operator.NE)
+
+#: Operators allowed on numeric column pairs [4].
+NUMERIC_OPERATORS = (
+    Operator.EQ,
+    Operator.NE,
+    Operator.LT,
+    Operator.LE,
+    Operator.GT,
+    Operator.GE,
+)
+
+#: The satisfiable operator patterns of a numeric predicate group: any
+#: tuple pair satisfies exactly one of "equal", "less", "greater", so the
+#: operators it satisfies within one group are exactly one of these sets.
+NUMERIC_PATTERNS = (
+    frozenset({Operator.EQ, Operator.LE, Operator.GE}),
+    frozenset({Operator.NE, Operator.LT, Operator.LE}),
+    frozenset({Operator.NE, Operator.GT, Operator.GE}),
+)
+
+#: Satisfiable operator patterns of a categorical predicate group.
+CATEGORICAL_PATTERNS = (
+    frozenset({Operator.EQ}),
+    frozenset({Operator.NE}),
+)

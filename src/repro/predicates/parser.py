@@ -1,0 +1,86 @@
+"""Parsing and pretty-printing of predicates and DCs.
+
+Accepted predicate syntax: ``t.A <op> t'.B`` with operators written either
+as ASCII (``=  !=  <  <=  >  >=``) or as the paper's symbols
+(``=  ≠  <  ≤  >  ≥``).  DCs accept both the paper's form
+``¬(t.A = t'.A ∧ t.B < t'.B)`` and the ASCII form
+``!(t.A = t'.A & t.B < t'.B)``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.predicates.operator import Operator
+
+_OPERATOR_TOKENS = {
+    "=": Operator.EQ,
+    "==": Operator.EQ,
+    "!=": Operator.NE,
+    "<>": Operator.NE,
+    "≠": Operator.NE,
+    "<": Operator.LT,
+    "<=": Operator.LE,
+    "≤": Operator.LE,
+    ">": Operator.GT,
+    ">=": Operator.GE,
+    "≥": Operator.GE,
+}
+
+_PREDICATE_RE = re.compile(
+    r"""^\s*t\.(?P<lhs>[^\s=!<>≠≤≥]+)\s*"""
+    r"""(?P<op>==|!=|<>|<=|>=|[=<>≠≤≥])\s*"""
+    r"""t'\.(?P<rhs>[^\s)]+)\s*$"""
+)
+
+
+def parse_predicate(text: str, space):
+    """Parse ``text`` into the matching :class:`Predicate` of ``space``.
+
+    :raises ValueError: on syntax errors or predicates outside the space.
+    """
+    match = _PREDICATE_RE.match(text)
+    if match is None:
+        raise ValueError(f"cannot parse predicate: {text!r}")
+    op = _OPERATOR_TOKENS[match.group("op")]
+    lhs = match.group("lhs")
+    rhs = match.group("rhs")
+    try:
+        bit = space.bit(lhs, op, rhs)
+    except KeyError:
+        raise ValueError(
+            f"predicate t.{lhs} {op.symbol} t'.{rhs} is not in the predicate space"
+        ) from None
+    return space.predicates[bit]
+
+
+def parse_dc(text: str, space) -> int:
+    """Parse a DC string into its predicate bitmask over ``space``."""
+    stripped = text.strip()
+    for negation in ("¬", "!", "not "):
+        if stripped.startswith(negation):
+            stripped = stripped[len(negation) :].strip()
+            break
+    if stripped.startswith("(") and stripped.endswith(")"):
+        stripped = stripped[1:-1]
+    parts = re.split(r"∧|&&|&|\bAND\b|\band\b", stripped)
+    mask = 0
+    for part in parts:
+        if not part.strip():
+            raise ValueError(f"empty conjunct in DC: {text!r}")
+        predicate = parse_predicate(part, space)
+        mask |= 1 << space.bit_of_predicate(predicate)
+    if mask == 0:
+        raise ValueError(f"DC has no predicates: {text!r}")
+    return mask
+
+
+def format_dc(mask: int, space, ascii_only: bool = False) -> str:
+    """Render a DC predicate mask in the paper's notation."""
+    joiner = " & " if ascii_only else " ∧ "
+    negation = "!" if ascii_only else "¬"
+    conjuncts = []
+    for predicate in space.predicates_of(mask):
+        op = predicate.op.value if ascii_only else predicate.op.symbol
+        conjuncts.append(f"t.{predicate.lhs} {op} t'.{predicate.rhs}")
+    return f"{negation}({joiner.join(conjuncts)})"

@@ -1,0 +1,45 @@
+"""A single DC predicate ``t.A θ t'.B``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.predicates.operator import Operator
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """An atomic predicate over an (ordered) pair of tuples.
+
+    ``lhs``/``rhs`` are column names resolved against the schema at
+    predicate-space build time; ``lhs_position``/``rhs_position`` cache the
+    ordinal positions for evaluation without name lookups.
+    """
+
+    lhs: str
+    op: Operator
+    rhs: str
+    lhs_position: int
+    rhs_position: int
+
+    def eval(self, row_t, row_t2) -> bool:
+        """Evaluate the predicate on the tuple pair ``(t, t')``."""
+        return self.op.eval(row_t[self.lhs_position], row_t2[self.rhs_position])
+
+    @property
+    def symmetric_key(self) -> tuple:
+        """Key ``(lhs, op, rhs)`` of the predicate satisfied by the swapped
+        pair exactly when ``self`` is satisfied by the original pair:
+        ``t.A θ t'.B  ⇔  t'.B θ⁻¹ t.A``, i.e. the space predicate
+        ``t.B θ⁻¹ t'.A`` evaluated on ``(t', t)``."""
+        return (self.rhs, self.op.converse, self.lhs)
+
+    @property
+    def is_cross_column(self) -> bool:
+        return self.lhs != self.rhs
+
+    def __str__(self) -> str:
+        return f"t.{self.lhs} {self.op.symbol} t'.{self.rhs}"
+
+    def __repr__(self) -> str:
+        return f"Predicate({self})"

@@ -1,0 +1,35 @@
+"""In-memory relational substrate.
+
+The DC algorithms need a minimal relational engine: typed schemas, stable
+row ids that survive deletes (evidence contexts and indexes are keyed by
+rid), batch inserts/deletes, and CSV ingestion with type inference.  The
+paper additionally sorts tables on their numerical columns before building
+indexes (Section V-D); :func:`repro.relational.sorting.sort_by_numeric_columns`
+implements that preprocessing.
+"""
+
+from repro.relational.schema import Column, ColumnType, Schema
+from repro.relational.relation import Relation
+from repro.relational.loader import infer_schema, load_csv, relation_from_rows
+from repro.relational.sorting import sort_by_numeric_columns
+from repro.relational.profiling import (
+    ColumnProfile,
+    GroupProfile,
+    RelationProfile,
+    profile_relation,
+)
+
+__all__ = [
+    "ColumnProfile",
+    "GroupProfile",
+    "RelationProfile",
+    "profile_relation",
+    "Column",
+    "ColumnType",
+    "Schema",
+    "Relation",
+    "infer_schema",
+    "load_csv",
+    "relation_from_rows",
+    "sort_by_numeric_columns",
+]

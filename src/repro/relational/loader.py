@@ -1,0 +1,165 @@
+"""CSV ingestion with type inference and explicit null policies.
+
+DC semantics over nulls are undefined in the paper (all evaluated datasets
+are complete), so :class:`repro.relational.relation.Relation` rejects
+``None``.  The loader therefore forces callers to pick a policy:
+
+- ``"reject"`` (default) — raise on the first null;
+- ``"drop"`` — skip rows containing nulls;
+- ``"fill"`` — replace nulls with a type-dependent sentinel (empty string,
+  or the column minimum minus one for numerics).
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Iterable, Optional, Sequence
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, ColumnType, Schema
+
+_NULL_TOKENS = {"", "null", "NULL", "NaN", "nan", "None", "?"}
+
+
+def _parse_cell(text: str):
+    """Parse a CSV cell into int, float, str, or None for null tokens."""
+    if text in _NULL_TOKENS:
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def infer_schema(header: Sequence[str], rows: Iterable[Sequence]) -> Schema:
+    """Infer a schema from parsed rows.
+
+    A column is INTEGER if every non-null value is an int, FLOAT if every
+    non-null value is int-or-float with at least one float, and STRING
+    otherwise (including all-null columns).
+    """
+    saw_int = [False] * len(header)
+    saw_float = [False] * len(header)
+    saw_other = [False] * len(header)
+    for row in rows:
+        for position, value in enumerate(row):
+            if value is None:
+                continue
+            if isinstance(value, bool):
+                saw_other[position] = True
+            elif isinstance(value, int):
+                saw_int[position] = True
+            elif isinstance(value, float):
+                saw_float[position] = True
+            else:
+                saw_other[position] = True
+    columns = []
+    for position, name in enumerate(header):
+        if saw_other[position] or not (saw_int[position] or saw_float[position]):
+            ctype = ColumnType.STRING
+        elif saw_float[position]:
+            ctype = ColumnType.FLOAT
+        else:
+            ctype = ColumnType.INTEGER
+        columns.append(Column(name, ctype))
+    return Schema(columns)
+
+
+def _coerce_row(row: Sequence, schema: Schema) -> tuple:
+    """Coerce parsed values to the schema's types (e.g. int cell in a
+    STRING column becomes its string form, int in FLOAT becomes float)."""
+    coerced = []
+    for value, column in zip(row, schema):
+        if value is None:
+            coerced.append(None)
+        elif column.ctype is ColumnType.STRING:
+            coerced.append(value if isinstance(value, str) else str(value))
+        elif column.ctype is ColumnType.FLOAT:
+            coerced.append(float(value))
+        else:
+            coerced.append(value)
+    return tuple(coerced)
+
+
+def _fill_value(position: int, schema: Schema, rows: list):
+    column = schema[position]
+    if column.ctype is ColumnType.STRING:
+        return ""
+    present = [row[position] for row in rows if row[position] is not None]
+    lowest = min(present) if present else 0
+    return lowest - 1 if column.ctype is ColumnType.INTEGER else float(lowest) - 1.0
+
+
+def _apply_null_policy(rows: list, schema: Schema, null_policy: str) -> list:
+    if null_policy == "reject":
+        for row_number, row in enumerate(rows):
+            if any(value is None for value in row):
+                raise ValueError(
+                    f"null value in data row {row_number}; pass "
+                    "null_policy='drop' or 'fill' to handle nulls"
+                )
+        return rows
+    if null_policy == "drop":
+        return [row for row in rows if all(value is not None for value in row)]
+    if null_policy == "fill":
+        fills = {}
+        filled = []
+        for row in rows:
+            if any(value is None for value in row):
+                row = tuple(
+                    fills.setdefault(position, _fill_value(position, schema, rows))
+                    if value is None
+                    else value
+                    for position, value in enumerate(row)
+                )
+            filled.append(row)
+        return filled
+    raise ValueError(f"unknown null policy {null_policy!r}")
+
+
+def relation_from_rows(
+    header: Sequence[str],
+    rows: Iterable[Sequence],
+    schema: Optional[Schema] = None,
+    null_policy: str = "reject",
+) -> Relation:
+    """Build a relation from in-memory rows, inferring the schema if needed."""
+    materialized = [tuple(row) for row in rows]
+    if schema is None:
+        schema = infer_schema(header, materialized)
+    coerced = [_coerce_row(row, schema) for row in materialized]
+    coerced = _apply_null_policy(coerced, schema, null_policy)
+    relation = Relation(schema)
+    relation.insert(coerced)
+    return relation
+
+
+def load_csv(
+    path,
+    schema: Optional[Schema] = None,
+    null_policy: str = "reject",
+    max_rows: Optional[int] = None,
+    delimiter: str = ",",
+) -> Relation:
+    """Load a CSV file (with header row) into a :class:`Relation`.
+
+    :param schema: use this schema instead of inferring one.
+    :param null_policy: ``"reject"``, ``"drop"``, or ``"fill"``.
+    :param max_rows: stop after this many data rows.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty CSV file") from None
+        rows = []
+        for row in reader:
+            if max_rows is not None and len(rows) >= max_rows:
+                break
+            rows.append(tuple(_parse_cell(cell) for cell in row))
+    return relation_from_rows(header, rows, schema=schema, null_policy=null_policy)

@@ -1,0 +1,106 @@
+"""Schemas and column typing for the relational substrate.
+
+DC discovery distinguishes only two predicate-relevant type classes:
+*categorical* columns admit ``{=, ≠}`` and *numeric* columns admit all six
+comparison operators (Section III-A4).  The loader keeps the finer
+INTEGER/FLOAT distinction because it matters for parsing and for the
+synthetic dataset generators.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+class ColumnType(enum.Enum):
+    """Storage type of a column."""
+
+    STRING = "string"
+    INTEGER = "integer"
+    FLOAT = "float"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (ColumnType.INTEGER, ColumnType.FLOAT)
+
+    def comparable_with(self, other: "ColumnType") -> bool:
+        """Whether cross-column predicates between the types are allowed.
+
+        The predicate-space restrictions of [4] require both columns of a
+        two-column predicate to have the same data type; we treat the two
+        numeric types as one type class for this purpose.
+        """
+        if self.is_numeric and other.is_numeric:
+            return True
+        return self is other
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    ctype: ColumnType
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.ctype.is_numeric
+
+    def __str__(self) -> str:
+        return f"{self.name}:{self.ctype.value}"
+
+
+class Schema:
+    """An ordered collection of uniquely named columns."""
+
+    def __init__(self, columns: Iterable[Column]):
+        self._columns = tuple(columns)
+        names = [column.name for column in self._columns]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate column names: {duplicates}")
+        self._index = {column.name: i for i, column in enumerate(self._columns)}
+
+    @property
+    def columns(self) -> tuple:
+        return self._columns
+
+    @property
+    def names(self) -> tuple:
+        return tuple(column.name for column in self._columns)
+
+    def position(self, name: str) -> int:
+        """Ordinal position of column ``name``; raises ``KeyError`` if absent."""
+        return self._index[name]
+
+    def column(self, name: str) -> Column:
+        return self._columns[self._index[name]]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __getitem__(self, position: int) -> Column:
+        return self._columns[position]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Schema):
+            return self._columns == other._columns
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Return a new schema with only the given columns, in given order."""
+        return Schema(self.column(name) for name in names)
+
+    def __repr__(self) -> str:
+        return f"Schema({', '.join(map(str, self._columns))})"

@@ -1,0 +1,29 @@
+"""Synthetic datasets and update workloads for the experiments."""
+
+from repro.workloads.datasets import (
+    DATASETS,
+    PAPER_COLUMN_COUNTS,
+    PAPER_ROW_COUNTS,
+    DatasetSpec,
+    dataset_names,
+    generate_dataset,
+    staff_relation,
+)
+from repro.workloads.updates import (
+    InsertWorkload,
+    pick_delete_rids,
+    split_for_insert,
+)
+
+__all__ = [
+    "DATASETS",
+    "PAPER_COLUMN_COUNTS",
+    "PAPER_ROW_COUNTS",
+    "DatasetSpec",
+    "dataset_names",
+    "generate_dataset",
+    "staff_relation",
+    "InsertWorkload",
+    "pick_delete_rids",
+    "split_for_insert",
+]

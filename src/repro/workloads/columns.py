@@ -1,0 +1,188 @@
+"""Column-generator combinators for the synthetic datasets.
+
+The paper evaluates on 12 real and synthetic datasets we cannot ship (no
+network access; several are private copies from [11], [15]).  The
+generators in :mod:`repro.workloads.datasets` rebuild their *shape* —
+column counts, type mixes, key columns, planted functional dependencies
+and order dependencies, and value-frequency skew — from these
+combinators.  Each combinator returns a callable
+``(rng, row_index, row_so_far) -> value`` so later columns can depend on
+earlier ones (which is what makes cross-column predicates and non-trivial
+DCs appear).
+"""
+
+from __future__ import annotations
+
+import string
+
+
+def sequential_key(start: int = 1):
+    """A unique integer key column (drives key DCs like ``¬(t.Id = t'.Id)``)."""
+
+    def generate(rng, row_index, row):
+        return start + row_index
+
+    return generate
+
+
+def categorical(n_values: int, prefix: str = "v", skew: float = 0.0):
+    """A categorical column with ``n_values`` distinct strings.
+
+    ``skew > 0`` draws values Zipf-like (rank ``r`` with weight
+    ``1 / (r+1)^skew``), mirroring the heavy skew of real categorical
+    columns that makes 'ahead' evidence presumption effective.
+    """
+    labels = [f"{prefix}{i:03d}" for i in range(n_values)]
+    if skew > 0.0:
+        weights = [1.0 / (rank + 1) ** skew for rank in range(n_values)]
+        total = sum(weights)
+        cumulative = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cumulative.append(acc)
+
+        def generate(rng, row_index, row):
+            u = rng.random()
+            for label, bound in zip(labels, cumulative):
+                if u <= bound:
+                    return label
+            return labels[-1]
+
+        return generate
+
+    def generate(rng, row_index, row):
+        return labels[rng.randrange(n_values)]
+
+    return generate
+
+
+def integer(low: int, high: int, skew: float = 0.0):
+    """An integer column uniform in ``[low, high]``; ``skew`` biases
+    toward ``low`` (exponent on a uniform draw)."""
+
+    def generate(rng, row_index, row):
+        if skew > 0.0:
+            u = rng.random() ** (1.0 + skew)
+            return low + int(u * (high - low))
+        return rng.randint(low, high)
+
+    return generate
+
+
+def floating(low: float, high: float, digits: int = 3):
+    """A float column uniform in ``[low, high]``, rounded to ``digits``."""
+
+    def generate(rng, row_index, row):
+        return round(low + rng.random() * (high - low), digits)
+
+    return generate
+
+
+def words(n_distinct: int, length: int = 8):
+    """A high-cardinality string column (names, addresses)."""
+    alphabet = string.ascii_lowercase
+
+    def make_word(index: int) -> str:
+        chars = []
+        value = index
+        for _ in range(length):
+            chars.append(alphabet[value % 26])
+            value //= 26
+        return "".join(chars)
+
+    vocabulary = [make_word(i * 7919) for i in range(n_distinct)]
+
+    def generate(rng, row_index, row):
+        return vocabulary[rng.randrange(n_distinct)]
+
+    return generate
+
+
+def derived(source_position: int, mapping):
+    """A column functionally determined by an earlier column — plants an
+    exact FD ``source → this`` and therefore the DC
+    ``¬(t.src = t'.src ∧ t.this ≠ t'.this)``.
+
+    :param mapping: ``value -> value`` callable applied to the source.
+    """
+
+    def generate(rng, row_index, row):
+        return mapping(row[source_position])
+
+    return generate
+
+
+def noisy_derived(source_position: int, mapping, noise: float):
+    """Like :func:`derived` but flips to a random variant with probability
+    ``noise`` — breaks the exact FD while keeping an approximate one
+    (feeds the approximate-DC experiments)."""
+
+    def generate(rng, row_index, row):
+        base = mapping(row[source_position])
+        if rng.random() < noise:
+            return f"{base}~{rng.randrange(4)}"
+        return base
+
+    return generate
+
+
+def monotone_of(source_position: int, scale: float, jitter: int = 0):
+    """A numeric column increasing with an earlier numeric column —
+    plants an order dependency (DCs like the paper's φ₃)."""
+
+    def generate(rng, row_index, row):
+        base = int(row[source_position] * scale)
+        if jitter:
+            base += rng.randint(-jitter, jitter)
+        return base
+
+    return generate
+
+
+def bucketed(source_position: int, bucket_size: int, prefix: str = "b"):
+    """A categorical bucketing of an earlier numeric column (plants a
+    coarse FD and equality correlations)."""
+
+    def generate(rng, row_index, row):
+        return f"{prefix}{int(row[source_position]) // bucket_size}"
+
+    return generate
+
+
+def string_key(prefix: str = "id", start: int = 1):
+    """A unique *string* key column.
+
+    Identifier-like columns (phones, zips, license numbers) are kept as
+    strings on purpose: every independent numeric column multiplies the
+    number of distinct evidences by ~3 (equal/greater/smaller per pair),
+    while a string column contributes only an equal/different split.  Real
+    datasets keep evidence sets compact through exactly this kind of type
+    discipline plus value correlation.
+    """
+
+    def generate(rng, row_index, row):
+        return f"{prefix}{start + row_index:07d}"
+
+    return generate
+
+
+def string_number(low: int, high: int, prefix: str = "n"):
+    """A numeric-looking but string-typed column (zip, phone, license)."""
+
+    def generate(rng, row_index, row):
+        return f"{prefix}{rng.randint(low, high)}"
+
+    return generate
+
+
+def shared_domain(other_low: int, other_high: int, overlap: float = 0.8):
+    """An integer column drawn mostly from another column's range so the
+    30 % shared-value rule admits cross-column predicates between them."""
+
+    def generate(rng, row_index, row):
+        if rng.random() < overlap:
+            return rng.randint(other_low, other_high)
+        return rng.randint(other_high + 1, other_high + max(2, other_high))
+
+    return generate

@@ -1,0 +1,75 @@
+"""Update-workload construction matching the paper's methodology.
+
+Section VII-B1: "we retained 70 % of tuples chosen at random of each
+dataset r for each execution.  Then, we chose the set Δr of tuples (also
+at random) from the remaining tuples by varying the ratio λ of incremental
+data such that |Δr| = λ·|r|".  Deletes draw Δr from the current rows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class InsertWorkload:
+    """Rows split into a static part and an insert batch."""
+
+    static_rows: Tuple[tuple, ...]
+    delta_rows: Tuple[tuple, ...]
+    ratio: float
+
+    @property
+    def static_size(self) -> int:
+        return len(self.static_rows)
+
+    @property
+    def delta_size(self) -> int:
+        return len(self.delta_rows)
+
+
+def split_for_insert(
+    rows: Sequence[tuple],
+    ratio: float,
+    retain: float = 0.7,
+    seed: int = 0,
+) -> InsertWorkload:
+    """Split ``rows`` into static data and an insert batch.
+
+    ``retain`` of the rows (shuffled) become the static part ``r``; the
+    batch takes ``ratio · |r|`` rows from the remainder.
+
+    :raises ValueError: when the remainder cannot supply the batch.
+    """
+    if not 0.0 < retain <= 1.0:
+        raise ValueError(f"retain must be in (0, 1], got {retain}")
+    if ratio < 0.0:
+        raise ValueError(f"ratio must be non-negative, got {ratio}")
+    shuffled = list(rows)
+    random.Random(seed).shuffle(shuffled)
+    static_size = int(len(shuffled) * retain)
+    delta_size = int(round(static_size * ratio))
+    available = len(shuffled) - static_size
+    if delta_size > available:
+        raise ValueError(
+            f"ratio {ratio} needs {delta_size} incremental rows but only "
+            f"{available} remain after retaining {static_size}"
+        )
+    return InsertWorkload(
+        static_rows=tuple(shuffled[:static_size]),
+        delta_rows=tuple(shuffled[static_size : static_size + delta_size]),
+        ratio=ratio,
+    )
+
+
+def pick_delete_rids(relation: Relation, ratio: float, seed: int = 0) -> List[int]:
+    """Pick ``ratio`` of the alive rows (at random, seeded) for deletion."""
+    if not 0.0 <= ratio <= 1.0:
+        raise ValueError(f"ratio must be in [0, 1], got {ratio}")
+    alive = list(relation.rids())
+    count = int(round(len(alive) * ratio))
+    return sorted(random.Random(seed).sample(alive, count))

@@ -1,0 +1,48 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.relational import relation_from_rows
+from repro.workloads import staff_relation
+
+
+@pytest.fixture
+def staff():
+    """The paper's Table I staff relation (initial four tuples)."""
+    return staff_relation()
+
+
+@pytest.fixture
+def abc_factory():
+    """Factory for small random (int, str, int) relations."""
+
+    def make(n_rows: int, seed: int, int_range: int = 4, letters: str = "abc"):
+        rng = random.Random(seed)
+        rows = [
+            (
+                rng.randint(0, int_range),
+                rng.choice(letters),
+                rng.randint(0, int_range - 1),
+            )
+            for _ in range(n_rows)
+        ]
+        return relation_from_rows(["A", "B", "C"], rows)
+
+    return make
+
+
+def random_rows(rng: random.Random, n_rows: int, int_range: int = 4):
+    """Random (int, str, int) rows drawing from a tight domain so that
+    evidence redundancy and DC structure both appear."""
+    return [
+        (
+            rng.randint(0, int_range),
+            rng.choice("abc"),
+            rng.randint(0, max(1, int_range - 1)),
+        )
+        for _ in range(n_rows)
+    ]

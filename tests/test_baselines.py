@@ -1,0 +1,128 @@
+"""Tests for the IncDC, ECP, and FastDC baselines."""
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    DensePredicateIndexes,
+    IncDC,
+    ecp_discover,
+    fastdc_discover,
+)
+from repro.enumeration import invert_evidence
+from repro.evidence import naive_evidence_set
+from repro.predicates import Operator, build_predicate_space
+from repro.relational import relation_from_rows
+from tests.conftest import random_rows
+
+
+class TestDensePredicateIndexes:
+    def test_probe_matches_reference(self):
+        relation = relation_from_rows(["N", "S"], [(5, "a"), (3, "b"), (5, "a")])
+        indexes = DensePredicateIndexes(relation)
+        assert indexes.probe(0, Operator.EQ, 5) == 0b101
+        assert indexes.probe(0, Operator.NE, 5) == 0b010
+        assert indexes.probe(0, Operator.GT, 3) == 0b101
+        assert indexes.probe(0, Operator.LT, 5) == 0b010
+        assert indexes.probe(0, Operator.GE, 5) == 0b101
+        assert indexes.probe(0, Operator.LE, 3) == 0b010
+        assert indexes.probe(1, Operator.EQ, "a") == 0b101
+
+    def test_probe_absent_value(self):
+        relation = relation_from_rows(["N"], [(5,), (10,)])
+        indexes = DensePredicateIndexes(relation)
+        assert indexes.probe(0, Operator.GT, 7) == 0b10
+        assert indexes.probe(0, Operator.LT, 7) == 0b01
+        assert indexes.probe(0, Operator.EQ, 7) == 0
+
+    def test_incremental_add(self):
+        relation = relation_from_rows(["N"], [(5,), (3,)])
+        indexes = DensePredicateIndexes(relation)
+        new = relation.insert([(4,)])
+        indexes.add_rows(new)
+        assert indexes.probe(0, Operator.GT, 3) == 0b101
+        assert indexes.probe(0, Operator.GT, 4) == 0b001
+        assert indexes.probe(0, Operator.LT, 5) == 0b110
+
+    def test_range_probe_on_categorical_raises(self):
+        relation = relation_from_rows(["S"], [("a",)])
+        indexes = DensePredicateIndexes(relation)
+        with pytest.raises(ValueError):
+            indexes.probe(0, Operator.LT, "a")
+
+
+class TestIncDC:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_insert_matches_static(self, seed):
+        rng = random.Random(seed)
+        relation = relation_from_rows(["A", "B", "C"], random_rows(rng, 12))
+        space = build_predicate_space(relation)
+        sigma = invert_evidence(
+            space, list(naive_evidence_set(relation, space))
+        )
+        incdc = IncDC(relation, space, sigma)
+        incdc.insert(random_rows(rng, 5))
+        expected = invert_evidence(
+            space, list(naive_evidence_set(relation, space))
+        )
+        assert incdc.dc_masks == expected
+
+    def test_multiple_insert_batches(self):
+        rng = random.Random(11)
+        relation = relation_from_rows(["A", "B", "C"], random_rows(rng, 10))
+        space = build_predicate_space(relation)
+        sigma = invert_evidence(space, list(naive_evidence_set(relation, space)))
+        incdc = IncDC(relation, space, sigma)
+        for _ in range(3):
+            incdc.insert(random_rows(rng, 3))
+            expected = invert_evidence(
+                space, list(naive_evidence_set(relation, space))
+            )
+            assert incdc.dc_masks == expected
+
+    def test_empty_insert(self, staff):
+        space = build_predicate_space(staff)
+        sigma = invert_evidence(space, list(naive_evidence_set(staff, space)))
+        incdc = IncDC(staff, space, sigma)
+        assert incdc.insert([]) == sorted(sigma)
+
+    def test_delete_unsupported(self, staff):
+        space = build_predicate_space(staff)
+        sigma = invert_evidence(space, list(naive_evidence_set(staff, space)))
+        incdc = IncDC(staff, space, sigma)
+        with pytest.raises(NotImplementedError, match="insertions only"):
+            incdc.delete([0])
+
+    def test_paper_insert_example(self, staff):
+        from repro.predicates import parse_dc
+
+        space = build_predicate_space(staff)
+        sigma = invert_evidence(space, list(naive_evidence_set(staff, space)))
+        incdc = IncDC(staff, space, sigma)
+        incdc.insert([(5, "Ema", 2002, 3, 1)])
+        masks = set(incdc.dc_masks)
+        phi5 = parse_dc(
+            "!(t.Mgr = t'.Mgr & t.Hired < t'.Hired & t.Level < t'.Level)", space
+        )
+        assert phi5 in masks
+
+
+class TestStaticBaselines:
+    def test_ecp_fastdc_agree(self, abc_factory):
+        relation = abc_factory(14, 2)
+        ecp = ecp_discover(relation)
+        fastdc = fastdc_discover(relation, space=ecp.space)
+        assert ecp.dc_masks == fastdc.dc_masks
+        assert ecp.evidence_set == fastdc.evidence_set
+
+    def test_timings_reported(self, abc_factory):
+        result = ecp_discover(abc_factory(8, 3))
+        assert {"space", "evidence", "enumeration"} <= set(result.timings)
+        assert result.total_time >= 0
+
+    def test_space_reuse_skips_space_phase(self, abc_factory):
+        relation = abc_factory(8, 4)
+        first = ecp_discover(relation)
+        second = ecp_discover(relation, space=first.space)
+        assert "space" not in second.timings

@@ -1,0 +1,163 @@
+"""Unit and property tests for the bitmap substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmaps import IntBitset, RoaringBitmap, get_backend
+
+BACKENDS = [IntBitset, RoaringBitmap]
+
+small_sets = st.sets(st.integers(min_value=0, max_value=300), max_size=40)
+# Values spanning several roaring chunks to exercise container boundaries.
+wide_sets = st.sets(st.integers(min_value=0, max_value=300_000), max_size=30)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBitmapBasics:
+    def test_empty(self, backend):
+        bitmap = backend()
+        assert len(bitmap) == 0
+        assert not bitmap
+        assert list(bitmap) == []
+        assert 5 not in bitmap
+
+    def test_add_contains_discard(self, backend):
+        bitmap = backend()
+        bitmap.add(3)
+        bitmap.add(70_000)
+        assert 3 in bitmap
+        assert 70_000 in bitmap
+        assert 4 not in bitmap
+        assert len(bitmap) == 2
+        bitmap.discard(3)
+        assert 3 not in bitmap
+        bitmap.discard(3)  # idempotent
+        assert len(bitmap) == 1
+
+    def test_from_iterable_and_iter_sorted(self, backend):
+        bitmap = backend.from_iterable([9, 2, 5, 2])
+        assert list(bitmap) == [2, 5, 9]
+
+    def test_full(self, backend):
+        bitmap = backend.full(10)
+        assert list(bitmap) == list(range(10))
+        assert backend.full(0) == backend()
+
+    def test_full_negative_raises(self, backend):
+        with pytest.raises(ValueError):
+            backend.full(-1)
+
+    def test_min_max(self, backend):
+        bitmap = backend.from_iterable([7, 100, 3])
+        assert bitmap.min() == 3
+        assert bitmap.max() == 100
+
+    def test_min_max_empty_raises(self, backend):
+        with pytest.raises(ValueError):
+            backend().min()
+        with pytest.raises(ValueError):
+            backend().max()
+
+    def test_copy_is_independent(self, backend):
+        bitmap = backend.from_iterable([1, 2])
+        clone = bitmap.copy()
+        clone.add(99)
+        assert 99 not in bitmap
+        assert 99 in clone
+
+    def test_equality_and_hash(self, backend):
+        a = backend.from_iterable([1, 5])
+        b = backend.from_iterable([5, 1])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_subset_superset(self, backend):
+        small = backend.from_iterable([1, 2])
+        big = backend.from_iterable([1, 2, 3])
+        assert small.issubset(big)
+        assert big.issuperset(small)
+        assert not big.issubset(small)
+
+    def test_intersects(self, backend):
+        a = backend.from_iterable([1, 2])
+        assert a.intersects(backend.from_iterable([2, 9]))
+        assert not a.intersects(backend.from_iterable([7, 9]))
+
+    def test_repr_smoke(self, backend):
+        assert backend.__name__ in repr(backend.from_iterable(range(20)))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("op", ["__and__", "__or__", "__xor__", "__sub__"])
+@given(left=small_sets, right=small_sets)
+@settings(max_examples=40, deadline=None)
+def test_set_algebra_matches_python_sets(backend, op, left, right):
+    expected = {
+        "__and__": left & right,
+        "__or__": left | right,
+        "__xor__": left ^ right,
+        "__sub__": left - right,
+    }[op]
+    result = getattr(backend.from_iterable(left), op)(backend.from_iterable(right))
+    assert set(result) == expected
+
+
+@given(values=wide_sets)
+@settings(max_examples=30, deadline=None)
+def test_roaring_matches_intbitset_across_chunks(values):
+    roaring = RoaringBitmap.from_iterable(values)
+    intbits = IntBitset.from_iterable(values)
+    assert list(roaring) == list(intbits)
+    assert len(roaring) == len(intbits)
+
+
+def test_roaring_array_to_bitmap_promotion():
+    bitmap = RoaringBitmap.from_iterable(range(5000))
+    assert list(bitmap) == list(range(5000))
+    bitmap.discard(4999)
+    assert len(bitmap) == 4999
+
+
+def test_roaring_run_optimize_preserves_content():
+    bitmap = RoaringBitmap.from_iterable(range(2000))
+    bitmap.run_optimize()
+    assert list(bitmap) == list(range(2000))
+    assert bitmap == RoaringBitmap.from_iterable(range(2000))
+    # Run containers must survive set algebra and membership.
+    other = RoaringBitmap.from_iterable(range(1000, 3000))
+    assert len(bitmap & other) == 1000
+    assert 1500 in bitmap
+    assert bitmap.max() == 1999
+
+
+def test_get_backend():
+    assert get_backend("int") is IntBitset
+    assert get_backend("roaring") is RoaringBitmap
+    with pytest.raises(KeyError):
+        get_backend("nope")
+
+
+def test_intbitset_negative_rejected():
+    with pytest.raises(ValueError):
+        IntBitset(-1)
+
+
+def test_roaring_negative_add_rejected():
+    with pytest.raises(ValueError):
+        RoaringBitmap().add(-3)
+
+
+@given(values=wide_sets, other_values=wide_sets)
+@settings(max_examples=25, deadline=None)
+def test_roaring_run_optimize_preserves_algebra(values, other_values):
+    optimized = RoaringBitmap.from_iterable(values)
+    optimized.run_optimize()
+    plain = RoaringBitmap.from_iterable(values)
+    other = RoaringBitmap.from_iterable(other_values)
+    assert optimized == plain
+    assert (optimized & other) == (plain & other)
+    assert (optimized | other) == (plain | other)
+    assert (optimized ^ other) == (plain ^ other)
+    assert (optimized - other) == (plain - other)
+    assert optimized.issubset(plain) and plain.issubset(optimized)

@@ -1,0 +1,96 @@
+"""Tests for the repro-dc command-line interface (in-process)."""
+
+import csv
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def staff_csv(tmp_path):
+    path = tmp_path / "staff.csv"
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["Id", "Name", "Hired", "Level", "Mgr"])
+        writer.writerows(
+            [
+                (1, "Ana", 2000, 5, 1),
+                (2, "Sam", 2001, 4, 1),
+                (3, "Ana", 2001, 2, 2),
+                (4, "Kai", 2002, 2, 2),
+            ]
+        )
+    return path
+
+
+def test_discover_prints_dcs(staff_csv, capsys):
+    assert main(["discover", str(staff_csv), "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "DiscoveryResult" in out
+    assert "¬(" in out
+
+
+def test_discover_insert_delete_rank_cycle(staff_csv, tmp_path, capsys):
+    state = tmp_path / "state.json"
+    assert main(["discover", str(staff_csv), "--state", str(state)]) == 0
+    assert state.exists()
+
+    new_rows = tmp_path / "new.csv"
+    with open(new_rows, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["Id", "Name", "Hired", "Level", "Mgr"])
+        writer.writerow((5, "Ema", 2002, 3, 1))
+    assert main(["insert", str(new_rows), "--state", str(state)]) == 0
+    out = capsys.readouterr().out
+    assert "insert |Δr|=1" in out
+
+    assert main(["delete", "--state", str(state), "--rids", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "delete |Δr|=1" in out
+
+    assert main(["rank", "--state", str(state), "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "score=" in out
+
+
+def test_datasets_listing(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "Adult" in out and "UCE" in out
+
+
+def test_datasets_generation(tmp_path, capsys):
+    out_path = tmp_path / "dit.csv"
+    assert main(["datasets", "Dit", "--rows", "25", "--out", str(out_path)]) == 0
+    with open(out_path) as handle:
+        rows = list(csv.reader(handle))
+    assert len(rows) == 26  # header + 25
+    assert rows[0][0] == "id"
+
+
+def test_unknown_command_fails():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_discover_without_cross_columns(staff_csv, capsys):
+    assert main(
+        ["discover", str(staff_csv), "--no-cross-columns", "--top", "3"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "DiscoveryResult" in out
+
+
+def test_discover_null_policy(tmp_path, capsys):
+    path = tmp_path / "holes.csv"
+    path.write_text("A,B\n1,x\n?,y\n3,z\n")
+    assert main(["discover", str(path), "--null-policy", "drop"]) == 0
+    assert "rows=2" in capsys.readouterr().out
+
+
+def test_profile_command(staff_csv, capsys):
+    assert main(["profile", str(staff_csv)]) == 0
+    out = capsys.readouterr().out
+    assert "distinct evidences" in out
+    assert "key-like" in out  # the Id column

@@ -1,0 +1,81 @@
+"""Mixed int/float cross-column behaviour.
+
+Python hashes ``2`` and ``2.0`` identically, so cross-column predicates
+between INTEGER and FLOAT columns must agree between the hash-probing
+pipeline and direct evaluation — a classic source of silent drift.
+"""
+
+import random
+
+import pytest
+
+from repro.enumeration import DynHS, invert_evidence
+from repro.evidence import build_evidence_state, naive_evidence_set
+from repro.predicates import Operator, build_predicate_space
+from repro.relational import relation_from_rows
+
+
+@pytest.fixture
+def mixed_relation():
+    rows = [
+        (1, 1.0), (2, 2.5), (2, 2.0), (3, 1.0),
+        (1, 3.0), (3, 3.0), (2, 1.0), (1, 2.0),
+    ]
+    return relation_from_rows(["I", "F"], rows)
+
+
+class TestMixedTypes:
+    def test_cross_group_admitted(self, mixed_relation):
+        space = build_predicate_space(mixed_relation)
+        pairs = {
+            (g.predicates[0].lhs, g.predicates[0].rhs)
+            for g in space.groups
+            if not g.is_single_column
+        }
+        assert ("I", "F") in pairs and ("F", "I") in pairs
+
+    def test_pipeline_matches_oracle(self, mixed_relation):
+        space = build_predicate_space(mixed_relation)
+        state = build_evidence_state(mixed_relation, space)
+        assert state.evidence == naive_evidence_set(mixed_relation, space)
+
+    def test_int_float_equality_in_evidence(self, mixed_relation):
+        space = build_predicate_space(mixed_relation)
+        bit = space.bit("I", Operator.EQ, "F")
+        # Pair (rid 0: I=1) with (rid 3: F=1.0): 1 == 1.0 must register.
+        evidence = space.evidence_of_pair(
+            mixed_relation.row(0), mixed_relation.row(3)
+        )
+        assert (evidence >> bit) & 1
+
+    def test_dynamic_maintenance_with_mixed_types(self, mixed_relation):
+        from repro import DCDiscoverer
+
+        discoverer = DCDiscoverer(mixed_relation)
+        discoverer.fit()
+        rng = random.Random(0)
+        discoverer.insert(
+            [(rng.randint(1, 3), float(rng.randint(1, 3))) for _ in range(4)]
+        )
+        discoverer.delete(list(discoverer.relation.rids())[:3])
+        static = invert_evidence(
+            discoverer.space,
+            list(naive_evidence_set(discoverer.relation, discoverer.space)),
+        )
+        assert discoverer.dc_masks == sorted(m for m in static if m)
+
+
+class TestDynHSIncrementalBootstrap:
+    def test_matches_mmcs_bootstrap(self, abc_factory):
+        relation = abc_factory(10, 4)
+        space = build_predicate_space(relation)
+        evidence = list(naive_evidence_set(relation, space))
+        via_mmcs = DynHS(space, evidence, bootstrap="mmcs")
+        via_incremental = DynHS(space, evidence, bootstrap="incremental")
+        assert via_mmcs.dc_masks == via_incremental.dc_masks
+        # And both continue identically under a delete.
+        removed = [evidence[0]]
+        remaining = evidence[1:]
+        via_mmcs.delete_evidence(removed, remaining)
+        via_incremental.delete_evidence(removed, remaining)
+        assert via_mmcs.dc_masks == via_incremental.dc_masks

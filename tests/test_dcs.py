@@ -1,0 +1,263 @@
+"""Tests for the DC model layer: objects, violations, ranking,
+approximation, and canonicalization."""
+
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.bitmaps.bitutils import iter_bits
+from repro.dcs import (
+    DenialConstraint,
+    approximate_dcs,
+    coverage,
+    find_violations,
+    iter_violating_pairs,
+    partners_satisfying,
+    rank_dcs,
+    score_dc,
+    succinctness,
+    violating_partners,
+    violation_count,
+)
+from repro.dcs.canonical import canonicalize_mask, canonicalize_masks
+from repro.enumeration import invert_evidence
+from repro.evidence import naive_evidence_set
+from repro.evidence.indexes import ColumnIndexes
+from repro.predicates import Operator, build_predicate_space, parse_dc
+from repro.relational import relation_from_rows
+from tests.conftest import random_rows
+
+
+@pytest.fixture
+def staff_setup(staff):
+    space = build_predicate_space(staff)
+    evidence = naive_evidence_set(staff, space)
+    return staff, space, evidence
+
+
+class TestDenialConstraint:
+    def test_basics(self, staff_setup):
+        staff, space, _ = staff_setup
+        mask = parse_dc("!(t.Id = t'.Id)", space)
+        dc = DenialConstraint(mask, space)
+        assert len(dc) == 1
+        assert not dc.is_trivial
+        assert str(dc) == "¬(t.Id = t'.Id)"
+        assert dc.predicates[0].op is Operator.EQ
+
+    def test_trivial_detection(self, staff_setup):
+        _, space, _ = staff_setup
+        eq = 1 << space.bit("Level", Operator.EQ, "Level")
+        ne = 1 << space.bit("Level", Operator.NE, "Level")
+        assert DenialConstraint(eq | ne, space).is_trivial
+        assert not DenialConstraint(eq, space).is_trivial
+
+    def test_implies(self, staff_setup):
+        _, space, _ = staff_setup
+        small = DenialConstraint(parse_dc("!(t.Id = t'.Id)", space), space)
+        big = DenialConstraint(
+            parse_dc("!(t.Id = t'.Id & t.Level = t'.Level)", space), space
+        )
+        assert small.implies(big)
+        assert not big.implies(small)
+
+    def test_holds_on_pair_and_evidence_violation(self, staff_setup):
+        staff, space, _ = staff_setup
+        dc = DenialConstraint(
+            parse_dc("!(t.Name = t'.Name)", space), space
+        )
+        rows = list(staff.rows())
+        assert not dc.holds_on_pair(rows[0], rows[2])  # both Ana
+        assert dc.holds_on_pair(rows[0], rows[1])
+        evidence = space.evidence_of_pair(rows[0], rows[2])
+        assert dc.is_violated_by_evidence(evidence)
+
+    def test_ordering_and_hash(self, staff_setup):
+        _, space, _ = staff_setup
+        a = DenialConstraint(0b01, space)
+        b = DenialConstraint(0b10, space)
+        assert a < b
+        assert len({a, DenialConstraint(0b01, space)}) == 1
+
+
+class TestViolations:
+    def test_valid_dcs_have_no_violations(self, staff_setup):
+        staff, space, evidence = staff_setup
+        for mask in invert_evidence(space, list(evidence))[:25]:
+            if not mask:
+                continue
+            dc = DenialConstraint(mask, space)
+            assert find_violations(dc, staff) == []
+
+    def test_known_violation(self, staff_setup):
+        staff, space, _ = staff_setup
+        dc = DenialConstraint(parse_dc("!(t.Name = t'.Name)", space), space)
+        assert set(find_violations(dc, staff)) == {(0, 2), (2, 0)}
+
+    def test_limit(self, staff_setup):
+        staff, space, _ = staff_setup
+        dc = DenialConstraint(parse_dc("!(t.Name = t'.Name)", space), space)
+        assert len(find_violations(dc, staff, limit=1)) == 1
+
+    def test_partners_satisfying_all_operators(self):
+        relation = relation_from_rows(["N"], [(5,), (3,), (5,), (7,)])
+        indexes = ColumnIndexes(relation)
+        assert partners_satisfying(indexes, 0, Operator.EQ, 5) == 0b0101
+        assert partners_satisfying(indexes, 0, Operator.NE, 5) == 0b1010
+        assert partners_satisfying(indexes, 0, Operator.GT, 5) == 0b1000
+        assert partners_satisfying(indexes, 0, Operator.GE, 5) == 0b1101
+        assert partners_satisfying(indexes, 0, Operator.LT, 5) == 0b0010
+        assert partners_satisfying(indexes, 0, Operator.LE, 5) == 0b0111
+
+    def test_range_probe_on_categorical_raises(self):
+        relation = relation_from_rows(["S"], [("a",), ("b",)])
+        indexes = ColumnIndexes(relation)
+        with pytest.raises(ValueError, match="categorical"):
+            partners_satisfying(indexes, 0, Operator.LT, "a")
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_index_violations_match_naive(self, seed):
+        rng = random.Random(seed)
+        relation = relation_from_rows(["A", "B", "C"], random_rows(rng, 14))
+        space = build_predicate_space(relation)
+        indexes = ColumnIndexes(relation)
+        for _ in range(8):
+            bits = rng.sample(range(space.n_bits), 2)
+            mask = (1 << bits[0]) | (1 << bits[1])
+            if not space.satisfiable(mask):
+                continue
+            dc = DenialConstraint(mask, space)
+            naive = set(find_violations(dc, relation))
+            indexed = set()
+            for rid in relation.rids():
+                as_first, as_second = violating_partners(dc, relation, indexes, rid)
+                for partner in iter_bits(as_first):
+                    indexed.add((rid, partner))
+                for partner in iter_bits(as_second):
+                    indexed.add((partner, rid))
+            assert indexed == naive
+            assert set(iter_violating_pairs(dc, relation, indexes)) == naive
+
+
+class TestRanking:
+    def test_succinctness(self, staff_setup):
+        _, space, _ = staff_setup
+        single = DenialConstraint(0b1, space)
+        double = DenialConstraint(0b11, space)
+        assert succinctness(single) == 1.0
+        assert succinctness(double) == 0.5
+
+    def test_coverage_bounds(self, staff_setup):
+        staff, space, evidence = staff_setup
+        for mask in invert_evidence(space, list(evidence))[:30]:
+            if not mask:
+                continue
+            value = coverage(DenialConstraint(mask, space), evidence)
+            assert 0.0 <= value <= 1.0
+
+    def test_rank_order_and_top_k(self, staff_setup):
+        _, space, evidence = staff_setup
+        masks = invert_evidence(space, list(evidence))
+        dcs = [DenialConstraint(m, space) for m in masks if m][:40]
+        ranked = rank_dcs(dcs, evidence, top_k=10)
+        assert len(ranked) == 10
+        scores = [entry.score for entry in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_score_weights(self, staff_setup):
+        _, space, evidence = staff_setup
+        dc = DenialConstraint(0b1, space)
+        only_succ = score_dc(dc, evidence, succinctness_weight=1.0, coverage_weight=0.0)
+        assert only_succ.score == pytest.approx(only_succ.succinctness)
+
+
+class TestApproximateDCs:
+    def test_epsilon_zero_is_exact(self, abc_factory):
+        relation = abc_factory(10, 3)
+        space = build_predicate_space(relation)
+        evidence = naive_evidence_set(relation, space)
+        assert approximate_dcs(space, evidence, 0.0) == invert_evidence(
+            space, list(evidence)
+        )
+
+    def test_epsilon_validation(self, staff_setup):
+        _, space, evidence = staff_setup
+        with pytest.raises(ValueError):
+            approximate_dcs(space, evidence, 1.0)
+        with pytest.raises(ValueError):
+            approximate_dcs(space, evidence, -0.1)
+
+    @pytest.mark.parametrize("epsilon", [0.05, 0.15])
+    def test_matches_bruteforce(self, abc_factory, epsilon):
+        relation = abc_factory(8, 5, int_range=2, letters="ab")
+        space = build_predicate_space(relation)
+        evidence = naive_evidence_set(relation, space)
+        budget = int(epsilon * evidence.total_pairs())
+        brute = []
+        for size in range(0, 4):
+            for bits in combinations(range(space.n_bits), size):
+                mask = 0
+                for bit in bits:
+                    mask |= 1 << bit
+                if not space.satisfiable(mask):
+                    continue
+                if violation_count(evidence, mask) > budget:
+                    continue
+                if any(kept & mask == kept for kept in brute):
+                    continue
+                brute.append(mask)
+        mine = [m for m in approximate_dcs(space, evidence, epsilon)
+                if m.bit_count() <= 3]
+        assert mine == sorted(brute)
+
+    def test_monotone_in_epsilon(self, abc_factory):
+        relation = abc_factory(10, 6)
+        space = build_predicate_space(relation)
+        evidence = naive_evidence_set(relation, space)
+        tight = approximate_dcs(space, evidence, 0.0)
+        loose = approximate_dcs(space, evidence, 0.2)
+        # Every strict result must be implied by (superset of) some loose one.
+        for mask in tight:
+            assert any(mask & small == small for small in loose)
+
+    def test_violation_count_matches_find_violations(self, staff_setup):
+        staff, space, evidence = staff_setup
+        mask = parse_dc("!(t.Name = t'.Name)", space)
+        dc = DenialConstraint(mask, space)
+        assert violation_count(evidence, mask) == len(find_violations(dc, staff))
+
+
+class TestCanonicalization:
+    def test_le_ge_becomes_eq(self, staff_setup):
+        _, space, _ = staff_setup
+        le = 1 << space.bit("Level", Operator.LE, "Level")
+        ge = 1 << space.bit("Level", Operator.GE, "Level")
+        eq = 1 << space.bit("Level", Operator.EQ, "Level")
+        assert canonicalize_mask(le | ge, space) == eq
+
+    def test_ne_le_becomes_lt(self, staff_setup):
+        _, space, _ = staff_setup
+        ne = 1 << space.bit("Hired", Operator.NE, "Hired")
+        le = 1 << space.bit("Hired", Operator.LE, "Hired")
+        lt = 1 << space.bit("Hired", Operator.LT, "Hired")
+        assert canonicalize_mask(ne | le, space) == lt
+
+    def test_other_bits_preserved(self, staff_setup):
+        _, space, _ = staff_setup
+        other = 1 << space.bit("Name", Operator.EQ, "Name")
+        ne = 1 << space.bit("Level", Operator.NE, "Level")
+        ge = 1 << space.bit("Level", Operator.GE, "Level")
+        gt = 1 << space.bit("Level", Operator.GT, "Level")
+        assert canonicalize_mask(other | ne | ge, space) == other | gt
+
+    def test_canonicalize_masks_dedupes(self, staff_setup):
+        staff, space, evidence = staff_setup
+        masks = [m for m in invert_evidence(space, list(evidence)) if m]
+        canonical = canonicalize_masks(masks, space)
+        assert len(canonical) <= len(masks)
+        assert len(set(canonical)) == len(canonical)
+        # Canonical DCs remain valid and satisfiable.
+        for mask in canonical:
+            assert space.satisfiable(mask)
+            assert not any(mask & e == mask for e in evidence)

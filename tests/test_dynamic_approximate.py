@@ -1,0 +1,127 @@
+"""Tests for dynamic approximate-DC maintenance (the paper's future work)."""
+
+import random
+
+import pytest
+
+from repro import DCDiscoverer, relation_from_rows
+from repro.dcs.approximate import approximate_dcs, violation_count
+
+from tests.conftest import random_rows
+
+
+def make_discoverer(seed=0, n_rows=14):
+    rng = random.Random(seed)
+    relation = relation_from_rows(["A", "B", "C"], random_rows(rng, n_rows))
+    discoverer = DCDiscoverer(relation)
+    discoverer.fit()
+    return discoverer, rng
+
+
+class TestMonitorBootstrap:
+    def test_initial_masks_match_static(self):
+        discoverer, _ = make_discoverer()
+        monitor = discoverer.attach_approximate_monitor(0.05)
+        assert monitor.dc_masks == approximate_dcs(
+            discoverer.space, discoverer.evidence_set, 0.05
+        )
+        assert not monitor.needs_refresh
+
+    def test_initial_counters_exact(self):
+        discoverer, _ = make_discoverer(1)
+        monitor = discoverer.attach_approximate_monitor(0.1)
+        for mask in monitor.dc_masks[:30]:
+            assert monitor.violations(mask) == violation_count(
+                discoverer.evidence_set, mask
+            )
+
+    def test_budget(self):
+        discoverer, _ = make_discoverer(2, n_rows=10)
+        monitor = discoverer.attach_approximate_monitor(0.1)
+        assert monitor.budget == int(0.1 * 10 * 9)
+
+    def test_epsilon_validation(self):
+        discoverer, _ = make_discoverer(3)
+        with pytest.raises(ValueError):
+            discoverer.attach_approximate_monitor(1.0)
+
+    def test_unknown_mask_raises(self):
+        discoverer, _ = make_discoverer(4)
+        monitor = discoverer.attach_approximate_monitor(0.05)
+        with pytest.raises(KeyError):
+            monitor.violations(discoverer.space.full_mask)
+
+
+class TestIncrementalAccounting:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_counters_stay_exact_across_updates(self, seed):
+        discoverer, rng = make_discoverer(seed + 10)
+        monitor = discoverer.attach_approximate_monitor(0.08)
+        for _ in range(3):
+            discoverer.insert(random_rows(rng, 3))
+            alive = list(discoverer.relation.rids())
+            discoverer.delete(rng.sample(alive, 2))
+            for mask in list(monitor.dc_masks)[:20]:
+                assert monitor.violations(mask) == violation_count(
+                    discoverer.evidence_set, mask
+                )
+
+    def test_invalidation_is_sound(self):
+        """Every DC the monitor reports invalid really is over budget."""
+        discoverer, rng = make_discoverer(30)
+        monitor = discoverer.attach_approximate_monitor(0.02)
+        for _ in range(4):
+            discoverer.insert(random_rows(rng, 4))
+            budget = monitor.budget
+            for mask in monitor.dc_masks:
+                assert (
+                    violation_count(discoverer.evidence_set, mask) <= budget
+                ), "tracked DC is actually over budget"
+
+    def test_refresh_matches_static(self):
+        discoverer, rng = make_discoverer(40)
+        monitor = discoverer.attach_approximate_monitor(0.05)
+        discoverer.insert(random_rows(rng, 5))
+        discoverer.delete(list(discoverer.relation.rids())[:3])
+        report = monitor.refresh()
+        assert monitor.dc_masks == approximate_dcs(
+            discoverer.space, discoverer.evidence_set, 0.05
+        )
+        assert not monitor.needs_refresh
+        assert report.n_dcs == len(monitor.dc_masks)
+
+    def test_refresh_reports_diff(self):
+        discoverer, rng = make_discoverer(50, n_rows=10)
+        monitor = discoverer.attach_approximate_monitor(0.05)
+        before = set(monitor.dc_masks)
+        # A burst of identical rows shifts many violation counts.
+        discoverer.insert([(0, "a", 0)] * 4)
+        report = monitor.refresh()
+        after = set(monitor.dc_masks)
+        assert set(report.added) == after - before
+        assert before - after <= set(report.removed)
+
+    def test_needs_refresh_raised_on_invalidation(self):
+        discoverer, _ = make_discoverer(60, n_rows=10)
+        monitor = discoverer.attach_approximate_monitor(0.03)
+        # Duplicated rows create heavy violations of equality-flavoured DCs.
+        report_needed = False
+        for _ in range(3):
+            discoverer.insert([(1, "a", 1), (1, "a", 1)])
+            if monitor.needs_refresh:
+                report_needed = True
+                break
+        assert report_needed, "bursty duplicates should invalidate some DC"
+
+    def test_monitor_report_fields(self):
+        discoverer, rng = make_discoverer(70)
+        monitor = discoverer.attach_approximate_monitor(0.05)
+        from repro.evidence import EvidenceSet
+
+        report = monitor.apply_insert_delta(
+            EvidenceSet(), len(discoverer.relation)
+        )
+        assert report.kind == "insert"
+        assert report.clean
+        assert report.budget == monitor.budget
+        assert report.n_rows == len(discoverer.relation)

@@ -1,0 +1,225 @@
+"""Tests for the evidence engine: contexts, static build, inserts, deletes.
+
+The naive pair-scan builder is the oracle throughout.
+"""
+
+import random
+
+import pytest
+
+from repro.evidence import (
+    ColumnIndexes,
+    apply_delete_evidence,
+    apply_insert_evidence,
+    build_contexts,
+    build_evidence_state,
+    delete_evidence_by_recompute,
+    delete_evidence_with_index,
+    incremental_evidence_for_insert,
+    naive_evidence_set,
+    naive_incremental_evidence,
+)
+from repro.predicates import build_predicate_space
+
+from tests.conftest import random_rows
+
+
+class TestContexts:
+    def test_contexts_partition_partners(self, staff):
+        space = build_predicate_space(staff)
+        indexes = ColumnIndexes(staff)
+        partner_bits = staff.alive_bits & ~1  # all but rid 0
+        contexts = build_contexts(space, staff, 0, partner_bits, indexes)
+        union = 0
+        for bits in contexts.values():
+            assert bits, "no empty context classes"
+            assert union & bits == 0, "context classes overlap"
+            union |= bits
+        assert union == partner_bits
+
+    def test_contexts_match_direct_evaluation(self, staff):
+        space = build_predicate_space(staff)
+        indexes = ColumnIndexes(staff)
+        for rid in staff.rids():
+            partner_bits = staff.alive_bits & ~(1 << rid)
+            contexts = build_contexts(space, staff, rid, partner_bits, indexes)
+            row = staff.row(rid)
+            for evidence, bits in contexts.items():
+                partner = bits
+                while partner:
+                    low = partner & -partner
+                    other = low.bit_length() - 1
+                    assert evidence == space.evidence_of_pair(
+                        row, staff.row(other)
+                    )
+                    partner ^= low
+            assert staff.is_alive(rid)
+
+    def test_empty_partner_set(self, staff):
+        space = build_predicate_space(staff)
+        indexes = ColumnIndexes(staff)
+        assert build_contexts(space, staff, 0, 0, indexes) == {}
+
+
+class TestStaticBuild:
+    def test_matches_naive_on_staff(self, staff):
+        space = build_predicate_space(staff)
+        state = build_evidence_state(staff, space)
+        assert state.evidence == naive_evidence_set(staff, space)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_naive_on_random(self, abc_factory, seed):
+        relation = abc_factory(25, seed)
+        space = build_predicate_space(relation)
+        state = build_evidence_state(relation, space)
+        assert state.evidence == naive_evidence_set(relation, space)
+
+    def test_total_pairs_invariant(self, abc_factory):
+        relation = abc_factory(30, 7)
+        space = build_predicate_space(relation)
+        state = build_evidence_state(relation, space)
+        assert state.evidence.total_pairs() == 30 * 29
+
+    def test_single_row_relation(self, abc_factory):
+        relation = abc_factory(1, 0)
+        space = build_predicate_space(relation)
+        state = build_evidence_state(relation, space)
+        assert len(state.evidence) == 0
+
+    def test_tuple_index_populated_when_requested(self, staff):
+        space = build_predicate_space(staff)
+        state = build_evidence_state(staff, space, maintain_tuple_index=True)
+        assert state.tuple_index is not None
+        # Tuple 0 owns all pairs with later tuples.
+        owned = state.tuple_index.owned_evidence(0)
+        assert sum(owned.values()) == 3
+        assert build_evidence_state(staff, space).tuple_index is None
+
+
+class TestInsertMaintenance:
+    @pytest.mark.parametrize("infer_within_delta", [True, False])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_insert_matches_naive(self, abc_factory, infer_within_delta, seed):
+        rng = random.Random(seed + 100)
+        relation = abc_factory(15, seed)
+        space = build_predicate_space(relation)
+        state = build_evidence_state(relation, space, maintain_tuple_index=True)
+        new_rids = relation.insert(random_rows(rng, 6))
+        state.indexes.add_rows(new_rids)
+        delta = incremental_evidence_for_insert(
+            relation, state, new_rids, infer_within_delta=infer_within_delta
+        )
+        expected_delta = naive_incremental_evidence(relation, space, new_rids)
+        assert delta == expected_delta
+        apply_insert_evidence(state, delta)
+        assert state.evidence == naive_evidence_set(relation, space)
+
+    def test_new_masks_are_reported(self, abc_factory):
+        relation = abc_factory(10, 3)
+        space = build_predicate_space(relation)
+        state = build_evidence_state(relation, space)
+        before = set(state.evidence)
+        new_rids = relation.insert(random_rows(random.Random(9), 4))
+        state.indexes.add_rows(new_rids)
+        delta = incremental_evidence_for_insert(relation, state, new_rids)
+        new_masks = apply_insert_evidence(state, delta)
+        assert set(new_masks) == set(state.evidence) - before
+
+    def test_empty_insert(self, abc_factory):
+        relation = abc_factory(8, 4)
+        space = build_predicate_space(relation)
+        state = build_evidence_state(relation, space)
+        delta = incremental_evidence_for_insert(relation, state, [])
+        assert len(delta) == 0
+
+    def test_insert_into_empty_relation(self, abc_factory):
+        relation = abc_factory(3, 5)
+        space = build_predicate_space(relation)
+        empty = relation.project(relation.schema.names)
+        empty.delete(list(empty.rids()))
+        state = build_evidence_state(empty, space)
+        new_rids = empty.insert(random_rows(random.Random(1), 5))
+        state.indexes.add_rows(new_rids)
+        delta = incremental_evidence_for_insert(empty, state, new_rids)
+        apply_insert_evidence(state, delta)
+        assert state.evidence == naive_evidence_set(empty, space)
+
+
+class TestDeleteMaintenance:
+    @pytest.mark.parametrize("strategy", ["recompute", "index"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_delete_matches_naive(self, abc_factory, strategy, seed):
+        relation = abc_factory(20, seed)
+        space = build_predicate_space(relation)
+        state = build_evidence_state(relation, space, maintain_tuple_index=True)
+        rng = random.Random(seed)
+        doomed = rng.sample(list(relation.rids()), 7)
+        expected_delta = naive_incremental_evidence(relation, space, doomed)
+        if strategy == "recompute":
+            delta = delete_evidence_by_recompute(relation, state, doomed)
+        else:
+            delta = delete_evidence_with_index(relation, state, doomed)
+        assert delta == expected_delta
+        apply_delete_evidence(state, delta)
+        relation.delete(doomed)
+        state.indexes.remove_rows(doomed)
+        assert state.evidence == naive_evidence_set(relation, space)
+
+    def test_index_strategy_requires_tuple_index(self, abc_factory):
+        relation = abc_factory(6, 0)
+        space = build_predicate_space(relation)
+        state = build_evidence_state(relation, space)
+        with pytest.raises(RuntimeError, match="tuple evidence index"):
+            delete_evidence_with_index(relation, state, [0])
+
+    def test_delete_all_rows(self, abc_factory):
+        relation = abc_factory(8, 2)
+        space = build_predicate_space(relation)
+        state = build_evidence_state(relation, space, maintain_tuple_index=True)
+        doomed = list(relation.rids())
+        delta = delete_evidence_with_index(relation, state, doomed)
+        apply_delete_evidence(state, delta)
+        relation.delete(doomed)
+        state.indexes.remove_rows(doomed)
+        assert len(state.evidence) == 0
+        assert state.evidence.total_pairs() == 0
+
+    @pytest.mark.parametrize("strategy", ["recompute", "index"])
+    def test_interleaved_rounds(self, abc_factory, strategy):
+        relation = abc_factory(12, 6)
+        space = build_predicate_space(relation)
+        state = build_evidence_state(relation, space, maintain_tuple_index=True)
+        rng = random.Random(42)
+        for _ in range(4):
+            new_rids = relation.insert(random_rows(rng, rng.randint(1, 4)))
+            state.indexes.add_rows(new_rids)
+            apply_insert_evidence(
+                state, incremental_evidence_for_insert(relation, state, new_rids)
+            )
+            alive = list(relation.rids())
+            doomed = rng.sample(alive, rng.randint(1, len(alive) // 3))
+            if strategy == "recompute":
+                delta = delete_evidence_by_recompute(relation, state, doomed)
+            else:
+                delta = delete_evidence_with_index(relation, state, doomed)
+            apply_delete_evidence(state, delta)
+            relation.delete(doomed)
+            state.indexes.remove_rows(doomed)
+            assert state.evidence == naive_evidence_set(relation, space)
+
+    def test_insert_then_delete_roundtrip(self, abc_factory):
+        relation = abc_factory(15, 8)
+        space = build_predicate_space(relation)
+        state = build_evidence_state(relation, space, maintain_tuple_index=True)
+        snapshot = state.evidence.copy()
+        rng = random.Random(3)
+        new_rids = relation.insert(random_rows(rng, 5))
+        state.indexes.add_rows(new_rids)
+        apply_insert_evidence(
+            state, incremental_evidence_for_insert(relation, state, new_rids)
+        )
+        delta = delete_evidence_with_index(relation, state, new_rids)
+        apply_delete_evidence(state, delta)
+        relation.delete(new_rids)
+        state.indexes.remove_rows(new_rids)
+        assert state.evidence == snapshot

@@ -1,0 +1,69 @@
+"""Tests for the evidence multiset."""
+
+import pytest
+
+from repro.evidence import EvidenceSet
+
+
+class TestEvidenceSet:
+    def test_add_and_count(self):
+        evidence = EvidenceSet()
+        evidence.add(0b101, 3)
+        evidence.add(0b101, 2)
+        evidence.add(0b011)
+        assert evidence.count(0b101) == 5
+        assert evidence.count(0b011) == 1
+        assert evidence.count(0b111) == 0
+        assert len(evidence) == 2
+        assert evidence.total_pairs() == 6
+
+    def test_add_nonpositive_rejected(self):
+        evidence = EvidenceSet()
+        with pytest.raises(ValueError):
+            evidence.add(1, 0)
+        with pytest.raises(ValueError):
+            evidence.add(1, -2)
+
+    def test_subtract_partial_and_full(self):
+        evidence = EvidenceSet({0b1: 3})
+        assert evidence.subtract(0b1, 2) is False
+        assert evidence.count(0b1) == 1
+        assert evidence.subtract(0b1, 1) is True
+        assert 0b1 not in evidence
+
+    def test_subtract_missing_raises(self):
+        with pytest.raises(KeyError):
+            EvidenceSet().subtract(0b1)
+
+    def test_subtract_overdraw_raises(self):
+        evidence = EvidenceSet({0b1: 1})
+        with pytest.raises(ValueError, match="cannot subtract"):
+            evidence.subtract(0b1, 5)
+
+    def test_merge_returns_new_masks(self):
+        base = EvidenceSet({0b1: 2})
+        delta = EvidenceSet({0b1: 1, 0b10: 4})
+        new_masks = base.merge(delta)
+        assert new_masks == [0b10]
+        assert base.count(0b1) == 3
+        assert base.count(0b10) == 4
+
+    def test_subtract_all_returns_vanished(self):
+        base = EvidenceSet({0b1: 2, 0b10: 4})
+        removed = base.subtract_all(EvidenceSet({0b1: 2, 0b10: 1}))
+        assert removed == [0b1]
+        assert base.count(0b10) == 3
+
+    def test_copy_and_equality(self):
+        base = EvidenceSet({0b1: 2})
+        clone = base.copy()
+        clone.add(0b10)
+        assert base != clone
+        assert base == EvidenceSet({0b1: 2})
+
+    def test_iteration(self):
+        evidence = EvidenceSet({5: 1, 9: 2})
+        assert sorted(evidence) == [5, 9]
+
+    def test_repr(self):
+        assert "2 distinct" in repr(EvidenceSet({1: 1, 2: 5}))

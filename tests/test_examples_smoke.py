@@ -1,0 +1,73 @@
+"""Smoke tests running every example end-to-end at reduced size.
+
+The examples are part of the public surface; each is imported and run
+with its workload constants shrunk so the whole file stays fast.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart(capsys):
+    module = load_example("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "phi5" in out or "φ" in out or "Static discovery" in out
+    assert "Top-5 DCs" in out
+
+
+def test_data_quality_monitor(capsys):
+    module = load_example("data_quality_monitor")
+    module.INITIAL_ROWS = 60
+    module.BATCHES = 2
+    module.BATCH_SIZE = 8
+    module.TRUSTED_TOP_K = 4
+    module.main()
+    out = capsys.readouterr().out
+    assert "FLAGGED" in out
+    assert "retention delete" in out
+
+
+def test_dc_ranking_explorer(capsys):
+    module = load_example("dc_ranking_explorer")
+    module.main()
+    out = capsys.readouterr().out
+    assert "top-10 DCs" in out
+    assert "approximate DCs" in out
+
+
+def test_session_persistence(capsys):
+    module = load_example("session_persistence")
+    module.INITIAL_ROWS = 60
+    module.SESSIONS = 2
+    module.DAILY_INSERTS = 8
+    module.main()
+    out = capsys.readouterr().out
+    assert "static bootstrap" in out
+    assert "session 2" in out
+
+
+def test_approximate_dc_monitoring(capsys):
+    module = load_example("approximate_dc_monitoring")
+    module.INITIAL_ROWS = 60
+    module.BATCHES = 2
+    module.BATCH_SIZE = 8
+    module.main()
+    out = capsys.readouterr().out
+    assert "monitoring" in out
+    assert "refresh:" in out

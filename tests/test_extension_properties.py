@@ -1,0 +1,119 @@
+"""Property tests for the extension layers (watcher, monitor, SQL).
+
+The core engine has deep hypothesis coverage in test_properties.py; this
+file gives the extensions the same treatment: random relations and random
+update sequences, checked against first-principles oracles.
+"""
+
+import sqlite3
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DCDiscoverer, relation_from_rows
+from repro.dcs import DenialConstraint, find_violations
+from repro.dcs.approximate import violation_count
+from repro.dcs.implication import dc_implies, semantic_minimize
+from repro.dcs.sql import create_table_statement, insert_rows, violations_query
+from repro.predicates import build_predicate_space
+
+row_strategy = st.tuples(
+    st.integers(0, 3), st.sampled_from("ab"), st.integers(0, 2)
+)
+rows_strategy = st.lists(row_strategy, min_size=3, max_size=12)
+HEADER = ["A", "B", "C"]
+
+
+def random_dc_masks(space, seed, count=5):
+    import random
+
+    rng = random.Random(seed)
+    masks = []
+    for _ in range(count):
+        mask = 0
+        for _ in range(rng.randint(1, 2)):
+            mask |= 1 << rng.randrange(space.n_bits)
+        if space.satisfiable(mask):
+            masks.append(mask)
+    return masks
+
+
+@given(rows=rows_strategy, batch=st.lists(row_strategy, min_size=1, max_size=4),
+       seed=st.integers(0, 100))
+@settings(max_examples=20, deadline=None)
+def test_watcher_matches_violation_oracle(rows, batch, seed):
+    relation = relation_from_rows(HEADER, rows)
+    discoverer = DCDiscoverer(relation)
+    discoverer.fit()
+    space = discoverer.space
+    dcs = [DenialConstraint(m, space) for m in random_dc_masks(space, seed)]
+    if not dcs:
+        return
+    watcher = discoverer.attach_violation_watcher(dcs)
+    discoverer.insert(batch)
+    alive = list(discoverer.relation.rids())
+    discoverer.delete(alive[: min(2, len(alive) - 1)])
+    for dc in dcs:
+        assert watcher.violations(dc) == set(
+            find_violations(dc, discoverer.relation)
+        )
+
+
+@given(rows=rows_strategy, batch=st.lists(row_strategy, min_size=1, max_size=4),
+       epsilon=st.sampled_from([0.0, 0.05, 0.2]))
+@settings(max_examples=15, deadline=None)
+def test_monitor_counters_exact_and_tracked_dcs_within_budget(rows, batch, epsilon):
+    relation = relation_from_rows(HEADER, rows)
+    discoverer = DCDiscoverer(relation)
+    discoverer.fit()
+    monitor = discoverer.attach_approximate_monitor(epsilon)
+    discoverer.insert(batch)
+    alive = list(discoverer.relation.rids())
+    discoverer.delete(alive[: min(2, len(alive) - 1)])
+    budget = monitor.budget
+    for mask in monitor.dc_masks[:25]:
+        exact = violation_count(discoverer.evidence_set, mask)
+        assert monitor.violations(mask) == exact
+        assert exact <= budget  # soundness of the tracked set
+
+
+@given(rows=rows_strategy, seed=st.integers(0, 100))
+@settings(max_examples=15, deadline=None)
+def test_sql_violations_match_oracle(rows, seed):
+    relation = relation_from_rows(HEADER, rows)
+    space = build_predicate_space(relation)
+    connection = sqlite3.connect(":memory:")
+    connection.execute(create_table_statement(relation, "t"))
+    insert_rows(connection, relation, "t")
+    for mask in random_dc_masks(space, seed, count=4):
+        dc = DenialConstraint(mask, space)
+        via_sql = sorted(
+            tuple(row)
+            for row in connection.execute(violations_query(dc, "t")).fetchall()
+        )
+        assert via_sql == sorted(find_violations(dc, relation))
+
+
+@given(rows=rows_strategy)
+@settings(max_examples=15, deadline=None)
+def test_semantic_minimize_preserves_constraint_semantics(rows):
+    """Every dropped DC must be implied by some kept DC, and kept DCs must
+    be pairwise non-equivalent."""
+    from repro.enumeration import invert_evidence
+    from repro.evidence import naive_evidence_set
+
+    relation = relation_from_rows(HEADER, rows)
+    space = build_predicate_space(relation)
+    masks = [
+        m
+        for m in invert_evidence(space, list(naive_evidence_set(relation, space)))
+        if m
+    ][:60]
+    kept = semantic_minimize(space, masks)
+    kept_set = set(kept)
+    for mask in masks:
+        if mask not in kept_set:
+            assert any(dc_implies(space, keeper, mask) for keeper in kept)
+    for i, a in enumerate(kept):
+        for b in kept[i + 1 :]:
+            assert not (dc_implies(space, a, b) and dc_implies(space, b, a))

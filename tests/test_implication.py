@@ -1,0 +1,160 @@
+"""Tests for semantic DC implication and minimization.
+
+The oracle: for small predicate spaces, implication between predicate
+sets is checked by enumerating per-group valuations (the satisfiable
+patterns are exactly the possible per-group outcomes).
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.dcs.implication import (
+    dc_implies,
+    group_closure,
+    predicates_closure,
+    satisfaction_implies,
+    semantic_minimize,
+)
+from repro.enumeration import invert_evidence
+from repro.evidence import naive_evidence_set
+from repro.predicates import Operator, build_predicate_space, parse_dc
+from repro.workloads import staff_relation
+
+
+@pytest.fixture(scope="module")
+def space():
+    return build_predicate_space(staff_relation())
+
+
+def brute_satisfaction_implies(space, mask_p, mask_q):
+    """Enumerate all per-group outcome combinations that satisfy P and
+    check they satisfy Q."""
+    group_choices = []
+    for group in space.groups:
+        bits_p = mask_p & group.mask
+        options = [
+            pattern for pattern in group.patterns if bits_p & ~pattern == 0
+        ]
+        if bits_p and not options:
+            return True  # P unsatisfiable: implies anything
+        group_choices.append(options or list(group.patterns))
+    relevant = [
+        (group, options)
+        for group, options in zip(space.groups, group_choices)
+        if (mask_p | mask_q) & group.mask
+    ]
+    for combo in itertools.product(*(options for _, options in relevant)):
+        outcome = 0
+        for bits in combo:
+            outcome |= bits
+        if mask_p & ~outcome == 0 and mask_q & ~outcome != 0:
+            return False
+    return True
+
+
+class TestGroupClosure:
+    def test_eq_closes_to_eq_le_ge(self, space):
+        group = next(
+            g for g in space.groups
+            if g.is_single_column and g.numeric and g.predicates[0].lhs == "Level"
+        )
+        eq = 1 << group.bit_of_op[Operator.EQ]
+        closure = group_closure(group, eq)
+        for op in (Operator.EQ, Operator.LE, Operator.GE):
+            assert closure & (1 << group.bit_of_op[op])
+        assert not closure & (1 << group.bit_of_op[Operator.NE])
+
+    def test_le_ge_closes_like_eq(self, space):
+        group = next(
+            g for g in space.groups
+            if g.is_single_column and g.numeric and g.predicates[0].lhs == "Level"
+        )
+        le_ge = (1 << group.bit_of_op[Operator.LE]) | (
+            1 << group.bit_of_op[Operator.GE]
+        )
+        eq = 1 << group.bit_of_op[Operator.EQ]
+        assert group_closure(group, le_ge) == group_closure(group, eq)
+
+    def test_unsatisfiable_closes_to_group(self, space):
+        group = next(g for g in space.groups if g.numeric)
+        eq_ne = (1 << group.bit_of_op[Operator.EQ]) | (
+            1 << group.bit_of_op[Operator.NE]
+        )
+        assert group_closure(group, eq_ne) == group.mask
+
+
+class TestImplication:
+    def test_known_equivalence(self, space):
+        eq = parse_dc("!(t.Level = t'.Level)", space)
+        le_ge = parse_dc("!(t.Level <= t'.Level & t.Level >= t'.Level)", space)
+        assert dc_implies(space, eq, le_ge)
+        assert dc_implies(space, le_ge, eq)
+
+    def test_strict_implication(self, space):
+        lt = parse_dc("!(t.Hired < t'.Hired)", space)
+        le = parse_dc("!(t.Hired <= t'.Hired)", space)
+        # ¬(≤) forbids more pairs, hence implies ¬(<).
+        assert dc_implies(space, le, lt)
+        assert not dc_implies(space, lt, le)
+
+    def test_subset_implication(self, space):
+        small = parse_dc("!(t.Id = t'.Id)", space)
+        big = parse_dc("!(t.Id = t'.Id & t.Level = t'.Level)", space)
+        assert dc_implies(space, small, big)
+        assert not dc_implies(space, big, small)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_bruteforce(self, space, seed):
+        rng = random.Random(seed)
+        for _ in range(30):
+            mask_p = 0
+            mask_q = 0
+            for _ in range(rng.randint(1, 3)):
+                mask_p |= 1 << rng.randrange(space.n_bits)
+            for _ in range(rng.randint(1, 3)):
+                mask_q |= 1 << rng.randrange(space.n_bits)
+            assert satisfaction_implies(space, mask_p, mask_q) == (
+                brute_satisfaction_implies(space, mask_p, mask_q)
+            ), (bin(mask_p), bin(mask_q))
+
+    def test_closure_is_monotone_and_idempotent(self, space):
+        rng = random.Random(1)
+        for _ in range(30):
+            mask = 0
+            for _ in range(rng.randint(1, 4)):
+                mask |= 1 << rng.randrange(space.n_bits)
+            closure = predicates_closure(space, mask)
+            assert mask & ~closure == 0
+            assert predicates_closure(space, closure) == closure
+
+
+class TestSemanticMinimize:
+    def test_removes_equivalent_spelling(self, space):
+        eq = parse_dc("!(t.Level = t'.Level)", space)
+        le_ge = parse_dc("!(t.Level <= t'.Level & t.Level >= t'.Level)", space)
+        kept = semantic_minimize(space, [eq, le_ge])
+        assert kept == [eq]
+
+    def test_on_real_discovery_output(self):
+        relation = staff_relation()
+        space = build_predicate_space(relation)
+        evidence = list(naive_evidence_set(relation, space))
+        masks = [m for m in invert_evidence(space, evidence) if m]
+        minimized = semantic_minimize(space, masks)
+        assert 0 < len(minimized) < len(masks)
+        # No kept DC may imply another kept DC (antichain semantically).
+        for a in minimized[:40]:
+            for b in minimized[:40]:
+                if a != b:
+                    assert not dc_implies(space, a, b) or not dc_implies(
+                        space, b, a
+                    )
+
+    def test_deterministic(self, space):
+        eq = parse_dc("!(t.Level = t'.Level)", space)
+        le_ge = parse_dc("!(t.Level <= t'.Level & t.Level >= t'.Level)", space)
+        assert semantic_minimize(space, [le_ge, eq]) == semantic_minimize(
+            space, [eq, le_ge]
+        )

@@ -1,0 +1,137 @@
+"""Tests for equality and range column indexes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evidence.indexes import ColumnIndexes, EqualityIndex, RangeIndex
+from repro.relational import relation_from_rows
+
+
+class TestEqualityIndex:
+    def test_add_probe_remove(self):
+        index = EqualityIndex()
+        index.add(0, "x")
+        index.add(3, "x")
+        index.add(1, "y")
+        assert index.probe("x") == 0b1001
+        assert index.probe("y") == 0b0010
+        assert index.probe("zz") == 0
+        index.remove(0, "x")
+        assert index.probe("x") == 0b1000
+        index.remove(3, "x")
+        assert index.probe("x") == 0
+        assert len(index) == 1
+
+
+class TestRangeIndex:
+    def _reference(self, values_by_rid, probe):
+        eq = 0
+        gt = 0
+        for rid, value in values_by_rid.items():
+            if value == probe:
+                eq |= 1 << rid
+            elif value > probe:
+                gt |= 1 << rid
+        return eq, gt
+
+    def test_eq_gt_basic(self):
+        index = RangeIndex(step=2)
+        values = {0: 5, 1: 3, 2: 8, 3: 3, 4: 10}
+        for rid, value in values.items():
+            index.add(rid, value)
+        for probe in [2, 3, 5, 8, 9, 10, 11]:
+            assert index.eq_gt(probe) == self._reference(values, probe), probe
+
+    def test_mutation_rebuilds_checkpoints(self):
+        index = RangeIndex(step=3)
+        values = {}
+        rng = random.Random(0)
+        for rid in range(40):
+            value = rng.randint(0, 15)
+            index.add(rid, value)
+            values[rid] = value
+        for rid in list(values)[:10]:
+            index.remove(rid, values.pop(rid))
+        for rid in range(40, 50):
+            value = rng.randint(0, 15)
+            index.add(rid, value)
+            values[rid] = value
+        for probe in range(-1, 17):
+            assert index.eq_gt(probe) == self._reference(values, probe), probe
+
+    def test_empty_index(self):
+        index = RangeIndex()
+        assert index.eq_gt(5) == (0, 0)
+        assert len(index) == 0
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            RangeIndex(step=0)
+
+    @given(
+        values=st.lists(st.integers(-20, 20), min_size=1, max_size=60),
+        probes=st.lists(st.integers(-25, 25), min_size=1, max_size=10),
+        step=st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference_model(self, values, probes, step):
+        index = RangeIndex(step=step)
+        values_by_rid = dict(enumerate(values))
+        for rid, value in values_by_rid.items():
+            index.add(rid, value)
+        for probe in probes:
+            assert index.eq_gt(probe) == self._reference(values_by_rid, probe)
+
+
+class TestColumnIndexes:
+    def _relation(self):
+        return relation_from_rows(
+            ["N", "S"], [(5, "a"), (3, "b"), (5, "a"), (7, "c")]
+        )
+
+    def test_build_and_probe(self):
+        relation = self._relation()
+        indexes = ColumnIndexes(relation)
+        assert indexes.indexed_bits == 0b1111
+        group = _single_group(relation, "N")
+        assert indexes.probe_group(group, 5) == (0b0101, 0b1000)
+        sgroup = _single_group(relation, "S")
+        assert indexes.probe_group(sgroup, "a") == (0b0101, 0)
+
+    def test_add_remove_rows(self):
+        relation = self._relation()
+        indexes = ColumnIndexes(relation)
+        new_rids = relation.insert([(4, "b")])
+        indexes.add_rows(new_rids)
+        group = _single_group(relation, "N")
+        assert indexes.probe_group(group, 3) == (0b00010, 0b11101)
+        indexes.remove_rows([0])
+        eq_bits, gt_bits = indexes.probe_group(group, 3)
+        assert eq_bits == 0b00010
+        assert gt_bits == 0b11100
+
+    def test_double_add_raises(self):
+        relation = self._relation()
+        indexes = ColumnIndexes(relation)
+        with pytest.raises(ValueError):
+            indexes.add_rows([0])
+
+    def test_remove_unindexed_raises(self):
+        relation = self._relation()
+        indexes = ColumnIndexes(relation)
+        with pytest.raises(ValueError):
+            indexes.remove_rows([99])
+
+
+def _single_group(relation, name):
+    from repro.predicates import build_predicate_space
+
+    space = build_predicate_space(relation)
+    return next(
+        g
+        for g in space.groups
+        if g.is_single_column and g.predicates[0].lhs == name
+    )

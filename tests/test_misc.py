@@ -1,0 +1,57 @@
+"""Small units: bit utilities, backends registry, result formatting."""
+
+import pytest
+
+from repro.bitmaps.bitutils import bits_from, iter_bits, popcount
+from repro.core.backends import DynEIBackend, DynHSBackend, make_backend
+from repro.core.results import DiscoveryResult, UpdateResult
+from repro.predicates import build_predicate_space
+from repro.workloads import staff_relation
+
+
+class TestBitUtils:
+    def test_iter_bits(self):
+        assert list(iter_bits(0)) == []
+        assert list(iter_bits(0b101001)) == [0, 3, 5]
+
+    def test_bits_from_roundtrip(self):
+        positions = [0, 7, 63, 130]
+        assert list(iter_bits(bits_from(positions))) == positions
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+
+class TestBackendRegistry:
+    def test_make_backend(self):
+        space = build_predicate_space(staff_relation())
+        assert isinstance(make_backend("dynei", space), DynEIBackend)
+        assert isinstance(make_backend("dynhs", space), DynHSBackend)
+        with pytest.raises(KeyError, match="available"):
+            make_backend("nope", space)
+
+    def test_dynhs_backend_cannot_restore_masks(self):
+        space = build_predicate_space(staff_relation())
+        backend = make_backend("dynhs", space)
+        with pytest.raises(NotImplementedError):
+            backend.set_masks([1, 2])
+
+
+class TestResultFormatting:
+    def test_discovery_result_str(self):
+        result = DiscoveryResult(
+            n_rows=10, n_predicates=20, n_evidence=30, n_dcs=40,
+            timings={"evidence": 0.5},
+        )
+        text = str(result)
+        assert "rows=10" in text and "evidence=30" in text
+
+    def test_update_result_str(self):
+        result = UpdateResult(
+            kind="insert", delta_size=3, n_rows=13, n_evidence=50,
+            n_evidence_changed=5, n_dcs=7, n_new_dcs=2, n_removed_dcs=1,
+            timings={"evidence": 0.1, "enumeration": 0.2},
+        )
+        text = str(result)
+        assert "insert" in text and "+2/-1" in text and "+5 changed" in text

@@ -1,0 +1,179 @@
+"""Executable specification of the paper's worked examples.
+
+Covers Table I (the staff relation under updates), Figure 1 (the sample
+predicate space), Section V's evidence-context walkthrough for tuple t5
+(Figure 3), the evidence-inference example (e₁ ↔ e₂), and the DynEI trace
+of Figure 4.
+"""
+
+import pytest
+
+from repro import DCDiscoverer
+from repro.evidence import ColumnIndexes, build_contexts
+from repro.predicates import Operator, build_predicate_space, parse_dc, parse_predicate
+from repro.workloads import staff_relation
+
+T5 = (5, "Ema", 2002, 3, 1)
+
+
+@pytest.fixture
+def staff():
+    return staff_relation()
+
+
+@pytest.fixture
+def space(staff):
+    return build_predicate_space(staff)
+
+
+class TestFigure1PredicateSpace:
+    """The sample predicate space for staff."""
+
+    def test_single_column_predicates_present(self, space):
+        # p1..p18 of Figure 1: single-column predicates.
+        for text in [
+            "t.Id = t'.Id", "t.Id != t'.Id",
+            "t.Name = t'.Name", "t.Name != t'.Name",
+            "t.Hired < t'.Hired", "t.Hired >= t'.Hired",
+            "t.Level <= t'.Level", "t.Level > t'.Level",
+            "t.Mgr = t'.Mgr", "t.Mgr != t'.Mgr",
+        ]:
+            parse_predicate(text, space)  # raises if absent
+
+    def test_cross_column_mgr_id_present(self, space):
+        # p19/p20 of Figure 1: Mgr and Id share all their values.
+        parse_predicate("t.Mgr = t'.Id", space)
+        parse_predicate("t.Mgr != t'.Id", space)
+
+    def test_no_string_order_predicates(self, space):
+        with pytest.raises(ValueError):
+            parse_predicate("t.Name < t'.Name", space)
+
+    def test_predicate_groups_partition_by_column_pair(self, space):
+        # Figure 1's G1..G6 generalize to one group per ordered column pair.
+        seen = set()
+        for group in space.groups:
+            pair = (group.lhs_position, group.rhs_position)
+            assert pair not in seen
+            seen.add(pair)
+
+
+class TestSelectivityPrinciple:
+    """Section V-A: counts of pairs satisfying = vs ≠ predicates."""
+
+    def test_equality_vs_inequality_selectivity(self, staff, space):
+        # All 12 ordered pairs satisfy t.Id != t'.Id, none satisfy =.
+        eq_bit = space.bit("Id", Operator.EQ, "Id")
+        ne_bit = space.bit("Id", Operator.NE, "Id")
+        rows = list(staff.rows())
+        eq_pairs = ne_pairs = 0
+        for i, row_t in enumerate(rows):
+            for j, row_u in enumerate(rows):
+                if i == j:
+                    continue
+                evidence = space.evidence_of_pair(row_t, row_u)
+                eq_pairs += (evidence >> eq_bit) & 1
+                ne_pairs += (evidence >> ne_bit) & 1
+        assert eq_pairs == 0
+        assert ne_pairs == 12
+
+
+class TestFigure3EvidenceContexts:
+    """Incremental evidence contexts for the insert of t5, on the paper's
+    predicate-space subset {p1..p16} (columns Id, Name, Hired, Level,
+    single-column predicates only)."""
+
+    @pytest.fixture
+    def subspace(self, staff):
+        return build_predicate_space(
+            staff,
+            column_names=["Id", "Name", "Hired", "Level"],
+            allow_cross_columns=False,
+        )
+
+    def test_t5_context_classes(self, staff, subspace):
+        rids = staff.insert([T5])
+        indexes = ColumnIndexes(staff)
+        partner_bits = staff.alive_bits & ~(1 << rids[0])
+        contexts = build_contexts(subspace, staff, rids[0], partner_bits, indexes)
+        # Figure 3 ends with three contexts: ec1 covering {t3}, ec2 fixing
+        # the Hired equality with {t4}, ec3 fixing the Level order with
+        # {t1, t2}.
+        partner_sets = sorted(bits for bits in contexts.values())
+        assert partner_sets == sorted([0b1000, 0b0100, 0b0011])
+
+    def test_t4_context_has_hired_equality(self, staff, subspace):
+        rids = staff.insert([T5])
+        indexes = ColumnIndexes(staff)
+        partner_bits = staff.alive_bits & ~(1 << rids[0])
+        contexts = build_contexts(subspace, staff, rids[0], partner_bits, indexes)
+        t4_evidence = next(e for e, bits in contexts.items() if bits == 0b1000)
+        hired_eq = subspace.bit("Hired", Operator.EQ, "Hired")
+        assert (t4_evidence >> hired_eq) & 1
+
+    def test_t1_t2_context_has_level_order(self, staff, subspace):
+        rids = staff.insert([T5])
+        indexes = ColumnIndexes(staff)
+        partner_bits = staff.alive_bits & ~(1 << rids[0])
+        contexts = build_contexts(subspace, staff, rids[0], partner_bits, indexes)
+        ec3 = next(e for e, bits in contexts.items() if bits == 0b0011)
+        # t1, t2 have higher Levels than t5: t.Level < t'.Level holds.
+        assert (ec3 >> subspace.bit("Level", Operator.LT, "Level")) & 1
+
+
+class TestEvidenceInferenceExample:
+    """Section V-B3: inferring e₂ = e(t3, t5) from e₁ = e(t5, t3)."""
+
+    def test_swapped_evidence_inferred(self, staff, space):
+        staff.insert([T5])
+        rows = {rid: staff.row(rid) for rid in staff.rids()}
+        e1 = space.evidence_of_pair(rows[4], rows[2])  # (t5, t3)
+        e2 = space.evidence_of_pair(rows[2], rows[4])  # (t3, t5)
+        assert space.symmetrize(e1) == e2
+        # Spot-check the paper's predicates: e1 has Hired >/≥, e2 has </≤.
+        assert (e1 >> space.bit("Hired", Operator.GT, "Hired")) & 1
+        assert (e2 >> space.bit("Hired", Operator.LT, "Hired")) & 1
+
+
+class TestTableINarrative:
+    """The full Table I update sequence (also in test_discoverer, kept
+    here as the single-page executable version of the paper's Section I)."""
+
+    def test_full_story(self, staff):
+        discoverer = DCDiscoverer(staff)
+        discoverer.fit()
+        space = discoverer.space
+        phi = {
+            1: parse_dc("!(t.Id = t'.Id)", space),
+            2: parse_dc("!(t.Level = t'.Level & t.Mgr != t'.Mgr)", space),
+            3: parse_dc("!(t.Hired < t'.Hired & t.Level < t'.Level)", space),
+            4: parse_dc("!(t.Mgr = t'.Id & t.Level > t'.Level)", space),
+            5: parse_dc(
+                "!(t.Mgr = t'.Mgr & t.Hired < t'.Hired & t.Level < t'.Level)",
+                space,
+            ),
+            6: parse_dc("!(t.Level = t'.Level)", space),
+        }
+        masks = set(discoverer.dc_masks)
+
+        def holds(mask):
+            return any(dc & mask == dc for dc in masks)
+
+        # Initial state: φ1-φ4 hold; φ5 holds but is NOT minimal (φ3 ⊂ φ5);
+        # φ6 does not hold (t3 and t4 share Level 2 with equal Mgr... it is
+        # violated by (t3, t4)).
+        assert all(holds(phi[k]) for k in (1, 2, 3, 4))
+        assert phi[5] not in masks and holds(phi[5])
+        assert not holds(phi[6])
+
+        # Insert t5: φ3 violated by (t3, t5); φ5 becomes minimal.
+        discoverer.insert([T5])
+        masks = set(discoverer.dc_masks)
+        assert phi[3] not in masks
+        assert phi[5] in masks
+
+        # Delete t4: φ2 becomes non-minimal; φ6 emerges.
+        discoverer.delete([3])
+        masks = set(discoverer.dc_masks)
+        assert phi[6] in masks
+        assert phi[2] not in masks  # subsumed by the minimal φ6

@@ -1,0 +1,206 @@
+"""Tests for operators, predicates, predicate spaces, and the parser."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predicates import (
+    CATEGORICAL_OPERATORS,
+    NUMERIC_OPERATORS,
+    Operator,
+    build_predicate_space,
+    format_dc,
+    parse_dc,
+    parse_predicate,
+)
+from repro.predicates.space import build_space_from_pairs
+from repro.relational import relation_from_rows
+from repro.workloads import staff_relation
+
+
+class TestOperator:
+    def test_eval_all(self):
+        assert Operator.EQ.eval(1, 1) and not Operator.EQ.eval(1, 2)
+        assert Operator.NE.eval(1, 2) and not Operator.NE.eval(1, 1)
+        assert Operator.LT.eval(1, 2) and not Operator.LT.eval(2, 2)
+        assert Operator.LE.eval(2, 2) and not Operator.LE.eval(3, 2)
+        assert Operator.GT.eval(3, 2) and not Operator.GT.eval(2, 2)
+        assert Operator.GE.eval(2, 2) and not Operator.GE.eval(1, 2)
+
+    @pytest.mark.parametrize("op", list(Operator))
+    def test_negation_is_complement(self, op):
+        for a, b in itertools.product(range(3), range(3)):
+            assert op.eval(a, b) != op.negation.eval(a, b)
+
+    @pytest.mark.parametrize("op", list(Operator))
+    def test_converse_swaps_operands(self, op):
+        for a, b in itertools.product(range(3), range(3)):
+            assert op.eval(a, b) == op.converse.eval(b, a)
+
+    @pytest.mark.parametrize("op", list(Operator))
+    def test_implication_table(self, op):
+        for implied in op.implied:
+            for a, b in itertools.product(range(3), range(3)):
+                if op.eval(a, b):
+                    assert implied.eval(a, b)
+
+    def test_is_order(self):
+        assert Operator.LT.is_order and Operator.GE.is_order
+        assert not Operator.EQ.is_order and not Operator.NE.is_order
+
+
+@pytest.fixture
+def staff_space():
+    return build_predicate_space(staff_relation())
+
+
+class TestPredicateSpace:
+    def test_group_structure(self, staff_space):
+        # 5 single-column groups plus symmetric cross-column pairs.
+        singles = [g for g in staff_space.groups if g.is_single_column]
+        crosses = [g for g in staff_space.groups if not g.is_single_column]
+        assert len(singles) == 5
+        assert len(crosses) % 2 == 0  # closed under direction swap
+
+    def test_categorical_group_has_two_predicates(self, staff_space):
+        name_group = next(
+            g for g in staff_space.groups
+            if g.is_single_column and g.predicates[0].lhs == "Name"
+        )
+        assert [p.op for p in name_group.predicates] == list(CATEGORICAL_OPERATORS)
+
+    def test_numeric_group_has_six_predicates(self, staff_space):
+        level_group = next(
+            g for g in staff_space.groups
+            if g.is_single_column and g.predicates[0].lhs == "Level"
+        )
+        assert [p.op for p in level_group.predicates] == list(NUMERIC_OPERATORS)
+
+    def test_bits_are_dense_and_unique(self, staff_space):
+        bits = [staff_space.bit_of_predicate(p) for p in staff_space.predicates]
+        assert bits == list(range(staff_space.n_bits))
+
+    def test_mask_roundtrip(self, staff_space):
+        predicates = staff_space.predicates[2:6]
+        mask = staff_space.mask_of(predicates)
+        assert staff_space.predicates_of(mask) == list(predicates)
+
+    def test_symmetry_is_involution(self, staff_space):
+        for bit in range(staff_space.n_bits):
+            assert staff_space.sym[staff_space.sym[bit]] == bit
+
+    def test_symmetrize_matches_pair_swap(self, staff_space):
+        relation = staff_relation()
+        rows = list(relation.rows())
+        for row_t, row_u in itertools.permutations(rows, 2):
+            forward = staff_space.evidence_of_pair(row_t, row_u)
+            backward = staff_space.evidence_of_pair(row_u, row_t)
+            assert staff_space.symmetrize(forward) == backward
+
+    def test_evidence_is_always_satisfiable(self, staff_space):
+        relation = staff_relation()
+        rows = list(relation.rows())
+        for row_t, row_u in itertools.permutations(rows, 2):
+            assert staff_space.satisfiable(
+                staff_space.evidence_of_pair(row_t, row_u)
+            )
+
+    def test_unsatisfiable_combinations(self, staff_space):
+        eq_bit = staff_space.bit("Level", Operator.EQ, "Level")
+        ne_bit = staff_space.bit("Level", Operator.NE, "Level")
+        lt_bit = staff_space.bit("Level", Operator.LT, "Level")
+        assert not staff_space.satisfiable((1 << eq_bit) | (1 << ne_bit))
+        assert not staff_space.satisfiable((1 << eq_bit) | (1 << lt_bit))
+        assert staff_space.satisfiable((1 << ne_bit) | (1 << lt_bit))
+        assert staff_space.satisfiable_with(1 << ne_bit, lt_bit)
+        assert not staff_space.satisfiable_with(1 << eq_bit, ne_bit)
+
+    def test_cross_column_ratio_gate(self):
+        # B shares no values with A; C shares all of them.
+        relation = relation_from_rows(
+            ["A", "B", "C"],
+            [(1, 100, 1), (2, 200, 2), (3, 300, 3)],
+        )
+        space = build_predicate_space(relation)
+        pairs = {
+            (g.predicates[0].lhs, g.predicates[0].rhs)
+            for g in space.groups
+            if not g.is_single_column
+        }
+        assert ("A", "C") in pairs and ("C", "A") in pairs
+        assert ("A", "B") not in pairs
+
+    def test_allow_cross_columns_false(self):
+        relation = relation_from_rows(["A", "C"], [(1, 1), (2, 2)])
+        space = build_predicate_space(relation, allow_cross_columns=False)
+        assert all(g.is_single_column for g in space.groups)
+
+    def test_column_subset(self):
+        space = build_predicate_space(
+            staff_relation(), column_names=["Id", "Level"]
+        )
+        lhs_names = {p.lhs for p in space.predicates}
+        assert lhs_names <= {"Id", "Level"}
+
+    def test_build_space_from_pairs_reproduces(self, staff_space):
+        pairs = [
+            (g.predicates[0].lhs, g.predicates[0].rhs) for g in staff_space.groups
+        ]
+        rebuilt = build_space_from_pairs(staff_space.schema, pairs)
+        assert rebuilt.n_bits == staff_space.n_bits
+        assert [str(p) for p in rebuilt.predicates] == [
+            str(p) for p in staff_space.predicates
+        ]
+
+
+@given(
+    values=st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=2, max_size=12
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_evidence_of_pair_matches_predicate_eval(values):
+    relation = relation_from_rows(["X", "Y"], values)
+    space = build_predicate_space(relation)
+    rows = list(relation.rows())
+    row_t, row_u = rows[0], rows[1]
+    mask = space.evidence_of_pair(row_t, row_u)
+    for bit, predicate in enumerate(space.predicates):
+        assert bool((mask >> bit) & 1) == predicate.eval(row_t, row_u)
+
+
+class TestParser:
+    def test_parse_predicate_ascii_and_unicode(self, staff_space):
+        for text in ["t.Level <= t'.Level", "t.Level ≤ t'.Level"]:
+            predicate = parse_predicate(text, staff_space)
+            assert predicate.op is Operator.LE
+            assert predicate.lhs == predicate.rhs == "Level"
+
+    def test_parse_predicate_cross_column(self, staff_space):
+        predicate = parse_predicate("t.Mgr = t'.Id", staff_space)
+        assert (predicate.lhs, predicate.rhs) == ("Mgr", "Id")
+
+    def test_parse_predicate_errors(self, staff_space):
+        with pytest.raises(ValueError, match="cannot parse"):
+            parse_predicate("Level = Level", staff_space)
+        with pytest.raises(ValueError, match="not in the predicate space"):
+            parse_predicate("t.Name < t'.Name", staff_space)
+
+    def test_parse_format_roundtrip(self, staff_space):
+        text = "¬(t.Hired < t'.Hired ∧ t.Level < t'.Level)"
+        mask = parse_dc(text, staff_space)
+        assert format_dc(mask, staff_space) == text
+        ascii_text = format_dc(mask, staff_space, ascii_only=True)
+        assert parse_dc(ascii_text, staff_space) == mask
+
+    def test_parse_dc_variants(self, staff_space):
+        expected = parse_dc("!(t.Id = t'.Id)", staff_space)
+        assert parse_dc("¬(t.Id = t'.Id)", staff_space) == expected
+        assert parse_dc("not (t.Id = t'.Id)", staff_space) == expected
+        assert parse_dc("t.Id = t'.Id", staff_space) == expected
+
+    def test_parse_dc_empty_rejected(self, staff_space):
+        with pytest.raises(ValueError):
+            parse_dc("¬()", staff_space)

@@ -1,0 +1,97 @@
+"""Tests for relation profiling / evidence-entropy estimation."""
+
+
+
+import pytest
+
+from repro.evidence import build_evidence_state
+from repro.predicates import build_predicate_space
+from repro.relational import relation_from_rows
+from repro.relational.profiling import profile_relation
+from repro.workloads import generate_dataset
+
+
+class TestColumnStatistics:
+    def test_key_column(self):
+        relation = relation_from_rows(["K"], [(i,) for i in range(10)])
+        profile = profile_relation(relation)
+        column = profile.columns[0]
+        assert column.n_distinct == 10
+        assert column.p_equal == 0.0
+        assert column.is_key_like
+        assert column.top_frequency == pytest.approx(0.1)
+
+    def test_constant_column(self):
+        relation = relation_from_rows(["C"], [("x",)] * 8)
+        profile = profile_relation(relation)
+        column = profile.columns[0]
+        assert column.n_distinct == 1
+        assert column.p_equal == pytest.approx(1.0)
+        assert column.entropy_bits == pytest.approx(0.0)
+
+    def test_balanced_binary_is_near_max_entropy(self):
+        relation = relation_from_rows(["B"], [("a",), ("b",)] * 10)
+        profile = profile_relation(relation)
+        # p_eq = 180/380 over distinct pairs; entropy just below 1 bit.
+        assert profile.columns[0].entropy_bits == pytest.approx(1.0, abs=0.01)
+
+
+class TestGroupOutcomes:
+    def test_numeric_outcome_probabilities_sum_to_one(self):
+        relation = relation_from_rows(["N"], [(1,), (2,), (2,), (5,)])
+        profile = profile_relation(relation)
+        group = profile.groups[0]
+        assert group.p_equal + group.p_greater + group.p_smaller == pytest.approx(1.0)
+        # 12 distinct ordered pairs: only the two (2, 2) swaps are equal.
+        assert group.p_equal == pytest.approx(2 / 12)
+        assert group.p_greater == pytest.approx(group.p_smaller)
+
+    def test_cross_group_admitted_by_overlap(self):
+        relation = relation_from_rows(
+            ["A", "B", "C"],
+            [(1, 1, 100), (2, 2, 200), (3, 3, 300)],
+        )
+        profile = profile_relation(relation)
+        pairs = {(g.lhs, g.rhs) for g in profile.groups}
+        assert ("A", "B") in pairs
+        assert ("A", "C") not in pairs and ("B", "C") not in pairs
+
+    def test_cross_group_asymmetric_outcomes(self):
+        # B is always greater than A.
+        relation = relation_from_rows(
+            ["A", "B"], [(1, 3), (2, 3), (3, 4), (1, 2)]
+        )
+        profile = profile_relation(relation, cross_column_ratio=0.1)
+        cross = next(g for g in profile.groups if g.lhs == "A" and g.rhs == "B")
+        assert cross.p_smaller > cross.p_greater
+
+
+class TestEvidenceEstimate:
+    @pytest.mark.parametrize("name", ["Dit", "Hospital", "Airport", "Tax"])
+    def test_estimate_upper_bounds_reality_within_reason(self, name):
+        relation = generate_dataset(name, 150)
+        profile = profile_relation(relation)
+        space = build_predicate_space(relation)
+        state = build_evidence_state(relation, space)
+        actual = len(state.evidence)
+        # The realized-outcome product is a hard upper bound; the
+        # typical-set estimate should land within a couple of orders of
+        # magnitude (skew makes it undershoot).
+        assert actual <= profile.max_distinct_evidence, name
+        assert profile.estimated_distinct_evidence >= actual / 100, name
+        assert profile.pair_count == 150 * 149
+
+    def test_redundancy_ratio_and_summary(self):
+        relation = generate_dataset("Dit", 100)
+        profile = profile_relation(relation)
+        assert profile.redundancy_ratio > 3.0
+        text = profile.summary()
+        assert "distinct evidences" in text
+        assert "heaviest groups" in text
+
+    def test_empty_relation(self):
+        relation = relation_from_rows(["A"], [(1,)])
+        relation.delete([0])
+        profile = profile_relation(relation)
+        assert profile.n_rows == 0
+        assert profile.pair_count == 0

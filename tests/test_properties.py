@@ -1,0 +1,109 @@
+"""Hypothesis property tests over the whole stack.
+
+These are the deep invariants of DESIGN.md §7: pipeline-vs-oracle evidence
+equality, symmetry involution, multiplicity conservation, dynamic-equals-
+static discovery, and exact insert/delete reversibility.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DCDiscoverer, relation_from_rows
+from repro.enumeration import invert_evidence
+from repro.evidence import build_evidence_state, naive_evidence_set
+from repro.predicates import build_predicate_space
+
+# Tight domains so ties, FDs, and interesting DCs all occur.
+row_strategy = st.tuples(
+    st.integers(0, 3),
+    st.sampled_from("ab"),
+    st.integers(0, 2),
+)
+rows_strategy = st.lists(row_strategy, min_size=2, max_size=14)
+
+
+def _relation(rows):
+    return relation_from_rows(["A", "B", "C"], rows)
+
+
+@given(rows=rows_strategy)
+@settings(max_examples=30, deadline=None)
+def test_pipeline_evidence_equals_oracle(rows):
+    relation = _relation(rows)
+    space = build_predicate_space(relation)
+    state = build_evidence_state(relation, space, maintain_tuple_index=True)
+    assert state.evidence == naive_evidence_set(relation, space)
+    assert state.evidence.total_pairs() == len(rows) * (len(rows) - 1)
+
+
+@given(rows=rows_strategy)
+@settings(max_examples=30, deadline=None)
+def test_symmetrize_is_involution_on_real_evidence(rows):
+    relation = _relation(rows)
+    space = build_predicate_space(relation)
+    state = build_evidence_state(relation, space)
+    for mask in state.evidence:
+        assert space.symmetrize(space.symmetrize(mask)) == mask
+        assert space.satisfiable(mask)
+
+
+@given(rows=rows_strategy)
+@settings(max_examples=25, deadline=None)
+def test_multiplicity_symmetry(rows):
+    """Ordered pairs come in swapped twins: count(e) == count(sym(e))."""
+    relation = _relation(rows)
+    space = build_predicate_space(relation)
+    state = build_evidence_state(relation, space)
+    for mask, count in state.evidence.counts.items():
+        assert state.evidence.count(space.symmetrize(mask)) == count
+
+
+@given(rows=rows_strategy)
+@settings(max_examples=20, deadline=None)
+def test_discovered_dcs_hold_and_are_minimal(rows):
+    relation = _relation(rows)
+    space = build_predicate_space(relation)
+    evidence = list(naive_evidence_set(relation, space))
+    masks = invert_evidence(space, evidence)
+    for mask in masks:
+        assert not any(mask & e == mask for e in evidence), "DC violated"
+    for i, mask in enumerate(masks):
+        for other in masks[i + 1 :]:
+            assert mask & other != mask and mask & other != other, "not antichain"
+
+
+@given(
+    initial=rows_strategy,
+    batch=st.lists(row_strategy, min_size=1, max_size=5),
+    delete_seed=st.integers(0, 1000),
+)
+@settings(max_examples=20, deadline=None)
+def test_dynamic_discovery_equals_static(initial, batch, delete_seed):
+    relation = _relation(initial)
+    discoverer = DCDiscoverer(relation)
+    discoverer.fit()
+    discoverer.insert(batch)
+    alive = list(discoverer.relation.rids())
+    doomed = random.Random(delete_seed).sample(alive, min(3, len(alive) - 1))
+    discoverer.delete(doomed)
+    static = invert_evidence(
+        discoverer.space,
+        list(naive_evidence_set(discoverer.relation, discoverer.space)),
+    )
+    assert discoverer.dc_masks == sorted(m for m in static if m)
+
+
+@given(initial=rows_strategy, batch=st.lists(row_strategy, min_size=1, max_size=5))
+@settings(max_examples=20, deadline=None)
+def test_insert_then_delete_restores_state_exactly(initial, batch):
+    relation = _relation(initial)
+    discoverer = DCDiscoverer(relation)
+    discoverer.fit()
+    evidence_before = discoverer.evidence_set.copy()
+    dcs_before = discoverer.dc_masks
+    result = discoverer.insert(batch)
+    discoverer.delete(result.rids)
+    assert discoverer.evidence_set == evidence_before
+    assert discoverer.dc_masks == dcs_before

@@ -1,0 +1,126 @@
+"""Tests for the DC→SQL compiler, executed against sqlite3."""
+
+import random
+import sqlite3
+
+import pytest
+
+from repro.dcs import DenialConstraint, find_violations
+from repro.dcs.sql import (
+    create_table_statement,
+    deploy_checks,
+    insert_rows,
+    quote_identifier,
+    sql_condition,
+    violation_count_query,
+    violations_query,
+)
+from repro.enumeration import invert_evidence
+from repro.evidence import naive_evidence_set
+from repro.predicates import build_predicate_space, parse_dc
+from repro.relational import relation_from_rows
+
+from tests.conftest import random_rows
+
+
+@pytest.fixture
+def staff_db(staff):
+    connection = sqlite3.connect(":memory:")
+    connection.execute(create_table_statement(staff, "staff"))
+    insert_rows(connection, staff, "staff")
+    return staff, connection
+
+
+class TestRendering:
+    def test_quote_identifier(self):
+        assert quote_identifier("plain") == '"plain"'
+        assert quote_identifier('we"ird') == '"we""ird"'
+
+    def test_sql_condition_operators(self, staff):
+        space = build_predicate_space(staff)
+        dc = DenialConstraint(
+            parse_dc("!(t.Hired <= t'.Hired & t.Name != t'.Name)", space), space
+        )
+        condition = sql_condition(dc)
+        assert 't."Hired" <= u."Hired"' in condition
+        assert 't."Name" <> u."Name"' in condition
+        assert " AND " in condition
+
+    def test_create_table_types(self, staff):
+        statement = create_table_statement(staff, "staff")
+        assert '"_rid" INTEGER PRIMARY KEY' in statement
+        assert '"Name" TEXT' in statement
+        assert '"Level" INTEGER' in statement
+
+    def test_float_column_type(self):
+        relation = relation_from_rows(["F"], [(1.5,)])
+        assert '"F" REAL' in create_table_statement(relation, "x")
+
+
+class TestExecutionAgainstOracle:
+    def test_known_violation_pairs(self, staff_db):
+        staff, connection = staff_db
+        space = build_predicate_space(staff)
+        dc = DenialConstraint(parse_dc("!(t.Name = t'.Name)", space), space)
+        rows = connection.execute(violations_query(dc, "staff")).fetchall()
+        assert rows == [(0, 2), (2, 0)]
+
+    def test_valid_dcs_return_empty(self, staff_db):
+        staff, connection = staff_db
+        space = build_predicate_space(staff)
+        evidence = list(naive_evidence_set(staff, space))
+        for mask in invert_evidence(space, evidence)[:20]:
+            if not mask:
+                continue
+            dc = DenialConstraint(mask, space)
+            assert connection.execute(violations_query(dc, "staff")).fetchall() == []
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_dcs_match_find_violations(self, seed):
+        rng = random.Random(seed)
+        relation = relation_from_rows(["A", "B", "C"], random_rows(rng, 15))
+        space = build_predicate_space(relation)
+        connection = sqlite3.connect(":memory:")
+        connection.execute(create_table_statement(relation, "data"))
+        assert insert_rows(connection, relation, "data") == 15
+        for _ in range(10):
+            bits = rng.sample(range(space.n_bits), 2)
+            mask = (1 << bits[0]) | (1 << bits[1])
+            if not space.satisfiable(mask):
+                continue
+            dc = DenialConstraint(mask, space)
+            via_sql = connection.execute(violations_query(dc, "data")).fetchall()
+            oracle = sorted(find_violations(dc, relation))
+            assert [tuple(row) for row in via_sql] == oracle
+            count = connection.execute(
+                violation_count_query(dc, "data")
+            ).fetchone()[0]
+            assert count == len(oracle)
+
+    def test_rids_survive_deletes(self):
+        relation = relation_from_rows(["A"], [(1,), (2,), (1,)])
+        relation.delete([1])
+        connection = sqlite3.connect(":memory:")
+        connection.execute(create_table_statement(relation, "data"))
+        insert_rows(connection, relation, "data")
+        space = build_predicate_space(relation)
+        dc = DenialConstraint(parse_dc("!(t.A = t'.A)", space), space)
+        rows = connection.execute(violations_query(dc, "data")).fetchall()
+        assert rows == [(0, 2), (2, 0)]
+
+
+class TestDeployChecks:
+    def test_views_are_executable(self, staff_db):
+        staff, connection = staff_db
+        space = build_predicate_space(staff)
+        dcs = [
+            DenialConstraint(parse_dc("!(t.Id = t'.Id)", space), space),
+            DenialConstraint(parse_dc("!(t.Name = t'.Name)", space), space),
+        ]
+        connection.executescript(deploy_checks(dcs, "staff"))
+        assert connection.execute(
+            'SELECT COUNT(*) FROM "dc_0_violations"'
+        ).fetchone()[0] == 0
+        assert connection.execute(
+            'SELECT COUNT(*) FROM "dc_1_violations"'
+        ).fetchone()[0] == 2

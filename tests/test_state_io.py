@@ -1,0 +1,171 @@
+"""Tests for state serialization: the 'intermediates' of Figure 2."""
+
+import json
+import random
+
+import pytest
+
+from repro import DCDiscoverer, load_state, relation_from_rows, save_state
+from repro.core.state_io import state_from_dict, state_to_dict
+from tests.conftest import random_rows
+
+
+@pytest.fixture
+def fitted(staff):
+    discoverer = DCDiscoverer(staff)
+    discoverer.fit()
+    return discoverer
+
+
+class TestRoundTrip:
+    def test_equal_after_roundtrip(self, fitted, tmp_path):
+        path = tmp_path / "state.json"
+        save_state(fitted, path)
+        loaded = load_state(path)
+        assert loaded.dc_masks == fitted.dc_masks
+        assert loaded.evidence_set == fitted.evidence_set
+        assert len(loaded.relation) == len(fitted.relation)
+        assert loaded.relation.schema == fitted.relation.schema
+
+    def test_maintenance_continues_identically(self, fitted, tmp_path):
+        path = tmp_path / "state.json"
+        fitted.insert([(5, "Ema", 2002, 3, 1)])
+        save_state(fitted, path)
+        loaded = load_state(path)
+        for discoverer in (fitted, loaded):
+            discoverer.insert([(6, "Bo", 2003, 1, 2)])
+            discoverer.delete([2])
+        assert loaded.dc_masks == fitted.dc_masks
+        assert loaded.evidence_set == fitted.evidence_set
+
+    def test_roundtrip_preserves_dead_rids(self, fitted, tmp_path):
+        fitted.delete([1])
+        path = tmp_path / "state.json"
+        save_state(fitted, path)
+        loaded = load_state(path)
+        assert not loaded.relation.is_alive(1)
+        assert loaded.relation.next_rid == fitted.relation.next_rid
+        # New inserts get the same rids on both sides.
+        assert loaded.insert([(7, "Cy", 2004, 2, 1)]).rids == fitted.insert(
+            [(7, "Cy", 2004, 2, 1)]
+        ).rids
+
+    def test_tuple_index_survives(self, fitted, tmp_path):
+        path = tmp_path / "state.json"
+        save_state(fitted, path)
+        loaded = load_state(path)
+        # Both must support the index-based delete strategy afterwards.
+        fitted.delete([0])
+        loaded.delete([0])
+        assert loaded.evidence_set == fitted.evidence_set
+
+    def test_float_columns_roundtrip(self, tmp_path):
+        relation = relation_from_rows(["F", "S"], [(1.5, "a"), (2.0, "b"), (3.5, "a")])
+        discoverer = DCDiscoverer(relation)
+        discoverer.fit()
+        path = tmp_path / "state.json"
+        save_state(discoverer, path)
+        loaded = load_state(path)
+        # json turns 2.0 into 2; the loader must coerce back to float.
+        assert loaded.evidence_set == discoverer.evidence_set
+        loaded.insert([(2.5, "c")])
+        discoverer.insert([(2.5, "c")])
+        assert loaded.dc_masks == discoverer.dc_masks
+
+    def test_random_relation_roundtrip(self, tmp_path):
+        rng = random.Random(4)
+        relation = relation_from_rows(["A", "B", "C"], random_rows(rng, 18))
+        discoverer = DCDiscoverer(relation, delete_strategy="recompute")
+        discoverer.fit()
+        discoverer.delete(rng.sample(list(relation.rids()), 5))
+        path = tmp_path / "state.json"
+        save_state(discoverer, path)
+        loaded = load_state(path)
+        batch = random_rows(rng, 4)
+        discoverer.insert(batch)
+        loaded.insert(batch)
+        assert loaded.dc_masks == discoverer.dc_masks
+
+
+class TestFormatValidation:
+    def test_unfitted_rejected(self, staff):
+        with pytest.raises(RuntimeError, match="unfitted"):
+            state_to_dict(DCDiscoverer(staff))
+
+    def test_wrong_format_rejected(self, fitted):
+        payload = state_to_dict(fitted)
+        payload["format"] = "something-else"
+        with pytest.raises(ValueError, match="not a 3dc-state"):
+            state_from_dict(payload)
+
+    def test_wrong_version_rejected(self, fitted):
+        payload = state_to_dict(fitted)
+        payload["version"] = 999
+        with pytest.raises(ValueError, match="unsupported"):
+            state_from_dict(payload)
+
+    def test_payload_is_json_serializable(self, fitted):
+        json.dumps(state_to_dict(fitted))
+
+    def test_config_preserved(self, staff, tmp_path):
+        discoverer = DCDiscoverer(
+            staff,
+            cross_column_ratio=0.5,
+            delete_strategy="recompute",
+            infer_within_delta=False,
+        )
+        discoverer.fit()
+        path = tmp_path / "state.json"
+        save_state(discoverer, path)
+        loaded = load_state(path)
+        assert loaded.cross_column_ratio == 0.5
+        assert loaded.delete_strategy == "recompute"
+        assert loaded.infer_within_delta is False
+
+
+class TestStaleIndexAcrossRoundTrip:
+    """Regression: the tuple index's lazy corrections must be settled at
+    save time — dead rows reload as placeholders, so a post-load delete
+    would otherwise subtract wrong evidence (found via the
+    session_persistence example)."""
+
+    def test_delete_after_roundtrip_with_dead_partners(self, tmp_path):
+        import random
+
+        from repro.evidence import naive_evidence_set
+
+        rng = random.Random(0)
+        relation = relation_from_rows(["A", "B", "C"], random_rows(rng, 16))
+        discoverer = DCDiscoverer(relation)
+        discoverer.fit()
+        discoverer.delete([1, 4, 7])  # leaves stale partner bits behind
+        path = tmp_path / "stale.json"
+        save_state(discoverer, path)
+        loaded = load_state(path)
+        loaded.delete([0, 2])  # owners of pairs with the dead rows
+        discoverer.delete([0, 2])
+        assert loaded.evidence_set == discoverer.evidence_set
+        assert loaded.evidence_set == naive_evidence_set(
+            loaded.relation, loaded.space
+        )
+        assert loaded.dc_masks == discoverer.dc_masks
+
+    def test_repeated_sessions_with_mixed_updates(self, tmp_path):
+        import random
+
+        from repro.evidence import naive_evidence_set
+
+        rng = random.Random(1)
+        relation = relation_from_rows(["A", "B", "C"], random_rows(rng, 14))
+        discoverer = DCDiscoverer(relation)
+        discoverer.fit()
+        path = tmp_path / "sessions.json"
+        for _ in range(3):
+            discoverer.insert(random_rows(rng, 4))
+            alive = list(discoverer.relation.rids())
+            discoverer.delete(rng.sample(alive, 3))
+            save_state(discoverer, path)
+            discoverer = load_state(path)
+        assert discoverer.evidence_set == naive_evidence_set(
+            discoverer.relation, discoverer.space
+        )

@@ -1,0 +1,107 @@
+"""Tests for the incremental violation watcher."""
+
+import random
+
+import pytest
+
+from repro import DCDiscoverer, relation_from_rows
+from repro.dcs import DenialConstraint, find_violations
+from repro.dcs.watcher import ViolationWatcher
+from repro.evidence.indexes import ColumnIndexes
+from repro.predicates import build_predicate_space, parse_dc
+from tests.conftest import random_rows
+
+
+def watched_dcs(space, texts):
+    return [DenialConstraint(parse_dc(text, space), space) for text in texts]
+
+
+class TestInitialScan:
+    def test_matches_oracle(self, staff):
+        space = build_predicate_space(staff)
+        dcs = watched_dcs(
+            space, ["!(t.Name = t'.Name)", "!(t.Level = t'.Level)"]
+        )
+        watcher = ViolationWatcher(staff, ColumnIndexes(staff), dcs)
+        for dc in dcs:
+            assert watcher.violations(dc) == set(find_violations(dc, staff))
+
+    def test_valid_dc_has_no_violations(self, staff):
+        space = build_predicate_space(staff)
+        dcs = watched_dcs(space, ["!(t.Id = t'.Id)"])
+        watcher = ViolationWatcher(staff, ColumnIndexes(staff), dcs)
+        assert watcher.violations(dcs[0]) == set()
+        assert watcher.violated_dcs() == []
+
+    def test_unwatched_dc_raises(self, staff):
+        space = build_predicate_space(staff)
+        dcs = watched_dcs(space, ["!(t.Id = t'.Id)"])
+        watcher = ViolationWatcher(staff, ColumnIndexes(staff), dcs)
+        other = DenialConstraint(parse_dc("!(t.Name = t'.Name)", space), space)
+        with pytest.raises(KeyError, match="not watched"):
+            watcher.violations(other)
+
+
+class TestIncrementalMaintenance:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_tracks_oracle_across_updates(self, seed):
+        rng = random.Random(seed)
+        relation = relation_from_rows(["A", "B", "C"], random_rows(rng, 12))
+        discoverer = DCDiscoverer(relation)
+        discoverer.fit()
+        space = discoverer.space
+        dcs = watched_dcs(
+            space,
+            ["!(t.A = t'.A)", "!(t.B = t'.B & t.C != t'.C)", "!(t.A < t'.C)"],
+        )
+        watcher = discoverer.attach_violation_watcher(dcs)
+        for _ in range(3):
+            discoverer.insert(random_rows(rng, 3))
+            alive = list(discoverer.relation.rids())
+            discoverer.delete(rng.sample(alive, 2))
+            for dc in dcs:
+                assert watcher.violations(dc) == set(
+                    find_violations(dc, discoverer.relation)
+                )
+
+    def test_insert_report_contains_only_new_pairs(self, staff):
+        space = build_predicate_space(staff)
+        dcs = watched_dcs(space, ["!(t.Name = t'.Name)"])
+        indexes = ColumnIndexes(staff)
+        watcher = ViolationWatcher(staff, indexes, dcs)
+        before = watcher.violations(dcs[0])
+        new_rids = staff.insert([(9, "Ana", 2005, 1, 1)])
+        indexes.add_rows(new_rids)
+        report = watcher.on_insert(new_rids)
+        fresh = report[dcs[0].mask]
+        assert all(new_rids[0] in pair for pair in fresh)
+        assert watcher.violations(dcs[0]) == before | fresh
+        # Two Ana rows existed; the new Ana clashes with both.
+        assert len(fresh) == 4
+
+    def test_intra_batch_pairs_reported_once(self):
+        relation = relation_from_rows(["A"], [(1,), (2,)])
+        space = build_predicate_space(relation)
+        dcs = [DenialConstraint(parse_dc("!(t.A = t'.A)", space), space)]
+        indexes = ColumnIndexes(relation)
+        watcher = ViolationWatcher(relation, indexes, dcs)
+        new_rids = relation.insert([(7,), (7,)])
+        indexes.add_rows(new_rids)
+        report = watcher.on_insert(new_rids)
+        assert report[dcs[0].mask] == {(2, 3), (3, 2)}
+
+    def test_delete_report(self, staff):
+        space = build_predicate_space(staff)
+        dcs = watched_dcs(space, ["!(t.Name = t'.Name)"])
+        indexes = ColumnIndexes(staff)
+        watcher = ViolationWatcher(staff, indexes, dcs)
+        report = watcher.on_delete([2])  # one of the two Anas
+        assert report[dcs[0].mask] == {(0, 2), (2, 0)}
+        assert watcher.violations(dcs[0]) == set()
+        assert watcher.total_violations() == 0
+
+    def test_repr(self, staff):
+        space = build_predicate_space(staff)
+        dcs = watched_dcs(space, ["!(t.Name = t'.Name)"])
+        watcher = ViolationWatcher(staff, ColumnIndexes(staff), dcs)
+        assert "1 DCs" in repr(watcher) and "2 violating pairs" in repr(watcher)

@@ -1,0 +1,113 @@
+"""Tests for the synthetic datasets and update workloads."""
+
+import pytest
+
+from repro.relational import ColumnType
+from repro.workloads import (
+    DATASETS,
+    PAPER_COLUMN_COUNTS,
+    dataset_names,
+    generate_dataset,
+    pick_delete_rids,
+    split_for_insert,
+    staff_relation,
+)
+
+
+class TestDatasets:
+    def test_registry_matches_table2(self):
+        assert set(DATASETS) == set(PAPER_COLUMN_COUNTS)
+        for name, spec in DATASETS.items():
+            assert spec.n_columns == PAPER_COLUMN_COUNTS[name], name
+
+    def test_names_sorted(self):
+        names = dataset_names()
+        assert names == sorted(names, key=str.lower)
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_generation_is_deterministic(self, name):
+        first = DATASETS[name].rows(20, seed=3)
+        second = DATASETS[name].rows(20, seed=3)
+        assert first == second
+        different = DATASETS[name].rows(20, seed=4)
+        assert first != different
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_rows_match_inferred_schema(self, name):
+        relation = generate_dataset(name, 30)
+        assert len(relation) == 30
+        assert relation.schema.names == DATASETS[name].header
+        for row in relation.rows():
+            for value, column in zip(row, relation.schema):
+                if column.ctype is ColumnType.STRING:
+                    assert isinstance(value, str)
+                elif column.ctype is ColumnType.INTEGER:
+                    assert isinstance(value, int)
+                else:
+                    assert isinstance(value, (int, float))
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="available"):
+            generate_dataset("NoSuchData", 10)
+
+    def test_default_rows(self):
+        spec = DATASETS["UCE"]
+        assert len(spec.relation()) == spec.default_rows
+
+    def test_evidence_redundancy_discipline(self):
+        """Distinct evidences must stay far below the pair count — the
+        property the context pipeline exploits (Section V-A)."""
+        from repro.evidence import build_evidence_state
+        from repro.predicates import build_predicate_space
+
+        for name in ["Dit", "Hospital", "Tax"]:
+            relation = generate_dataset(name, 120)
+            space = build_predicate_space(relation)
+            state = build_evidence_state(relation, space)
+            pairs = 120 * 119
+            assert len(state.evidence) < pairs / 4, name
+
+    def test_staff_relation(self):
+        staff = staff_relation()
+        assert len(staff) == 4
+        assert staff.schema.names == ("Id", "Name", "Hired", "Level", "Mgr")
+
+
+class TestUpdateWorkloads:
+    ROWS = [(i, f"v{i % 5}") for i in range(100)]
+
+    def test_split_sizes(self):
+        workload = split_for_insert(self.ROWS, ratio=0.1, retain=0.7, seed=1)
+        assert workload.static_size == 70
+        assert workload.delta_size == 7
+        assert workload.ratio == 0.1
+
+    def test_split_disjoint_and_complete(self):
+        workload = split_for_insert(self.ROWS, ratio=0.2, seed=2)
+        combined = list(workload.static_rows) + list(workload.delta_rows)
+        assert len(set(combined)) == len(combined)
+        assert set(combined) <= set(self.ROWS)
+
+    def test_split_deterministic(self):
+        first = split_for_insert(self.ROWS, ratio=0.1, seed=3)
+        second = split_for_insert(self.ROWS, ratio=0.1, seed=3)
+        assert first == second
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError, match="retain"):
+            split_for_insert(self.ROWS, ratio=0.1, retain=0.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            split_for_insert(self.ROWS, ratio=-0.1)
+        with pytest.raises(ValueError, match="remain"):
+            split_for_insert(self.ROWS, ratio=0.9, retain=0.7)
+
+    def test_pick_delete_rids(self):
+        relation = staff_relation()
+        rids = pick_delete_rids(relation, 0.5, seed=0)
+        assert len(rids) == 2
+        assert all(relation.is_alive(rid) for rid in rids)
+        assert rids == sorted(rids)
+
+    def test_pick_delete_validation(self):
+        with pytest.raises(ValueError):
+            pick_delete_rids(staff_relation(), 1.5)
