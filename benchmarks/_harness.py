@@ -9,11 +9,16 @@ DESIGN.md §5 and EXPERIMENTS.md).  This module provides:
   is the *setup* of every dynamic experiment, so fitted states are cloned
   from a serialized snapshot instead of re-fitted;
 - a plain-text table writer that prints each reproduced table/figure and
-  persists it under ``benchmarks/results/``.
+  persists it under ``benchmarks/results/`` — alongside a machine-readable
+  JSON twin (``results/<name>.json``, deterministic key order) carrying
+  the same rows plus any per-phase breakdowns recorded with
+  :meth:`ResultTable.add_phases`, so perf PRs get a diffable before/after
+  trajectory for free.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from pathlib import Path
@@ -121,6 +126,7 @@ class ResultTable:
         self.columns = list(columns)
         self.filename = filename
         self.rows = []
+        self.phases = {}
 
     def add(self, *values) -> None:
         if len(values) != len(self.columns):
@@ -128,6 +134,26 @@ class ResultTable:
                 f"row arity {len(values)} != {len(self.columns)} columns"
             )
         self.rows.append(values)
+
+    def add_phases(self, label: str, source) -> None:
+        """Record a per-phase wall-clock breakdown for the JSON report.
+
+        ``source`` is a ``RunReport`` (its first span level is used), a
+        result object carrying one (``.report``), or a plain
+        ``{phase: seconds}`` dict.
+        """
+        report = getattr(source, "report", source)
+        if hasattr(report, "phase_timings"):
+            breakdown = report.phase_timings()
+        elif isinstance(report, dict):
+            breakdown = dict(report)
+        else:
+            raise TypeError(
+                f"cannot extract phase timings from {type(source).__name__}"
+            )
+        self.phases[label] = {
+            phase: round(seconds, 6) for phase, seconds in breakdown.items()
+        }
 
     def _format(self) -> str:
         def render(value):
@@ -150,13 +176,40 @@ class ResultTable:
             lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
         return "\n".join(lines)
 
+    def _json_payload(self, shape_notes) -> dict:
+        def jsonable(value):
+            if isinstance(value, float):
+                return round(value, 6)
+            if value is None or isinstance(value, (int, str, bool)):
+                return value
+            return str(value)
+
+        return {
+            "title": self.title,
+            "columns": self.columns,
+            "rows": [[jsonable(value) for value in row] for row in self.rows],
+            "notes": list(shape_notes),
+            "phases": self.phases,
+        }
+
     def finish(self, shape_notes=()) -> str:
-        """Print the table, append shape-verdict notes, persist to disk."""
+        """Print the table, append shape-verdict notes, persist to disk.
+
+        Writes two files under ``results/``: the human-readable text table
+        and its JSON twin (same stem, ``.json`` suffix) with rows, notes,
+        and any recorded per-phase breakdowns.  JSON keys are sorted so
+        re-runs produce reviewable diffs.
+        """
         text = self._format()
         for note in shape_notes:
             text += f"\nshape: {note}"
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / self.filename).write_text(text + "\n")
+        json_path = (RESULTS_DIR / self.filename).with_suffix(".json")
+        json_path.write_text(
+            json.dumps(self._json_payload(shape_notes), indent=2, sort_keys=True)
+            + "\n"
+        )
         print("\n" + text)
         return text
 

@@ -58,6 +58,7 @@ def test_fig13a_growing_static(benchmark):
             static_size, phases["Load"], phases["Evi"], phases["DCEnum"],
             phases["Evi(Dyn)"], phases["DCEnum(Dyn)"],
         )
+        table.add_phases(f"static={static_size}", phases)
         dynamic_times.append(phases["Evi(Dyn)"] + phases["DCEnum(Dyn)"])
         static_times.append(phases["Evi"] + phases["DCEnum"])
     # Shape: static cost grows much faster than dynamic cost.
@@ -92,6 +93,7 @@ def test_fig13b_growing_inserts(benchmark):
             insert_size, phases["Load"], phases["Evi"], phases["DCEnum"],
             phases["Evi(Dyn)"], phases["DCEnum(Dyn)"],
         )
+        table.add_phases(f"inserts={insert_size}", phases)
         dynamic_times.append(phases["Evi(Dyn)"] + phases["DCEnum(Dyn)"])
     table.finish(
         shape_notes=[

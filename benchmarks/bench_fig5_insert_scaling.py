@@ -39,7 +39,8 @@ def test_fig5_insert_scaling(benchmark):
             payload = fitted_state_payload(name, static_rows)
 
             discoverer = clone_discoverer(payload)
-            _, t_3dc = timed(lambda: discoverer.insert(delta_rows))
+            result, t_3dc = timed(lambda: discoverer.insert(delta_rows))
+            table.add_phases(f"{name} λ={ratio}", result)
 
             def run_incdc():
                 base = clone_discoverer(payload)

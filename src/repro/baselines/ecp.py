@@ -15,12 +15,15 @@ from typing import List
 
 from repro.enumeration.mmcs import mmcs_enumerate
 from repro.evidence.builder import build_evidence_state
+from repro.observability import get_logger
 from repro.predicates.space import (
     DEFAULT_CROSS_COLUMN_RATIO,
     PredicateSpace,
     build_predicate_space,
 )
 from repro.relational.relation import Relation
+
+logger = get_logger(__name__)
 
 
 @dataclass
@@ -65,6 +68,11 @@ def ecp_discover(
     dc_masks = mmcs_enumerate(space, list(state.evidence))
     timings["enumeration"] = time.perf_counter() - started
 
+    logger.debug(
+        "ecp: %d rows -> %d evidences, %d DCs (%s)",
+        len(relation), len(state.evidence), len(dc_masks),
+        ", ".join(f"{k}={v:.3f}s" for k, v in timings.items()),
+    )
     return StaticDiscoveryResult(
         space=space,
         evidence_set=state.evidence,

@@ -13,12 +13,15 @@ import time
 from repro.baselines.ecp import StaticDiscoveryResult
 from repro.enumeration.dfs import dfs_enumerate
 from repro.evidence.naive import naive_evidence_set
+from repro.observability import get_logger
 from repro.predicates.space import (
     DEFAULT_CROSS_COLUMN_RATIO,
     PredicateSpace,
     build_predicate_space,
 )
 from repro.relational.relation import Relation
+
+logger = get_logger(__name__)
 
 
 def fastdc_discover(
@@ -43,6 +46,11 @@ def fastdc_discover(
     dc_masks = dfs_enumerate(space, list(evidence_set))
     timings["enumeration"] = time.perf_counter() - started
 
+    logger.debug(
+        "fastdc: %d rows -> %d evidences, %d DCs (%s)",
+        len(relation), len(evidence_set), len(dc_masks),
+        ", ".join(f"{k}={v:.3f}s" for k, v in timings.items()),
+    )
     return StaticDiscoveryResult(
         space=space,
         evidence_set=evidence_set,

@@ -21,7 +21,11 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_left, insort
-from typing import Iterable, Iterator
+from typing import Dict, Iterable, Iterator
+
+from repro.observability.probe import get_probe
+
+_KIND_NAMES = {"a": "array", "b": "bitmap", "r": "run"}
 
 ARRAY_MAX = 4096
 _CHUNK_BITS = 1 << 16
@@ -211,6 +215,9 @@ class RoaringBitmap:
     # -- set algebra ---------------------------------------------------------
 
     def _binary(self, other: "RoaringBitmap", op: str) -> "RoaringBitmap":
+        probe = get_probe()
+        if probe is not None:
+            probe.inc(f"bitmap.{op}_ops")
         result = {}
         if op == "and":
             highs = self._containers.keys() & other._containers.keys()
@@ -286,6 +293,18 @@ class RoaringBitmap:
         return other.issubset(self)
 
     # -- inspection ----------------------------------------------------------
+
+    def container_stats(self) -> Dict[str, int]:
+        """Container-type mix: ``{"array": n, "bitmap": n, "run": n}``.
+
+        The mix is the roaring format's central adaptive decision; the
+        observability layer exports it as gauges so compression behaviour
+        across workloads stays visible.
+        """
+        stats = {"array": 0, "bitmap": 0, "run": 0}
+        for kind, _ in self._containers.values():
+            stats[_KIND_NAMES[kind]] += 1
+        return stats
 
     def __len__(self) -> int:
         return sum(_container_len(c) for c in self._containers.values())

@@ -6,13 +6,21 @@ Subcommands mirror the 3DC life cycle:
 - ``insert``    — load a state, insert rows from a CSV, print the changes;
 - ``delete``    — load a state, delete rows by rid, print the changes;
 - ``rank``      — load a state, print the top-k ranked DCs;
+- ``stats``     — structural + pipeline statistics of a CSV or saved state;
 - ``datasets``  — generate one of the synthetic evaluation datasets.
+
+Observability flags (see docs/observability.md): ``--trace`` prints the
+nested span tree and per-call metrics of the operation, ``--metrics-out``
+writes the run report to a file (JSON, or Prometheus text when the path
+ends in ``.prom``), and the global ``--log-level`` configures the
+``repro`` logger hierarchy.
 
 Example::
 
     repro-dc discover staff.csv --state staff.state.json --top 10
-    repro-dc insert --state staff.state.json new_rows.csv
-    repro-dc delete --state staff.state.json --rids 3 7 12
+    repro-dc --log-level debug insert --state staff.state.json new_rows.csv
+    repro-dc delete --state staff.state.json --rids 3 7 12 --trace
+    repro-dc stats staff.csv --metrics-out staff.metrics.prom
 """
 
 from __future__ import annotations
@@ -23,6 +31,9 @@ import sys
 
 from repro.core.discoverer import DCDiscoverer
 from repro.core.state_io import load_state, save_state
+from repro.observability import configure_logging
+from repro.observability.exporters import snapshot_to_prometheus
+from repro.observability.logging import LEVELS
 from repro.relational.loader import load_csv
 from repro.workloads.datasets import dataset_names, generate_dataset
 
@@ -36,6 +47,25 @@ def _print_dcs(discoverer: DCDiscoverer, top: int) -> None:
         print(f"  ... ({len(dcs) - top} more)")
 
 
+def _emit_observability(args, result) -> None:
+    """Handle ``--trace`` / ``--metrics-out`` for a result with a report."""
+    report = result.report
+    if report is None:
+        return
+    if getattr(args, "trace", False):
+        print()
+        print(report.format())
+    path = getattr(args, "metrics_out", None)
+    if path:
+        if str(path).endswith(".prom"):
+            text = snapshot_to_prometheus(report.metrics)
+        else:
+            text = report.to_json() + "\n"
+        with open(path, "w") as handle:
+            handle.write(text)
+        print(f"metrics written to {path}")
+
+
 def _cmd_discover(args) -> int:
     relation = load_csv(args.csv, null_policy=args.null_policy)
     discoverer = DCDiscoverer(
@@ -46,6 +76,7 @@ def _cmd_discover(args) -> int:
     result = discoverer.fit()
     print(result)
     _print_dcs(discoverer, args.top)
+    _emit_observability(args, result)
     if args.state:
         save_state(discoverer, args.state)
         print(f"state saved to {args.state}")
@@ -60,6 +91,7 @@ def _cmd_insert(args) -> int:
     result = discoverer.insert(relation.rows())
     print(result)
     _print_dcs(discoverer, args.top)
+    _emit_observability(args, result)
     save_state(discoverer, args.state)
     print(f"state saved to {args.state}")
     return 0
@@ -70,6 +102,7 @@ def _cmd_delete(args) -> int:
     result = discoverer.delete(args.rids)
     print(result)
     _print_dcs(discoverer, args.top)
+    _emit_observability(args, result)
     save_state(discoverer, args.state)
     print(f"state saved to {args.state}")
     return 0
@@ -83,6 +116,52 @@ def _cmd_rank(args) -> int:
             f"(succ={entry.succinctness:.2f}, cov={entry.coverage:.2f})  "
             f"{entry.dc}"
         )
+    return 0
+
+
+def _print_state_stats(discoverer: DCDiscoverer) -> None:
+    relation = discoverer.relation
+    state = discoverer.engine_state
+    print(f"rows                 {len(relation)}")
+    print(f"columns              {len(relation.schema)}")
+    print(f"predicates           {discoverer.space.n_bits}")
+    print(f"predicate groups     {len(discoverer.space.groups)}")
+    print(f"distinct evidences   {len(state.evidence)}")
+    print(f"evidence pairs       {state.evidence.total_pairs()}")
+    print(f"minimal DCs          {len(discoverer.dc_masks)}")
+    print(f"canonical DCs        {len(discoverer.canonical_dcs)}")
+    if state.tuple_index is not None:
+        stats = state.tuple_index.stats()
+        print(
+            f"tuple index          {stats['tuples']} tuples, "
+            f"{stats['owned_pairs']} owned pairs, "
+            f"{stats['evidence_entries']} evidence entries"
+        )
+    print("column indexes:")
+    for position, column in enumerate(relation.schema):
+        equality = len(state.indexes.equality[position])
+        range_index = state.indexes.ranges[position]
+        extra = f", {len(range_index)} range values" if range_index else ""
+        print(f"  {column.name:20s} {equality} equality entries{extra}")
+
+
+def _cmd_stats(args) -> int:
+    if bool(args.csv) == bool(args.state):
+        print("stats: pass a CSV or --state, not both/neither", file=sys.stderr)
+        return 2
+    if args.state:
+        discoverer = load_state(args.state)
+        _print_state_stats(discoverer)
+        return 0
+    relation = load_csv(args.csv, null_policy=args.null_policy)
+    discoverer = DCDiscoverer(relation, cross_column_ratio=args.cross_ratio)
+    result = discoverer.fit()
+    print(result)
+    print()
+    _print_state_stats(discoverer)
+    print()
+    print(result.report.format())
+    _emit_observability(args, result)
     return 0
 
 
@@ -118,10 +197,29 @@ def _cmd_datasets(args) -> int:
     return 0
 
 
+def _add_observability_flags(parser) -> None:
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the operation's nested span tree and metrics",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the run report (JSON, or Prometheus text for *.prom)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-dc",
         description="3DC: dynamic denial-constraint discovery",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=sorted(LEVELS),
+        default="warning",
+        help="verbosity of the repro.* logger hierarchy",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -132,6 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cross-ratio", type=float, default=0.3)
     p.add_argument("--no-cross-columns", action="store_true")
     p.add_argument("--null-policy", choices=["reject", "drop", "fill"], default="reject")
+    _add_observability_flags(p)
     p.set_defaults(func=_cmd_discover)
 
     p = sub.add_parser("insert", help="insert rows from a CSV into a saved state")
@@ -139,18 +238,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--state", required=True)
     p.add_argument("--top", type=int, default=20)
     p.add_argument("--null-policy", choices=["reject", "drop", "fill"], default="reject")
+    _add_observability_flags(p)
     p.set_defaults(func=_cmd_insert)
 
     p = sub.add_parser("delete", help="delete rows (by rid) from a saved state")
     p.add_argument("--state", required=True)
     p.add_argument("--rids", type=int, nargs="+", required=True)
     p.add_argument("--top", type=int, default=20)
+    _add_observability_flags(p)
     p.set_defaults(func=_cmd_delete)
 
     p = sub.add_parser("rank", help="rank the DCs of a saved state")
     p.add_argument("--state", required=True)
     p.add_argument("--top", type=int, default=20)
     p.set_defaults(func=_cmd_rank)
+
+    p = sub.add_parser(
+        "stats",
+        help="structural + pipeline statistics of a CSV or a saved state",
+    )
+    p.add_argument("csv", nargs="?", help="CSV to fit and instrument")
+    p.add_argument("--state", help="inspect a saved state instead")
+    p.add_argument("--cross-ratio", type=float, default=0.3)
+    p.add_argument("--null-policy", choices=["reject", "drop", "fill"], default="reject")
+    _add_observability_flags(p)
+    p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser(
         "profile", help="evidence-entropy profile of a CSV (discovery feasibility)"
@@ -172,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(args.log_level)
     return args.func(args)
 
 

@@ -11,12 +11,16 @@ incrementally.
 The predicate space is frozen at ``fit()`` time from the initial data —
 matching the paper, where the space (and hence the DC search space) is a
 property of the schema and the initial value distributions.
+
+Every call returns a result whose :attr:`~repro.core.results.UpdateResult.report`
+carries the nested span tree and per-call metric deltas of the operation
+(see :mod:`repro.observability`); the flat ``timings`` dicts are a
+derived view of the report's first span level.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.backends import make_backend
 from repro.core.results import DiscoveryResult, UpdateResult
@@ -29,16 +33,20 @@ from repro.evidence.deletes import (
     delete_evidence_by_recompute,
     delete_evidence_with_index,
 )
+from repro.evidence.evidence_set import EvidenceSet
 from repro.evidence.incremental import (
     apply_insert_evidence,
     incremental_evidence_for_insert,
 )
+from repro.observability import Instrumentation, get_logger
 from repro.predicates.space import (
     DEFAULT_CROSS_COLUMN_RATIO,
     PredicateSpace,
     build_predicate_space,
 )
 from repro.relational.relation import Relation
+
+logger = get_logger(__name__)
 
 
 class DCDiscoverer:
@@ -58,6 +66,11 @@ class DCDiscoverer:
     :param infer_within_delta: apply evidence inference among the
         incremental tuples themselves (the Figure 9 "Opt" strategy).
     :param enumeration_backend: ``"dynei"`` (3DC) or ``"dynhs"`` ([19]).
+    :param instrumentation: the observability bundle this discoverer
+        reports through; defaults to a fresh enabled
+        :class:`~repro.observability.Instrumentation`.  Pass
+        ``Instrumentation(enabled=False)`` to skip all deep accounting
+        (phase timings are always recorded).
     """
 
     def __init__(
@@ -70,6 +83,7 @@ class DCDiscoverer:
         delete_strategy: str = "index",
         infer_within_delta: bool = True,
         enumeration_backend: str = "dynei",
+        instrumentation: Optional[Instrumentation] = None,
     ):
         if delete_strategy not in ("index", "recompute"):
             raise ValueError(
@@ -88,6 +102,7 @@ class DCDiscoverer:
         self.delete_strategy = delete_strategy
         self.infer_within_delta = infer_within_delta
         self.enumeration_backend = enumeration_backend
+        self.instrumentation = instrumentation or Instrumentation()
         self.space: Optional[PredicateSpace] = None
         self._state = None
         self._backend = None
@@ -99,39 +114,44 @@ class DCDiscoverer:
 
     def fit(self) -> DiscoveryResult:
         """Run the static discovery on the current relation state."""
-        started = time.perf_counter()
-        self.space = build_predicate_space(
-            self.relation,
-            cross_column_ratio=self.cross_column_ratio,
-            allow_cross_columns=self.allow_cross_columns,
-            column_names=self.column_names,
-        )
-        space_time = time.perf_counter() - started
-
-        started = time.perf_counter()
-        self._state = build_evidence_state(
-            self.relation,
-            self.space,
-            maintain_tuple_index=self.maintain_tuple_index,
-        )
-        evidence_time = time.perf_counter() - started
-
-        started = time.perf_counter()
-        self._backend = make_backend(self.enumeration_backend, self.space)
-        self._backend.bootstrap(list(self._state.evidence))
-        enumeration_time = time.perf_counter() - started
-
+        instrumentation = self.instrumentation
+        tracer = instrumentation.tracer
+        before = instrumentation.begin_operation()
+        with instrumentation.activate():
+            with tracer.span("fit") as root:
+                with tracer.span("space"):
+                    self.space = build_predicate_space(
+                        self.relation,
+                        cross_column_ratio=self.cross_column_ratio,
+                        allow_cross_columns=self.allow_cross_columns,
+                        column_names=self.column_names,
+                    )
+                with tracer.span("evidence"):
+                    self._state = build_evidence_state(
+                        self.relation,
+                        self.space,
+                        maintain_tuple_index=self.maintain_tuple_index,
+                    )
+                with tracer.span("enumeration"):
+                    self._backend = make_backend(
+                        self.enumeration_backend, self.space
+                    )
+                    self._backend.bootstrap(list(self._state.evidence))
         self._fitted = True
+        self._record_state_gauges()
+        report = instrumentation.finish_operation("fit", root, before)
+        logger.debug(
+            "fit: %d rows, %d predicates, %d evidences, %d DCs in %.3fs",
+            len(self.relation), self.space.n_bits,
+            len(self._state.evidence), len(self.dc_masks), root.duration,
+        )
         return DiscoveryResult(
             n_rows=len(self.relation),
             n_predicates=self.space.n_bits,
             n_evidence=len(self._state.evidence),
             n_dcs=len(self.dc_masks),
-            timings={
-                "space": space_time,
-                "evidence": evidence_time,
-                "enumeration": enumeration_time,
-            },
+            timings=report.phase_timings(),
+            report=report,
         )
 
     def _require_fitted(self) -> None:
@@ -141,40 +161,65 @@ class DCDiscoverer:
     # -- incremental maintenance -----------------------------------------------
 
     def insert(self, rows: Iterable[Sequence]) -> UpdateResult:
-        """Insert a batch of rows and update evidence and DCs."""
+        """Insert a batch of rows and update evidence and DCs.
+
+        An empty batch is a no-op on the engine state but still notifies
+        attached monitors/watchers (with an empty delta), so downstream
+        consumers observe every maintenance call symmetrically.
+        """
         self._require_fitted()
+        instrumentation = self.instrumentation
+        tracer = instrumentation.tracer
+        before = instrumentation.begin_operation()
         previous_masks = set(self._backend.masks)
 
-        started = time.perf_counter()
-        new_rids = self.relation.insert(rows)
-        if new_rids:
-            self._state.indexes.add_rows(new_rids)
-            evidence_delta = incremental_evidence_for_insert(
-                self.relation,
-                self._state,
-                new_rids,
-                infer_within_delta=self.infer_within_delta,
-            )
-            new_masks = apply_insert_evidence(self._state, evidence_delta)
-            for monitor in self._monitors:
-                monitor.apply_insert_delta(evidence_delta, len(self.relation))
-            for watcher in self._watchers:
-                watcher.on_insert(new_rids)
-        else:
-            new_masks = []
-        evidence_time = time.perf_counter() - started
+        with instrumentation.activate():
+            with tracer.span("insert") as root:
+                with tracer.span("evidence"):
+                    new_rids = self.relation.insert(rows)
+                    tracer.annotate("batch_rows", len(new_rids))
+                    if new_rids:
+                        with tracer.span("index_update"):
+                            self._state.indexes.add_rows(new_rids)
+                        with tracer.span("delta"):
+                            evidence_delta = incremental_evidence_for_insert(
+                                self.relation,
+                                self._state,
+                                new_rids,
+                                infer_within_delta=self.infer_within_delta,
+                            )
+                        with tracer.span("apply"):
+                            new_masks = apply_insert_evidence(
+                                self._state, evidence_delta
+                            )
+                    else:
+                        evidence_delta = EvidenceSet()
+                        new_masks = []
+                    with tracer.span("notify"):
+                        for monitor in self._monitors:
+                            monitor.apply_insert_delta(
+                                evidence_delta, len(self.relation)
+                            )
+                        for watcher in self._watchers:
+                            watcher.on_insert(new_rids)
+                with tracer.span("enumeration"):
+                    tracer.annotate("einc_size", len(new_masks))
+                    self._backend.insert(new_masks)
 
-        started = time.perf_counter()
-        self._backend.insert(new_masks)
-        enumeration_time = time.perf_counter() - started
-
+        if instrumentation.enabled:
+            instrumentation.inc("discoverer.inserts")
+            instrumentation.inc("discoverer.rows_inserted", len(new_rids))
+            instrumentation.inc("enumeration.einc_size", len(new_masks))
         return self._update_result(
-            "insert", new_rids, len(new_masks), previous_masks,
-            evidence_time, enumeration_time,
+            "insert", new_rids, len(new_masks), previous_masks, root, before
         )
 
     def delete(self, rids: Iterable[int]) -> UpdateResult:
-        """Delete a batch of rows (by rid) and update evidence and DCs."""
+        """Delete a batch of rows (by rid) and update evidence and DCs.
+
+        Like :meth:`insert`, an empty batch still notifies attached
+        monitors/watchers with an empty delta.
+        """
         self._require_fitted()
         rid_list = sorted(rids)
         # Validate before touching any state: evidence subtraction happens
@@ -184,50 +229,79 @@ class DCDiscoverer:
                 raise KeyError(f"rid {rid} is not an alive row")
         if len(set(rid_list)) != len(rid_list):
             raise ValueError("duplicate rids in delete batch")
+        instrumentation = self.instrumentation
+        tracer = instrumentation.tracer
+        before = instrumentation.begin_operation()
         previous_masks = set(self._backend.masks)
 
-        started = time.perf_counter()
-        if rid_list:
-            if self.delete_strategy == "index":
-                evidence_delta = delete_evidence_with_index(
-                    self.relation, self._state, rid_list
-                )
-            else:
-                evidence_delta = delete_evidence_by_recompute(
-                    self.relation, self._state, rid_list
-                )
-            removed_masks = apply_delete_evidence(self._state, evidence_delta)
-            self.relation.delete(rid_list)
-            self._state.indexes.remove_rows(rid_list)
-            for monitor in self._monitors:
-                monitor.apply_delete_delta(evidence_delta, len(self.relation))
-            for watcher in self._watchers:
-                watcher.on_delete(rid_list)
-        else:
-            removed_masks = []
-        evidence_time = time.perf_counter() - started
+        with instrumentation.activate():
+            with tracer.span("delete") as root:
+                with tracer.span("evidence"):
+                    tracer.annotate("batch_rows", len(rid_list))
+                    if rid_list:
+                        with tracer.span("delta"):
+                            if self.delete_strategy == "index":
+                                evidence_delta = delete_evidence_with_index(
+                                    self.relation, self._state, rid_list
+                                )
+                            else:
+                                evidence_delta = delete_evidence_by_recompute(
+                                    self.relation, self._state, rid_list
+                                )
+                        with tracer.span("apply"):
+                            removed_masks = apply_delete_evidence(
+                                self._state, evidence_delta
+                            )
+                            self.relation.delete(rid_list)
+                            self._state.indexes.remove_rows(rid_list)
+                    else:
+                        evidence_delta = EvidenceSet()
+                        removed_masks = []
+                    with tracer.span("notify"):
+                        for monitor in self._monitors:
+                            monitor.apply_delete_delta(
+                                evidence_delta, len(self.relation)
+                            )
+                        for watcher in self._watchers:
+                            watcher.on_delete(rid_list)
+                with tracer.span("enumeration"):
+                    tracer.annotate("einc_size", len(removed_masks))
+                    self._backend.delete(
+                        removed_masks, list(self._state.evidence)
+                    )
 
-        started = time.perf_counter()
-        self._backend.delete(removed_masks, list(self._state.evidence))
-        enumeration_time = time.perf_counter() - started
-
+        if instrumentation.enabled:
+            instrumentation.inc("discoverer.deletes")
+            instrumentation.inc("discoverer.rows_deleted", len(rid_list))
+            instrumentation.inc("enumeration.einc_size", len(removed_masks))
         return self._update_result(
-            "delete", rid_list, len(removed_masks), previous_masks,
-            evidence_time, enumeration_time,
+            "delete", rid_list, len(removed_masks), previous_masks, root, before
         )
 
     def update(
         self, delete_rids: Iterable[int], insert_rows: Iterable[Sequence]
-    ) -> tuple:
+    ) -> Tuple[UpdateResult, UpdateResult]:
         """Mixed update, modeled as deletes followed by inserts
         (Section III-B).  Returns ``(delete_result, insert_result)``."""
         return self.delete(delete_rids), self.insert(insert_rows)
 
     def _update_result(
-        self, kind, rids, n_changed, previous_masks, evidence_time, enum_time
+        self, kind, rids, n_changed, previous_masks, root, before
     ) -> UpdateResult:
         current = self._backend.masks
         current_set = set(current)
+        n_new = len(current_set - previous_masks)
+        n_removed = len(previous_masks - current_set)
+        instrumentation = self.instrumentation
+        if instrumentation.enabled:
+            instrumentation.inc("discoverer.dcs_added", n_new)
+            instrumentation.inc("discoverer.dcs_removed", n_removed)
+        self._record_state_gauges()
+        report = instrumentation.finish_operation(kind, root, before)
+        logger.debug(
+            "%s: |Δr|=%d, E^inc=%d, DCs +%d/-%d in %.3fs",
+            kind, len(rids), n_changed, n_new, n_removed, root.duration,
+        )
         return UpdateResult(
             kind=kind,
             delta_size=len(rids),
@@ -235,11 +309,22 @@ class DCDiscoverer:
             n_evidence=len(self._state.evidence),
             n_evidence_changed=n_changed,
             n_dcs=len(current),
-            n_new_dcs=len(current_set - previous_masks),
-            n_removed_dcs=len(previous_masks - current_set),
+            n_new_dcs=n_new,
+            n_removed_dcs=n_removed,
             rids=list(rids),
-            timings={"evidence": evidence_time, "enumeration": enum_time},
+            timings=report.phase_timings(),
+            report=report,
         )
+
+    def _record_state_gauges(self) -> None:
+        instrumentation = self.instrumentation
+        if not instrumentation.enabled:
+            return
+        instrumentation.set_gauge("discoverer.rows", len(self.relation))
+        instrumentation.set_gauge(
+            "discoverer.evidence_distinct", len(self._state.evidence)
+        )
+        instrumentation.set_gauge("discoverer.dcs", len(self._backend.masks))
 
     # -- results ------------------------------------------------------------------
 

@@ -3,12 +3,21 @@
 Each discovery/maintenance call reports the statistics the paper's
 evaluation plots: evidence counts, new-evidence counts, DC counts, DC
 churn, and per-phase wall-clock timings (Figures 8 and 13).
+
+Since the observability subsystem landed, the authoritative record of a
+call is its :class:`~repro.observability.report.RunReport` (nested span
+tree + per-call metric deltas), carried in :attr:`DiscoveryResult.report`
+/ :attr:`UpdateResult.report`.  The flat ``timings`` dicts are retained
+as a derived compatibility view — the discoverer fills them from the
+report's first span level.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
+
+from repro.observability.report import RunReport
 
 
 @dataclass
@@ -20,6 +29,7 @@ class DiscoveryResult:
     n_evidence: int
     n_dcs: int
     timings: Dict[str, float] = field(default_factory=dict)
+    report: Optional[RunReport] = None
 
     def __str__(self) -> str:
         times = ", ".join(f"{k}={v:.3f}s" for k, v in self.timings.items())
@@ -43,6 +53,7 @@ class UpdateResult:
     n_removed_dcs: int
     rids: List[int] = field(default_factory=list)
     timings: Dict[str, float] = field(default_factory=dict)
+    report: Optional[RunReport] = None
 
     def __str__(self) -> str:
         times = ", ".join(f"{k}={v:.3f}s" for k, v in self.timings.items())

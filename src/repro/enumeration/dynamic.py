@@ -44,6 +44,7 @@ from typing import Iterable, List, Sequence
 from repro.enumeration.inversion import maximal_masks, minimize_masks, refine_sigma
 from repro.enumeration.mmcs import mmcs_hitting_sets
 from repro.enumeration.settrie import SetTrie
+from repro.observability.probe import get_probe
 from repro.predicates.space import PredicateSpace
 
 
@@ -143,4 +144,9 @@ def dynei_delete(
             mmcs_hitting_sets(space, restricted, universe_mask=removed)
         )
 
+    probe = get_probe()
+    if probe is not None:
+        probe.inc("enumeration.dcs_dropped", len(dropped))
+        probe.inc("enumeration.dcs_readded", len(readded))
+        probe.inc("enumeration.dcs_regrown", len(new_masks))
     return sorted(minimize_masks(survivors + readded + new_masks))

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Iterable, List
 
 from repro.bitmaps.bitutils import iter_bits
+from repro.observability.probe import get_probe
 from repro.predicates.space import PredicateSpace
 
 
@@ -160,6 +161,12 @@ class DynHS:
 
     def _apply_edge(self, edge_id: int, edge: int) -> None:
         """Make Σ the exact minimal-hitting-set family including ``edge``."""
+        probe = get_probe()
+        if probe is not None:
+            # DynHS scans all of Σ per edge — the cost contrast with
+            # DynEI that Figures 11/12 measure.
+            probe.inc("enumeration.edges_applied")
+            probe.inc("enumeration.sigma_scanned", len(self._sigma))
         satisfiable_with = self.space.satisfiable_with
         violated = []
         for dc_mask, crit in self._sigma.items():

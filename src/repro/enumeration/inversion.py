@@ -17,6 +17,7 @@ from typing import Iterable, List, Optional
 
 from repro.bitmaps.bitutils import iter_bits
 from repro.enumeration.settrie import SetTrie
+from repro.observability.probe import get_probe
 from repro.predicates.space import PredicateSpace
 
 
@@ -39,10 +40,16 @@ def refine_sigma(
     """
     full_mask = space.full_mask
     satisfiable_with = space.satisfiable_with
+    probe = get_probe()
+    evidences_folded = 0
+    dcs_refined = 0
+    candidates_inserted = 0
     for evidence in evidence_masks:
+        evidences_folded += 1
         violated = sigma.subsets_of(evidence)
         if not violated:
             continue
+        dcs_refined += len(violated)
         # Candidates are dominated ("line 8" of Algorithm 2) exactly by
         # DCs with a single predicate outside the evidence: a dominating
         # σ ⊆ v∪{p} with v ⊆ e satisfies σ∖e ⊆ {p}, and σ∖e = ∅ would
@@ -78,6 +85,11 @@ def refine_sigma(
                 ):
                     continue
                 sigma.insert(dc_mask | (1 << bit))
+                candidates_inserted += 1
+    if probe is not None:
+        probe.inc("enumeration.evidence_folded", evidences_folded)
+        probe.inc("enumeration.dcs_refined", dcs_refined)
+        probe.inc("enumeration.candidates_inserted", candidates_inserted)
     return sigma
 
 

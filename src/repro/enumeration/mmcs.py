@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Iterable, List
 
 from repro.bitmaps.bitutils import iter_bits
+from repro.observability.probe import get_probe
 from repro.predicates.space import PredicateSpace
 
 
@@ -58,8 +59,10 @@ def mmcs_hitting_sets(
         return []
     satisfiable_with = space.satisfiable_with
     n_edges = len(edges)
+    nodes = [0]  # search-node counter (one cell: cheap nonlocal increment)
 
     def recurse(current: int, crit: dict, uncov: list, cand: int) -> None:
+        nodes[0] += 1
         if not uncov:
             results.append(current)
             return
@@ -96,6 +99,10 @@ def mmcs_hitting_sets(
             recurse(current | (1 << vertex), new_crit, new_uncov, remaining_cand)
 
     recurse(0, {}, list(range(n_edges)), universe_mask)
+    probe = get_probe()
+    if probe is not None:
+        probe.inc("enumeration.search_nodes", nodes[0])
+        probe.inc("enumeration.hitting_sets", len(results))
     return results
 
 

@@ -16,6 +16,7 @@ from repro.evidence.contexts import build_contexts
 from repro.evidence.evidence_set import EvidenceSet
 from repro.evidence.indexes import ColumnIndexes
 from repro.evidence.tuple_index import TupleEvidenceIndex
+from repro.observability.probe import get_probe, probe_span
 from repro.predicates.space import PredicateSpace
 from repro.relational.relation import Relation
 
@@ -44,6 +45,7 @@ def collect_contexts(
     selected by ``symmetric_bits`` (default: all partners).
     """
     symmetrize = space.symmetrize
+    total_inferred = 0
     for evidence, bits in contexts.items():
         count = bits.bit_count()
         if count:
@@ -54,6 +56,13 @@ def collect_contexts(
             sym_count = (bits & symmetric_bits).bit_count()
         if sym_count:
             evidence_set.add(symmetrize(evidence), sym_count)
+            total_inferred += sym_count
+    if total_inferred:
+        probe = get_probe()
+        if probe is not None:
+            # Each inferred symmetric evidence is one ordered pair whose
+            # reconciliation was skipped (the Figure 9 saving).
+            probe.inc("evidence.pairs_inferred", total_inferred)
 
 
 def build_evidence_state(
@@ -68,19 +77,21 @@ def build_evidence_state(
         used by the fast delete strategy (Section V-C); the paper reports
         only a slight build-time overhead for it.
     """
-    indexes = ColumnIndexes(relation, step=checkpoint_step)
+    with probe_span("indexes"):
+        indexes = ColumnIndexes(relation, step=checkpoint_step)
     evidence_set = EvidenceSet()
     tuple_index = TupleEvidenceIndex() if maintain_tuple_index else None
 
-    remaining = relation.alive_bits
-    for rid in relation.rids():
-        remaining &= ~(1 << rid)
-        if not remaining:
-            break
-        contexts = build_contexts(space, relation, rid, remaining, indexes)
-        collect_contexts(space, contexts, evidence_set)
-        if tuple_index is not None:
-            tuple_index.record_contexts(rid, contexts)
+    with probe_span("scan"):
+        remaining = relation.alive_bits
+        for rid in relation.rids():
+            remaining &= ~(1 << rid)
+            if not remaining:
+                break
+            contexts = build_contexts(space, relation, rid, remaining, indexes)
+            collect_contexts(space, contexts, evidence_set)
+            if tuple_index is not None:
+                tuple_index.record_contexts(rid, contexts)
 
     return EvidenceEngineState(
         space=space,

@@ -13,6 +13,7 @@ stage, which is what exploits the evidence redundancy of [14].
 from __future__ import annotations
 
 from repro.evidence.indexes import ColumnIndexes
+from repro.observability.probe import get_probe
 from repro.predicates.space import PredicateSpace
 from repro.relational.relation import Relation
 
@@ -31,6 +32,11 @@ def build_contexts(
     """
     if not partner_bits:
         return {}
+    probe = get_probe()
+    if probe is not None:
+        probe.inc("evidence.context_pipelines")
+        probe.inc("evidence.pairs_compared", partner_bits.bit_count())
+        probe.inc("evidence.index_probes", len(space.groups))
     row = relation.row(rid)
     contexts = {space.ahead_mask: partner_bits}
     for group in space.groups:
@@ -65,4 +71,6 @@ def build_contexts(
             key = base | group_lt
             refined[key] = refined.get(key, 0) | bits
         contexts = refined
+    if probe is not None:
+        probe.inc("evidence.contexts_out", len(contexts))
     return contexts

@@ -23,6 +23,7 @@ from repro.bitmaps.bitutils import iter_bits
 from repro.evidence.builder import EvidenceEngineState, collect_contexts
 from repro.evidence.contexts import build_contexts
 from repro.evidence.evidence_set import EvidenceSet
+from repro.observability.probe import get_probe
 from repro.relational.relation import Relation
 
 
@@ -82,6 +83,9 @@ def delete_evidence_with_index(
     symmetrize = space.symmetrize
     alive_bits = relation.alive_bits  # batch rows are still alive here
     processed_bits = 0
+    probe = get_probe()
+    owned_pairs = 0
+    stale_corrections = 0
 
     for rid in delete_list:
         rid_bit = 1 << rid
@@ -91,8 +95,10 @@ def delete_evidence_with_index(
         for evidence, count in tuple_index.owned_evidence(rid).items():
             evidence_delta.add(evidence, count)
             evidence_delta.add(symmetrize(evidence), count)
+            owned_pairs += count
         stale = partners & (~alive_bits | processed_bits)
         if stale:
+            stale_corrections += stale.bit_count()
             row = relation.row(rid)
             evidence_of_pair = space.evidence_of_pair
             for partner in iter_bits(stale):
@@ -107,6 +113,11 @@ def delete_evidence_with_index(
         processed_bits |= rid_bit
         tuple_index.drop_tuple(rid)
 
+    if probe is not None:
+        # Owned pairs come straight from the tuple index — each is one
+        # reconciliation the Figure 10 "index" strategy avoided.
+        probe.inc("evidence.index_owned_pairs", owned_pairs)
+        probe.inc("evidence.stale_pair_corrections", stale_corrections)
     return evidence_delta
 
 

@@ -22,6 +22,7 @@ from repro.bitmaps.bitutils import bits_from
 from repro.evidence.builder import EvidenceEngineState, collect_contexts
 from repro.evidence.contexts import build_contexts
 from repro.evidence.evidence_set import EvidenceSet
+from repro.observability.probe import get_probe
 from repro.relational.relation import Relation
 
 
@@ -46,6 +47,9 @@ def incremental_evidence_for_insert(
     static_bits = relation.alive_bits & ~delta_bits
     evidence_delta = EvidenceSet()
     space = state.space
+    probe = get_probe()
+    if probe is not None:
+        probe.inc("evidence.delta_tuples", len(delta_list))
 
     if infer_within_delta:
         remaining_delta = delta_bits

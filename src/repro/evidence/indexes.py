@@ -22,6 +22,7 @@ from __future__ import annotations
 from bisect import bisect_right, insort
 from typing import Iterable
 
+from repro.observability.probe import get_probe
 from repro.relational.relation import Relation
 
 DEFAULT_CHECKPOINT_STEP = 32
@@ -89,6 +90,9 @@ class RangeIndex:
         self._dirty = True
 
     def _rebuild_checkpoints(self) -> None:
+        probe = get_probe()
+        if probe is not None:
+            probe.inc("index.checkpoint_rebuilds")
         # checkpoint[i] = union of entries for values at positions >= i*step
         n_checkpoints = len(self.values) // self.step + 1
         checkpoints = [0] * (n_checkpoints + 1)

@@ -89,6 +89,20 @@ class TupleEvidenceIndex:
                     counter[evidence] = current - 1
             self.partners_of[rid] = partners & alive_bits
 
+    def stats(self) -> dict:
+        """Structural statistics of the index (for ``repro-dc stats`` and
+        the observability gauges): indexed tuples, total owned ordered
+        pairs, and distinct evidence entries across all owners."""
+        return {
+            "tuples": len(self.owned),
+            "owned_pairs": sum(
+                sum(counter.values()) for counter in self.owned.values()
+            ),
+            "evidence_entries": sum(
+                len(counter) for counter in self.owned.values()
+            ),
+        }
+
     def drop_tuple(self, rid: int) -> None:
         """Remove the records of ``rid`` after its deletion."""
         self.owned.pop(rid, None)

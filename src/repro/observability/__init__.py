@@ -1,0 +1,53 @@
+"""Observability subsystem: span tracing, pipeline metrics, run reports.
+
+Three layers (see docs/observability.md for the naming scheme and how the
+paper's Figure 9/10/13 numbers map onto emitted metrics):
+
+- :mod:`~repro.observability.tracer` — hierarchical spans with a
+  context-manager API and a no-op :class:`NullTracer` for disabled paths;
+- :mod:`~repro.observability.metrics` — counters / gauges / histograms,
+  exportable as JSON and Prometheus text
+  (:mod:`~repro.observability.exporters`);
+- :mod:`~repro.observability.report` — per-operation
+  :class:`RunReport` objects combining both, produced by the discoverer
+  and consumed by the CLI (``--trace``, ``--metrics-out``,
+  ``repro-dc stats``) and the benchmark harness.
+
+Deep modules reach the active instrumentation through the probe
+(:mod:`~repro.observability.probe`) so their signatures stay clean.
+"""
+
+from repro.observability.exporters import (
+    parse_prometheus,
+    snapshot_to_json,
+    snapshot_to_prometheus,
+)
+from repro.observability.logging import configure_logging, get_logger
+from repro.observability.metrics import Histogram, MetricsRegistry
+from repro.observability.probe import get_probe, install, probe_span
+from repro.observability.report import Instrumentation, RunReport
+from repro.observability.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanTracer,
+)
+
+__all__ = [
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "RunReport",
+    "Span",
+    "SpanTracer",
+    "configure_logging",
+    "get_logger",
+    "get_probe",
+    "install",
+    "parse_prometheus",
+    "probe_span",
+    "snapshot_to_json",
+    "snapshot_to_prometheus",
+]

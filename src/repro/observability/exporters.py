@@ -1,0 +1,90 @@
+"""Exporters for metric snapshots: JSON and Prometheus text format.
+
+Both operate on the plain-dict snapshots produced by
+:meth:`repro.observability.metrics.MetricsRegistry.snapshot` (or the
+per-call deltas embedded in run reports), so they need no live registry.
+
+The Prometheus exposition follows the text format v0.0.4: one
+``# TYPE`` line per family, dotted metric names flattened to underscores
+under the ``repro_`` namespace, counters suffixed ``_total``, histograms
+expanded to ``_bucket``/``_sum``/``_count`` series.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metric_name(name: str, prefix: str = "repro") -> str:
+    """Flatten a dotted metric name to a Prometheus-legal identifier."""
+    flattened = _NAME_SANITIZER.sub("_", name)
+    return f"{prefix}_{flattened}" if prefix else flattened
+
+
+def snapshot_to_json(snapshot: dict, indent: int = 2) -> str:
+    """Serialize a metrics snapshot with deterministic key order."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def snapshot_to_prometheus(snapshot: dict, prefix: str = "repro") -> str:
+    """Render a metrics snapshot as Prometheus exposition text."""
+    lines = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        flat = metric_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {flat} counter")
+        lines.append(f"{flat} {_format_value(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        flat = metric_name(name, prefix)
+        lines.append(f"# TYPE {flat} gauge")
+        lines.append(f"{flat} {_format_value(value)}")
+    for name, histogram in sorted(snapshot.get("histograms", {}).items()):
+        flat = metric_name(name, prefix)
+        lines.append(f"# TYPE {flat} histogram")
+        cumulative = 0
+        for bound, hits in histogram.get("buckets", {}).items():
+            if bound == "+inf":
+                continue
+            cumulative += hits
+            lines.append(f'{flat}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f'{flat}_bucket{{le="+Inf"}} {histogram["count"]}')
+        lines.append(f"{flat}_sum {_format_value(histogram['sum'])}")
+        lines.append(f"{flat}_count {histogram['count']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?\s+"
+    r"(?P<value>[^\s]+)$"
+)
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse exposition text back to ``{sample name (with labels): value}``.
+
+    Used by tests (and available for smoke-checking exported files);
+    raises ``ValueError`` on any malformed non-comment line.
+    """
+    samples = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"malformed Prometheus sample line: {line!r}")
+        key = match.group("name") + (match.group("labels") or "")
+        value = match.group("value")
+        samples[key] = float("nan") if value == "NaN" else float(value)
+    return samples

@@ -1,0 +1,59 @@
+"""The ``repro`` logger hierarchy.
+
+Library modules obtain loggers through :func:`get_logger` and never
+configure handlers — per stdlib convention, an application (the CLI, a
+notebook, a service embedding the discoverer) decides where log records
+go.  :func:`configure_logging` is that application-side helper: it
+attaches one stream handler to the ``repro`` root of the hierarchy (never
+to the global root logger) and sets the requested level.
+"""
+
+from __future__ import annotations
+
+import logging
+
+ROOT_NAME = "repro"
+
+#: Accepted --log-level values, mapped to stdlib levels.
+LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro.`` hierarchy.
+
+    Pass a module's ``__name__``; names already rooted at ``repro`` are
+    used as-is, anything else is nested under it.
+    """
+    if name == ROOT_NAME or name.startswith(ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_NAME}.{name}")
+
+
+def configure_logging(level: str = "warning", stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger for CLI / application use.
+
+    Idempotent: reuses the existing handler on repeated calls so test
+    suites invoking the CLI many times do not stack handlers.  Returns
+    the configured root of the hierarchy.
+    """
+    try:
+        numeric = LEVELS[level.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from {sorted(LEVELS)}"
+        ) from None
+    root = logging.getLogger(ROOT_NAME)
+    root.setLevel(numeric)
+    if not root.handlers:
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        root.addHandler(handler)
+    root.propagate = False
+    return root

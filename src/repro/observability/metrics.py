@@ -1,0 +1,139 @@
+"""Metrics registry: counters, gauges, and histograms.
+
+Names are dotted paths (``evidence.pairs_compared``); the first segment is
+the subsystem.  The registry is deliberately primitive — plain dicts of
+numbers — because the hot paths of the evidence engine increment it
+thousands of times per batch; see :mod:`repro.observability.probe` for how
+instrumented modules reach the active registry without carrying it through
+every signature.
+
+Counters are monotone (they only ever increase), gauges hold the latest
+value, histograms record count/sum/min/max plus fixed power-of-two
+buckets — enough for the per-phase distributions the benchmarks plot
+without keeping raw samples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class Histogram:
+    """Streaming summary of observed values (no raw samples kept)."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    #: Upper bounds of the power-of-two buckets (the last is +inf).
+    BOUNDS = tuple(2 ** exponent for exponent in range(0, 21, 2))
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets = [0] * (len(self.BOUNDS) + 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for position, bound in enumerate(self.BOUNDS):
+            if value <= bound:
+                self.buckets[position] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                **{str(bound): hits
+                   for bound, hits in zip(self.BOUNDS, self.buckets)},
+                "+inf": self.buckets[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Flat registry of named counters, gauges, and histograms."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self):
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Increase counter ``name`` by ``amount`` (must be >= 0)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest value."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into histogram ``name``."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    # -- reading -----------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        return self.counters.get(name, 0)
+
+    def gauge(self, name: str) -> Optional[float]:
+        return self.gauges.get(name)
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy: ``{"counters": .., "gauges": .., "histograms": ..}``.
+
+        Keys are sorted so serialized snapshots diff cleanly.
+        """
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: histogram.to_dict()
+                for name, histogram in sorted(self.histograms.items())
+            },
+        }
+
+    def counter_delta(self, before: dict) -> Dict[str, int]:
+        """Per-counter increase since a previous ``snapshot()["counters"]``."""
+        delta = {}
+        for name, value in self.counters.items():
+            change = value - before.get(name, 0)
+            if change:
+                delta[name] = change
+        return dict(sorted(delta.items()))
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges) + len(self.histograms)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self.counters)} counters, "
+            f"{len(self.gauges)} gauges, {len(self.histograms)} histograms)"
+        )

@@ -1,0 +1,188 @@
+"""Hierarchical span tracing for the 3DC pipeline.
+
+A *span* is one named, timed section of work; spans nest, so a run
+produces a tree mirroring the pipeline's phase structure (the paper's
+Figure 13 breakdown is exactly the first level of that tree).  The
+context-manager API keeps call sites declarative::
+
+    tracer = SpanTracer()
+    with tracer.span("insert"):
+        with tracer.span("evidence"):
+            ...
+        with tracer.span("enumeration"):
+            ...
+
+Spans carry optional attributes (small scalar annotations such as batch
+sizes).  :class:`NullTracer` is a drop-in no-op for hot loops that must
+pay nothing when tracing is off: its ``span()`` returns one shared,
+reusable context manager and records nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+
+class Span:
+    """One timed section of work; a node of the span tree."""
+
+    __slots__ = ("name", "start", "end", "children", "attrs")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.start = 0.0
+        self.end = 0.0
+        self.children: List[Span] = []
+        self.attrs: Dict[str, object] = {}
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds between enter and exit (0 while open)."""
+        if not self.end:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def self_time(self) -> float:
+        """Duration not attributed to any child span."""
+        return self.duration - sum(child.duration for child in self.children)
+
+    def child(self, name: str) -> Optional["Span"]:
+        """First direct child with the given name (None when absent)."""
+        for child in self.children:
+            if child.name == name:
+                return child
+        return None
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation of the subtree."""
+        payload = {
+            "name": self.name,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+        return payload
+
+    def format_tree(self, indent: int = 0) -> str:
+        """Render the subtree as an indented text outline."""
+        attrs = ""
+        if self.attrs:
+            rendered = ", ".join(
+                f"{key}={value}" for key, value in sorted(self.attrs.items())
+            )
+            attrs = f"  [{rendered}]"
+        lines = [f"{'  ' * indent}{self.name:<{max(1, 32 - 2 * indent)}s} "
+                 f"{self.duration * 1000:10.3f} ms{attrs}"]
+        for child in self.children:
+            lines.append(child.format_tree(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.duration:.6f}s, "
+            f"{len(self.children)} children)"
+        )
+
+
+class _SpanContext:
+    """Context manager opening/closing one span on a tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "SpanTracer", name: str):
+        self._tracer = tracer
+        self._span = Span(name)
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        span = self._span
+        stack = tracer._stack
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            tracer.roots.append(span)
+        stack.append(span)
+        span.start = time.perf_counter()
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._span.end = time.perf_counter()
+        self._tracer._stack.pop()
+
+
+class _NullSpanContext:
+    """Shared, reusable no-op context manager returned by NullTracer."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class SpanTracer:
+    """Records a forest of nested spans."""
+
+    __slots__ = ("roots", "_stack")
+
+    enabled = True
+
+    def __init__(self):
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def span(self, name: str) -> _SpanContext:
+        """Open a child span of the current span (or a new root)."""
+        return _SpanContext(self, name)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def annotate(self, key: str, value) -> None:
+        """Attach an attribute to the innermost open span (no-op outside)."""
+        if self._stack:
+            self._stack[-1].attrs[key] = value
+
+    def reset(self) -> None:
+        """Drop all recorded spans (open spans survive on the stack)."""
+        self.roots = []
+
+    def format_tree(self) -> str:
+        """Render every root span as an indented text outline."""
+        return "\n".join(root.format_tree() for root in self.roots)
+
+
+class NullTracer:
+    """No-op tracer: records nothing, allocates nothing per span."""
+
+    __slots__ = ()
+
+    enabled = False
+    roots: List[Span] = []
+
+    def span(self, name: str) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def current(self) -> None:
+        return None
+
+    def annotate(self, key: str, value) -> None:
+        return None
+
+    def reset(self) -> None:
+        return None
+
+    def format_tree(self) -> str:
+        return ""
+
+
+#: Shared no-op tracer instance (stateless, safe to reuse everywhere).
+NULL_TRACER = NullTracer()

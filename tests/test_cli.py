@@ -94,3 +94,82 @@ def test_profile_command(staff_csv, capsys):
     out = capsys.readouterr().out
     assert "distinct evidences" in out
     assert "key-like" in out  # the Id column
+
+
+def test_discover_trace_prints_span_tree(staff_csv, capsys):
+    assert main(["discover", str(staff_csv), "--trace", "--top", "0"]) == 0
+    out = capsys.readouterr().out
+    # Nested span tree with the evidence sub-steps, then the metrics block.
+    assert "fit" in out
+    for span in ("space", "evidence", "enumeration", "indexes", "scan"):
+        assert span in out
+    assert "metrics:" in out
+    assert "evidence.pairs_compared" in out
+
+
+def test_metrics_out_json(staff_csv, tmp_path, capsys):
+    import json
+
+    path = tmp_path / "run.json"
+    assert main(
+        ["discover", str(staff_csv), "--metrics-out", str(path)]
+    ) == 0
+    payload = json.loads(path.read_text())
+    assert payload["operation"] == "fit"
+    assert payload["spans"]["name"] == "fit"
+    assert payload["metrics"]["counters"]["evidence.pairs_compared"] > 0
+    assert f"metrics written to {path}" in capsys.readouterr().out
+
+
+def test_metrics_out_prometheus(staff_csv, tmp_path):
+    from repro.observability import parse_prometheus
+
+    path = tmp_path / "run.prom"
+    assert main(
+        ["discover", str(staff_csv), "--metrics-out", str(path)]
+    ) == 0
+    samples = parse_prometheus(path.read_text())
+    assert samples["repro_evidence_pairs_compared_total"] > 0
+    assert "repro_discoverer_rows" in samples
+
+
+def test_stats_on_csv(staff_csv, capsys):
+    assert main(["stats", str(staff_csv)]) == 0
+    out = capsys.readouterr().out
+    assert "minimal DCs" in out
+    assert "tuple index" in out
+    assert "column indexes:" in out
+    assert "evidence.pairs_compared" in out  # pipeline metrics block
+
+
+def test_stats_on_state(staff_csv, tmp_path, capsys):
+    state = tmp_path / "state.json"
+    assert main(["discover", str(staff_csv), "--state", str(state)]) == 0
+    capsys.readouterr()
+    assert main(["stats", "--state", str(state)]) == 0
+    out = capsys.readouterr().out
+    assert "rows                 4" in out
+    assert "distinct evidences" in out
+
+
+def test_stats_requires_exactly_one_input(staff_csv, tmp_path, capsys):
+    state = tmp_path / "state.json"
+    assert main(["discover", str(staff_csv), "--state", str(state)]) == 0
+    assert main(["stats"]) == 2
+    assert main(["stats", str(staff_csv), "--state", str(state)]) == 2
+    assert "not both/neither" in capsys.readouterr().err
+
+
+def test_log_level_flag(staff_csv, capsys):
+    import logging
+
+    assert main(
+        ["--log-level", "debug", "discover", str(staff_csv), "--top", "0"]
+    ) == 0
+    root = logging.getLogger("repro")
+    assert root.level == logging.DEBUG
+    assert len(root.handlers) == 1
+    assert root.propagate is False
+    # Repeated invocations must not stack handlers.
+    assert main(["--log-level", "info", "datasets"]) == 0
+    assert len(root.handlers) == 1
