@@ -1,0 +1,93 @@
+"""Parallel evidence construction — wall-clock scaling over worker counts.
+
+Not a paper figure: this benchmark tracks the repo's own worker-pool
+execution layer (``workers=`` / ``--workers``).  It runs the Figure 5
+insert-scaling workload (static bootstrap + one λ-ratio insert batch) at
+``workers ∈ {1, 2, 4}``, records the wall clock and speedup of each
+configuration for both the static ``fit`` and the incremental ``insert``,
+and asserts the determinism contract: every worker count must produce a
+byte-identical serialized state.
+
+Speedup is hardware-bound — the JSON notes record ``os.cpu_count()`` so a
+flat curve on a single-core box is attributable.  Scale the workload with
+``REPRO_BENCH_SCALE`` as usual.
+"""
+
+import json
+import os
+
+from _harness import (
+    ResultTable,
+    clone_discoverer,
+    fitted_state_payload,
+    insert_workload,
+    timed,
+)
+
+from repro.core.discoverer import DCDiscoverer
+from repro.core.state_io import state_to_dict
+from repro.relational.loader import relation_from_rows
+from repro.workloads import DATASETS
+
+DATASET = "Tax"
+RATIO = 0.3
+WORKER_COUNTS = (1, 2, 4)
+
+
+def test_parallel_scaling(benchmark):
+    table = ResultTable(
+        "Parallel evidence scaling — runtime (s) vs worker-pool size",
+        ["dataset", "op", "workers", "seconds", "speedup"],
+        "parallel_scaling.txt",
+    )
+    static_rows, delta_rows = insert_workload(DATASET, RATIO)
+    payload = fitted_state_payload(DATASET, static_rows)
+
+    fit_times = {}
+    insert_times = {}
+    states = {}
+    for workers in WORKER_COUNTS:
+        relation = relation_from_rows(DATASETS[DATASET].header, static_rows)
+        discoverer = DCDiscoverer(relation, workers=workers)
+        fit_result, fit_times[workers] = timed(discoverer.fit)
+        table.add_phases(f"fit workers={workers}", fit_result)
+
+        pooled = clone_discoverer(payload)
+        pooled.workers = workers
+        insert_result, insert_times[workers] = timed(
+            lambda: pooled.insert(delta_rows)
+        )
+        table.add_phases(f"insert workers={workers}", insert_result)
+        pooled.delete(sorted(pooled.relation.rids())[: len(delta_rows) // 2])
+        states[workers] = json.dumps(state_to_dict(pooled))
+
+    for workers in WORKER_COUNTS:
+        table.add(
+            DATASET, "fit", workers, fit_times[workers],
+            round(fit_times[1] / fit_times[workers], 3),
+        )
+        table.add(
+            DATASET, "insert", workers, insert_times[workers],
+            round(insert_times[1] / insert_times[workers], 3),
+        )
+
+    # The determinism contract behind the speedup numbers: identical
+    # bytes out of every worker count (fit + insert + delete paths).
+    reference = states[WORKER_COUNTS[0]]
+    assert all(states[workers] == reference for workers in WORKER_COUNTS)
+
+    best = max(WORKER_COUNTS, key=lambda workers: fit_times[1] / fit_times[workers])
+    table.finish(
+        shape_notes=[
+            f"cpu_count={os.cpu_count()} (speedup is hardware-bound; "
+            "a single-core runner yields a flat curve)",
+            f"best fit speedup {fit_times[1] / fit_times[best]:.2f}x "
+            f"at workers={best}",
+        ]
+    )
+
+    pooled = clone_discoverer(payload)
+    pooled.workers = WORKER_COUNTS[-1]
+    benchmark.pedantic(
+        lambda: pooled.insert(delta_rows), rounds=1, iterations=1
+    )

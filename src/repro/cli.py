@@ -9,6 +9,10 @@ Subcommands mirror the 3DC life cycle:
 - ``stats``     — structural + pipeline statistics of a CSV or saved state;
 - ``datasets``  — generate one of the synthetic evaluation datasets.
 
+``discover``/``insert``/``delete`` accept ``--workers N`` to shard
+evidence construction over a process pool (results are identical for any
+worker count; see docs/observability.md).
+
 Observability flags (see docs/observability.md): ``--trace`` prints the
 nested span tree and per-call metrics of the operation, ``--metrics-out``
 writes the run report to a file (JSON, or Prometheus text when the path
@@ -72,6 +76,7 @@ def _cmd_discover(args) -> int:
         relation,
         cross_column_ratio=args.cross_ratio,
         allow_cross_columns=not args.no_cross_columns,
+        workers=args.workers,
     )
     result = discoverer.fit()
     print(result)
@@ -85,6 +90,8 @@ def _cmd_discover(args) -> int:
 
 def _cmd_insert(args) -> int:
     discoverer = load_state(args.state)
+    if args.workers is not None:
+        discoverer.workers = args.workers
     relation = load_csv(
         args.csv, schema=discoverer.relation.schema, null_policy=args.null_policy
     )
@@ -99,6 +106,8 @@ def _cmd_insert(args) -> int:
 
 def _cmd_delete(args) -> int:
     discoverer = load_state(args.state)
+    if args.workers is not None:
+        discoverer.workers = args.workers
     result = discoverer.delete(args.rids)
     print(result)
     _print_dcs(discoverer, args.top)
@@ -197,6 +206,17 @@ def _cmd_datasets(args) -> int:
     return 0
 
 
+def _add_workers_flag(parser, default) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=default,
+        metavar="N",
+        help="evidence-construction worker processes (1 = serial, "
+        "0 = one per CPU; results are identical for any value)",
+    )
+
+
 def _add_observability_flags(parser) -> None:
     parser.add_argument(
         "--trace",
@@ -230,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cross-ratio", type=float, default=0.3)
     p.add_argument("--no-cross-columns", action="store_true")
     p.add_argument("--null-policy", choices=["reject", "drop", "fill"], default="reject")
+    _add_workers_flag(p, default=1)
     _add_observability_flags(p)
     p.set_defaults(func=_cmd_discover)
 
@@ -238,6 +259,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--state", required=True)
     p.add_argument("--top", type=int, default=20)
     p.add_argument("--null-policy", choices=["reject", "drop", "fill"], default="reject")
+    # None = keep whatever worker count the saved state was built with.
+    _add_workers_flag(p, default=None)
     _add_observability_flags(p)
     p.set_defaults(func=_cmd_insert)
 
@@ -245,6 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--state", required=True)
     p.add_argument("--rids", type=int, nargs="+", required=True)
     p.add_argument("--top", type=int, default=20)
+    _add_workers_flag(p, default=None)
     _add_observability_flags(p)
     p.set_defaults(func=_cmd_delete)
 

@@ -66,6 +66,12 @@ class DCDiscoverer:
     :param infer_within_delta: apply evidence inference among the
         incremental tuples themselves (the Figure 9 "Opt" strategy).
     :param enumeration_backend: ``"dynei"`` (3DC) or ``"dynhs"`` ([19]).
+    :param workers: worker-pool size for evidence construction: 1 (the
+        default) runs fully serial, ``n > 1`` shards the static scan,
+        insert deltas, and delete batches over ``n`` forked processes,
+        and 0 means one worker per CPU.  Results are byte-for-byte
+        identical for any worker count (the shard merge is deterministic);
+        platforms without the ``fork`` start method fall back to serial.
     :param instrumentation: the observability bundle this discoverer
         reports through; defaults to a fresh enabled
         :class:`~repro.observability.Instrumentation`.  Pass
@@ -83,6 +89,7 @@ class DCDiscoverer:
         delete_strategy: str = "index",
         infer_within_delta: bool = True,
         enumeration_backend: str = "dynei",
+        workers: int = 1,
         instrumentation: Optional[Instrumentation] = None,
     ):
         if delete_strategy not in ("index", "recompute"):
@@ -102,6 +109,7 @@ class DCDiscoverer:
         self.delete_strategy = delete_strategy
         self.infer_within_delta = infer_within_delta
         self.enumeration_backend = enumeration_backend
+        self.workers = workers
         self.instrumentation = instrumentation or Instrumentation()
         self.space: Optional[PredicateSpace] = None
         self._state = None
@@ -131,6 +139,7 @@ class DCDiscoverer:
                         self.relation,
                         self.space,
                         maintain_tuple_index=self.maintain_tuple_index,
+                        workers=self.workers,
                     )
                 with tracer.span("enumeration"):
                     self._backend = make_backend(
@@ -187,6 +196,7 @@ class DCDiscoverer:
                                 self._state,
                                 new_rids,
                                 infer_within_delta=self.infer_within_delta,
+                                workers=self.workers,
                             )
                         with tracer.span("apply"):
                             new_masks = apply_insert_evidence(
@@ -242,11 +252,13 @@ class DCDiscoverer:
                         with tracer.span("delta"):
                             if self.delete_strategy == "index":
                                 evidence_delta = delete_evidence_with_index(
-                                    self.relation, self._state, rid_list
+                                    self.relation, self._state, rid_list,
+                                    workers=self.workers,
                                 )
                             else:
                                 evidence_delta = delete_evidence_by_recompute(
-                                    self.relation, self._state, rid_list
+                                    self.relation, self._state, rid_list,
+                                    workers=self.workers,
                                 )
                         with tracer.span("apply"):
                             removed_masks = apply_delete_evidence(

@@ -30,14 +30,18 @@ FORMAT_VERSION = 1
 
 
 def _tuple_index_to_dict(tuple_index: TupleEvidenceIndex) -> dict:
+    # Sorted rids and masks: serialization must be canonical so that runs
+    # with different worker-pool sizes produce byte-identical documents.
     return {
         "owned": {
-            str(rid): {format(mask, "x"): count for mask, count in counter.items()}
-            for rid, counter in tuple_index.owned.items()
+            str(rid): {
+                format(mask, "x"): counter[mask] for mask in sorted(counter)
+            }
+            for rid, counter in sorted(tuple_index.owned.items())
         },
         "partners": {
             str(rid): format(bits, "x")
-            for rid, bits in tuple_index.partners_of.items()
+            for rid, bits in sorted(tuple_index.partners_of.items())
         },
     }
 
@@ -77,6 +81,10 @@ def state_to_dict(discoverer: DCDiscoverer) -> dict:
             "delete_strategy": discoverer.delete_strategy,
             "infer_within_delta": discoverer.infer_within_delta,
             "enumeration_backend": discoverer.enumeration_backend,
+            # The workers knob is deliberately NOT persisted: it is an
+            # execution setting of one process, not part of the data
+            # state, and leaving it out keeps saved states byte-identical
+            # across worker counts.
         },
         "schema": [
             [column.name, column.ctype.value] for column in relation.schema
@@ -88,10 +96,10 @@ def state_to_dict(discoverer: DCDiscoverer) -> dict:
             for group in discoverer.space.groups
         ],
         "evidence": {
-            format(mask, "x"): count
-            for mask, count in state.evidence.counts.items()
+            format(mask, "x"): state.evidence.counts[mask]
+            for mask in sorted(state.evidence.counts)
         },
-        "sigma": [format(mask, "x") for mask in discoverer._backend.masks],
+        "sigma": sorted(format(mask, "x") for mask in discoverer._backend.masks),
         "tuple_index": (
             _tuple_index_to_dict(state.tuple_index)
             if state.tuple_index is not None

@@ -26,8 +26,20 @@ from repro.evidence.deletes import (
 )
 from repro.evidence.tuple_index import TupleEvidenceIndex
 from repro.evidence.naive import naive_evidence_set, naive_incremental_evidence
+from repro.evidence.parallel import (
+    fork_available,
+    merge_shard_counts,
+    resolve_workers,
+    should_parallelize,
+    stripe,
+)
 
 __all__ = [
+    "fork_available",
+    "merge_shard_counts",
+    "resolve_workers",
+    "should_parallelize",
+    "stripe",
     "EvidenceSet",
     "ColumnIndexes",
     "EqualityIndex",

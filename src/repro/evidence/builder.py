@@ -70,28 +70,42 @@ def build_evidence_state(
     space: PredicateSpace,
     maintain_tuple_index: bool = False,
     checkpoint_step: int = 32,
+    workers: int = 1,
 ) -> EvidenceEngineState:
     """Build the full evidence set of ``relation`` from scratch.
 
     :param maintain_tuple_index: also populate the per-tuple evidence index
         used by the fast delete strategy (Section V-C); the paper reports
         only a slight build-time overhead for it.
+    :param workers: shard the scan over a process pool when > 1 (0 = one
+        worker per CPU); the merged evidence set is identical to the
+        serial result for any worker count.
     """
+    from repro.evidence import parallel
+
     with probe_span("indexes"):
         indexes = ColumnIndexes(relation, step=checkpoint_step)
     evidence_set = EvidenceSet()
     tuple_index = TupleEvidenceIndex() if maintain_tuple_index else None
 
+    n_workers = parallel.resolve_workers(workers)
     with probe_span("scan"):
-        remaining = relation.alive_bits
-        for rid in relation.rids():
-            remaining &= ~(1 << rid)
-            if not remaining:
-                break
-            contexts = build_contexts(space, relation, rid, remaining, indexes)
-            collect_contexts(space, contexts, evidence_set)
-            if tuple_index is not None:
-                tuple_index.record_contexts(rid, contexts)
+        if parallel.should_parallelize(n_workers, len(relation)):
+            evidence_set = parallel.parallel_static_evidence(
+                relation, space, indexes, tuple_index, n_workers
+            )
+        else:
+            remaining = relation.alive_bits
+            for rid in relation.rids():
+                remaining &= ~(1 << rid)
+                if not remaining:
+                    break
+                contexts = build_contexts(
+                    space, relation, rid, remaining, indexes
+                )
+                collect_contexts(space, contexts, evidence_set)
+                if tuple_index is not None:
+                    tuple_index.record_contexts(rid, contexts)
 
     return EvidenceEngineState(
         space=space,

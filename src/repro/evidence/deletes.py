@@ -31,13 +31,24 @@ def delete_evidence_by_recompute(
     relation: Relation,
     state: EvidenceEngineState,
     delete_rids: Iterable[int],
+    workers: int = 1,
 ) -> EvidenceSet:
     """Recompute the evidence produced by the delete batch from scratch.
 
     Precondition: the batch rows are still alive in ``relation`` and still
     present in ``state.indexes``.
+
+    :param workers: shard the batch over a process pool when > 1 (0 = one
+        worker per CPU); results are identical for any worker count.
     """
+    from repro.evidence import parallel
+
     delete_list = sorted(delete_rids)
+    n_workers = parallel.resolve_workers(workers)
+    if parallel.should_parallelize(n_workers, len(delete_list)):
+        return parallel.parallel_delete_evidence(
+            relation, state, delete_list, "recompute", n_workers
+        )
     evidence_delta = EvidenceSet()
     remaining = relation.alive_bits
     space = state.space
@@ -52,6 +63,7 @@ def delete_evidence_with_index(
     relation: Relation,
     state: EvidenceEngineState,
     delete_rids: Iterable[int],
+    workers: int = 1,
 ) -> EvidenceSet:
     """Compute the delete batch's evidence using the per-tuple index.
 
@@ -69,8 +81,12 @@ def delete_evidence_with_index(
     batch member are counted at the owner's step (1); pairs between ``t``
     and a surviving non-partner at ``t``'s step (2).
 
+    :param workers: shard the batch over a process pool when > 1 (0 = one
+        worker per CPU); results are identical for any worker count.
     :raises RuntimeError: when the engine state has no tuple index.
     """
+    from repro.evidence import parallel
+
     tuple_index = state.tuple_index
     if tuple_index is None:
         raise RuntimeError(
@@ -78,6 +94,11 @@ def delete_evidence_with_index(
             "build the state with maintain_tuple_index=True"
         )
     delete_list = sorted(delete_rids)
+    n_workers = parallel.resolve_workers(workers)
+    if parallel.should_parallelize(n_workers, len(delete_list)):
+        return parallel.parallel_delete_evidence(
+            relation, state, delete_list, "index", n_workers
+        )
     evidence_delta = EvidenceSet()
     space = state.space
     symmetrize = space.symmetrize

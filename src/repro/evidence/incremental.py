@@ -31,6 +31,7 @@ def incremental_evidence_for_insert(
     state: EvidenceEngineState,
     delta_rids: Iterable[int],
     infer_within_delta: bool = True,
+    workers: int = 1,
 ) -> EvidenceSet:
     """Compute ``E_Δr`` for an insert batch.
 
@@ -41,7 +42,12 @@ def incremental_evidence_for_insert(
 
     :param infer_within_delta: choose the Opt (True) or Base (False)
         strategy described above.
+    :param workers: shard ``Δr`` over a process pool when > 1 (0 = one
+        worker per CPU); the merged delta is identical to the serial
+        result for any worker count.
     """
+    from repro.evidence import parallel
+
     delta_list = sorted(delta_rids)
     delta_bits = bits_from(delta_list)
     static_bits = relation.alive_bits & ~delta_bits
@@ -50,6 +56,12 @@ def incremental_evidence_for_insert(
     probe = get_probe()
     if probe is not None:
         probe.inc("evidence.delta_tuples", len(delta_list))
+
+    n_workers = parallel.resolve_workers(workers)
+    if parallel.should_parallelize(n_workers, len(delta_list)):
+        return parallel.parallel_insert_evidence(
+            relation, state, delta_list, infer_within_delta, n_workers
+        )
 
     if infer_within_delta:
         remaining_delta = delta_bits

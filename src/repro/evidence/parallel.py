@@ -1,0 +1,487 @@
+"""Worker-pool execution layer for evidence construction.
+
+Evidence-set maintenance dominates 3DC runtime (the paper's Figure 13
+breakdown), yet every pair-reconciliation loop in this package was serial.
+This module shards those loops into independent chunk tasks and runs them
+on a ``concurrent.futures`` process pool:
+
+- **static build** shards the alive-rid range: tuple ``t`` reconciles
+  against the alive tuples after it, so each rid's work is independent
+  given a snapshot of ``alive_bits``;
+- **insert batches** shard ``Δr``: with the Opt strategy the *i*-th
+  incremental tuple's partner set (statics plus later incrementals) is a
+  pure function of the sorted batch, with Base it is "everyone but me";
+- **deletes** shard the batch: the serial loops' ``processed``/
+  ``remaining`` bookkeeping is a prefix of the *sorted* batch, so shard
+  ``i`` recomputes its prefix bits instead of depending on shard ``i-1``;
+  the index strategy additionally reads each dying tuple's own entry from
+  the per-tuple evidence index, which no other shard touches.
+
+Workers are forked (start method ``fork``), so the relation, predicate
+space, column indexes, and tuple index are shared copy-on-write through
+:data:`_SHARD_STATE` — nothing heavyweight is pickled per task.  Each
+shard returns a plain evidence counter (with the symmetric inferences
+already folded in, and *signed* counts for the delete-index strategy's
+stale-pair corrections); the parent merges shards with a sorted-key merge
+so the resulting :class:`~repro.evidence.evidence_set.EvidenceSet` is
+identical for any worker count and any sharding.  Platforms without
+``fork`` (and ``workers=1``) fall back to the serial implementations.
+
+Rid assignment to shards is striped (``rids[shard_index::n_shards]``): in
+the static build the per-rid cost shrinks with the rid (fewer partners
+after it), so contiguous chunks would leave the last worker idle.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.bitmaps.bitutils import bits_from, iter_bits
+from repro.evidence.contexts import build_contexts
+from repro.evidence.evidence_set import EvidenceSet
+from repro.observability import get_logger
+from repro.observability import probe as _probe_module
+from repro.observability.probe import get_probe
+
+logger = get_logger(__name__)
+
+#: Fork-shared engine snapshot, set by the parent immediately before the
+#: pool is created and cleared right after the gather.  Keys: ``relation``,
+#: ``space``, ``indexes``, ``tuple_index``, ``alive_bits``.
+_SHARD_STATE: Optional[dict] = None
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize the ``workers`` knob: ``None``/1 → serial, ``0`` or any
+    negative value → one worker per CPU."""
+    if workers is None:
+        return 1
+    if workers <= 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def fork_available() -> bool:
+    """Whether the platform supports fork-based worker pools."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def should_parallelize(workers: int, n_items: int) -> bool:
+    """Run on a pool only when it can actually split work: more than one
+    worker requested, at least two shardable items, and ``fork`` present
+    (without it the copy-on-write state sharing does not work)."""
+    if workers <= 1 or n_items < 2:
+        return False
+    if not fork_available():
+        logger.warning(
+            "workers=%d requested but the 'fork' start method is "
+            "unavailable on this platform; running serially", workers
+        )
+        return False
+    return True
+
+
+def stripe(items: list, n_shards: int) -> List[list]:
+    """Deterministic striped partition: item ``i`` goes to shard
+    ``i % n_shards``.  Striping keeps shard loads even when per-item cost
+    decreases along the list (the static build's triangular pair count)."""
+    n_shards = max(1, min(n_shards, len(items)))
+    return [items[shard::n_shards] for shard in range(n_shards)]
+
+
+@dataclass
+class ShardResult:
+    """One shard's partial evidence plus its accounting.
+
+    ``counts`` is a signed evidence counter — the delete-index strategy
+    subtracts stale-pair corrections that another shard's additions cover;
+    only the merged totals must be non-negative.  ``tuple_records`` carries
+    ``(rid, owned_counter, partner_bits)`` entries for the per-tuple
+    evidence index when the caller maintains one.
+    """
+
+    counts: dict
+    tuple_records: list = field(default_factory=list)
+    pipelines: int = 0
+    pairs: int = 0
+    contexts_out: int = 0
+    pairs_inferred: int = 0
+    duration: float = 0.0
+
+
+def merge_shard_counts(results: List[ShardResult]) -> EvidenceSet:
+    """Sorted-key merge of the shards' signed counters.
+
+    Totals are accumulated per mask and inserted in ascending-mask order,
+    so the merged set's contents *and* iteration order are independent of
+    worker count, sharding, and completion order.
+
+    :raises ValueError: if any merged multiplicity is negative — that
+        always means a shard kernel diverged from its serial counterpart.
+    """
+    totals: dict = {}
+    for shard in results:
+        for mask, count in shard.counts.items():
+            totals[mask] = totals.get(mask, 0) + count
+    merged = EvidenceSet()
+    for mask in sorted(totals):
+        count = totals[mask]
+        if count < 0:
+            raise ValueError(
+                f"negative merged multiplicity {count} for evidence "
+                f"{mask:#x} — shard results are inconsistent"
+            )
+        if count:
+            merged.add(mask, count)
+    return merged
+
+
+def apply_tuple_records(tuple_index, results: List[ShardResult]) -> None:
+    """Install the shards' per-tuple ownership records, in rid order."""
+    records = [record for shard in results for record in shard.tuple_records]
+    for rid, owned_counter, partner_bits in sorted(records):
+        counter = tuple_index.owned.setdefault(rid, {})
+        for evidence, count in owned_counter.items():
+            counter[evidence] = counter.get(evidence, 0) + count
+        tuple_index.partners_of[rid] = (
+            tuple_index.partners_of.get(rid, 0) | partner_bits
+        )
+
+
+def report_shards(
+    results: List[ShardResult], workers: int, n_groups: int
+) -> None:
+    """Feed per-shard spans' worth of accounting into the active probe.
+
+    Worker processes cannot reach the parent's metrics registry, so each
+    shard measures itself and the parent re-emits the aggregate here: the
+    serial continuity counters (``evidence.*``) plus the ``parallel.*``
+    family described in docs/observability.md.
+    """
+    probe = get_probe()
+    if probe is None:
+        return
+    probe.inc("parallel.batches")
+    probe.inc("parallel.shards", len(results))
+    probe.set_gauge("parallel.workers", workers)
+    for shard in results:
+        probe.observe("parallel.shard_seconds", shard.duration)
+        probe.observe("parallel.shard_pairs", shard.pairs)
+        probe.inc("evidence.context_pipelines", shard.pipelines)
+        probe.inc("evidence.pairs_compared", shard.pairs)
+        probe.inc("evidence.contexts_out", shard.contexts_out)
+        probe.inc("evidence.index_probes", shard.pipelines * n_groups)
+        if shard.pairs_inferred:
+            probe.inc("evidence.pairs_inferred", shard.pairs_inferred)
+
+
+def run_shards(context: dict, specs: List[dict], workers: int) -> List[ShardResult]:
+    """Scatter ``specs`` over a fork pool and gather results in spec order.
+
+    ``context`` becomes the fork-shared :data:`_SHARD_STATE`.  Results are
+    returned in submission order (``Executor.map`` semantics), so callers
+    can merge without caring which worker finished first.
+    """
+    global _SHARD_STATE
+    _SHARD_STATE = context
+    try:
+        mp_context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(specs)), mp_context=mp_context
+        ) as pool:
+            results = list(pool.map(_run_shard, specs))
+        report_shards(results, workers, len(context["space"].groups))
+    finally:
+        _SHARD_STATE = None
+    return results
+
+
+# -- worker-side kernels ------------------------------------------------------
+
+
+def _fold_contexts(space, contexts, counts, symmetric_bits=None) -> int:
+    """Worker-side :func:`~repro.evidence.builder.collect_contexts`:
+    fold reconciled contexts into a plain counter, inferring the symmetric
+    evidence for the partners selected by ``symmetric_bits`` (default all).
+    Returns the number of inferred pairs."""
+    symmetrize = space.symmetrize
+    inferred = 0
+    for evidence, bits in contexts.items():
+        count = bits.bit_count()
+        if count:
+            counts[evidence] = counts.get(evidence, 0) + count
+        if symmetric_bits is None:
+            sym_count = count
+        else:
+            sym_count = (bits & symmetric_bits).bit_count()
+        if sym_count:
+            symmetric = symmetrize(evidence)
+            counts[symmetric] = counts.get(symmetric, 0) + sym_count
+            inferred += sym_count
+    return inferred
+
+
+def _run_shard(spec: dict) -> ShardResult:
+    """Worker entry point: dispatch one shard spec against the fork-shared
+    engine snapshot."""
+    # The fork inherited the parent's active probe; per-pair accounting in
+    # the child would be lost at process exit, so switch it off and let
+    # report_shards() re-emit the aggregate in the parent.
+    _probe_module._ACTIVE = None
+    state = _SHARD_STATE
+    if state is None:
+        raise RuntimeError(
+            "_run_shard outside a fork-shared context "
+            "(spawn start method cannot run evidence shards)"
+        )
+    started = time.perf_counter()
+    kind = spec["kind"]
+    if kind == "static":
+        result = _shard_static(state, spec)
+    elif kind == "insert_opt":
+        result = _shard_insert_opt(state, spec)
+    elif kind == "insert_base":
+        result = _shard_insert_base(state, spec)
+    elif kind == "delete_index":
+        result = _shard_delete_index(state, spec)
+    elif kind == "delete_recompute":
+        result = _shard_delete_recompute(state, spec)
+    else:
+        raise ValueError(f"unknown shard kind {kind!r}")
+    result.duration = time.perf_counter() - started
+    return result
+
+
+def _reconcile(state, result, rid, partners, symmetric_bits=None):
+    """Run one context pipeline and fold it into ``result``; returns the
+    reconciled contexts for optional ownership recording."""
+    if not partners:
+        return {}
+    contexts = build_contexts(
+        state["space"], state["relation"], rid, partners, state["indexes"]
+    )
+    result.pipelines += 1
+    result.pairs += partners.bit_count()
+    result.contexts_out += len(contexts)
+    result.pairs_inferred += _fold_contexts(
+        state["space"], contexts, result.counts, symmetric_bits
+    )
+    return contexts
+
+
+def _ownership_record(rid, contexts) -> Tuple[int, dict, int]:
+    owned_counter: dict = {}
+    partner_union = 0
+    for evidence, bits in contexts.items():
+        if not bits:
+            continue
+        owned_counter[evidence] = (
+            owned_counter.get(evidence, 0) + bits.bit_count()
+        )
+        partner_union |= bits
+    return (rid, owned_counter, partner_union)
+
+
+def _shard_static(state, spec) -> ShardResult:
+    """Static build: rid reconciles against the alive rids after it."""
+    result = ShardResult(counts={})
+    alive_bits = state["alive_bits"]
+    record = state["tuple_index"] is not None
+    for rid in spec["rids"]:
+        partners = alive_bits & ~((1 << (rid + 1)) - 1)
+        contexts = _reconcile(state, result, rid, partners)
+        # `if partners`: the serial scan breaks before recording the last
+        # alive rid (it has no partners after it), so an entry for it
+        # would make the index differ from a serial build.
+        if record and partners:
+            result.tuple_records.append(_ownership_record(rid, contexts))
+    return result
+
+
+def _shard_insert_opt(state, spec) -> ShardResult:
+    """Insert, Opt strategy: rid reconciles against the static tuples plus
+    the incremental tuples after it; symmetric evidence inferred for all."""
+    result = ShardResult(counts={})
+    delta_bits = bits_from(spec["delta_list"])
+    static_bits = state["alive_bits"] & ~delta_bits
+    record = state["tuple_index"] is not None
+    for rid in spec["rids"]:
+        later_delta = delta_bits & ~((1 << (rid + 1)) - 1)
+        contexts = _reconcile(state, result, rid, static_bits | later_delta)
+        if record:
+            result.tuple_records.append(_ownership_record(rid, contexts))
+    return result
+
+
+def _shard_insert_base(state, spec) -> ShardResult:
+    """Insert, Base strategy: rid reconciles against everyone else;
+    inference only for static partners (delta pairs run both directions)."""
+    result = ShardResult(counts={})
+    delta_bits = bits_from(spec["delta_list"])
+    static_bits = state["alive_bits"] & ~delta_bits
+    all_bits = static_bits | delta_bits
+    record = state["tuple_index"] is not None
+    for rid in spec["rids"]:
+        contexts = _reconcile(
+            state, result, rid, all_bits & ~(1 << rid), symmetric_bits=static_bits
+        )
+        if record:
+            # Single-owner-per-pair bookkeeping: keep the static pairs plus
+            # the delta partners after this tuple (mirrors the serial path).
+            later_delta = delta_bits & ~((1 << (rid + 1)) - 1)
+            owned = {
+                evidence: bits & (static_bits | later_delta)
+                for evidence, bits in contexts.items()
+            }
+            result.tuple_records.append(_ownership_record(rid, owned))
+    return result
+
+
+def _prefix_bits(delete_list: List[int], wanted: set) -> dict:
+    """``position → bits of delete_list[:position]`` for the wanted
+    positions, built in one pass over the sorted batch."""
+    prefixes = {}
+    accumulated = 0
+    for position, rid in enumerate(delete_list):
+        if position in wanted:
+            prefixes[position] = accumulated
+        accumulated |= 1 << rid
+    if len(delete_list) in wanted:
+        prefixes[len(delete_list)] = accumulated
+    return prefixes
+
+
+def _shard_delete_index(state, spec) -> ShardResult:
+    """Delete, index strategy: each dying tuple contributes its owned
+    pairs from the per-tuple index (minus stale corrections) plus one
+    pipeline over the alive, unprocessed, non-owned partners.
+
+    ``processed`` for batch position ``i`` is the prefix ``delete_list[:i]``
+    — a pure function of the sorted batch, which is what makes the serial
+    loop shardable.
+    """
+    result = ShardResult(counts={})
+    relation = state["relation"]
+    space = state["space"]
+    tuple_index = state["tuple_index"]
+    alive_bits = state["alive_bits"]
+    symmetrize = space.symmetrize
+    evidence_of_pair = space.evidence_of_pair
+    delete_list = spec["delete_list"]
+    items = spec["items"]
+    prefixes = _prefix_bits(delete_list, {position for position, _ in items})
+    counts = result.counts
+    for position, rid in items:
+        processed_bits = prefixes[position]
+        rid_bit = 1 << rid
+        partners = tuple_index.partners(rid)
+        for evidence, count in tuple_index.owned_evidence(rid).items():
+            counts[evidence] = counts.get(evidence, 0) + count
+            symmetric = symmetrize(evidence)
+            counts[symmetric] = counts.get(symmetric, 0) + count
+        stale = partners & (~alive_bits | processed_bits)
+        if stale:
+            row = relation.row(rid)
+            for partner in iter_bits(stale):
+                evidence = evidence_of_pair(row, relation.row(partner))
+                counts[evidence] = counts.get(evidence, 0) - 1
+                symmetric = symmetrize(evidence)
+                counts[symmetric] = counts.get(symmetric, 0) - 1
+        others = alive_bits & ~processed_bits & ~partners & ~rid_bit
+        _reconcile(state, result, rid, others)
+    return result
+
+
+def _shard_delete_recompute(state, spec) -> ShardResult:
+    """Delete, recompute strategy: batch position ``i`` reconciles against
+    the alive tuples minus the batch prefix ``delete_list[:i+1]``."""
+    result = ShardResult(counts={})
+    alive_bits = state["alive_bits"]
+    delete_list = spec["delete_list"]
+    items = spec["items"]
+    prefixes = _prefix_bits(
+        delete_list, {position + 1 for position, _ in items}
+    )
+    for position, rid in items:
+        remaining = alive_bits & ~prefixes[position + 1]
+        _reconcile(state, result, rid, remaining)
+    return result
+
+
+# -- parent-side orchestration -------------------------------------------------
+
+
+def _context(relation, space, indexes, tuple_index) -> dict:
+    return {
+        "relation": relation,
+        "space": space,
+        "indexes": indexes,
+        "tuple_index": tuple_index,
+        "alive_bits": relation.alive_bits,
+    }
+
+
+def parallel_static_evidence(
+    relation, space, indexes, tuple_index, workers: int
+) -> EvidenceSet:
+    """Sharded static evidence build; populates ``tuple_index`` when given.
+    The caller has already decided to parallelize (``should_parallelize``)."""
+    rids = list(relation.rids())
+    specs = [
+        {"kind": "static", "rids": shard}
+        for shard in stripe(rids, workers)
+    ]
+    results = run_shards(
+        _context(relation, space, indexes, tuple_index), specs, workers
+    )
+    if tuple_index is not None:
+        apply_tuple_records(tuple_index, results)
+    return merge_shard_counts(results)
+
+
+def parallel_insert_evidence(
+    relation, state, delta_list: List[int], infer_within_delta: bool, workers: int
+) -> EvidenceSet:
+    """Sharded ``E_Δr`` computation for an insert batch (already inserted
+    into the relation and indexed, exactly as the serial precondition)."""
+    kind = "insert_opt" if infer_within_delta else "insert_base"
+    specs = [
+        {"kind": kind, "rids": shard, "delta_list": delta_list}
+        for shard in stripe(delta_list, workers)
+    ]
+    results = run_shards(
+        _context(relation, state.space, state.indexes, state.tuple_index),
+        specs,
+        workers,
+    )
+    if state.tuple_index is not None:
+        apply_tuple_records(state.tuple_index, results)
+    return merge_shard_counts(results)
+
+
+def parallel_delete_evidence(
+    relation, state, delete_list: List[int], strategy: str, workers: int
+) -> EvidenceSet:
+    """Sharded ``E_Δr`` computation for a delete batch (rows still alive
+    and indexed).  For the index strategy the per-tuple records of the
+    dying tuples are dropped after the gather, as the serial loop does."""
+    kind = "delete_index" if strategy == "index" else "delete_recompute"
+    items = list(enumerate(delete_list))
+    specs = [
+        {"kind": kind, "items": shard, "delete_list": delete_list}
+        for shard in stripe(items, workers)
+    ]
+    results = run_shards(
+        _context(relation, state.space, state.indexes, state.tuple_index),
+        specs,
+        workers,
+    )
+    if kind == "delete_index":
+        for rid in delete_list:
+            state.tuple_index.drop_tuple(rid)
+    return merge_shard_counts(results)

@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bitmaps import IntBitset, RoaringBitmap, get_backend
+from repro.bitmaps.roaring import ARRAY_MAX, _container_len
 
 BACKENDS = [IntBitset, RoaringBitmap]
 
@@ -146,6 +147,114 @@ def test_intbitset_negative_rejected():
 def test_roaring_negative_add_rejected():
     with pytest.raises(ValueError):
         RoaringBitmap().add(-3)
+
+
+# -- container transitions around ARRAY_MAX (Hypothesis properties) ----------
+#
+# The roaring format's central adaptive decision is the array↔bitmap
+# promotion threshold.  Invariant maintained by RoaringBitmap: a bitmap
+# container is only ever *created* with cardinality > ARRAY_MAX (add-path
+# promotion or algebra), and every discard rebuilds the touched container
+# from its bits — so at all times 'a' ⇒ card ≤ ARRAY_MAX and
+# 'b' ⇒ card > ARRAY_MAX ('r' appears only via run_optimize).
+
+# Values biased to hover around the promotion boundary of chunk 0, with a
+# sprinkle of far values to keep multi-chunk bookkeeping honest.
+boundary_values = st.one_of(
+    st.integers(min_value=ARRAY_MAX - 48, max_value=ARRAY_MAX + 48),
+    st.integers(min_value=0, max_value=2**17),
+)
+boundary_ops = st.lists(
+    st.tuples(st.sampled_from(["add", "discard"]), boundary_values),
+    max_size=40,
+)
+
+
+def _assert_container_kinds_match_cardinality(bitmap: RoaringBitmap):
+    for container in bitmap._containers.values():
+        kind = container[0]
+        cardinality = _container_len(container)
+        assert cardinality > 0  # empties must never be exposed
+        if kind == "a":
+            assert cardinality <= ARRAY_MAX
+        elif kind == "b":
+            assert cardinality > ARRAY_MAX
+
+
+@given(ops=boundary_ops)
+@settings(max_examples=25, deadline=None)
+def test_roaring_transitions_around_array_max(ops):
+    """add/discard sequences across the promotion boundary: content always
+    matches a model set and container kinds always match cardinality."""
+    base = range(ARRAY_MAX - 8)
+    bitmap = RoaringBitmap.from_iterable(base)
+    model = set(base)
+    for op, value in ops:
+        if op == "add":
+            bitmap.add(value)
+            model.add(value)
+        else:
+            bitmap.discard(value)
+            model.discard(value)
+    assert set(bitmap) == model
+    assert len(bitmap) == len(model)
+    _assert_container_kinds_match_cardinality(bitmap)
+
+
+@given(extra=st.sets(st.integers(0, 2**16 - 1), max_size=24))
+@settings(max_examples=25, deadline=None)
+def test_roaring_promotion_and_demotion_boundary(extra):
+    """Crossing ARRAY_MAX upward promotes to a bitmap container; coming
+    back down via discard demotes to an array container."""
+    bitmap = RoaringBitmap.from_iterable(range(ARRAY_MAX))
+    assert bitmap.container_stats() == {"array": 1, "bitmap": 0, "run": 0}
+    new_values = [value for value in sorted(extra) if value >= ARRAY_MAX]
+    for value in new_values:
+        bitmap.add(value)
+    stats = bitmap.container_stats()
+    if new_values:
+        assert stats == {"array": 0, "bitmap": 1, "run": 0}
+    else:
+        assert stats == {"array": 1, "bitmap": 0, "run": 0}
+    for value in new_values:
+        bitmap.discard(value)
+    # Cardinality is back to ARRAY_MAX: the discard path must have demoted.
+    assert bitmap.container_stats() == {"array": 1, "bitmap": 0, "run": 0}
+    assert set(bitmap) == set(range(ARRAY_MAX))
+
+
+@given(
+    intervals=st.lists(
+        st.tuples(st.integers(0, 2**17), st.integers(1, 300)),
+        min_size=1,
+        max_size=8,
+    ),
+    churn=st.lists(st.integers(0, 2**17), max_size=12),
+)
+@settings(max_examples=25, deadline=None)
+def test_roaring_run_container_round_trip(intervals, churn):
+    """run_optimize → mutate → compare: run containers must round-trip
+    through adds, discards, and iteration without losing content."""
+    values = {
+        value
+        for start, length in intervals
+        for value in range(start, start + length)
+    }
+    optimized = RoaringBitmap.from_iterable(values)
+    optimized.run_optimize()
+    model = set(values)
+    assert set(optimized) == model
+    for value in churn:
+        if value in model:
+            optimized.discard(value)
+            model.discard(value)
+        else:
+            optimized.add(value)
+            model.add(value)
+        assert (value in optimized) == (value in model)
+    assert set(optimized) == model
+    assert optimized == RoaringBitmap.from_iterable(model)
+    _assert_container_kinds_match_cardinality(optimized)
 
 
 @given(values=wide_sets, other_values=wide_sets)

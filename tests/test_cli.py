@@ -69,6 +69,23 @@ def test_datasets_generation(tmp_path, capsys):
     assert rows[0][0] == "id"
 
 
+def test_workers_flag_produces_identical_state(staff_csv, tmp_path, capsys):
+    serial_state = tmp_path / "serial.json"
+    pooled_state = tmp_path / "pooled.json"
+    assert main(["discover", str(staff_csv), "--state", str(serial_state)]) == 0
+    assert main(
+        ["discover", str(staff_csv), "--workers", "2", "--state", str(pooled_state)]
+    ) == 0
+    assert serial_state.read_bytes() == pooled_state.read_bytes()
+
+    assert main(
+        ["delete", "--state", str(pooled_state), "--rids", "1", "2",
+         "--workers", "2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "delete |Δr|=2" in out
+
+
 def test_unknown_command_fails():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

@@ -1,0 +1,181 @@
+"""Tests for the worker-pool evidence execution layer.
+
+The contract under test: any worker count produces *byte-identical*
+results — same serialized state document, same evidence multiset, same Σ —
+because the shard kernels replicate the serial algorithms exactly and the
+shard merge is a deterministic sorted-key fold.
+"""
+
+import json
+
+import pytest
+
+from repro.core.discoverer import DCDiscoverer
+from repro.core.state_io import state_to_dict
+from repro.evidence import parallel
+from repro.evidence.builder import build_evidence_state
+from repro.evidence.evidence_set import EvidenceSet
+from repro.evidence.parallel import (
+    ShardResult,
+    merge_shard_counts,
+    resolve_workers,
+    should_parallelize,
+    stripe,
+)
+from repro.relational.loader import relation_from_rows
+from repro.workloads.datasets import DATASETS
+from repro.workloads.updates import pick_delete_rids, split_for_insert
+
+DATASET = "Tax"
+WORKER_COUNTS = (1, 2, 4)
+
+
+# -- helpers ------------------------------------------------------------------
+
+
+def _workload(seed=1, rows=80):
+    raw = DATASETS[DATASET].rows(rows, seed=0)
+    return split_for_insert(raw, ratio=0.25, retain=0.7, seed=seed)
+
+
+def _run_cycle(workers, **discoverer_kwargs):
+    """fit → insert → delete with the given worker count; return the
+    discoverer and its canonical serialized state."""
+    workload = _workload()
+    relation = relation_from_rows(
+        DATASETS[DATASET].header, list(workload.static_rows)
+    )
+    discoverer = DCDiscoverer(relation, workers=workers, **discoverer_kwargs)
+    discoverer.fit()
+    discoverer.insert(list(workload.delta_rows))
+    discoverer.delete(pick_delete_rids(discoverer.relation, 0.15, seed=3))
+    return discoverer, json.dumps(state_to_dict(discoverer))
+
+
+# -- the determinism guarantee ------------------------------------------------
+
+
+def test_worker_counts_produce_byte_identical_states():
+    """Same dataset + seed, workers ∈ {1, 2, 4}: identical serialized
+    evidence sets and identical Σ (the deterministic-merge guard)."""
+    discoverers, payloads = zip(
+        *(_run_cycle(workers) for workers in WORKER_COUNTS)
+    )
+    assert payloads[0] == payloads[1] == payloads[2]
+    reference = discoverers[0]
+    for other in discoverers[1:]:
+        assert other.evidence_set.counts == reference.evidence_set.counts
+        assert set(other.dc_masks) == set(reference.dc_masks)
+
+
+def test_worker_counts_identical_for_base_and_recompute_strategies():
+    payloads = [
+        _run_cycle(
+            workers, infer_within_delta=False, delete_strategy="recompute"
+        )[1]
+        for workers in WORKER_COUNTS
+    ]
+    assert payloads[0] == payloads[1] == payloads[2]
+
+
+def test_parallel_static_build_matches_serial():
+    relation = relation_from_rows(
+        DATASETS[DATASET].header, DATASETS[DATASET].rows(60, seed=0)
+    )
+    serial = DCDiscoverer(relation)
+    serial.fit()
+    parallel_state = build_evidence_state(
+        relation, serial.space, maintain_tuple_index=True, workers=3
+    )
+    assert parallel_state.evidence.counts == serial.evidence_set.counts
+    assert (
+        parallel_state.tuple_index.owned
+        == serial.engine_state.tuple_index.owned
+    )
+    assert (
+        parallel_state.tuple_index.partners_of
+        == serial.engine_state.tuple_index.partners_of
+    )
+
+
+def test_workers_zero_means_cpu_count():
+    _, payload = _run_cycle(0)
+    assert payload == _run_cycle(1)[1]
+
+
+# -- knob resolution and sharding ---------------------------------------------
+
+
+def test_resolve_workers():
+    assert resolve_workers(None) == 1
+    assert resolve_workers(1) == 1
+    assert resolve_workers(3) == 3
+    assert resolve_workers(0) >= 1
+    assert resolve_workers(-2) >= 1
+
+
+def test_stripe_covers_all_items_deterministically():
+    items = list(range(10))
+    shards = stripe(items, 3)
+    assert len(shards) == 3
+    assert sorted(value for shard in shards for value in shard) == items
+    assert shards == stripe(items, 3)
+    assert shards[0] == [0, 3, 6, 9]
+    # Never more shards than items; degenerate inputs stay valid.
+    assert stripe([7], 4) == [[7]]
+    assert stripe([], 4) == [[]]
+
+
+def test_should_parallelize_gates():
+    assert not should_parallelize(1, 100)
+    assert not should_parallelize(4, 1)
+    if parallel.fork_available():
+        assert should_parallelize(4, 100)
+
+
+def test_fork_unavailable_falls_back_to_serial(monkeypatch):
+    monkeypatch.setattr(parallel, "fork_available", lambda: False)
+    assert not should_parallelize(4, 100)
+    _, payload = _run_cycle(4)  # must silently run serially, same result
+    assert payload == _run_cycle(1)[1]
+
+
+# -- merge --------------------------------------------------------------------
+
+
+def test_merge_shard_counts_is_sorted_and_signed():
+    shards = [
+        ShardResult(counts={5: 2, 3: 1}),
+        ShardResult(counts={3: -1, 1: 4, 7: 0}),
+    ]
+    merged = merge_shard_counts(shards)
+    assert merged.counts == {1: 4, 5: 2}
+    assert list(merged.counts) == [1, 5]  # ascending-mask insertion order
+
+
+def test_merge_shard_counts_rejects_negative_totals():
+    with pytest.raises(ValueError, match="negative merged multiplicity"):
+        merge_shard_counts([ShardResult(counts={3: -2}), ShardResult(counts={3: 1})])
+
+
+def test_merge_empty_shards():
+    assert merge_shard_counts([]) == EvidenceSet()
+
+
+# -- observability ------------------------------------------------------------
+
+
+def test_parallel_run_reports_shard_metrics():
+    workload = _workload()
+    relation = relation_from_rows(
+        DATASETS[DATASET].header, list(workload.static_rows)
+    )
+    discoverer = DCDiscoverer(relation, workers=2)
+    result = discoverer.fit()
+    assert result.report.metric("parallel.shards") >= 2
+    assert result.report.metric("parallel.batches") == 1
+    assert result.report.metric("evidence.pairs_compared") > 0
+    histograms = discoverer.instrumentation.metrics.histograms
+    assert "parallel.shard_seconds" in histograms
+    insert_report = discoverer.insert(list(workload.delta_rows)).report
+    assert insert_report.metric("parallel.batches") == 1
