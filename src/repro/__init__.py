@@ -19,10 +19,13 @@ reproduction of every table and figure of the paper.
 from repro.core import (
     DCDiscoverer,
     DiscoveryResult,
+    StateFormatError,
+    StateVersionError,
     UpdateResult,
     load_state,
     save_state,
 )
+from repro.durability import DurableSession, SessionError
 from repro.dcs import DenialConstraint, approximate_dcs, rank_dcs
 from repro.predicates import (
     Operator,
@@ -49,6 +52,10 @@ __version__ = "1.0.0"
 __all__ = [
     "DCDiscoverer",
     "DiscoveryResult",
+    "DurableSession",
+    "SessionError",
+    "StateFormatError",
+    "StateVersionError",
     "UpdateResult",
     "save_state",
     "load_state",

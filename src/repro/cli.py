@@ -7,7 +7,12 @@ Subcommands mirror the 3DC life cycle:
 - ``delete``    — load a state, delete rows by rid, print the changes;
 - ``rank``      — load a state, print the top-k ranked DCs;
 - ``stats``     — structural + pipeline statistics of a CSV or saved state;
-- ``datasets``  — generate one of the synthetic evaluation datasets.
+- ``datasets``  — generate one of the synthetic evaluation datasets;
+- ``session``   — durable sessions (``init``/``insert``/``delete``/
+  ``recover``/``status``): every update batch is write-ahead logged and
+  the state is checkpointed atomically every ``--checkpoint-every``
+  batches, so a crash at any instant recovers without data loss
+  (docs/durability.md).
 
 ``discover``/``insert``/``delete`` accept ``--workers N`` to shard
 evidence construction over a process pool (results are identical for any
@@ -35,6 +40,8 @@ import sys
 
 from repro.core.discoverer import DCDiscoverer
 from repro.core.state_io import load_state, save_state
+from repro.durability import DurableSession
+from repro.durability.session import DEFAULT_CHECKPOINT_EVERY
 from repro.observability import configure_logging
 from repro.observability.exporters import snapshot_to_prometheus
 from repro.observability.logging import LEVELS
@@ -206,6 +213,89 @@ def _cmd_datasets(args) -> int:
     return 0
 
 
+def _print_session_status(session: DurableSession) -> None:
+    status = session.status()
+    print(f"session directory    {status['directory']}")
+    print(f"rows                 {status['rows']}")
+    print(f"minimal DCs          {status['dcs']}")
+    print(f"distinct evidences   {status['evidence_distinct']}")
+    print(f"next WAL seq         {status['next_seq']}")
+    print(f"checkpointed seq     {status['checkpoint_seq']}")
+    print(
+        f"pending WAL records  {status['pending_wal_records']} "
+        f"({status['wal_bytes']} bytes)"
+    )
+    print(
+        f"checkpoint policy    every {status['checkpoint_every']} batches, "
+        f"retain {status['retain']}"
+    )
+    print(f"checkpoints on disk  {', '.join(status['checkpoints']) or '(none)'}")
+
+
+def _cmd_session_init(args) -> int:
+    relation = load_csv(args.csv, null_policy=args.null_policy)
+    discoverer = DCDiscoverer(
+        relation,
+        cross_column_ratio=args.cross_ratio,
+        allow_cross_columns=not args.no_cross_columns,
+        workers=args.workers,
+    )
+    result = discoverer.fit()
+    print(result)
+    _print_dcs(discoverer, args.top)
+    _emit_observability(args, result)
+    with DurableSession.create(
+        discoverer,
+        args.dir,
+        checkpoint_every=args.checkpoint_every,
+        retain=args.retain,
+    ) as session:
+        print(f"durable session initialized in {session.directory}")
+    return 0
+
+
+def _cmd_session_insert(args) -> int:
+    with DurableSession.recover(args.dir) as session:
+        relation = load_csv(
+            args.csv,
+            schema=session.discoverer.relation.schema,
+            null_policy=args.null_policy,
+        )
+        result = session.insert(relation.rows())
+        print(result)
+        _print_dcs(session.discoverer, args.top)
+        _emit_observability(args, result)
+    return 0
+
+
+def _cmd_session_delete(args) -> int:
+    with DurableSession.recover(args.dir) as session:
+        result = session.delete(args.rids)
+        print(result)
+        _print_dcs(session.discoverer, args.top)
+        _emit_observability(args, result)
+    return 0
+
+
+def _cmd_session_recover(args) -> int:
+    with DurableSession.recover(args.dir) as session:
+        print(
+            f"recovered session from {session.directory} "
+            f"(replayed {session.replayed_records} WAL records)"
+        )
+        if args.checkpoint:
+            path = session.checkpoint()
+            print(f"checkpoint written to {path}")
+        _print_session_status(session)
+    return 0
+
+
+def _cmd_session_status(args) -> int:
+    with DurableSession.recover(args.dir) as session:
+        _print_session_status(session)
+    return 0
+
+
 def _add_workers_flag(parser, default) -> None:
     parser.add_argument(
         "--workers",
@@ -295,6 +385,63 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cross-ratio", type=float, default=0.3)
     p.add_argument("--null-policy", choices=["reject", "drop", "fill"], default="reject")
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "session",
+        help="durable sessions: WAL + atomic checkpoints + crash recovery",
+    )
+    session_sub = p.add_subparsers(dest="session_command", required=True)
+
+    sp = session_sub.add_parser("init", help="discover a CSV into a new session")
+    sp.add_argument("csv", help="input CSV file (with header)")
+    sp.add_argument("--dir", required=True, help="session directory to create")
+    sp.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=DEFAULT_CHECKPOINT_EVERY,
+        metavar="N",
+        help="checkpoint after every N update batches",
+    )
+    sp.add_argument(
+        "--retain", type=int, default=3, help="checkpoints kept on disk"
+    )
+    sp.add_argument("--top", type=int, default=20)
+    sp.add_argument("--cross-ratio", type=float, default=0.3)
+    sp.add_argument("--no-cross-columns", action="store_true")
+    sp.add_argument("--null-policy", choices=["reject", "drop", "fill"], default="reject")
+    _add_workers_flag(sp, default=1)
+    _add_observability_flags(sp)
+    sp.set_defaults(func=_cmd_session_init)
+
+    sp = session_sub.add_parser("insert", help="durably insert rows from a CSV")
+    sp.add_argument("dir", help="session directory")
+    sp.add_argument("csv", help="CSV of rows to insert (same header)")
+    sp.add_argument("--top", type=int, default=20)
+    sp.add_argument("--null-policy", choices=["reject", "drop", "fill"], default="reject")
+    _add_observability_flags(sp)
+    sp.set_defaults(func=_cmd_session_insert)
+
+    sp = session_sub.add_parser("delete", help="durably delete rows by rid")
+    sp.add_argument("dir", help="session directory")
+    sp.add_argument("--rids", type=int, nargs="+", required=True)
+    sp.add_argument("--top", type=int, default=20)
+    _add_observability_flags(sp)
+    sp.set_defaults(func=_cmd_session_delete)
+
+    sp = session_sub.add_parser(
+        "recover", help="recover after a crash (checkpoint + WAL replay)"
+    )
+    sp.add_argument("dir", help="session directory")
+    sp.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="write a fresh checkpoint after recovery",
+    )
+    sp.set_defaults(func=_cmd_session_recover)
+
+    sp = session_sub.add_parser("status", help="inspect a session directory")
+    sp.add_argument("dir", help="session directory")
+    sp.set_defaults(func=_cmd_session_status)
 
     p = sub.add_parser("datasets", help="list or generate synthetic datasets")
     p.add_argument("name", nargs="?", help="dataset name (omit to list)")

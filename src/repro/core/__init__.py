@@ -4,7 +4,15 @@ backends, and state persistence."""
 from repro.core.discoverer import DCDiscoverer
 from repro.core.results import DiscoveryResult, UpdateResult
 from repro.core.backends import DynEIBackend, DynHSBackend, make_backend
-from repro.core.state_io import load_state, save_state, state_from_dict, state_to_dict
+from repro.core.state_io import (
+    StateFormatError,
+    StateVersionError,
+    load_state,
+    save_state,
+    state_from_dict,
+    state_to_bytes,
+    state_to_dict,
+)
 
 __all__ = [
     "DCDiscoverer",
@@ -13,8 +21,11 @@ __all__ = [
     "DynEIBackend",
     "DynHSBackend",
     "make_backend",
+    "StateFormatError",
+    "StateVersionError",
     "save_state",
     "load_state",
+    "state_to_bytes",
     "state_to_dict",
     "state_from_dict",
 ]

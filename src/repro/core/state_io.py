@@ -17,6 +17,7 @@ import json
 
 from repro.core.backends import make_backend
 from repro.core.discoverer import DCDiscoverer
+from repro.durability.atomic import atomic_write_bytes, canonical_json_bytes
 from repro.evidence.builder import EvidenceEngineState
 from repro.evidence.evidence_set import EvidenceSet
 from repro.evidence.indexes import ColumnIndexes
@@ -27,6 +28,23 @@ from repro.relational.schema import Column, ColumnType, Schema
 
 FORMAT_NAME = "3dc-state"
 FORMAT_VERSION = 1
+
+
+class StateFormatError(ValueError):
+    """The document is not a 3DC state (foreign JSON, missing fields)."""
+
+
+class StateVersionError(ValueError):
+    """The document is a 3DC state of an unsupported schema version."""
+
+    def __init__(self, found):
+        super().__init__(
+            f"unsupported state version {found!r} "
+            f"(this build reads version {FORMAT_VERSION}); "
+            f"re-run discovery to migrate the state"
+        )
+        self.found = found
+        self.supported = FORMAT_VERSION
 
 
 def _tuple_index_to_dict(tuple_index: TupleEvidenceIndex) -> dict:
@@ -108,12 +126,34 @@ def state_to_dict(discoverer: DCDiscoverer) -> dict:
     }
 
 
+_REQUIRED_KEYS = (
+    "config",
+    "schema",
+    "rows",
+    "next_rid",
+    "space_pairs",
+    "evidence",
+    "sigma",
+    "tuple_index",
+)
+
+
 def state_from_dict(payload: dict) -> DCDiscoverer:
-    """Rebuild a fitted discoverer from :func:`state_to_dict` output."""
-    if payload.get("format") != FORMAT_NAME:
-        raise ValueError(f"not a {FORMAT_NAME} document")
+    """Rebuild a fitted discoverer from :func:`state_to_dict` output.
+
+    Raises :class:`StateFormatError` for foreign/incomplete documents and
+    :class:`StateVersionError` for other schema versions (both subclass
+    ``ValueError``) — never an opaque ``KeyError``.
+    """
+    if not isinstance(payload, dict) or payload.get("format") != FORMAT_NAME:
+        raise StateFormatError(f"not a {FORMAT_NAME} document")
     if payload.get("version") != FORMAT_VERSION:
-        raise ValueError(f"unsupported state version {payload.get('version')!r}")
+        raise StateVersionError(payload.get("version"))
+    missing = [key for key in _REQUIRED_KEYS if key not in payload]
+    if missing:
+        raise StateFormatError(
+            f"{FORMAT_NAME} document is missing fields: {', '.join(missing)}"
+        )
 
     schema = Schema(
         Column(name, ColumnType(ctype)) for name, ctype in payload["schema"]
@@ -161,13 +201,32 @@ def state_from_dict(payload: dict) -> DCDiscoverer:
     return discoverer
 
 
+def state_to_bytes(discoverer: DCDiscoverer) -> bytes:
+    """Canonical on-disk encoding of the discoverer state.
+
+    Sorted keys, compact separators: equal logical states encode to
+    equal bytes, which is what the worker-determinism and crash-matrix
+    suites compare on.
+    """
+    return canonical_json_bytes(state_to_dict(discoverer))
+
+
 def save_state(discoverer: DCDiscoverer, path) -> None:
-    """Write the discoverer state as JSON to ``path``."""
-    with open(path, "w") as handle:
-        json.dump(state_to_dict(discoverer), handle)
+    """Atomically write the discoverer state as JSON to ``path``.
+
+    The write goes through the temp+fsync+rename sequence of
+    :mod:`repro.durability.atomic`: a crash at any instant leaves either
+    the complete previous state or the complete new one, never a
+    truncated hybrid.
+    """
+    atomic_write_bytes(path, state_to_bytes(discoverer), fault_prefix="state_save")
 
 
 def load_state(path) -> DCDiscoverer:
     """Load a discoverer state written by :func:`save_state`."""
     with open(path) as handle:
-        return state_from_dict(json.load(handle))
+        try:
+            payload = json.load(handle)
+        except ValueError as exc:
+            raise StateFormatError(f"{path}: not valid JSON ({exc})") from exc
+    return state_from_dict(payload)

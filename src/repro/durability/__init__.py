@@ -1,0 +1,69 @@
+"""Durability subsystem: WAL, atomic checkpoints, crash-safe sessions.
+
+3DC's value is *long-lived* incremental state — the evidence multiset
+and DC antichain carried across update batches (paper Sections V–VI).
+This package makes that state survive crashes:
+
+- :mod:`~repro.durability.framing` — length+crc32 record framing whose
+  reader classifies any torn tail instead of raising;
+- :mod:`~repro.durability.wal` — the append-only, fsync'd write-ahead
+  update log (log-before-apply);
+- :mod:`~repro.durability.atomic` — write-temp/fsync/rename/fsync-dir
+  file replacement (the only save path in the repo);
+- :mod:`~repro.durability.checkpoint` — checksummed, rotated checkpoints
+  of the serialized discoverer state;
+- :mod:`~repro.durability.session` — :class:`DurableSession`, the
+  opt-in wrapper tying it together around a discoverer, with a recovery
+  path that lands byte-identical to an uninterrupted run;
+- :mod:`~repro.durability.faults` / :mod:`~repro.durability.crashsim` —
+  the deterministic fault-injection layer and pessimistic power-loss
+  model backing the crash matrix (``tests/test_crash_matrix.py``).
+
+See docs/durability.md for the on-disk formats, the recovery algorithm,
+and how to write a crash test.
+"""
+
+from repro.durability.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    canonical_json_bytes,
+)
+from repro.durability.checkpoint import (
+    CheckpointError,
+    apply_retention,
+    list_checkpoints,
+    load_latest_checkpoint,
+    write_checkpoint,
+)
+from repro.durability.faults import (
+    FAULT_POINTS,
+    FaultInjector,
+    SimulatedCrash,
+    fault_point,
+    get_injector,
+)
+from repro.durability.framing import decode_records, encode_record, iter_records
+from repro.durability.session import DurableSession, SessionError
+from repro.durability.wal import WriteAheadLog
+
+__all__ = [
+    "DurableSession",
+    "SessionError",
+    "WriteAheadLog",
+    "CheckpointError",
+    "FAULT_POINTS",
+    "FaultInjector",
+    "SimulatedCrash",
+    "apply_retention",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "canonical_json_bytes",
+    "decode_records",
+    "encode_record",
+    "fault_point",
+    "get_injector",
+    "iter_records",
+    "list_checkpoints",
+    "load_latest_checkpoint",
+    "write_checkpoint",
+]

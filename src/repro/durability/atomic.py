@@ -1,0 +1,98 @@
+"""Crash-safe file replacement: write temp, fsync, rename, fsync dir.
+
+The only way to update a file such that *every* crash instant leaves
+either the complete old content or the complete new content is the
+classic sequence implemented here:
+
+1. write the new bytes to a temp file **in the same directory** (rename
+   must not cross filesystems),
+2. flush and ``fsync`` the temp file (the data is durable under a name
+   nobody reads),
+3. ``os.replace`` it over the destination (atomic on POSIX and Windows),
+4. ``fsync`` the directory (the *rename itself* is durable).
+
+Fault points (:mod:`repro.durability.faults`) are planted between every
+pair of steps so the crash matrix can prove the guarantee instead of
+assuming it.  Callers pick the fault-point prefix so checkpoint writes
+and plain state saves are separately addressable in tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.durability.faults import fault_point
+from repro.observability.probe import get_probe
+
+#: Suffix of in-flight temp files.  Recovery ignores (and the power-loss
+#: simulator deletes) anything with this suffix: an un-renamed temp is
+#: not part of the durable state, whatever it contains.
+TMP_SUFFIX = ".tmp"
+
+
+def fsync_directory(path) -> None:
+    """Force the directory entry changes under ``path`` to disk.
+
+    Platforms whose directory handles cannot be fsync'd (some Windows
+    configurations) silently skip — rename durability is then the OS's
+    promise, which is the best available there.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path, data: bytes, fault_prefix: str = "checkpoint") -> None:
+    """Atomically replace ``path`` with ``data`` (see module docstring)."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    tmp_path = path + TMP_SUFFIX
+    fd = os.open(tmp_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            fault_point(f"{fault_prefix}.pre_fsync")
+            os.fsync(handle.fileno())
+    except BaseException:
+        # The temp never became the real file and was never fsync'd, so
+        # even a real crash here could lose it — removing it is the
+        # pessimistic disk model the crash tests assume.
+        if os.path.exists(tmp_path):
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+        raise
+    fault_point(f"{fault_prefix}.pre_rename")
+    os.replace(tmp_path, path)
+    fsync_directory(directory)
+    fault_point(f"{fault_prefix}.post_rename")
+    probe = get_probe()
+    if probe is not None:
+        probe.inc("durability.atomic_writes")
+        probe.inc("durability.atomic_bytes", len(data))
+
+
+def atomic_write_json(path, payload, fault_prefix: str = "checkpoint") -> None:
+    """Atomically replace ``path`` with the canonical JSON of ``payload``.
+
+    Canonical means sorted keys and minimal separators, so equal logical
+    payloads produce equal files byte for byte — the property the crash
+    matrix and the worker-determinism tests both compare on.
+    """
+    data = canonical_json_bytes(payload)
+    atomic_write_bytes(path, data, fault_prefix=fault_prefix)
+
+
+def canonical_json_bytes(payload) -> bytes:
+    """The canonical (sorted, compact) JSON encoding used on disk."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()

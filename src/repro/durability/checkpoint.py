@@ -1,0 +1,134 @@
+"""Atomic, checksummed, rotated checkpoints of serialized discoverer state.
+
+A checkpoint file is canonical JSON::
+
+    {"format": "3dc-checkpoint", "version": 1,
+     "wal_seq": <last WAL seq incorporated>,
+     "checksum": "<crc32 hex of the canonical state encoding>",
+     "state": {...state_to_dict() payload...}}
+
+written via the atomic replace sequence (:mod:`repro.durability.atomic`)
+under the name ``ckpt-<wal_seq, 10 digits>.json`` so lexical order is
+recency order.  Recovery scans newest→oldest and takes the first file
+whose header *and* checksum validate — a half-written or bit-rotted
+checkpoint silently falls back to its predecessor rather than killing
+the session (the WAL still has everything since that predecessor).
+
+Retention keeps the newest ``retain`` checkpoints; rotation deletes only
+after a successful write, so there is always at least one valid
+checkpoint on disk from the moment a session is created.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Optional, Tuple
+
+from repro.durability.atomic import (
+    TMP_SUFFIX,
+    atomic_write_bytes,
+    canonical_json_bytes,
+)
+from repro.observability.probe import get_probe
+
+CHECKPOINT_FORMAT = "3dc-checkpoint"
+CHECKPOINT_VERSION = 1
+_PREFIX = "ckpt-"
+_SUFFIX = ".json"
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file failed structural or checksum validation."""
+
+
+def checkpoint_name(wal_seq: int) -> str:
+    return f"{_PREFIX}{wal_seq:010d}{_SUFFIX}"
+
+
+def state_checksum(state_payload: dict) -> str:
+    """crc32 (hex) of the canonical encoding of a state payload."""
+    return format(zlib.crc32(canonical_json_bytes(state_payload)), "08x")
+
+
+def write_checkpoint(directory, wal_seq: int, state_payload: dict) -> str:
+    """Atomically write one checkpoint; returns its path."""
+    document = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "wal_seq": wal_seq,
+        "checksum": state_checksum(state_payload),
+        "state": state_payload,
+    }
+    path = os.path.join(os.fspath(directory), checkpoint_name(wal_seq))
+    data = canonical_json_bytes(document)
+    atomic_write_bytes(path, data, fault_prefix="checkpoint")
+    probe = get_probe()
+    if probe is not None:
+        probe.inc("durability.checkpoints")
+        probe.inc("durability.checkpoint_bytes", len(data))
+    return path
+
+
+def validate_checkpoint(document: dict) -> dict:
+    """Return the state payload of a structurally valid checkpoint."""
+    if not isinstance(document, dict):
+        raise CheckpointError("checkpoint is not a JSON object")
+    if document.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(f"not a {CHECKPOINT_FORMAT} document")
+    if document.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {document.get('version')!r}"
+        )
+    state = document.get("state")
+    if state is None or "wal_seq" not in document:
+        raise CheckpointError("checkpoint missing state or wal_seq")
+    if document.get("checksum") != state_checksum(state):
+        raise CheckpointError("checkpoint state checksum mismatch")
+    return state
+
+
+def list_checkpoints(directory) -> list:
+    """Checkpoint paths in the directory, newest (highest seq) first."""
+    directory = os.fspath(directory)
+    names = [
+        name
+        for name in os.listdir(directory)
+        if name.startswith(_PREFIX)
+        and name.endswith(_SUFFIX)
+        and not name.endswith(TMP_SUFFIX)
+    ]
+    return [os.path.join(directory, name) for name in sorted(names, reverse=True)]
+
+
+def load_latest_checkpoint(directory) -> Optional[Tuple[int, dict, str]]:
+    """``(wal_seq, state_payload, path)`` of the newest valid checkpoint.
+
+    Invalid candidates (truncated write that somehow got renamed, flipped
+    bytes, foreign files matching the name pattern) are skipped, not
+    fatal; ``None`` means no valid checkpoint exists at all.
+    """
+    for path in list_checkpoints(directory):
+        try:
+            with open(path, "rb") as handle:
+                document = json.load(handle)
+            state = validate_checkpoint(document)
+        except (OSError, ValueError):
+            continue
+        return document["wal_seq"], state, path
+    return None
+
+
+def apply_retention(directory, retain: int) -> list:
+    """Delete all but the newest ``retain`` checkpoints; returns deleted
+    paths.  ``retain < 1`` is coerced to 1 — the durability contract
+    requires a checkpoint to exist at all times."""
+    retain = max(1, retain)
+    doomed = list_checkpoints(directory)[retain:]
+    for path in doomed:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    return doomed

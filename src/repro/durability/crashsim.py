@@ -1,0 +1,54 @@
+"""The pessimistic disk model behind crash tests.
+
+A :class:`~repro.durability.faults.SimulatedCrash` kills the pipeline
+in-process, but the files it leaves behind still reflect everything the
+process ever wrote — including bytes that were never fsync'd and that a
+real power cut could lose.  :func:`simulate_power_loss` converts the
+on-disk session directory into the *worst admissible* post-crash image:
+
+- the WAL is truncated to its last fsync'd byte boundary (un-synced
+  appends vanish; this is what makes ``wal.pre_fsync`` crashes lose the
+  batch deterministically rather than depending on page-cache luck);
+- un-renamed ``*.tmp`` files are deleted (an un-renamed temp was either
+  not yet fsync'd or not yet the real file — in both cases recovery must
+  not need it).
+
+Renamed files are kept intact: the atomic writer fsyncs the temp before
+``os.replace`` and the directory after, so once a rename is observed the
+full new content is durable.  Anything the recovery path survives under
+this model it also survives under real power loss, because every real
+outcome preserves at least as much data.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.durability.atomic import TMP_SUFFIX
+
+
+def discard_unsynced_tail(wal_path, durable_size: int) -> int:
+    """Truncate the WAL to its last fsync'd boundary; returns bytes cut."""
+    try:
+        actual = os.path.getsize(wal_path)
+    except OSError:
+        return 0
+    if actual <= durable_size:
+        return 0
+    with open(wal_path, "rb+") as handle:
+        handle.truncate(durable_size)
+    return actual - durable_size
+
+def drop_tmp_files(directory) -> list:
+    """Delete in-flight temp files under ``directory`` (recursively)."""
+    dropped = []
+    for root, _dirs, names in os.walk(os.fspath(directory)):
+        for name in names:
+            if name.endswith(TMP_SUFFIX):
+                path = os.path.join(root, name)
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+                dropped.append(path)
+    return dropped

@@ -1,0 +1,68 @@
+"""Length+checksum framing of write-ahead-log records.
+
+Each record on disk is::
+
+    MAGIC(4) | payload_length(4, LE) | crc32(payload)(4, LE) | payload
+
+A reader walking the file can therefore always classify the tail: a
+frame whose magic, declared length, or checksum does not hold marks the
+end of the valid prefix — exactly what a torn write at power loss
+produces.  Decoding is deliberately forgiving at the tail and strict
+before it: corruption *followed by more valid-looking frames* is still
+truncated at the first bad frame, because after an overwrite-free append
+log loses bytes, nothing after the loss point is trustworthy.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterator, Tuple
+
+MAGIC = b"3DCW"
+_HEADER = struct.Struct("<4sII")
+HEADER_SIZE = _HEADER.size
+
+#: Refuse to trust absurd declared lengths (a corrupt length field would
+#: otherwise make the reader wait for gigabytes that never existed).
+MAX_RECORD_SIZE = 1 << 30
+
+
+def encode_record(payload: bytes) -> bytes:
+    """Frame one payload for appending to the log."""
+    if len(payload) > MAX_RECORD_SIZE:
+        raise ValueError(f"record of {len(payload)} bytes exceeds frame limit")
+    return _HEADER.pack(MAGIC, len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_records(data: bytes) -> Tuple[list, int]:
+    """Decode the valid prefix of a log image.
+
+    Returns ``(payloads, good_size)`` where ``good_size`` is the byte
+    offset of the first invalid/truncated frame (== ``len(data)`` for a
+    fully valid log).  Never raises on corruption — a damaged tail is an
+    expected input, not an error.
+    """
+    payloads = []
+    offset = 0
+    total = len(data)
+    while offset + HEADER_SIZE <= total:
+        magic, length, checksum = _HEADER.unpack_from(data, offset)
+        if magic != MAGIC or length > MAX_RECORD_SIZE:
+            break
+        start = offset + HEADER_SIZE
+        end = start + length
+        if end > total:
+            break  # torn tail: header landed, payload did not
+        payload = data[start:end]
+        if zlib.crc32(payload) != checksum:
+            break
+        payloads.append(payload)
+        offset = end
+    return payloads, offset
+
+
+def iter_records(data: bytes) -> Iterator[bytes]:
+    """The payloads of the valid prefix of ``data``."""
+    payloads, _ = decode_records(data)
+    return iter(payloads)

@@ -6,8 +6,18 @@ import random
 
 import pytest
 
+from repro.durability.faults import get_injector
 from repro.relational import relation_from_rows
 from repro.workloads import staff_relation
+
+
+@pytest.fixture
+def fault_injector():
+    """The global fault injector, guaranteed disarmed after the test."""
+    injector = get_injector()
+    injector.reset()
+    yield injector
+    injector.reset()
 
 
 @pytest.fixture

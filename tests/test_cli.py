@@ -91,6 +91,69 @@ def test_unknown_command_fails():
         main(["frobnicate"])
 
 
+class TestSessionCommands:
+    """The durable-session life cycle through the CLI."""
+
+    def _init(self, staff_csv, tmp_path, extra=()):
+        session_dir = tmp_path / "sess"
+        assert main(
+            ["session", "init", str(staff_csv), "--dir", str(session_dir),
+             "--checkpoint-every", "2", "--top", "3", *extra]
+        ) == 0
+        return session_dir
+
+    def test_init_creates_recoverable_directory(self, staff_csv, tmp_path, capsys):
+        session_dir = self._init(staff_csv, tmp_path)
+        out = capsys.readouterr().out
+        assert "durable session initialized" in out
+        assert (session_dir / "session.json").exists()
+        assert (session_dir / "wal.log").exists()
+        assert list((session_dir / "checkpoints").glob("ckpt-*.json"))
+
+    def test_insert_delete_status_cycle(self, staff_csv, tmp_path, capsys):
+        session_dir = self._init(staff_csv, tmp_path)
+        new_rows = tmp_path / "new.csv"
+        with open(new_rows, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["Id", "Name", "Hired", "Level", "Mgr"])
+            writer.writerow((5, "Ema", 2002, 3, 1))
+        assert main(
+            ["session", "insert", str(session_dir), str(new_rows), "--top", "3"]
+        ) == 0
+        assert "insert |Δr|=1" in capsys.readouterr().out
+
+        assert main(
+            ["session", "delete", str(session_dir), "--rids", "2", "--top", "3"]
+        ) == 0
+        assert "delete |Δr|=1" in capsys.readouterr().out
+
+        assert main(["session", "status", str(session_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "rows                 4" in out
+        assert "pending WAL records" in out
+
+    def test_recover_replays_wal_tail(self, staff_csv, tmp_path, capsys):
+        from repro.durability import DurableSession
+
+        session_dir = self._init(staff_csv, tmp_path)
+        # One batch past the checkpoint cadence stays pending in the WAL.
+        with DurableSession.recover(session_dir) as session:
+            session.insert([(5, "Ema", 2002, 3, 1)])
+        capsys.readouterr()
+        assert main(
+            ["session", "recover", str(session_dir), "--checkpoint"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "replayed 1 WAL records" in out
+        assert "checkpoint written to" in out
+        assert main(["session", "status", str(session_dir)]) == 0
+        assert "pending WAL records  0" in capsys.readouterr().out
+
+    def test_session_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["session"])
+
+
 def test_discover_without_cross_columns(staff_csv, capsys):
     assert main(
         ["discover", str(staff_csv), "--no-cross-columns", "--top", "3"]

@@ -37,9 +37,14 @@ def _rows(seed: int = 0):
 
 def static_oracle(discoverer: DCDiscoverer):
     """Static re-discovery on the discoverer's current table, using its
-    frozen predicate space.  Returns ``(evidence counts, Σ mask set)``."""
+    frozen predicate space.  Returns ``(evidence counts, Σ mask set)``.
+
+    Works for any discoverer (the crash-matrix suite reuses it): the
+    oracle relation is rebuilt from the live rows under the discoverer's
+    own header.
+    """
     fresh = relation_from_rows(
-        DATASETS[DATASET].header, list(discoverer.relation.rows())
+        list(discoverer.relation.schema.names), list(discoverer.relation.rows())
     )
     state = build_evidence_state(fresh, discoverer.space)
     backend = make_backend("dynei", discoverer.space)

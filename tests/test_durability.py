@@ -1,0 +1,455 @@
+"""Unit tests for the durability subsystem: framing, WAL, atomic writes,
+checkpoints, fault injection, and the DurableSession life cycle.
+
+The crash *matrix* (every fault point × every operation, byte-identity
+against an uninterrupted oracle) lives in tests/test_crash_matrix.py;
+this module pins the building blocks it stands on.
+"""
+
+import json
+import os
+import random
+import zlib
+
+import pytest
+
+from repro import DCDiscoverer, DurableSession, SessionError, relation_from_rows
+from repro.core.state_io import state_to_bytes
+from repro.durability import (
+    FAULT_POINTS,
+    FaultInjector,
+    SimulatedCrash,
+    WriteAheadLog,
+    fault_point,
+)
+from repro.durability.atomic import atomic_write_bytes, canonical_json_bytes
+from repro.durability.checkpoint import (
+    apply_retention,
+    checkpoint_name,
+    list_checkpoints,
+    load_latest_checkpoint,
+    validate_checkpoint,
+    write_checkpoint,
+    CheckpointError,
+)
+from repro.durability.crashsim import discard_unsynced_tail, drop_tmp_files
+from repro.durability.framing import (
+    HEADER_SIZE,
+    decode_records,
+    encode_record,
+    iter_records,
+)
+from tests.conftest import random_rows
+
+
+def make_fitted(seed=3, n_rows=12):
+    rng = random.Random(seed)
+    discoverer = DCDiscoverer(
+        relation_from_rows(["A", "B", "C"], random_rows(rng, n_rows))
+    )
+    discoverer.fit()
+    return discoverer
+
+
+# -- framing -----------------------------------------------------------------
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        payloads = [b"alpha", b"", b"x" * 1000]
+        blob = b"".join(encode_record(p) for p in payloads)
+        assert list(iter_records(blob)) == payloads
+
+    def test_good_size_is_full_length_for_valid_log(self):
+        blob = encode_record(b"a") + encode_record(b"bb")
+        _, good = decode_records(blob)
+        assert good == len(blob)
+
+    @pytest.mark.parametrize(
+        "mutilate, surviving",
+        [
+            # Empty / zero-length log: nothing to recover, nothing raised.
+            (lambda blob, last: b"", 0),
+            # Torn tail: last frame loses its final byte.
+            (lambda blob, last: blob[:-1], 2),
+            # Torn tail: last frame is only a partial header.
+            (lambda blob, last: blob[: last + HEADER_SIZE - 2], 2),
+            # Flipped payload byte in the last record breaks its checksum.
+            (
+                lambda blob, last: blob[:-1] + bytes([blob[-1] ^ 0xFF]),
+                2,
+            ),
+            # Flipped byte in the checksum field itself.
+            (
+                lambda blob, last: blob[: last + 8]
+                + bytes([blob[last + 8] ^ 0x01])
+                + blob[last + 9 :],
+                2,
+            ),
+            # Corrupt magic in the middle truncates everything after it.
+            (
+                lambda blob, last: blob[:HEADER_SIZE + 1]
+                + b"XXXX"
+                + blob[HEADER_SIZE + 5 :],
+                1,
+            ),
+        ],
+        ids=[
+            "empty-log",
+            "torn-payload",
+            "torn-header",
+            "flipped-payload-byte",
+            "flipped-checksum-byte",
+            "corrupt-middle-magic",
+        ],
+    )
+    def test_corruption_truncates_to_valid_prefix(self, mutilate, surviving):
+        payloads = [b"a", b"bb", b"ccc"]
+        blob = b"".join(encode_record(p) for p in payloads)
+        last = len(encode_record(b"a")) + len(encode_record(b"bb"))
+        damaged = mutilate(blob, last)
+        recovered, good = decode_records(damaged)
+        assert recovered == payloads[:surviving]
+        assert good <= len(damaged)
+
+    def test_absurd_length_field_rejected(self):
+        blob = encode_record(b"ok")
+        import struct
+
+        bad = blob[:4] + struct.pack("<I", 1 << 31) + blob[8:]
+        assert list(iter_records(bad + encode_record(b"after"))) == []
+
+    def test_oversized_record_refused_at_write(self):
+        with pytest.raises(ValueError, match="frame limit"):
+            encode_record(b"x" * ((1 << 30) + 1))
+
+
+# -- write-ahead log ---------------------------------------------------------
+
+
+class TestWriteAheadLog:
+    def test_append_and_replay(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append({"seq": 1, "op": "insert", "rows": [[1, "a", 2]]})
+        wal.append({"seq": 2, "op": "delete", "rids": [0]})
+        wal.close()
+        records = list(WriteAheadLog(tmp_path / "wal.log").replay())
+        assert [r["seq"] for r in records] == [1, 2]
+        assert records[1]["rids"] == [0]
+
+    def test_replay_skips_incorporated_seqs(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        for seq in (1, 2, 3):
+            wal.append({"seq": seq, "op": "delete", "rids": []})
+        assert [r["seq"] for r in wal.replay(after_seq=2)] == [3]
+        wal.close()
+
+    def test_reset_then_append_continues(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append({"seq": 1, "op": "delete", "rids": []})
+        wal.reset()
+        assert wal.size == 0
+        wal.append({"seq": 2, "op": "delete", "rids": []})
+        assert [r["seq"] for r in wal.replay()] == [2]
+        wal.close()
+
+    def test_reopen_appends_after_existing_records(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append({"seq": 1, "op": "delete", "rids": []})
+        wal.close()
+        wal = WriteAheadLog(path)
+        wal.append({"seq": 2, "op": "delete", "rids": []})
+        wal.close()
+        assert [r["seq"] for r in WriteAheadLog.read_records(path)[0]] == [1, 2]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert WriteAheadLog.read_records(tmp_path / "absent.log") == ([], 0)
+
+    def test_valid_frame_with_non_json_payload_truncates(self, tmp_path):
+        path = tmp_path / "wal.log"
+        good = encode_record(canonical_json_bytes({"seq": 1, "op": "x"}))
+        bad = encode_record(b"\xff not json")
+        path.write_bytes(good + bad + good)
+        records, _ = WriteAheadLog.read_records(path)
+        assert [r["seq"] for r in records] == [1]
+
+    def test_durable_size_tracks_fsyncs(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        assert wal.durable_size == 0
+        wal.append({"seq": 1, "op": "delete", "rids": []})
+        assert wal.durable_size == wal.size > 0
+        wal.close()
+
+
+# -- atomic writes and the power-loss simulator ------------------------------
+
+
+class TestAtomicWrite:
+    def test_replaces_content(self, tmp_path):
+        path = tmp_path / "f.json"
+        atomic_write_bytes(path, b"one")
+        atomic_write_bytes(path, b"two")
+        assert path.read_bytes() == b"two"
+        assert not os.path.exists(str(path) + ".tmp")
+
+    @pytest.mark.parametrize(
+        "point", ["checkpoint.pre_fsync", "checkpoint.pre_rename"]
+    )
+    def test_crash_before_rename_keeps_old_content(
+        self, tmp_path, fault_injector, point
+    ):
+        path = tmp_path / "f.json"
+        atomic_write_bytes(path, b"old")
+        with fault_injector.armed(point):
+            with pytest.raises(SimulatedCrash):
+                atomic_write_bytes(path, b"new")
+        drop_tmp_files(tmp_path)
+        assert path.read_bytes() == b"old"
+
+    def test_crash_after_rename_keeps_new_content(self, tmp_path, fault_injector):
+        path = tmp_path / "f.json"
+        atomic_write_bytes(path, b"old")
+        with fault_injector.armed("checkpoint.post_rename"):
+            with pytest.raises(SimulatedCrash):
+                atomic_write_bytes(path, b"new")
+        drop_tmp_files(tmp_path)
+        assert path.read_bytes() == b"new"
+
+    def test_discard_unsynced_tail(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"durable-bytes-plus-torn-tail")
+        cut = discard_unsynced_tail(path, 13)
+        assert path.read_bytes() == b"durable-bytes"
+        assert cut == len(b"-plus-torn-tail")
+        assert discard_unsynced_tail(path, 13) == 0
+        assert discard_unsynced_tail(tmp_path / "absent", 5) == 0
+
+
+# -- checkpoints -------------------------------------------------------------
+
+
+class TestCheckpoints:
+    def test_write_then_load_latest(self, tmp_path):
+        write_checkpoint(tmp_path, 3, {"hello": 1})
+        write_checkpoint(tmp_path, 7, {"hello": 2})
+        seq, state, path = load_latest_checkpoint(tmp_path)
+        assert (seq, state) == (7, {"hello": 2})
+        assert path.endswith(checkpoint_name(7))
+
+    def test_corrupt_latest_falls_back_to_predecessor(self, tmp_path):
+        write_checkpoint(tmp_path, 1, {"n": 1})
+        path = write_checkpoint(tmp_path, 2, {"n": 2})
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF  # bit-rot inside the document
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        seq, state, _ = load_latest_checkpoint(tmp_path)
+        assert (seq, state) == (1, {"n": 1})
+
+    def test_no_valid_checkpoint_returns_none(self, tmp_path):
+        assert load_latest_checkpoint(tmp_path) is None
+        (tmp_path / checkpoint_name(5)).write_text("not json at all")
+        assert load_latest_checkpoint(tmp_path) is None
+
+    def test_validate_rejections(self):
+        document = {
+            "format": "3dc-checkpoint",
+            "version": 1,
+            "wal_seq": 0,
+            "state": {"a": 1},
+        }
+        document["checksum"] = format(
+            zlib.crc32(canonical_json_bytes({"a": 1})), "08x"
+        )
+        assert validate_checkpoint(dict(document)) == {"a": 1}
+        for breakage in (
+            {"format": "other"},
+            {"version": 99},
+            {"checksum": "00000000"},
+        ):
+            with pytest.raises(CheckpointError):
+                validate_checkpoint({**document, **breakage})
+        with pytest.raises(CheckpointError):
+            validate_checkpoint([1, 2, 3])
+
+    def test_retention_keeps_newest(self, tmp_path):
+        for seq in range(6):
+            write_checkpoint(tmp_path, seq, {"n": seq})
+        deleted = apply_retention(tmp_path, 2)
+        remaining = [os.path.basename(p) for p in list_checkpoints(tmp_path)]
+        assert remaining == [checkpoint_name(5), checkpoint_name(4)]
+        assert len(deleted) == 4
+
+    def test_retention_never_deletes_everything(self, tmp_path):
+        write_checkpoint(tmp_path, 1, {"n": 1})
+        apply_retention(tmp_path, 0)
+        assert list_checkpoints(tmp_path)
+
+
+# -- fault injection ---------------------------------------------------------
+
+
+class TestFaultInjection:
+    def test_hit_only_when_armed(self):
+        injector = FaultInjector()
+        injector.hit("wal.append")  # disarmed: no-op
+        injector.arm("wal.append")
+        with pytest.raises(SimulatedCrash) as excinfo:
+            injector.hit("wal.append")
+        assert excinfo.value.point == "wal.append"
+        injector.hit("wal.append")  # disarms after firing
+
+    def test_skip_counts_hits(self):
+        injector = FaultInjector()
+        injector.arm("wal.pre_fsync", skip=2)
+        injector.hit("wal.pre_fsync")
+        injector.hit("wal.pre_fsync")
+        with pytest.raises(SimulatedCrash):
+            injector.hit("wal.pre_fsync")
+        assert injector.crash_count == 1
+
+    def test_unknown_point_rejected(self):
+        injector = FaultInjector()
+        with pytest.raises(ValueError, match="unknown fault point"):
+            injector.arm("no.such.point")
+        with pytest.raises(ValueError, match="unregistered"):
+            fault_point("no.such.point")
+
+    def test_registry_covers_all_planted_prefixes(self):
+        prefixes = {name.split(".")[0] for name in FAULT_POINTS}
+        assert prefixes == {"wal", "checkpoint", "state_save"}
+
+
+# -- the durable session -----------------------------------------------------
+
+
+class TestDurableSession:
+    def test_create_requires_positive_cadence(self, tmp_path):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            DurableSession.create(make_fitted(), tmp_path / "s", checkpoint_every=0)
+
+    def test_create_twice_refused(self, tmp_path):
+        DurableSession.create(make_fitted(), tmp_path / "s").close()
+        with pytest.raises(SessionError, match="already exists"):
+            DurableSession.create(make_fitted(), tmp_path / "s")
+
+    def test_create_fits_unfitted_discoverer(self, tmp_path):
+        rng = random.Random(0)
+        discoverer = DCDiscoverer(
+            relation_from_rows(["A", "B", "C"], random_rows(rng, 8))
+        )
+        with DurableSession.create(discoverer, tmp_path / "s") as session:
+            assert session.discoverer.dc_masks
+
+    def test_recover_missing_directory(self, tmp_path):
+        with pytest.raises(SessionError, match="manifest"):
+            DurableSession.recover(tmp_path / "nope")
+
+    def test_recover_foreign_manifest(self, tmp_path):
+        os.makedirs(tmp_path / "s")
+        (tmp_path / "s" / "session.json").write_text(json.dumps({"format": "x"}))
+        with pytest.raises(SessionError, match="not a 3dc-session"):
+            DurableSession.recover(tmp_path / "s")
+
+    def test_recover_equals_live_session(self, tmp_path):
+        rng = random.Random(7)
+        session = DurableSession.create(
+            make_fitted(seed=7), tmp_path / "s", checkpoint_every=2
+        )
+        session.insert(random_rows(rng, 3))
+        session.delete([0, 4])
+        session.insert(random_rows(rng, 2))
+        live = state_to_bytes(session.discoverer)
+        session.close()
+        recovered = DurableSession.recover(tmp_path / "s")
+        assert state_to_bytes(recovered.discoverer) == live
+        assert recovered.replayed_records == 1  # one batch past the checkpoint
+        recovered.close()
+
+    def test_update_logs_delete_then_insert(self, tmp_path):
+        rng = random.Random(9)
+        session = DurableSession.create(
+            make_fitted(seed=9), tmp_path / "s", checkpoint_every=100
+        )
+        session.update([1, 2], random_rows(rng, 2))
+        records = list(session._wal.replay())
+        assert [r["op"] for r in records] == ["delete", "insert"]
+        session.close()
+
+    def test_invalid_batches_never_reach_the_wal(self, tmp_path):
+        session = DurableSession.create(
+            make_fitted(), tmp_path / "s", checkpoint_every=100
+        )
+        with pytest.raises(KeyError):
+            session.delete([99999])
+        with pytest.raises(ValueError, match="duplicate"):
+            session.delete([1, 1])
+        with pytest.raises(ValueError, match="columns"):
+            session.insert([(1, "a")])
+        with pytest.raises(TypeError):
+            session.insert([(1, object(), 2)])
+        assert session._wal.size == 0  # nothing was logged
+        session.close()
+
+    def test_checkpoint_cadence_and_retention(self, tmp_path):
+        rng = random.Random(5)
+        session = DurableSession.create(
+            make_fitted(seed=5), tmp_path / "s", checkpoint_every=1, retain=2
+        )
+        for _ in range(4):
+            session.insert(random_rows(rng, 1))
+        status = session.status()
+        assert status["pending_wal_records"] == 0
+        assert len(status["checkpoints"]) == 2
+        assert status["checkpoint_seq"] == 4
+        session.close()
+
+    def test_corrupted_wal_tail_recovers_last_good_prefix(self, tmp_path):
+        """A torn/bit-rotted WAL tail loses only the damaged suffix."""
+        rng = random.Random(11)
+        batches = [random_rows(rng, 2) for _ in range(3)]
+        session = DurableSession.create(
+            make_fitted(seed=11), tmp_path / "s", checkpoint_every=100
+        )
+        for batch in batches[:2]:
+            session.insert(batch)
+        two_batches = state_to_bytes(session.discoverer)
+        session.insert(batches[2])
+        session.close()
+        wal_path = tmp_path / "s" / "wal.log"
+        wal_path.write_bytes(wal_path.read_bytes()[:-3])  # tear the tail
+        recovered = DurableSession.recover(tmp_path / "s")
+        assert state_to_bytes(recovered.discoverer) == two_batches
+        assert recovered.replayed_records == 2
+        recovered.close()
+
+    def test_recovery_emits_durability_metrics(self, tmp_path):
+        rng = random.Random(13)
+        session = DurableSession.create(
+            make_fitted(seed=13), tmp_path / "s", checkpoint_every=100
+        )
+        session.insert(random_rows(rng, 2))
+        counters = session.discoverer.instrumentation.metrics.counters
+        assert counters.get("durability.wal_records") == 1
+        assert counters.get("durability.fsyncs", 0) >= 1
+        assert counters.get("durability.wal_bytes", 0) > 0
+        session.close()
+        recovered = DurableSession.recover(tmp_path / "s")
+        counters = recovered.discoverer.instrumentation.metrics.counters
+        assert counters.get("durability.recovery_replayed") == 1
+        recovered.close()
+
+    def test_checkpoint_span_and_histogram(self, tmp_path):
+        session = DurableSession.create(
+            make_fitted(), tmp_path / "s", checkpoint_every=100
+        )
+        session.checkpoint()
+        instrumentation = session.discoverer.instrumentation
+        names = [root.name for root in instrumentation.tracer.roots]
+        assert "durability.checkpoint" in names
+        snapshot = instrumentation.metrics.snapshot()
+        assert "durability.checkpoint_seconds" in snapshot.get("histograms", {})
+        counters = instrumentation.metrics.counters
+        assert counters.get("durability.checkpoints", 0) >= 1
+        session.close()

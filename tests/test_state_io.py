@@ -5,8 +5,21 @@ import random
 
 import pytest
 
-from repro import DCDiscoverer, load_state, relation_from_rows, save_state
-from repro.core.state_io import state_from_dict, state_to_dict
+from repro import (
+    DCDiscoverer,
+    StateFormatError,
+    StateVersionError,
+    load_state,
+    relation_from_rows,
+    save_state,
+)
+from repro.core.state_io import (
+    FORMAT_VERSION,
+    state_from_dict,
+    state_to_bytes,
+    state_to_dict,
+)
+from repro.durability import SimulatedCrash
 from tests.conftest import random_rows
 
 
@@ -104,6 +117,47 @@ class TestFormatValidation:
         with pytest.raises(ValueError, match="unsupported"):
             state_from_dict(payload)
 
+    @pytest.mark.parametrize(
+        "version", [FORMAT_VERSION - 1, FORMAT_VERSION + 1, None, "1"]
+    )
+    def test_version_mismatch_both_directions(self, fitted, version):
+        """Both an older and a newer (or missing/mistyped) version raise
+        the dedicated error, which names the found and supported values."""
+        payload = state_to_dict(fitted)
+        payload["version"] = version
+        with pytest.raises(StateVersionError) as excinfo:
+            state_from_dict(payload)
+        assert excinfo.value.found == version
+        assert excinfo.value.supported == FORMAT_VERSION
+        assert str(FORMAT_VERSION) in str(excinfo.value)
+
+    def test_foreign_json_raises_format_error_not_keyerror(self, tmp_path):
+        """A structurally foreign JSON document must fail with a clear
+        StateFormatError, never an opaque KeyError."""
+        path = tmp_path / "foreign.json"
+        path.write_text(json.dumps({"rows": [1, 2, 3]}))
+        with pytest.raises(StateFormatError, match="not a 3dc-state"):
+            load_state(path)
+
+    def test_truncated_fields_raise_format_error(self, fitted):
+        payload = state_to_dict(fitted)
+        del payload["evidence"]
+        del payload["sigma"]
+        with pytest.raises(StateFormatError, match="evidence, sigma"):
+            state_from_dict(payload)
+
+    def test_non_json_file_raises_format_error(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_bytes(b"\x00\x01 not json")
+        with pytest.raises(StateFormatError, match="not valid JSON"):
+            load_state(path)
+
+    def test_errors_are_valueerrors(self):
+        # Callers that caught ValueError before the dedicated classes
+        # existed keep working.
+        assert issubclass(StateFormatError, ValueError)
+        assert issubclass(StateVersionError, ValueError)
+
     def test_payload_is_json_serializable(self, fitted):
         json.dumps(state_to_dict(fitted))
 
@@ -121,6 +175,51 @@ class TestFormatValidation:
         assert loaded.cross_column_ratio == 0.5
         assert loaded.delete_strategy == "recompute"
         assert loaded.infer_within_delta is False
+
+
+class TestAtomicSave:
+    """Regression: save_state used to truncate-write in place, so a crash
+    mid-save destroyed the previous state.  It now routes through the
+    atomic temp+fsync+rename writer — a simulated failure at any instant
+    of the save leaves the previous file byte-intact."""
+
+    @pytest.mark.parametrize(
+        "point", ["state_save.pre_fsync", "state_save.pre_rename"]
+    )
+    def test_failed_save_keeps_previous_state(
+        self, fitted, tmp_path, fault_injector, point
+    ):
+        path = tmp_path / "state.json"
+        save_state(fitted, path)
+        before = path.read_bytes()
+        fitted.insert([(5, "Ema", 2002, 3, 1)])
+        with fault_injector.armed(point):
+            with pytest.raises(SimulatedCrash):
+                save_state(fitted, path)
+        assert path.read_bytes() == before
+        # The survivor is a fully loadable state, not a torn hybrid.
+        assert load_state(path).dc_masks
+
+    def test_save_after_rename_is_the_new_state(
+        self, fitted, tmp_path, fault_injector
+    ):
+        path = tmp_path / "state.json"
+        save_state(fitted, path)
+        fitted.insert([(5, "Ema", 2002, 3, 1)])
+        with fault_injector.armed("state_save.post_rename"):
+            with pytest.raises(SimulatedCrash):
+                save_state(fitted, path)
+        assert path.read_bytes() == state_to_bytes(fitted)
+
+    def test_no_temp_residue_after_successful_save(self, fitted, tmp_path):
+        path = tmp_path / "state.json"
+        save_state(fitted, path)
+        assert [p.name for p in tmp_path.iterdir()] == ["state.json"]
+
+    def test_saved_bytes_are_canonical(self, fitted, tmp_path):
+        path = tmp_path / "state.json"
+        save_state(fitted, path)
+        assert path.read_bytes() == state_to_bytes(fitted)
 
 
 class TestStaleIndexAcrossRoundTrip:
