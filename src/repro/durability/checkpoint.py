@@ -8,8 +8,10 @@ A checkpoint file is canonical JSON::
      "state": {...state_to_dict() payload...}}
 
 written via the atomic replace sequence (:mod:`repro.durability.atomic`)
-under the name ``ckpt-<wal_seq, 10 digits>.json`` so lexical order is
-recency order.  Recovery scans newest→oldest and takes the first file
+under the name ``ckpt-<wal_seq, zero-padded>.json``; recency order is
+the *numeric* order of the seq parsed back out of the name (zero-padding
+exists only for human-friendly ``ls`` output — it runs out at 10 digits
+and is never relied on).  Recovery scans newest→oldest and takes the first file
 whose header *and* checksum validate — a half-written or bit-rotted
 checkpoint silently falls back to its predecessor rather than killing
 the session (the WAL still has everything since that predecessor).
@@ -89,17 +91,37 @@ def validate_checkpoint(document: dict) -> dict:
     return state
 
 
+def parse_checkpoint_seq(name: str) -> Optional[int]:
+    """The ``wal_seq`` encoded in a checkpoint file name, else ``None``."""
+    if (
+        not name.startswith(_PREFIX)
+        or not name.endswith(_SUFFIX)
+        or name.endswith(TMP_SUFFIX)
+    ):
+        return None
+    seq_text = name[len(_PREFIX) : -len(_SUFFIX)]
+    try:
+        return int(seq_text)
+    except ValueError:
+        return None
+
+
 def list_checkpoints(directory) -> list:
-    """Checkpoint paths in the directory, newest (highest seq) first."""
+    """Checkpoint paths in the directory, newest (highest seq) first.
+
+    Ordering parses the seq out of each name and compares numerically:
+    zero-padding makes lexical order *usually* agree, but a seq past
+    10**10 outgrows the padding and lexical order would then prefer an
+    older checkpoint.
+    """
     directory = os.fspath(directory)
-    names = [
-        name
-        for name in os.listdir(directory)
-        if name.startswith(_PREFIX)
-        and name.endswith(_SUFFIX)
-        and not name.endswith(TMP_SUFFIX)
-    ]
-    return [os.path.join(directory, name) for name in sorted(names, reverse=True)]
+    entries = []
+    for name in os.listdir(directory):
+        seq = parse_checkpoint_seq(name)
+        if seq is not None:
+            entries.append((seq, name))
+    entries.sort(reverse=True)
+    return [os.path.join(directory, name) for _seq, name in entries]
 
 
 def load_latest_checkpoint(directory) -> Optional[Tuple[int, dict, str]]:

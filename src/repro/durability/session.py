@@ -122,9 +122,11 @@ class DurableSession:
     ) -> "DurableSession":
         """Initialize a session directory around a discoverer.
 
-        Fits the discoverer if needed, then writes the manifest and the
-        initial checkpoint — a session is recoverable from the moment
-        this returns.
+        Fits the discoverer if needed, writes the initial checkpoint,
+        and only then the manifest — the manifest is the commit point,
+        so a session is recoverable from the moment this returns, and a
+        crash mid-create leaves a directory ``create`` can simply retry
+        (never one that both ``create`` and ``recover`` refuse).
         """
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -137,6 +139,8 @@ class DurableSession:
             discoverer.fit()
         from repro.core.state_io import state_to_dict
 
+        with discoverer.instrumentation.activate():
+            write_checkpoint(checkpoint_dir, 0, state_to_dict(discoverer))
         atomic_write_json(
             os.path.join(directory, MANIFEST_NAME),
             {
@@ -147,8 +151,6 @@ class DurableSession:
             },
             fault_prefix="checkpoint",
         )
-        with discoverer.instrumentation.activate():
-            write_checkpoint(checkpoint_dir, 0, state_to_dict(discoverer))
         wal = WriteAheadLog(os.path.join(directory, WAL_NAME))
         logger.debug("created durable session in %s", directory)
         return cls(

@@ -16,7 +16,10 @@ the reset only leaves already-incorporated records, which are skipped).
 
 The log tracks its *durable size* — the byte length at the last fsync —
 so the power-loss simulator (:mod:`repro.durability.crashsim`) can
-discard exactly the bytes a real power cut could lose.
+discard exactly the bytes a real power cut could lose.  Opening an
+existing log first truncates it to its valid prefix: a torn tail a real
+power cut left behind must be cut off before new records are appended,
+or everything appended after it would be unreachable at replay.
 """
 
 from __future__ import annotations
@@ -27,7 +30,7 @@ from typing import Iterator, Tuple
 
 from repro.durability.atomic import canonical_json_bytes
 from repro.durability.faults import fault_point
-from repro.durability.framing import decode_records, encode_record
+from repro.durability.framing import HEADER_SIZE, decode_records, encode_record
 from repro.observability.probe import get_probe
 
 
@@ -36,8 +39,18 @@ class WriteAheadLog:
 
     def __init__(self, path):
         self.path = os.fspath(path)
+        # A real power cut can leave a torn frame at the tail that no
+        # simulator cleaned up.  Truncate to the valid prefix *before*
+        # positioning the append handle: appending after garbage would
+        # make every later record — fsync'd and acknowledged — invisible
+        # to replay, which stops at the first bad frame.
+        _, good_size = self.read_records(self.path)
         self._handle = open(self.path, "ab")
-        self._size = self._handle.tell()
+        if self._handle.tell() > good_size:
+            self._handle.truncate(good_size)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        self._size = good_size
         #: Byte length known to be on disk (updated after each fsync).
         self.durable_size = self._size
 
@@ -96,8 +109,9 @@ class WriteAheadLog:
                 data = handle.read()
         except FileNotFoundError:
             return [], 0
-        payloads, good_size = decode_records(data)
+        payloads, _ = decode_records(data)
         records = []
+        good_size = 0
         for payload in payloads:
             try:
                 record = json.loads(payload)
@@ -106,6 +120,7 @@ class WriteAheadLog:
                 # JSON was never written by us: stop trusting the log.
                 break
             records.append(record)
+            good_size += HEADER_SIZE + len(payload)
         return records, good_size
 
     def replay(self, after_seq: int = -1) -> Iterator[dict]:

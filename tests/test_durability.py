@@ -174,6 +174,43 @@ class TestWriteAheadLog:
         records, _ = WriteAheadLog.read_records(path)
         assert [r["seq"] for r in records] == [1]
 
+    def test_reopen_truncates_torn_tail_before_appending(self, tmp_path):
+        """Regression: a torn tail a *real* power cut left on disk (no
+        simulator cleaned it up) must be cut off on reopen — appending
+        after the garbage would make every later fsync'd, acknowledged
+        record invisible to replay."""
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append({"seq": 1, "op": "delete", "rids": []})
+        wal.append({"seq": 2, "op": "delete", "rids": []})
+        wal.close()
+        intact = path.read_bytes()
+        path.write_bytes(intact[:-3])  # power cut tears the last frame
+        wal = WriteAheadLog(path)
+        assert wal.size == wal.durable_size == os.path.getsize(path)
+        assert wal.size < len(intact)
+        wal.append({"seq": 3, "op": "delete", "rids": []})
+        wal.close()
+        for _ in range(2):  # the appended record survives repeated reopens
+            wal = WriteAheadLog(path)
+            assert [r["seq"] for r in wal.replay()] == [1, 3]
+            wal.close()
+
+    def test_reopen_truncates_untrusted_non_json_tail(self, tmp_path):
+        """The reopen truncation boundary matches replay's trust
+        boundary: a checksum-valid frame with a non-JSON payload is cut
+        off too, so appends land where replay resumes reading."""
+        path = tmp_path / "wal.log"
+        good = encode_record(canonical_json_bytes({"seq": 1, "op": "x"}))
+        path.write_bytes(good + encode_record(b"\xff not json"))
+        wal = WriteAheadLog(path)
+        assert wal.size == len(good)
+        wal.append({"seq": 2, "op": "delete", "rids": []})
+        wal.close()
+        records, good_size = WriteAheadLog.read_records(path)
+        assert [r["seq"] for r in records] == [1, 2]
+        assert good_size == os.path.getsize(path)
+
     def test_durable_size_tracks_fsyncs(self, tmp_path):
         wal = WriteAheadLog(tmp_path / "wal.log")
         assert wal.durable_size == 0
@@ -272,6 +309,29 @@ class TestCheckpoints:
                 validate_checkpoint({**document, **breakage})
         with pytest.raises(CheckpointError):
             validate_checkpoint([1, 2, 3])
+
+    def test_ordering_is_numeric_beyond_zero_padding(self, tmp_path):
+        """Regression: seqs past 10**10 outgrow the 10-digit padding, and
+        reverse-lexical order would prefer ckpt-9999999999 over
+        ckpt-10000000000 — ordering must parse the seq and compare
+        numerically."""
+        write_checkpoint(tmp_path, 9999999999, {"n": 1})
+        write_checkpoint(tmp_path, 10**10, {"n": 2})
+        names = [os.path.basename(p) for p in list_checkpoints(tmp_path)]
+        assert names == [checkpoint_name(10**10), checkpoint_name(9999999999)]
+        seq, state, _ = load_latest_checkpoint(tmp_path)
+        assert (seq, state) == (10**10, {"n": 2})
+        apply_retention(tmp_path, 1)
+        assert [os.path.basename(p) for p in list_checkpoints(tmp_path)] == [
+            checkpoint_name(10**10)
+        ]
+
+    def test_non_numeric_checkpoint_names_skipped(self, tmp_path):
+        write_checkpoint(tmp_path, 1, {"n": 1})
+        (tmp_path / "ckpt-foreign.json").write_text("{}")
+        assert [os.path.basename(p) for p in list_checkpoints(tmp_path)] == [
+            checkpoint_name(1)
+        ]
 
     def test_retention_keeps_newest(self, tmp_path):
         for seq in range(6):
@@ -422,6 +482,51 @@ class TestDurableSession:
         recovered = DurableSession.recover(tmp_path / "s")
         assert state_to_bytes(recovered.discoverer) == two_batches
         assert recovered.replayed_records == 2
+        recovered.close()
+
+    def test_append_after_torn_tail_survives_repeated_recovery(self, tmp_path):
+        """Regression: batches acknowledged *after* recovering from a
+        torn WAL tail must stay visible — recovery truncates the garbage
+        instead of appending the new records after it."""
+        rng = random.Random(17)
+        session = DurableSession.create(
+            make_fitted(seed=17), tmp_path / "s", checkpoint_every=100
+        )
+        session.insert(random_rows(rng, 2))
+        session.insert(random_rows(rng, 2))
+        session.close()
+        wal_path = tmp_path / "s" / "wal.log"
+        wal_path.write_bytes(wal_path.read_bytes()[:-3])  # tear the tail
+        recovered = DurableSession.recover(tmp_path / "s")
+        assert recovered.replayed_records == 1
+        recovered.insert(random_rows(rng, 2))  # acknowledged post-tear
+        expected = state_to_bytes(recovered.discoverer)
+        recovered.close()
+        for _ in range(2):
+            again = DurableSession.recover(tmp_path / "s")
+            assert state_to_bytes(again.discoverer) == expected
+            assert again.replayed_records == 2
+            again.close()
+
+    def test_crash_between_checkpoint_and_manifest_is_retryable(
+        self, tmp_path, fault_injector
+    ):
+        """Regression: create() commits via the manifest, written last —
+        a crash after the initial checkpoint leaves a directory that
+        recover() reports as no-session and create() can simply retry,
+        never one both refuse."""
+        discoverer = make_fitted(seed=21)
+        with fault_injector.armed("checkpoint.pre_rename", skip=1):
+            with pytest.raises(SimulatedCrash):
+                DurableSession.create(discoverer, tmp_path / "s")
+        drop_tmp_files(tmp_path / "s")
+        with pytest.raises(SessionError, match="manifest"):
+            DurableSession.recover(tmp_path / "s")
+        session = DurableSession.create(discoverer, tmp_path / "s")
+        expected = state_to_bytes(session.discoverer)
+        session.close()
+        recovered = DurableSession.recover(tmp_path / "s")
+        assert state_to_bytes(recovered.discoverer) == expected
         recovered.close()
 
     def test_recovery_emits_durability_metrics(self, tmp_path):
