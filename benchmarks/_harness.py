@@ -127,6 +127,7 @@ class ResultTable:
         self.filename = filename
         self.rows = []
         self.phases = {}
+        self.counters = {}
 
     def add(self, *values) -> None:
         if len(values) != len(self.columns):
@@ -140,11 +141,16 @@ class ResultTable:
 
         ``source`` is a ``RunReport`` (its first span level is used), a
         result object carrying one (``.report``), or a plain
-        ``{phase: seconds}`` dict.
+        ``{phase: seconds}`` dict.  When the source carries probe
+        counters, they are snapshotted alongside the timings: wall-clock
+        is noisy, but the work counters (pair comparisons, context
+        refinements, index probes) are deterministic, so the JSON twin
+        doubles as a regression oracle for the CI bench gate.
         """
         report = getattr(source, "report", source)
         if hasattr(report, "phase_timings"):
             breakdown = report.phase_timings()
+            self.add_counters(label, source)
         elif isinstance(report, dict):
             breakdown = dict(report)
         else:
@@ -154,6 +160,16 @@ class ResultTable:
         self.phases[label] = {
             phase: round(seconds, 6) for phase, seconds in breakdown.items()
         }
+
+    def add_counters(self, label: str, source) -> None:
+        """Snapshot the probe counters of a run into the JSON report."""
+        report = getattr(source, "report", source)
+        metrics = getattr(report, "metrics", None)
+        counters = metrics.get("counters") if isinstance(metrics, dict) else None
+        if counters:
+            self.counters[label] = {
+                name: counters[name] for name in sorted(counters)
+            }
 
     def _format(self) -> str:
         def render(value):
@@ -190,6 +206,7 @@ class ResultTable:
             "rows": [[jsonable(value) for value in row] for row in self.rows],
             "notes": list(shape_notes),
             "phases": self.phases,
+            "counters": self.counters,
         }
 
     def finish(self, shape_notes=()) -> str:

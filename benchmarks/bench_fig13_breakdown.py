@@ -34,13 +34,14 @@ def _run_breakdown(static_size, insert_size):
     discoverer = DCDiscoverer(relation)
     fit = discoverer.fit()
     update = discoverer.insert(delta_rows)
-    return {
+    phases = {
         "Load": load_time,
         "Evi": fit.timings["evidence"],
         "DCEnum": fit.timings["enumeration"],
         "Evi(Dyn)": update.timings["evidence"],
         "DCEnum(Dyn)": update.timings["enumeration"],
     }
+    return phases, update
 
 
 def test_fig13a_growing_static(benchmark):
@@ -53,12 +54,13 @@ def test_fig13a_growing_static(benchmark):
     dynamic_times = []
     static_times = []
     for static_size in STATIC_SIZES:
-        phases = _run_breakdown(static_size, FIXED_INSERT)
+        phases, update = _run_breakdown(static_size, FIXED_INSERT)
         table.add(
             static_size, phases["Load"], phases["Evi"], phases["DCEnum"],
             phases["Evi(Dyn)"], phases["DCEnum(Dyn)"],
         )
         table.add_phases(f"static={static_size}", phases)
+        table.add_counters(f"static={static_size}", update)
         dynamic_times.append(phases["Evi(Dyn)"] + phases["DCEnum(Dyn)"])
         static_times.append(phases["Evi"] + phases["DCEnum"])
     # Shape: static cost grows much faster than dynamic cost.
@@ -74,7 +76,7 @@ def test_fig13a_growing_static(benchmark):
     assert static_growth > dynamic_growth
 
     benchmark.pedantic(
-        lambda: _run_breakdown(STATIC_SIZES[0], FIXED_INSERT),
+        lambda: _run_breakdown(STATIC_SIZES[0], FIXED_INSERT)[0],
         rounds=1, iterations=1,
     )
 
@@ -88,12 +90,13 @@ def test_fig13b_growing_inserts(benchmark):
     )
     dynamic_times = []
     for insert_size in INSERT_SIZES:
-        phases = _run_breakdown(FIXED_STATIC, insert_size)
+        phases, update = _run_breakdown(FIXED_STATIC, insert_size)
         table.add(
             insert_size, phases["Load"], phases["Evi"], phases["DCEnum"],
             phases["Evi(Dyn)"], phases["DCEnum(Dyn)"],
         )
         table.add_phases(f"inserts={insert_size}", phases)
+        table.add_counters(f"inserts={insert_size}", update)
         dynamic_times.append(phases["Evi(Dyn)"] + phases["DCEnum(Dyn)"])
     table.finish(
         shape_notes=[
@@ -105,6 +108,6 @@ def test_fig13b_growing_inserts(benchmark):
     assert dynamic_times[-1] > dynamic_times[0]
 
     benchmark.pedantic(
-        lambda: _run_breakdown(FIXED_STATIC, INSERT_SIZES[0]),
+        lambda: _run_breakdown(FIXED_STATIC, INSERT_SIZES[0])[0],
         rounds=1, iterations=1,
     )

@@ -11,15 +11,18 @@ from _harness import (
     CELL_TIMEOUT,
     CellTimeout,
     ResultTable,
+    SCALE,
     SWEEP_DATASETS,
     clone_discoverer,
     fitted_state_payload,
+    geometric_speedup,
     insert_workload,
     run_with_timeout,
     timed,
 )
 
 from repro.baselines import IncDC
+from repro.evidence.kernels import numpy_available
 
 RATIOS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.2, 0.3)
 
@@ -81,3 +84,80 @@ def test_fig5_insert_scaling(benchmark):
         lambda: clone_discoverer(payload).insert(delta_rows),
         rounds=1, iterations=1,
     )
+
+
+def _evidence_construction_seconds(result) -> float:
+    """Wall time of the evidence-construction phase (computing E_Δr) —
+    the sub-span the kernel backend actually replaces.  Index bookkeeping
+    and evidence application are backend-independent and excluded."""
+    for child in result.report.root.children:
+        if child.name == "evidence":
+            for sub in child.children:
+                if sub.name == "delta":
+                    return sub.duration
+    raise LookupError("no evidence/delta span in the run report")
+
+
+def test_fig5_backend_speedup():
+    """Addendum: vectorized vs pure-Python evidence kernel at the sweep's
+    largest configured scale (λ = 0.3, scaled row counts).
+
+    Each backend replays the identical insert from the same fitted
+    snapshot; the deterministic work counters must agree exactly (the
+    backends do the same logical work) and at full scale the vectorized
+    kernel must cut evidence-construction wall time by ≥ 3× (geometric
+    mean across the sweep datasets).
+    """
+    ratio = RATIOS[-1]
+    table = ResultTable(
+        f"Figure 5 addendum — evidence-kernel backend speedup at λ={ratio}",
+        ["dataset", "|Δr|", "python (s)", "numpy (s)", "speedup"],
+        "fig5_backend_speedup.txt",
+    )
+    pairs = []
+    for name in SWEEP_DATASETS:
+        static_rows, delta_rows = insert_workload(name, ratio)
+        payload = fitted_state_payload(name, static_rows)
+        times = {}
+        counters = {}
+        for backend in ("python", "numpy") if numpy_available() else ("python",):
+            best = None
+            for _ in range(5):
+                discoverer = clone_discoverer(payload)
+                discoverer.backend = backend
+                result = discoverer.insert(list(delta_rows))
+                elapsed = _evidence_construction_seconds(result)
+                best = elapsed if best is None else min(best, elapsed)
+            times[backend] = best
+            counters[backend] = {
+                key: value
+                for key, value in result.report.metrics["counters"].items()
+                if key.startswith("evidence.")
+            }
+            table.add_counters(f"{name} backend={backend}", result)
+        if not numpy_available():
+            table.add(name, len(delta_rows), times["python"], "—", "—")
+            continue
+        assert counters["python"] == counters["numpy"], (
+            f"{name}: deterministic work counters diverge across backends"
+        )
+        pairs.append((times["python"], times["numpy"]))
+        table.add(
+            name,
+            len(delta_rows),
+            times["python"],
+            times["numpy"],
+            round(times["python"] / times["numpy"], 2),
+        )
+    speedup = geometric_speedup(pairs)
+    table.finish(
+        shape_notes=[
+            f"geometric-mean evidence-construction speedup {speedup:.2f}x "
+            f"at λ={ratio}, scale={SCALE:g} "
+            "(gate: ≥ 3x at full scale with NumPy)",
+        ]
+    )
+    if numpy_available() and SCALE >= 1.0:
+        assert speedup >= 3.0, (
+            f"vectorized kernel speedup {speedup:.2f}x below the 3x bar"
+        )

@@ -1,0 +1,253 @@
+"""CI performance-regression gate over the benchmark suite.
+
+Wall-clock on shared CI runners is too noisy to gate on, so the gate
+compares what *is* deterministic:
+
+1. **Work counters** — the probe counters snapshotted into each
+   ``results/*.json`` record (pair comparisons, context refinements,
+   index probes, kernel batches).  They are a pure function of the
+   workload, so any change means the engine is doing different work —
+   a counter that grew beyond the tolerance fails the gate.
+2. **State digests** — SHA-256 of the canonical serialized state after
+   fixed maintenance workloads, computed per evidence backend.  The
+   python and numpy kernels must agree with each other *and* with the
+   committed baseline.
+
+Usage::
+
+    python benchmarks/bench_gate.py            # run benchmarks + compare
+    python benchmarks/bench_gate.py --update   # refresh the baselines
+    python benchmarks/bench_gate.py --skip-bench   # compare existing results
+
+The gate row counts are reduced (``GATE_SCALE``) so the whole job stays
+in CI budget; baselines are committed for exactly that scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+RESULTS_DIR = BENCH_DIR / "results"
+BASELINE_PATH = BENCH_DIR / "baselines" / "bench_gate.json"
+
+#: Row-count multiplier the gate runs (and its baselines were recorded) at.
+GATE_SCALE = float(os.environ.get("REPRO_GATE_SCALE", "0.5"))
+
+#: Benchmarks the gate executes, and the results files it then audits.
+GATE_BENCHMARKS = (
+    "bench_fig5_insert_scaling.py",
+    "bench_fig13_breakdown.py",
+)
+GATE_RESULTS = (
+    "fig5_insert_scaling.json",
+    "fig5_backend_speedup.json",
+    "fig13a_breakdown_static.json",
+    "fig13b_breakdown_inserts.json",
+)
+
+#: Fixed digest workloads: (dataset, delete strategy).
+DIGEST_WORKLOADS = (("Tax", "index"), ("Airport", "recompute"))
+
+
+def run_benchmarks() -> None:
+    env = dict(os.environ)
+    env["REPRO_BENCH_SCALE"] = str(GATE_SCALE)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *(str(BENCH_DIR / name) for name in GATE_BENCHMARKS),
+        "-q",
+        "-p",
+        "no:cacheprovider",
+    ]
+    print(f"gate: running benchmarks at scale {GATE_SCALE:g}", flush=True)
+    subprocess.run(command, check=True, env=env, cwd=REPO_ROOT)
+
+
+def collect_counters() -> dict:
+    counters = {}
+    for filename in GATE_RESULTS:
+        path = RESULTS_DIR / filename
+        payload = json.loads(path.read_text())
+        counters[filename] = payload.get("counters", {})
+    return counters
+
+
+def compute_digests() -> dict:
+    """Canonical state digests of fixed workloads, one per backend."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.core.state_io import state_to_bytes
+    from repro.evidence.kernels import numpy_available
+    from _harness import (
+        BASE_ROWS,
+        clone_discoverer,
+        fitted_state_payload,
+        insert_workload,
+    )
+
+    backends = ("python", "numpy") if numpy_available() else ("python",)
+    digests = {}
+    for name, delete_strategy in DIGEST_WORKLOADS:
+        total_rows = max(40, int(BASE_ROWS[name] * GATE_SCALE))
+        static_rows, delta_rows = insert_workload(
+            name, 0.2, total_rows=total_rows
+        )
+        payload = fitted_state_payload(
+            name, static_rows, delete_strategy=delete_strategy
+        )
+        per_backend = {}
+        for backend in backends:
+            discoverer = clone_discoverer(payload)
+            discoverer.backend = backend
+            half = len(delta_rows) // 2 or 1
+            discoverer.insert(delta_rows[:half])
+            rids = sorted(discoverer.relation.rids())
+            discoverer.delete(rids[1::5])
+            discoverer.insert(delta_rows[half:])
+            per_backend[backend] = hashlib.sha256(
+                state_to_bytes(discoverer)
+            ).hexdigest()
+        label = f"{name}/{delete_strategy}"
+        if len(set(per_backend.values())) != 1:
+            raise SystemExit(
+                f"gate: FAIL — backends disagree on {label}: {per_backend}"
+            )
+        digests[label] = next(iter(per_backend.values()))
+        print(
+            f"gate: digest {label} = {digests[label][:16]}… "
+            f"({' = '.join(backends)})"
+        )
+    return digests
+
+
+def compare_counters(baseline: dict, current: dict, tolerance: float) -> list:
+    problems = []
+    for filename, labels in baseline.items():
+        seen = current.get(filename, {})
+        for label, expected in labels.items():
+            actual = seen.get(label)
+            if actual is None:
+                problems.append(f"{filename}: record {label!r} disappeared")
+                continue
+            for counter, value in expected.items():
+                found = actual.get(counter)
+                if found is None:
+                    problems.append(
+                        f"{filename}: {label!r} lost counter {counter}"
+                    )
+                    continue
+                bound = abs(value) * tolerance
+                if abs(found - value) > bound:
+                    kind = "regressed" if found > value else "drifted down"
+                    problems.append(
+                        f"{filename}: {label!r} {counter} {kind}: "
+                        f"{value} -> {found} "
+                        f"({(found - value) / value if value else found:+.1%},"
+                        f" tolerance {tolerance:.1%})"
+                    )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the committed baselines from this run",
+    )
+    parser.add_argument(
+        "--skip-bench",
+        action="store_true",
+        help="compare existing results/ files without re-running benchmarks",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.02,
+        help="relative counter tolerance (default 2%%)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.skip_bench:
+        run_benchmarks()
+    counters = collect_counters()
+    digests = compute_digests()
+
+    if args.update:
+        BASELINE_PATH.parent.mkdir(exist_ok=True)
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {
+                    "scale": GATE_SCALE,
+                    "counters": counters,
+                    "digests": digests,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"gate: baselines updated at {BASELINE_PATH}")
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(
+            f"gate: no baselines at {BASELINE_PATH}; "
+            "run with --update to create them",
+            file=sys.stderr,
+        )
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())
+    if baseline.get("scale") != GATE_SCALE:
+        print(
+            f"gate: baselines recorded at scale {baseline.get('scale')} "
+            f"but the gate is running at {GATE_SCALE}",
+            file=sys.stderr,
+        )
+        return 2
+
+    problems = compare_counters(
+        baseline.get("counters", {}), counters, args.tolerance
+    )
+    for label, expected in baseline.get("digests", {}).items():
+        found = digests.get(label)
+        if found != expected:
+            problems.append(
+                f"state digest {label}: {expected[:16]}… -> "
+                f"{(found or 'missing')[:16]}…"
+            )
+
+    if problems:
+        print(f"gate: FAIL — {len(problems)} divergence(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        print(
+            "gate: if the change is intentional, refresh with "
+            "`python benchmarks/bench_gate.py --update`",
+            file=sys.stderr,
+        )
+        return 1
+    n_counters = sum(
+        len(values) for labels in counters.values() for values in labels.values()
+    )
+    print(
+        f"gate: OK — {n_counters} counters and {len(digests)} state digests "
+        "match the baselines"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

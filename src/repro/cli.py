@@ -15,8 +15,10 @@ Subcommands mirror the 3DC life cycle:
   (docs/durability.md).
 
 ``discover``/``insert``/``delete`` accept ``--workers N`` to shard
-evidence construction over a process pool (results are identical for any
-worker count; see docs/observability.md).
+evidence construction over a process pool and ``--backend
+{auto,python,numpy}`` to pick the evidence-kernel backend (results are
+identical for any worker count and backend; see docs/observability.md
+and docs/performance.md).
 
 Observability flags (see docs/observability.md): ``--trace`` prints the
 nested span tree and per-call metrics of the operation, ``--metrics-out``
@@ -84,6 +86,7 @@ def _cmd_discover(args) -> int:
         cross_column_ratio=args.cross_ratio,
         allow_cross_columns=not args.no_cross_columns,
         workers=args.workers,
+        backend=args.backend,
     )
     result = discoverer.fit()
     print(result)
@@ -99,6 +102,8 @@ def _cmd_insert(args) -> int:
     discoverer = load_state(args.state)
     if args.workers is not None:
         discoverer.workers = args.workers
+    if args.backend is not None:
+        discoverer.backend = args.backend
     relation = load_csv(
         args.csv, schema=discoverer.relation.schema, null_policy=args.null_policy
     )
@@ -115,6 +120,8 @@ def _cmd_delete(args) -> int:
     discoverer = load_state(args.state)
     if args.workers is not None:
         discoverer.workers = args.workers
+    if args.backend is not None:
+        discoverer.backend = args.backend
     result = discoverer.delete(args.rids)
     print(result)
     _print_dcs(discoverer, args.top)
@@ -239,6 +246,7 @@ def _cmd_session_init(args) -> int:
         cross_column_ratio=args.cross_ratio,
         allow_cross_columns=not args.no_cross_columns,
         workers=args.workers,
+        backend=args.backend,
     )
     result = discoverer.fit()
     print(result)
@@ -307,6 +315,19 @@ def _add_workers_flag(parser, default) -> None:
     )
 
 
+def _add_backend_flag(parser, default) -> None:
+    from repro.evidence.kernels import BACKENDS
+
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=default,
+        help="evidence-kernel backend (auto = NumPy-vectorized when "
+        "available, pure Python otherwise; results are identical for "
+        "any choice)",
+    )
+
+
 def _add_observability_flags(parser) -> None:
     parser.add_argument(
         "--trace",
@@ -341,6 +362,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cross-columns", action="store_true")
     p.add_argument("--null-policy", choices=["reject", "drop", "fill"], default="reject")
     _add_workers_flag(p, default=1)
+    _add_backend_flag(p, default="auto")
     _add_observability_flags(p)
     p.set_defaults(func=_cmd_discover)
 
@@ -349,8 +371,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--state", required=True)
     p.add_argument("--top", type=int, default=20)
     p.add_argument("--null-policy", choices=["reject", "drop", "fill"], default="reject")
-    # None = keep whatever worker count the saved state was built with.
+    # None = keep the loaded discoverer's worker count / backend.
     _add_workers_flag(p, default=None)
+    _add_backend_flag(p, default=None)
     _add_observability_flags(p)
     p.set_defaults(func=_cmd_insert)
 
@@ -359,6 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rids", type=int, nargs="+", required=True)
     p.add_argument("--top", type=int, default=20)
     _add_workers_flag(p, default=None)
+    _add_backend_flag(p, default=None)
     _add_observability_flags(p)
     p.set_defaults(func=_cmd_delete)
 
@@ -410,6 +434,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--no-cross-columns", action="store_true")
     sp.add_argument("--null-policy", choices=["reject", "drop", "fill"], default="reject")
     _add_workers_flag(sp, default=1)
+    _add_backend_flag(sp, default="auto")
     _add_observability_flags(sp)
     sp.set_defaults(func=_cmd_session_init)
 

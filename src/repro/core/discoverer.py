@@ -72,6 +72,12 @@ class DCDiscoverer:
         and 0 means one worker per CPU.  Results are byte-for-byte
         identical for any worker count (the shard merge is deterministic);
         platforms without the ``fork`` start method fall back to serial.
+    :param backend: evidence-kernel backend — ``"auto"`` (the default;
+        NumPy-vectorized when available, pure Python otherwise),
+        ``"python"``, or ``"numpy"``.  Results are byte-for-byte
+        identical for any backend; like ``workers``, the choice is an
+        execution setting of this process and is not persisted with the
+        state.
     :param instrumentation: the observability bundle this discoverer
         reports through; defaults to a fresh enabled
         :class:`~repro.observability.Instrumentation`.  Pass
@@ -90,8 +96,11 @@ class DCDiscoverer:
         infer_within_delta: bool = True,
         enumeration_backend: str = "dynei",
         workers: int = 1,
+        backend: str = "auto",
         instrumentation: Optional[Instrumentation] = None,
     ):
+        from repro.evidence.kernels import validate_backend
+
         if delete_strategy not in ("index", "recompute"):
             raise ValueError(
                 f"delete_strategy must be 'index' or 'recompute', "
@@ -110,6 +119,7 @@ class DCDiscoverer:
         self.infer_within_delta = infer_within_delta
         self.enumeration_backend = enumeration_backend
         self.workers = workers
+        self.backend = validate_backend(backend)
         self.instrumentation = instrumentation or Instrumentation()
         self.space: Optional[PredicateSpace] = None
         self._state = None
@@ -140,6 +150,7 @@ class DCDiscoverer:
                         self.space,
                         maintain_tuple_index=self.maintain_tuple_index,
                         workers=self.workers,
+                        backend=self.backend,
                     )
                 with tracer.span("enumeration"):
                     self._backend = make_backend(
@@ -197,6 +208,7 @@ class DCDiscoverer:
                                 new_rids,
                                 infer_within_delta=self.infer_within_delta,
                                 workers=self.workers,
+                                backend=self.backend,
                             )
                         with tracer.span("apply"):
                             new_masks = apply_insert_evidence(
@@ -254,11 +266,13 @@ class DCDiscoverer:
                                 evidence_delta = delete_evidence_with_index(
                                     self.relation, self._state, rid_list,
                                     workers=self.workers,
+                                    backend=self.backend,
                                 )
                             else:
                                 evidence_delta = delete_evidence_by_recompute(
                                     self.relation, self._state, rid_list,
                                     workers=self.workers,
+                                    backend=self.backend,
                                 )
                         with tracer.span("apply"):
                             removed_masks = apply_delete_evidence(

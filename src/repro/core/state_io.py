@@ -99,10 +99,11 @@ def state_to_dict(discoverer: DCDiscoverer) -> dict:
             "delete_strategy": discoverer.delete_strategy,
             "infer_within_delta": discoverer.infer_within_delta,
             "enumeration_backend": discoverer.enumeration_backend,
-            # The workers knob is deliberately NOT persisted: it is an
-            # execution setting of one process, not part of the data
-            # state, and leaving it out keeps saved states byte-identical
-            # across worker counts.
+            # The workers and (evidence-kernel) backend knobs are
+            # deliberately NOT persisted: they are execution settings of
+            # one process, not part of the data state, and leaving them
+            # out keeps saved states byte-identical across worker counts
+            # and backends.
         },
         "schema": [
             [column.name, column.ctype.value] for column in relation.schema

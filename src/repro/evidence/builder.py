@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.evidence.contexts import build_contexts
 from repro.evidence.evidence_set import EvidenceSet
 from repro.evidence.indexes import ColumnIndexes
 from repro.evidence.tuple_index import TupleEvidenceIndex
@@ -71,6 +70,7 @@ def build_evidence_state(
     maintain_tuple_index: bool = False,
     checkpoint_step: int = 32,
     workers: int = 1,
+    backend: Optional[str] = None,
 ) -> EvidenceEngineState:
     """Build the full evidence set of ``relation`` from scratch.
 
@@ -80,8 +80,13 @@ def build_evidence_state(
     :param workers: shard the scan over a process pool when > 1 (0 = one
         worker per CPU); the merged evidence set is identical to the
         serial result for any worker count.
+    :param backend: evidence-kernel backend (``"auto"``/``"python"``/
+        ``"numpy"``, ``None`` = auto); results are identical for any
+        backend.
     """
     from repro.evidence import parallel
+    from repro.evidence.kernels import make_kernel
+    from repro.evidence.kernels.base import ReconcileTask, TupleIndexRecorder
 
     with probe_span("indexes"):
         indexes = ColumnIndexes(relation, step=checkpoint_step)
@@ -92,20 +97,32 @@ def build_evidence_state(
     with probe_span("scan"):
         if parallel.should_parallelize(n_workers, len(relation)):
             evidence_set = parallel.parallel_static_evidence(
-                relation, space, indexes, tuple_index, n_workers
+                relation, space, indexes, tuple_index, n_workers, backend
             )
         else:
+            # Tuple t reconciles against the partners after it; the last
+            # alive rid has none left and gets no task (and no index
+            # entry), exactly like the historical serial scan.
+            tasks = []
             remaining = relation.alive_bits
             for rid in relation.rids():
                 remaining &= ~(1 << rid)
                 if not remaining:
                     break
-                contexts = build_contexts(
-                    space, relation, rid, remaining, indexes
+                tasks.append(
+                    ReconcileTask(
+                        rid,
+                        remaining,
+                        remaining if maintain_tuple_index else None,
+                    )
                 )
-                collect_contexts(space, contexts, evidence_set)
-                if tuple_index is not None:
-                    tuple_index.record_contexts(rid, contexts)
+            kernel = make_kernel(backend, relation, space, indexes)
+            recorder = (
+                TupleIndexRecorder(tuple_index)
+                if maintain_tuple_index
+                else None
+            )
+            kernel.reconcile(tasks, evidence_set, recorder)
 
     return EvidenceEngineState(
         space=space,

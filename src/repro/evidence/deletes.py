@@ -17,11 +17,10 @@ dying tuples still need to be probed as partners.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.bitmaps.bitutils import iter_bits
-from repro.evidence.builder import EvidenceEngineState, collect_contexts
-from repro.evidence.contexts import build_contexts
+from repro.evidence.builder import EvidenceEngineState
 from repro.evidence.evidence_set import EvidenceSet
 from repro.observability.probe import get_probe
 from repro.relational.relation import Relation
@@ -32,6 +31,7 @@ def delete_evidence_by_recompute(
     state: EvidenceEngineState,
     delete_rids: Iterable[int],
     workers: int = 1,
+    backend: Optional[str] = None,
 ) -> EvidenceSet:
     """Recompute the evidence produced by the delete batch from scratch.
 
@@ -40,22 +40,27 @@ def delete_evidence_by_recompute(
 
     :param workers: shard the batch over a process pool when > 1 (0 = one
         worker per CPU); results are identical for any worker count.
+    :param backend: evidence-kernel backend (``None`` = auto); results
+        are identical for any backend.
     """
     from repro.evidence import parallel
+    from repro.evidence.kernels import make_kernel
+    from repro.evidence.kernels.base import ReconcileTask
 
     delete_list = sorted(delete_rids)
     n_workers = parallel.resolve_workers(workers)
     if parallel.should_parallelize(n_workers, len(delete_list)):
         return parallel.parallel_delete_evidence(
-            relation, state, delete_list, "recompute", n_workers
+            relation, state, delete_list, "recompute", n_workers, backend
         )
     evidence_delta = EvidenceSet()
     remaining = relation.alive_bits
-    space = state.space
+    tasks = []
     for rid in delete_list:
         remaining &= ~(1 << rid)
-        contexts = build_contexts(space, relation, rid, remaining, state.indexes)
-        collect_contexts(space, contexts, evidence_delta)
+        tasks.append(ReconcileTask(rid, remaining))
+    kernel = make_kernel(backend, relation, state.space, state.indexes)
+    kernel.reconcile(tasks, evidence_delta)
     return evidence_delta
 
 
@@ -64,6 +69,7 @@ def delete_evidence_with_index(
     state: EvidenceEngineState,
     delete_rids: Iterable[int],
     workers: int = 1,
+    backend: Optional[str] = None,
 ) -> EvidenceSet:
     """Compute the delete batch's evidence using the per-tuple index.
 
@@ -83,9 +89,13 @@ def delete_evidence_with_index(
 
     :param workers: shard the batch over a process pool when > 1 (0 = one
         worker per CPU); results are identical for any worker count.
+    :param backend: evidence-kernel backend (``None`` = auto); results
+        are identical for any backend.
     :raises RuntimeError: when the engine state has no tuple index.
     """
     from repro.evidence import parallel
+    from repro.evidence.kernels import make_kernel
+    from repro.evidence.kernels.base import ReconcileTask
 
     tuple_index = state.tuple_index
     if tuple_index is None:
@@ -97,7 +107,7 @@ def delete_evidence_with_index(
     n_workers = parallel.resolve_workers(workers)
     if parallel.should_parallelize(n_workers, len(delete_list)):
         return parallel.parallel_delete_evidence(
-            relation, state, delete_list, "index", n_workers
+            relation, state, delete_list, "index", n_workers, backend
         )
     evidence_delta = EvidenceSet()
     space = state.space
@@ -107,6 +117,7 @@ def delete_evidence_with_index(
     probe = get_probe()
     owned_pairs = 0
     stale_corrections = 0
+    tasks = []
 
     for rid in delete_list:
         rid_bit = 1 << rid
@@ -126,12 +137,18 @@ def delete_evidence_with_index(
                 evidence = evidence_of_pair(row, relation.row(partner))
                 evidence_delta.subtract(evidence, 1)
                 evidence_delta.subtract(symmetrize(evidence), 1)
-        # (2) Non-owned pairs with surviving, unprocessed tuples.
+        # (2) Non-owned pairs with surviving, unprocessed tuples —
+        # `processed` is a pure prefix function of the sorted batch, so
+        # the pipelines can run as one kernel batch after this loop.
         others = alive_bits & ~processed_bits & ~partners & ~rid_bit
         if others:
-            contexts = build_contexts(space, relation, rid, others, state.indexes)
-            collect_contexts(space, contexts, evidence_delta)
+            tasks.append(ReconcileTask(rid, others))
         processed_bits |= rid_bit
+
+    if tasks:
+        kernel = make_kernel(backend, relation, space, state.indexes)
+        kernel.reconcile(tasks, evidence_delta)
+    for rid in delete_list:
         tuple_index.drop_tuple(rid)
 
     if probe is not None:

@@ -16,11 +16,10 @@ evidence set ``E_Δr`` covering all ordered pairs with at least one tuple in
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.bitmaps.bitutils import bits_from
-from repro.evidence.builder import EvidenceEngineState, collect_contexts
-from repro.evidence.contexts import build_contexts
+from repro.evidence.builder import EvidenceEngineState
 from repro.evidence.evidence_set import EvidenceSet
 from repro.observability.probe import get_probe
 from repro.relational.relation import Relation
@@ -32,6 +31,7 @@ def incremental_evidence_for_insert(
     delta_rids: Iterable[int],
     infer_within_delta: bool = True,
     workers: int = 1,
+    backend: Optional[str] = None,
 ) -> EvidenceSet:
     """Compute ``E_Δr`` for an insert batch.
 
@@ -45,14 +45,17 @@ def incremental_evidence_for_insert(
     :param workers: shard ``Δr`` over a process pool when > 1 (0 = one
         worker per CPU); the merged delta is identical to the serial
         result for any worker count.
+    :param backend: evidence-kernel backend (``None`` = auto); results
+        are identical for any backend.
     """
     from repro.evidence import parallel
+    from repro.evidence.kernels import make_kernel
+    from repro.evidence.kernels.base import ReconcileTask, TupleIndexRecorder
 
     delta_list = sorted(delta_rids)
     delta_bits = bits_from(delta_list)
     static_bits = relation.alive_bits & ~delta_bits
     evidence_delta = EvidenceSet()
-    space = state.space
     probe = get_probe()
     if probe is not None:
         probe.inc("evidence.delta_tuples", len(delta_list))
@@ -60,39 +63,44 @@ def incremental_evidence_for_insert(
     n_workers = parallel.resolve_workers(workers)
     if parallel.should_parallelize(n_workers, len(delta_list)):
         return parallel.parallel_insert_evidence(
-            relation, state, delta_list, infer_within_delta, n_workers
+            relation, state, delta_list, infer_within_delta, n_workers, backend
         )
 
+    record = state.tuple_index is not None
+    tasks = []
+    symmetric_bits = None
     if infer_within_delta:
         remaining_delta = delta_bits
         for rid in delta_list:
             remaining_delta &= ~(1 << rid)
             partners = static_bits | remaining_delta
-            contexts = build_contexts(space, relation, rid, partners, state.indexes)
-            collect_contexts(space, contexts, evidence_delta)
-            if state.tuple_index is not None:
-                state.tuple_index.record_contexts(rid, contexts)
+            # Incremental tuples always get an index entry, even with no
+            # partners (a batch into an empty relation).
+            tasks.append(
+                ReconcileTask(rid, partners, partners if record else None)
+            )
     else:
+        # Pairs with static partners: direct + inferred swap.  Pairs
+        # inside the delta: direct only — the partner's own pipeline
+        # produces the other direction.  Recording keeps single-owner-
+        # per-pair bookkeeping: the static pairs plus the delta partners
+        # *after* this tuple.
+        symmetric_bits = static_bits
         for rid in delta_list:
             partners = (static_bits | delta_bits) & ~(1 << rid)
-            contexts = build_contexts(space, relation, rid, partners, state.indexes)
-            # Pairs with static partners: direct + inferred swap.  Pairs
-            # inside the delta: direct only — the partner's own pipeline
-            # produces the other direction.
-            collect_contexts(
-                space, contexts, evidence_delta, symmetric_bits=static_bits
+            later_delta = delta_bits & ~((1 << (rid + 1)) - 1)
+            tasks.append(
+                ReconcileTask(
+                    rid,
+                    partners,
+                    (static_bits | later_delta) if record else None,
+                )
             )
-            if state.tuple_index is not None:
-                # Record only the statically-owned part so delete
-                # bookkeeping stays single-owner-per-pair: the static pairs
-                # plus the delta partners *after* this tuple.
-                later_delta = delta_bits & ~((1 << (rid + 1)) - 1)
-                owned = {
-                    evidence: bits & (static_bits | later_delta)
-                    for evidence, bits in contexts.items()
-                }
-                state.tuple_index.record_contexts(rid, owned)
-
+    kernel = make_kernel(backend, relation, state.space, state.indexes)
+    recorder = TupleIndexRecorder(state.tuple_index) if record else None
+    kernel.reconcile(
+        tasks, evidence_delta, recorder, symmetric_bits=symmetric_bits
+    )
     return evidence_delta
 
 

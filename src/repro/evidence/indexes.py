@@ -56,20 +56,33 @@ class EqualityIndex:
 
 class RangeIndex:
     """Sorted index answering equal / strictly-greater probes on a numeric
-    column with checkpointed suffix bitmaps."""
+    column with checkpointed suffix bitmaps.
 
-    __slots__ = ("entries", "values", "step", "_checkpoints", "_dirty")
+    NaN is given a total-order position: equal to other NaNs and strictly
+    greater than every number.  NaN rids live in a dedicated side bitmap
+    (``insort``/``bisect`` on a list containing NaN silently corrupts the
+    sort order, and keeping NaN out of ``values`` keeps the hot probe path
+    free of key-function overhead); the same convention is implemented by
+    :meth:`repro.predicates.space.PredicateSpace.evidence_of_pair` and both
+    evidence kernels, so all evaluation paths agree.
+    """
+
+    __slots__ = ("entries", "values", "step", "nan_bits", "_checkpoints", "_dirty")
 
     def __init__(self, step: int = DEFAULT_CHECKPOINT_STEP):
         if step < 1:
             raise ValueError("checkpoint step must be >= 1")
         self.entries = {}
-        self.values = []  # sorted distinct values
+        self.values = []  # sorted distinct values, NaN excluded
         self.step = step
+        self.nan_bits = 0
         self._checkpoints = []
         self._dirty = True
 
     def add(self, rid: int, value) -> None:
+        if value != value:
+            self.nan_bits |= 1 << rid
+            return
         bits = self.entries.get(value)
         if bits is None:
             insort(self.values, value)
@@ -79,6 +92,9 @@ class RangeIndex:
         self._dirty = True
 
     def remove(self, rid: int, value) -> None:
+        if value != value:
+            self.nan_bits &= ~(1 << rid)
+            return
         bits = self.entries.get(value, 0) & ~(1 << rid)
         if bits:
             self.entries[value] = bits
@@ -106,13 +122,16 @@ class RangeIndex:
 
     def eq_gt(self, value) -> tuple:
         """Return ``(eq_bits, gt_bits)``: rids with column value equal to,
-        respectively strictly greater than, ``value``."""
+        respectively strictly greater than, ``value`` (NaN equals NaN and
+        is greater than every number)."""
+        if value != value:
+            return self.nan_bits, 0
         if self._dirty:
             self._rebuild_checkpoints()
         eq_bits = self.entries.get(value, 0)
         position = bisect_right(self.values, value)
         block_end = -(-position // self.step) * self.step  # next checkpoint
-        gt_bits = 0
+        gt_bits = self.nan_bits
         for index in range(position, min(block_end, len(self.values))):
             gt_bits |= self.entries[self.values[index]]
         checkpoint = block_end // self.step
@@ -121,7 +140,7 @@ class RangeIndex:
         return eq_bits, gt_bits
 
     def __len__(self) -> int:
-        return len(self.values)
+        return len(self.values) + (1 if self.nan_bits else 0)
 
 
 class ColumnIndexes:

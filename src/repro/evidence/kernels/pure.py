@@ -1,0 +1,67 @@
+"""Pure-Python evidence kernel — the dependency-free reference backend.
+
+Runs the exact bigint context pipeline the serial drivers always used
+(:func:`~repro.evidence.contexts.build_contexts` +
+:func:`~repro.evidence.builder.collect_contexts`), wrapped in the kernel
+interface so the drivers and shard workers are backend-agnostic.  This is
+the semantics oracle the vectorized backend is differentially tested
+against, and the automatic fallback when NumPy is absent or a column is
+not exactly representable in float64.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.evidence.builder import collect_contexts
+from repro.evidence.contexts import build_contexts
+from repro.evidence.kernels.base import (
+    EvidenceKernel,
+    KernelStats,
+    ReconcileTask,
+    record_task,
+)
+
+
+class PythonKernel(EvidenceKernel):
+    """Tuple-at-a-time context reconciliation over the column indexes."""
+
+    name = "python"
+    # build_contexts / collect_contexts emit the evidence.* counters
+    # per pipeline themselves; the base emitter must not re-add them.
+    _probe_evidence_counters = False
+
+    def reconcile(
+        self,
+        tasks: Sequence[ReconcileTask],
+        sink,
+        recorder=None,
+        symmetric_bits: Optional[int] = None,
+    ) -> KernelStats:
+        stats = KernelStats()
+        space = self.space
+        relation = self.relation
+        indexes = self.indexes
+        for task in tasks:
+            contexts = build_contexts(
+                space, relation, task.rid, task.partner_bits, indexes
+            )
+            if task.partner_bits:
+                stats.pipelines += 1
+                stats.pairs += task.partner_bits.bit_count()
+                stats.contexts_out += len(contexts)
+                stats.pairs_inferred += _inferred_count(
+                    contexts, symmetric_bits
+                )
+            collect_contexts(space, contexts, sink, symmetric_bits)
+            record_task(recorder, task, contexts)
+        self._emit_probe(stats)
+        return stats
+
+
+def _inferred_count(contexts: dict, symmetric_bits: Optional[int]) -> int:
+    if symmetric_bits is None:
+        return sum(bits.bit_count() for bits in contexts.values())
+    return sum(
+        (bits & symmetric_bits).bit_count() for bits in contexts.values()
+    )

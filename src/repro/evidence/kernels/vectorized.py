@@ -1,0 +1,584 @@
+"""NumPy-vectorized evidence kernel.
+
+Instead of reconciling one context pipeline per lhs tuple, this backend
+materializes the relation's columns as arrays once per maintenance
+operation and processes reconciliation tasks in pair blocks:
+
+1. The block's partner bitmaps are unpacked into one boolean task×rid
+   matrix; ``np.nonzero`` yields the ordered-pair index arrays, already
+   grouped by task.
+2. For every predicate group the lhs/partner column values are gathered
+   and compared in one vectorized pass, yielding a per-pair *outcome code*
+   (0 = equal, 1 = partner greater, 2 = partner smaller — the three clue
+   classes of a group).  Codes are packed two bits per group into uint64
+   *clue words*; because every group's outcome→bits mapping is injective
+   and groups occupy disjoint bit ranges, equal clue words ⇔ equal
+   evidence masks.
+3. One sort over ``(task, clue words)`` folds the block into its
+   evidence-context partitions: segment boundaries give the distinct
+   evidences per lhs tuple, segment sums give pair multiplicities plus
+   the symmetric-inference and ownership sub-counts.
+4. Only the few *distinct* clue words are decoded back into bigint
+   evidence masks in Python; evidence totals are aggregated per code with
+   ``bincount`` and ownership counters are built from per-task slices, so
+   no Python loop runs per pair or per context.
+
+String columns are dictionary-encoded into int64 codes against one shared
+vocabulary (categorical groups may span two columns), so group comparisons
+never touch NumPy's slow unicode paths.  NaN follows the engine-wide total
+order (NaN = NaN, NaN greater than every number; see
+:class:`repro.evidence.indexes.RangeIndex`).  Numeric columns are gated on
+exact float64 representability — any integer beyond ±2^53 raises
+:class:`~repro.evidence.kernels.base.KernelUnsupported` at construction
+and the registry falls back to the pure-Python backend, so results never
+silently lose precision.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.evidence.kernels.base import (
+    EvidenceKernel,
+    KernelStats,
+    KernelUnsupported,
+    ReconcileTask,
+)
+from repro.relational.schema import ColumnType
+
+try:  # NumPy is an optional dependency; absence selects the Python backend.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
+#: Integers beyond ±2^53 are not exactly representable in float64.
+_EXACT_INT_BOUND = 1 << 53
+#: Predicate groups per packed byte (2 bits each).  Outcome codes are
+#: computed and packed on uint8 *byte planes* — one eighth the memory
+#: traffic of packing straight into uint64 — and widened to clue words
+#: only once per block.
+_GROUPS_PER_BYTE = 4
+#: Bytes (and therefore groups) per clue word.
+_BYTES_PER_WORD = 8
+_GROUPS_PER_WORD = _GROUPS_PER_BYTE * _BYTES_PER_WORD
+#: Target ordered pairs per block — bounds the per-pair working arrays
+#: (a block holds a handful of int64/uint64 arrays of this length).
+_BLOCK_PAIRS = 1 << 20
+
+
+def numpy_available() -> bool:
+    """Whether the vectorized backend can run at all in this process."""
+    return _np is not None
+
+
+class VectorizedKernel(EvidenceKernel):
+    """Columnar, batched evidence reconciliation on NumPy arrays."""
+
+    name = "numpy"
+
+    def __init__(self, relation, space, indexes):
+        if _np is None:
+            raise KernelUnsupported("NumPy is not installed")
+        super().__init__(relation, space, indexes)
+        self._n_slots = relation.next_rid
+        self._nbytes = (self._n_slots + 7) // 8 or 1
+        self._columns = {}
+        self._has_nan = {}
+        self._padded = {}
+        # Column arrays are cached on the relation and extended in place
+        # of rebuilt: rids are append-only and dead slots retain their
+        # values, so a cached prefix never goes stale — a maintenance
+        # delta only costs encoding its own suffix.
+        column_cache = getattr(relation, "_kernel_column_cache", None)
+        if column_cache is None:
+            column_cache = {"vocabulary": {}, "columns": {}}
+            relation._kernel_column_cache = column_cache
+        self._string_codes: dict = column_cache["vocabulary"]
+        needed = {group.lhs_position for group in space.groups}
+        needed.update(group.rhs_position for group in space.groups)
+        for position in sorted(needed):
+            array, has_nan = self._load_column(position, column_cache)
+            self._columns[position] = array
+            self._has_nan[position] = has_nan
+        n_groups = len(space.groups)
+        self._n_code_bytes = max(1, -(-n_groups // _GROUPS_PER_BYTE))
+        self._n_words = max(1, -(-self._n_code_bytes // _BYTES_PER_WORD))
+        # group index → (byte plane, bit shift of its 2-bit field)
+        self._byte_slots = [
+            (index // _GROUPS_PER_BYTE, 2 * (index % _GROUPS_PER_BYTE))
+            for index in range(n_groups)
+        ]
+        # The code→mask decoding is a pure function of the space's group
+        # layout, so the cache lives on the space and survives across the
+        # per-operation kernel instances.  Decoding goes byte-by-byte:
+        # each byte table maps one packed byte (≤ 4 groups) to its bigint
+        # mask contribution, so a fresh code costs a handful of dict hits
+        # instead of a loop over every group.
+        decode_cache = getattr(space, "_kernel_decode_cache", None)
+        if decode_cache is None:
+            decode_cache = {
+                "codes": {},
+                "bytes": [{} for _ in range(self._n_code_bytes)],
+            }
+            space._kernel_decode_cache = decode_cache
+        self._mask_cache: dict = decode_cache["codes"]
+        self._byte_tables: list = decode_cache["bytes"]
+
+    # -- column materialization ------------------------------------------------
+
+    def _load_column(self, position: int, cache: dict):
+        np = _np
+        values = self.relation.column_values(position)
+        n_values = len(values)
+        entry = cache["columns"].get(position)
+        if entry is not None and entry[2] == n_values:
+            return entry[0], entry[1]
+        # Encode only the suffix beyond what the cache already covers.
+        start = entry[2] if entry is not None else 0
+        suffix = values[start:]
+        column = self.relation.schema[position]
+        if not column.is_numeric:
+            # Dictionary-encode against the relation-wide vocabulary: code
+            # equality ⇔ string equality, across columns too.
+            vocabulary = cache["vocabulary"]
+            # Register unseen values (first-occurrence order), then encode
+            # the whole suffix with one C-level dict-lookup map.
+            for value in dict.fromkeys(suffix):
+                if value not in vocabulary:
+                    vocabulary[value] = len(vocabulary)
+            codes = np.fromiter(
+                map(vocabulary.__getitem__, suffix),
+                dtype=np.int64,
+                count=len(suffix),
+            )
+            array = codes if entry is None else np.concatenate((entry[0], codes))
+            cache["columns"][position] = (array, False, n_values)
+            return array, False
+        if column.ctype is ColumnType.INTEGER:
+            unsafe = any(
+                value > _EXACT_INT_BOUND or value < -_EXACT_INT_BOUND
+                for value in suffix
+            )
+        else:
+            unsafe = any(
+                type(value) is int
+                and (value > _EXACT_INT_BOUND or value < -_EXACT_INT_BOUND)
+                for value in suffix
+            )
+        if unsafe:
+            raise KernelUnsupported(
+                f"column {column.name!r} holds integers beyond ±2^53, "
+                f"which float64 cannot represent exactly"
+            )
+        try:
+            tail = np.asarray(suffix, dtype=np.float64)
+        except (OverflowError, ValueError) as exc:
+            raise KernelUnsupported(
+                f"column {column.name!r} is not representable as float64: {exc}"
+            ) from exc
+        has_nan = bool(np.isnan(tail).any()) or (
+            entry[1] if entry is not None else False
+        )
+        array = tail if entry is None else np.concatenate((entry[0], tail))
+        cache["columns"][position] = (array, has_nan, n_values)
+        return array, has_nan
+
+    # -- bitmap helpers ----------------------------------------------------------
+
+    def _membership(self, bits: int):
+        """Boolean rid-indexed membership array for ``bits``."""
+        np = _np
+        return np.unpackbits(
+            np.frombuffer(
+                bits.to_bytes(self._nbytes, "little"), dtype=np.uint8
+            ),
+            bitorder="little",
+        ).astype(bool, copy=False)
+
+    def _bitmap_matrix(self, bit_patterns):
+        """Unpack per-task bit patterns into one boolean task×rid matrix."""
+        np = _np
+        nbytes = self._nbytes
+        buffer = b"".join(
+            bits.to_bytes(nbytes, "little") for bits in bit_patterns
+        )
+        return np.unpackbits(
+            np.frombuffer(buffer, dtype=np.uint8).reshape(-1, nbytes),
+            axis=1,
+            bitorder="little",
+        )
+
+    # -- clue-word computation -------------------------------------------------
+
+    def _padded_column(self, position: int):
+        """The column array zero-padded to the bitmap matrix width."""
+        np = _np
+        column = self._padded.get(position)
+        if column is None:
+            base = self._columns[position]
+            pad = self._nbytes * 8 - len(base)
+            column = (
+                base
+                if pad <= 0
+                else np.concatenate((base, np.zeros(pad, dtype=base.dtype)))
+            )
+            self._padded[position] = column
+        return column
+
+    def _outcome_words(self, lhs_rids, lhs_ord, partner_idx, matrix):
+        """Per-pair packed outcome codes: one uint64 array per clue word.
+
+        Outcomes are computed and packed on uint8 byte planes (4 groups
+        per byte), then widened to uint64 clue words once — per-group work
+        stays on byte-wide arrays.  Dense blocks (most pairs of the
+        task×rid matrix present — the typical insert/build shape) compare
+        entire rows against entire columns by broadcasting, with no
+        per-pair index gathers at all, and compress the byte planes by
+        the flat partner mask once at the end.  Sparse blocks gather the
+        per-pair values instead.
+        """
+        np = _np
+        n_pairs = len(lhs_ord)
+        n_tasks, width = matrix.shape
+        if 4 * n_pairs >= n_tasks * width:
+            planes = self._dense_planes(lhs_rids, matrix)
+        else:
+            planes = self._sparse_planes(lhs_rids[lhs_ord], partner_idx)
+        # Widen the byte planes into clue words; explicit shifts keep the
+        # layout identical on any byte order.
+        words = []
+        for start in range(0, self._n_code_bytes, _BYTES_PER_WORD):
+            chunk = planes[start : start + _BYTES_PER_WORD]
+            word = chunk[-1].astype(np.uint64)
+            for plane in reversed(chunk[:-1]):
+                word <<= np.uint64(8)
+                word |= plane
+            words.append(word)
+        return words
+
+    def _group_codes(self, group, a, b, nan_mask_of):
+        """Outcome codes of one predicate group (uint8, any shape)."""
+        np = _np
+        if group.numeric:
+            # 0 = equal, 1 = partner greater, 2 = partner smaller, as
+            # 2 - (a<b) - 2*(a==b) on byte views (cheaper than masked
+            # assignment); any NaN comparison lands on 2 by IEEE
+            # semantics and is then patched to the total order
+            # (NaN = NaN, NaN greatest).
+            lt = a < b
+            eq = a == b
+            codes = np.full(lt.shape, 2, dtype=np.uint8)
+            np.subtract(codes, lt.view(np.uint8), out=codes)
+            np.subtract(
+                codes, np.left_shift(eq.view(np.uint8), 1), out=codes
+            )
+            if (
+                self._has_nan[group.lhs_position]
+                or self._has_nan[group.rhs_position]
+            ):
+                a_nan = nan_mask_of(a)
+                b_nan = nan_mask_of(b)
+                codes[b_nan & ~a_nan] = 1
+                codes[a_nan & b_nan] = 0
+            return codes
+        return None  # categorical groups are packed inline by the caller
+
+    def _sparse_planes(self, lhs_idx, partner_idx):
+        np = _np
+        n_pairs = len(lhs_idx)
+        planes = [
+            np.zeros(n_pairs, dtype=np.uint8)
+            for _ in range(self._n_code_bytes)
+        ]
+        lhs_cache: dict = {}
+        rhs_cache: dict = {}
+        for index, group in enumerate(self.space.groups):
+            a = lhs_cache.get(group.lhs_position)
+            if a is None:
+                a = self._columns[group.lhs_position][lhs_idx]
+                lhs_cache[group.lhs_position] = a
+            b = rhs_cache.get(group.rhs_position)
+            if b is None:
+                b = self._columns[group.rhs_position][partner_idx]
+                rhs_cache[group.rhs_position] = b
+            byte_index, shift = self._byte_slots[index]
+            plane = planes[byte_index]
+            codes = self._group_codes(group, a, b, np.isnan)
+            if codes is None:
+                # Categorical outcome is 0 or 2 — shift the inequality
+                # flag straight into the field's high bit.
+                plane |= (a != b).view(np.uint8) << np.uint8(shift + 1)
+            elif shift:
+                plane |= codes << np.uint8(shift)
+            else:
+                plane |= codes
+        return planes
+
+    def _dense_planes(self, lhs_rids, matrix):
+        np = _np
+        n_tasks, width = matrix.shape
+        flat = matrix.ravel().view(bool)
+        planes = [
+            np.zeros((n_tasks, width), dtype=np.uint8)
+            for _ in range(self._n_code_bytes)
+        ]
+        lhs_cache: dict = {}
+        nan_cache: dict = {}
+
+        def column_nan(values):
+            # Broadcast NaN masks: the lhs side is a per-task column
+            # vector, the partner side one full padded column (cached).
+            if values.ndim == 2:
+                return np.isnan(values)
+            key = id(values)
+            mask = nan_cache.get(key)
+            if mask is None:
+                mask = np.isnan(values)
+                nan_cache[key] = mask
+            return mask
+
+        for index, group in enumerate(self.space.groups):
+            a = lhs_cache.get(group.lhs_position)
+            if a is None:
+                a = self._columns[group.lhs_position][lhs_rids][:, None]
+                lhs_cache[group.lhs_position] = a
+            b = self._padded_column(group.rhs_position)
+            byte_index, shift = self._byte_slots[index]
+            plane = planes[byte_index]
+            codes = self._group_codes(group, a, b, column_nan)
+            if codes is None:
+                plane |= (a != b).view(np.uint8) << np.uint8(shift + 1)
+            elif shift:
+                plane |= codes << np.uint8(shift)
+            else:
+                plane |= codes
+        return [plane.ravel()[flat] for plane in planes]
+
+    def _mask_of_code(self, code) -> int:
+        """Decode one packed clue code back into a bigint evidence mask."""
+        mask = self._mask_cache.get(code)
+        if mask is None:
+            words = code if isinstance(code, tuple) else (code,)
+            groups = self.space.groups
+            n_groups = len(groups)
+            mask = 0
+            for byte_index in range(self._n_code_bytes):
+                word, offset = divmod(byte_index, _BYTES_PER_WORD)
+                value = (int(words[word]) >> (8 * offset)) & 0xFF
+                table = self._byte_tables[byte_index]
+                part = table.get(value)
+                if part is None:
+                    part = 0
+                    base = byte_index * _GROUPS_PER_BYTE
+                    for slot in range(min(_GROUPS_PER_BYTE, n_groups - base)):
+                        group = groups[base + slot]
+                        outcome = (value >> (2 * slot)) & 3
+                        part |= (
+                            group.eq_bits,
+                            group.gt_bits,
+                            group.lt_bits,
+                        )[outcome]
+                    table[value] = part
+                mask |= part
+            self._mask_cache[code] = mask
+        return mask
+
+    # -- reconciliation ----------------------------------------------------------
+
+    def reconcile(
+        self,
+        tasks: Sequence[ReconcileTask],
+        sink,
+        recorder=None,
+        symmetric_bits: Optional[int] = None,
+    ) -> KernelStats:
+        stats = KernelStats()
+        direct_totals: dict = {}
+        sym_totals: dict = {}
+        sym_member = (
+            self._membership(symmetric_bits)
+            if symmetric_bits is not None
+            else None
+        )
+
+        block: list = []
+        block_pairs = 0
+
+        def flush() -> None:
+            nonlocal block, block_pairs
+            if block:
+                stats.pipelines += len(block)
+                stats.pairs += block_pairs
+                self._run_block(
+                    block, sym_member, recorder, direct_totals, sym_totals, stats
+                )
+                block = []
+                block_pairs = 0
+
+        for task in tasks:
+            if not task.partner_bits:
+                # No pairs, no counters — but the serial insert paths still
+                # record an empty ownership entry for partnerless tuples.
+                if recorder is not None and task.record_bits is not None:
+                    recorder.record(task.rid, {}, 0)
+                continue
+            n_pairs = task.partner_bits.bit_count()
+            if block and block_pairs + n_pairs > _BLOCK_PAIRS:
+                flush()
+            block.append(task)
+            block_pairs += n_pairs
+        flush()
+
+        # Deterministic sink order regardless of block partitioning.
+        symmetrize = self.space.symmetrize
+        for mask in sorted(direct_totals):
+            sink.add(mask, direct_totals[mask])
+        inferred = 0
+        for mask in sorted(sym_totals):
+            count = sym_totals[mask]
+            sink.add(symmetrize(mask), count)
+            inferred += count
+        stats.pairs_inferred = inferred
+        self._emit_probe(stats)
+        return stats
+
+    def _run_block(
+        self, block, sym_member, recorder, direct_totals, sym_totals, stats
+    ) -> None:
+        np = _np
+        n_tasks = len(block)
+        matrix = self._bitmap_matrix(task.partner_bits for task in block)
+        lhs_ord, partner_idx = np.nonzero(matrix)
+        lhs_rids = np.fromiter(
+            (task.rid for task in block), dtype=np.int64, count=n_tasks
+        )
+        words = self._outcome_words(lhs_rids, lhs_ord, partner_idx, matrix)
+
+        # Fold the pairs by (task, clue words).  lhs_ord is already sorted
+        # (np.nonzero is row-major), so when the whole key fits one uint64
+        # a single stable argsort replaces the general lexsort.
+        code_bits = 8 * self._n_code_bytes
+        ord_bits = max(1, (n_tasks - 1).bit_length())
+        if self._n_words == 1 and code_bits + ord_bits <= 64:
+            if code_bits + ord_bits <= 32:
+                # A narrower key halves the radix-sort passes.
+                combined = (
+                    lhs_ord.astype(np.uint32) << np.uint32(code_bits)
+                ) | words[0].astype(np.uint32)
+            else:
+                combined = (
+                    lhs_ord.astype(np.uint64) << np.uint64(code_bits)
+                ) | words[0]
+            # Segment aggregates are order-invariant within equal keys,
+            # so the faster unstable introsort is safe here.
+            order = np.argsort(combined)
+            sorted_keys = [combined[order]]
+        else:
+            order = np.lexsort(tuple(reversed(words)) + (lhs_ord,))
+            sorted_keys = [lhs_ord[order]]
+            sorted_keys.extend(word[order] for word in words)
+        n_total = len(order)
+        boundary = np.empty(n_total, dtype=bool)
+        boundary[0] = True
+        first = sorted_keys[0]
+        boundary[1:] = first[1:] != first[:-1]
+        for key in sorted_keys[1:]:
+            boundary[1:] |= key[1:] != key[:-1]
+        starts = np.nonzero(boundary)[0]
+        counts = np.diff(np.append(starts, n_total))
+        order_starts = order[starts]
+        unique_ord = lhs_ord[order_starts]
+        unique_words = [word[order_starts] for word in words]
+        stats.contexts_out += len(starts)
+
+        # Second-level fold: map the distinct clue codes (few) to bigint
+        # masks once, then aggregate evidence totals per code.
+        if self._n_words == 1:
+            # Hand-rolled unique-with-inverse: np.unique would sort the
+            # codes with the same argsort but also permute back through
+            # fancy indexing twice; doing it by hand keeps one pass.
+            ctx_words = unique_words[0]
+            code_order = np.argsort(ctx_words)
+            ctx_sorted = ctx_words[code_order]
+            new_code = np.empty(len(ctx_sorted), dtype=bool)
+            new_code[:1] = True
+            new_code[1:] = ctx_sorted[1:] != ctx_sorted[:-1]
+            code_ids = np.cumsum(new_code) - 1
+            code_inverse = np.empty(len(ctx_words), dtype=np.int64)
+            code_inverse[code_order] = code_ids
+            distinct_codes = ctx_sorted[new_code].tolist()
+        else:
+            code_keys, code_inverse = np.unique(
+                np.stack(unique_words, axis=1), axis=0, return_inverse=True
+            )
+            distinct_codes = [tuple(row) for row in code_keys.tolist()]
+            code_inverse = code_inverse.reshape(-1)
+        mask_objs = [self._mask_of_code(code) for code in distinct_codes]
+        direct_per_code = np.bincount(
+            code_inverse, weights=counts, minlength=len(mask_objs)
+        )
+        for mask, total in zip(mask_objs, direct_per_code.tolist()):
+            count = int(total)
+            if count:
+                direct_totals[mask] = direct_totals.get(mask, 0) + count
+
+        if sym_member is None:
+            sym_per_code = direct_per_code
+        else:
+            sym_unique = np.add.reduceat(
+                sym_member[partner_idx][order].astype(np.int64), starts
+            )
+            sym_per_code = np.bincount(
+                code_inverse, weights=sym_unique, minlength=len(mask_objs)
+            )
+        for mask, total in zip(mask_objs, sym_per_code.tolist()):
+            count = int(total)
+            if count:
+                sym_totals[mask] = sym_totals.get(mask, 0) + count
+
+        if recorder is not None and any(
+            task.record_bits is not None for task in block
+        ):
+            # The serial build and insert paths record every partner pair
+            # (record_bits covers partner_bits): ownership counts are then
+            # exactly the context pair counts already folded above, with no
+            # zero entries — skip the ownership bitmap pass entirely.
+            full_record = all(
+                task.record_bits is None
+                or not (task.partner_bits & ~task.record_bits)
+                for task in block
+            )
+            if full_record:
+                rec_list = counts.tolist()
+            else:
+                rec_matrix = self._bitmap_matrix(
+                    (task.record_bits or 0) & task.partner_bits
+                    for task in block
+                )
+                rec_flags = rec_matrix[lhs_ord, partner_idx][order]
+                rec_list = np.add.reduceat(
+                    rec_flags.astype(np.int64), starts
+                ).tolist()
+            mask_array = np.empty(len(mask_objs), dtype=object)
+            mask_array[:] = mask_objs
+            unique_masks = mask_array[code_inverse].tolist()
+            segments = np.searchsorted(unique_ord, np.arange(n_tasks + 1))
+            for ordinal, task in enumerate(block):
+                if task.record_bits is None:
+                    continue
+                start, end = segments[ordinal], segments[ordinal + 1]
+                if full_record:
+                    counter = dict(
+                        zip(unique_masks[start:end], rec_list[start:end])
+                    )
+                else:
+                    counter = {
+                        mask: count
+                        for mask, count in zip(
+                            unique_masks[start:end], rec_list[start:end]
+                        )
+                        if count
+                    }
+                recorder.record(
+                    task.rid, counter, task.partner_bits & task.record_bits
+                )

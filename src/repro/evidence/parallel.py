@@ -39,11 +39,15 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.bitmaps.bitutils import bits_from, iter_bits
-from repro.evidence.contexts import build_contexts
 from repro.evidence.evidence_set import EvidenceSet
+from repro.evidence.kernels.base import (
+    CounterSink,
+    ListRecorder,
+    ReconcileTask,
+)
 from repro.observability import get_logger
 from repro.observability import probe as _probe_module
 from repro.observability.probe import get_probe
@@ -112,6 +116,7 @@ class ShardResult:
     contexts_out: int = 0
     pairs_inferred: int = 0
     duration: float = 0.0
+    backend: str = ""
 
 
 def merge_shard_counts(results: List[ShardResult]) -> EvidenceSet:
@@ -143,14 +148,12 @@ def merge_shard_counts(results: List[ShardResult]) -> EvidenceSet:
 
 def apply_tuple_records(tuple_index, results: List[ShardResult]) -> None:
     """Install the shards' per-tuple ownership records, in rid order."""
+    from repro.evidence.kernels.base import TupleIndexRecorder
+
+    recorder = TupleIndexRecorder(tuple_index)
     records = [record for shard in results for record in shard.tuple_records]
     for rid, owned_counter, partner_bits in sorted(records):
-        counter = tuple_index.owned.setdefault(rid, {})
-        for evidence, count in owned_counter.items():
-            counter[evidence] = counter.get(evidence, 0) + count
-        tuple_index.partners_of[rid] = (
-            tuple_index.partners_of.get(rid, 0) | partner_bits
-        )
+        recorder.record(rid, owned_counter, partner_bits)
 
 
 def report_shards(
@@ -172,6 +175,9 @@ def report_shards(
     for shard in results:
         probe.observe("parallel.shard_seconds", shard.duration)
         probe.observe("parallel.shard_pairs", shard.pairs)
+        if shard.backend:
+            probe.inc("kernel.batches")
+            probe.inc(f"kernel.batches.{shard.backend}")
         probe.inc("evidence.context_pipelines", shard.pipelines)
         probe.inc("evidence.pairs_compared", shard.pairs)
         probe.inc("evidence.contexts_out", shard.contexts_out)
@@ -202,28 +208,6 @@ def run_shards(context: dict, specs: List[dict], workers: int) -> List[ShardResu
 
 
 # -- worker-side kernels ------------------------------------------------------
-
-
-def _fold_contexts(space, contexts, counts, symmetric_bits=None) -> int:
-    """Worker-side :func:`~repro.evidence.builder.collect_contexts`:
-    fold reconciled contexts into a plain counter, inferring the symmetric
-    evidence for the partners selected by ``symmetric_bits`` (default all).
-    Returns the number of inferred pairs."""
-    symmetrize = space.symmetrize
-    inferred = 0
-    for evidence, bits in contexts.items():
-        count = bits.bit_count()
-        if count:
-            counts[evidence] = counts.get(evidence, 0) + count
-        if symmetric_bits is None:
-            sym_count = count
-        else:
-            sym_count = (bits & symmetric_bits).bit_count()
-        if sym_count:
-            symmetric = symmetrize(evidence)
-            counts[symmetric] = counts.get(symmetric, 0) + sym_count
-            inferred += sym_count
-    return inferred
 
 
 def _run_shard(spec: dict) -> ShardResult:
@@ -257,34 +241,19 @@ def _run_shard(spec: dict) -> ShardResult:
     return result
 
 
-def _reconcile(state, result, rid, partners, symmetric_bits=None):
-    """Run one context pipeline and fold it into ``result``; returns the
-    reconciled contexts for optional ownership recording."""
-    if not partners:
-        return {}
-    contexts = build_contexts(
-        state["space"], state["relation"], rid, partners, state["indexes"]
+def _run_tasks(state, result, tasks, symmetric_bits=None, recorder=None):
+    """Run a shard's task batch on the fork-shared kernel, folding the
+    evidence into the shard's plain counter and accumulating its work
+    counters."""
+    kernel = state["kernel"]
+    stats = kernel.reconcile(
+        tasks, CounterSink(result.counts), recorder, symmetric_bits
     )
-    result.pipelines += 1
-    result.pairs += partners.bit_count()
-    result.contexts_out += len(contexts)
-    result.pairs_inferred += _fold_contexts(
-        state["space"], contexts, result.counts, symmetric_bits
-    )
-    return contexts
-
-
-def _ownership_record(rid, contexts) -> Tuple[int, dict, int]:
-    owned_counter: dict = {}
-    partner_union = 0
-    for evidence, bits in contexts.items():
-        if not bits:
-            continue
-        owned_counter[evidence] = (
-            owned_counter.get(evidence, 0) + bits.bit_count()
-        )
-        partner_union |= bits
-    return (rid, owned_counter, partner_union)
+    result.backend = kernel.name
+    result.pipelines += stats.pipelines
+    result.pairs += stats.pairs
+    result.contexts_out += stats.contexts_out
+    result.pairs_inferred += stats.pairs_inferred
 
 
 def _shard_static(state, spec) -> ShardResult:
@@ -292,14 +261,19 @@ def _shard_static(state, spec) -> ShardResult:
     result = ShardResult(counts={})
     alive_bits = state["alive_bits"]
     record = state["tuple_index"] is not None
+    tasks = []
     for rid in spec["rids"]:
         partners = alive_bits & ~((1 << (rid + 1)) - 1)
-        contexts = _reconcile(state, result, rid, partners)
         # `if partners`: the serial scan breaks before recording the last
         # alive rid (it has no partners after it), so an entry for it
         # would make the index differ from a serial build.
-        if record and partners:
-            result.tuple_records.append(_ownership_record(rid, contexts))
+        if not partners:
+            continue
+        tasks.append(
+            ReconcileTask(rid, partners, partners if record else None)
+        )
+    recorder = ListRecorder(result.tuple_records) if record else None
+    _run_tasks(state, result, tasks, recorder=recorder)
     return result
 
 
@@ -310,11 +284,16 @@ def _shard_insert_opt(state, spec) -> ShardResult:
     delta_bits = bits_from(spec["delta_list"])
     static_bits = state["alive_bits"] & ~delta_bits
     record = state["tuple_index"] is not None
+    tasks = []
     for rid in spec["rids"]:
         later_delta = delta_bits & ~((1 << (rid + 1)) - 1)
-        contexts = _reconcile(state, result, rid, static_bits | later_delta)
-        if record:
-            result.tuple_records.append(_ownership_record(rid, contexts))
+        partners = static_bits | later_delta
+        # Incremental tuples get an index entry even with no partners.
+        tasks.append(
+            ReconcileTask(rid, partners, partners if record else None)
+        )
+    recorder = ListRecorder(result.tuple_records) if record else None
+    _run_tasks(state, result, tasks, recorder=recorder)
     return result
 
 
@@ -326,19 +305,22 @@ def _shard_insert_base(state, spec) -> ShardResult:
     static_bits = state["alive_bits"] & ~delta_bits
     all_bits = static_bits | delta_bits
     record = state["tuple_index"] is not None
+    tasks = []
     for rid in spec["rids"]:
-        contexts = _reconcile(
-            state, result, rid, all_bits & ~(1 << rid), symmetric_bits=static_bits
+        # Single-owner-per-pair bookkeeping: record the static pairs plus
+        # the delta partners after this tuple (mirrors the serial path).
+        later_delta = delta_bits & ~((1 << (rid + 1)) - 1)
+        tasks.append(
+            ReconcileTask(
+                rid,
+                all_bits & ~(1 << rid),
+                (static_bits | later_delta) if record else None,
+            )
         )
-        if record:
-            # Single-owner-per-pair bookkeeping: keep the static pairs plus
-            # the delta partners after this tuple (mirrors the serial path).
-            later_delta = delta_bits & ~((1 << (rid + 1)) - 1)
-            owned = {
-                evidence: bits & (static_bits | later_delta)
-                for evidence, bits in contexts.items()
-            }
-            result.tuple_records.append(_ownership_record(rid, owned))
+    recorder = ListRecorder(result.tuple_records) if record else None
+    _run_tasks(
+        state, result, tasks, symmetric_bits=static_bits, recorder=recorder
+    )
     return result
 
 
@@ -376,6 +358,7 @@ def _shard_delete_index(state, spec) -> ShardResult:
     items = spec["items"]
     prefixes = _prefix_bits(delete_list, {position for position, _ in items})
     counts = result.counts
+    tasks = []
     for position, rid in items:
         processed_bits = prefixes[position]
         rid_bit = 1 << rid
@@ -393,7 +376,10 @@ def _shard_delete_index(state, spec) -> ShardResult:
                 symmetric = symmetrize(evidence)
                 counts[symmetric] = counts.get(symmetric, 0) - 1
         others = alive_bits & ~processed_bits & ~partners & ~rid_bit
-        _reconcile(state, result, rid, others)
+        if others:
+            tasks.append(ReconcileTask(rid, others))
+    if tasks:
+        _run_tasks(state, result, tasks)
     return result
 
 
@@ -407,27 +393,35 @@ def _shard_delete_recompute(state, spec) -> ShardResult:
     prefixes = _prefix_bits(
         delete_list, {position + 1 for position, _ in items}
     )
-    for position, rid in items:
-        remaining = alive_bits & ~prefixes[position + 1]
-        _reconcile(state, result, rid, remaining)
+    tasks = [
+        ReconcileTask(rid, alive_bits & ~prefixes[position + 1])
+        for position, rid in items
+    ]
+    _run_tasks(state, result, tasks)
     return result
 
 
 # -- parent-side orchestration -------------------------------------------------
 
 
-def _context(relation, space, indexes, tuple_index) -> dict:
+def _context(relation, space, indexes, tuple_index, backend) -> dict:
+    """Build the fork-shared engine snapshot.  The kernel is constructed
+    in the parent — its column arrays (and any backend fallback decision,
+    with its probe tick) are shared copy-on-write with every worker."""
+    from repro.evidence.kernels import make_kernel
+
     return {
         "relation": relation,
         "space": space,
         "indexes": indexes,
         "tuple_index": tuple_index,
         "alive_bits": relation.alive_bits,
+        "kernel": make_kernel(backend, relation, space, indexes),
     }
 
 
 def parallel_static_evidence(
-    relation, space, indexes, tuple_index, workers: int
+    relation, space, indexes, tuple_index, workers: int, backend=None
 ) -> EvidenceSet:
     """Sharded static evidence build; populates ``tuple_index`` when given.
     The caller has already decided to parallelize (``should_parallelize``)."""
@@ -437,7 +431,9 @@ def parallel_static_evidence(
         for shard in stripe(rids, workers)
     ]
     results = run_shards(
-        _context(relation, space, indexes, tuple_index), specs, workers
+        _context(relation, space, indexes, tuple_index, backend),
+        specs,
+        workers,
     )
     if tuple_index is not None:
         apply_tuple_records(tuple_index, results)
@@ -445,7 +441,12 @@ def parallel_static_evidence(
 
 
 def parallel_insert_evidence(
-    relation, state, delta_list: List[int], infer_within_delta: bool, workers: int
+    relation,
+    state,
+    delta_list: List[int],
+    infer_within_delta: bool,
+    workers: int,
+    backend=None,
 ) -> EvidenceSet:
     """Sharded ``E_Δr`` computation for an insert batch (already inserted
     into the relation and indexed, exactly as the serial precondition)."""
@@ -455,7 +456,9 @@ def parallel_insert_evidence(
         for shard in stripe(delta_list, workers)
     ]
     results = run_shards(
-        _context(relation, state.space, state.indexes, state.tuple_index),
+        _context(
+            relation, state.space, state.indexes, state.tuple_index, backend
+        ),
         specs,
         workers,
     )
@@ -465,7 +468,12 @@ def parallel_insert_evidence(
 
 
 def parallel_delete_evidence(
-    relation, state, delete_list: List[int], strategy: str, workers: int
+    relation,
+    state,
+    delete_list: List[int],
+    strategy: str,
+    workers: int,
+    backend=None,
 ) -> EvidenceSet:
     """Sharded ``E_Δr`` computation for a delete batch (rows still alive
     and indexed).  For the index strategy the per-tuple records of the
@@ -477,7 +485,9 @@ def parallel_delete_evidence(
         for shard in stripe(items, workers)
     ]
     results = run_shards(
-        _context(relation, state.space, state.indexes, state.tuple_index),
+        _context(
+            relation, state.space, state.indexes, state.tuple_index, backend
+        ),
         specs,
         workers,
     )

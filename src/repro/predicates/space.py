@@ -238,7 +238,12 @@ class PredicateSpace:
 
     def evidence_of_pair(self, row_t, row_u) -> int:
         """Evidence mask of the ordered tuple pair ``(t, t')`` computed by
-        direct comparison — the correctness oracle for the bitmap pipeline."""
+        direct comparison — the correctness oracle for the bitmap pipeline.
+
+        NaN follows the engine-wide total order: NaN equals NaN and is
+        greater than every number (see
+        :class:`repro.evidence.indexes.RangeIndex`).
+        """
         mask = 0
         for group in self.groups:
             a = row_t[group.lhs_position]
@@ -246,7 +251,12 @@ class PredicateSpace:
             if a == b:
                 mask |= group.eq_bits
             elif group.numeric:
-                mask |= group.gt_bits if a < b else group.lt_bits
+                if b != b:  # partner NaN: greater unless both are NaN
+                    mask |= group.eq_bits if a != a else group.gt_bits
+                elif a != a:  # own NaN against a number: partner smaller
+                    mask |= group.lt_bits
+                else:
+                    mask |= group.gt_bits if a < b else group.lt_bits
             else:
                 mask |= group.lt_bits  # categorical 'different' bits
         return mask

@@ -15,6 +15,21 @@ from typing import Iterable, Iterator, Sequence
 from repro.bitmaps import IntBitset
 from repro.relational.schema import ColumnType, Schema
 
+#: The single NaN object every stored NaN is canonicalized to.  CPython
+#: dict lookups short-circuit on identity before trying ``==`` (which is
+#: always false for NaN), so funneling all NaNs through one object gives
+#: the equality indexes and the evidence pipeline a deterministic
+#: "NaN = NaN" semantics; the range layer orders NaN greater than every
+#: number (see :mod:`repro.evidence.indexes`).
+CANONICAL_NAN = float("nan")
+
+
+def canonical_value(value):
+    """Replace any NaN float with the shared :data:`CANONICAL_NAN` object."""
+    if isinstance(value, float) and value != value:
+        return CANONICAL_NAN
+    return value
+
 
 class Relation:
     """An insert/delete-able relation instance."""
@@ -48,7 +63,7 @@ class Relation:
             if not alive:
                 row = placeholders
             for position, value in enumerate(row):
-                relation._columns[position].append(value)
+                relation._columns[position].append(canonical_value(value))
             if alive:
                 relation._alive.add(rid)
         relation._next_rid = next_rid
@@ -71,7 +86,7 @@ class Relation:
                 )
             for position, (value, column) in enumerate(zip(row, self.schema)):
                 self._check_value(value, column.ctype, column.name)
-                self._columns[position].append(value)
+                self._columns[position].append(canonical_value(value))
             rid = self._next_rid
             self._next_rid += 1
             self._alive.add(rid)
