@@ -22,6 +22,7 @@ import json
 import os
 import time
 from pathlib import Path
+from typing import Optional
 
 from repro.core.discoverer import DCDiscoverer
 from repro.core.state_io import state_from_dict, state_to_dict
@@ -94,7 +95,9 @@ def clone_discoverer(payload: dict) -> DCDiscoverer:
     return state_from_dict(payload)
 
 
-def insert_workload(name: str, ratio: float, total_rows: int = None, seed: int = 0):
+def insert_workload(
+    name: str, ratio: float, total_rows: Optional[int] = None, seed: int = 0
+):
     """The paper's insert workload: retain 70 %, draw ``ratio``·|r| extra.
 
     Returns ``(static_rows, delta_rows)``; the delta is floored at one row

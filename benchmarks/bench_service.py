@@ -1,0 +1,152 @@
+"""Serving-layer throughput — request coalescing vs per-request commits.
+
+Not a paper figure: this benchmark tracks the repo's own concurrent
+serving layer (``repro.service``, docs/service.md).  A closed loop of
+concurrent clients drives single-row writes over real HTTP against an
+in-process :class:`DCService`, once with the default coalescing window
+and once with ``batch_window_ms=0``; the table records throughput,
+commit-latency percentiles, the mean coalesced batch size, and how many
+batch-update cycles (= WAL round-trips and snapshot publishes) the same
+request stream cost under each policy.
+
+The coalescing acceptance check lives here too: with concurrent clients
+the mean batch size under the default window must exceed 1 — otherwise
+the writer is degenerating to one cycle per request.
+"""
+
+import threading
+import time
+
+from _harness import ResultTable, timed
+
+from repro.core.discoverer import DCDiscoverer
+from repro.durability import DurableSession
+from repro.relational.loader import relation_from_rows
+from repro.service import DCService, ServiceClient, ServiceConfig
+from repro.workloads import DATASETS
+
+DATASET = "Tax"
+STATIC_ROWS = 120
+N_CLIENTS = 4
+OPS_PER_CLIENT = 15
+WINDOWS_MS = (5.0, 0.0)
+
+
+def percentile(samples, q: float) -> float:
+    """Nearest-rank percentile of a non-empty sample list."""
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(q / 100 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def run_closed_loop(tmp_path, window_ms: float) -> dict:
+    """One measurement: N closed-loop clients, single-row writes each."""
+    spec = DATASETS[DATASET]
+    rows = spec.rows(STATIC_ROWS + N_CLIENTS * OPS_PER_CLIENT, seed=0)
+    static, delta = rows[:STATIC_ROWS], rows[STATIC_ROWS:]
+    discoverer = DCDiscoverer(relation_from_rows(spec.header, static))
+    discoverer.fit()
+    session = DurableSession.create(
+        discoverer, tmp_path / f"session-w{window_ms}"
+    )
+    service = DCService(
+        session, ServiceConfig(port=0, batch_window_ms=window_ms)
+    )
+    service.start()
+    client = ServiceClient(base_url=service.url, timeout=60.0)
+    client.wait_ready()
+
+    latencies = []
+    latency_lock = threading.Lock()
+
+    def worker(worker_id: int):
+        mine = delta[worker_id::N_CLIENTS]
+        for row in mine[:OPS_PER_CLIENT]:
+            started = time.perf_counter()
+            outcome = client.insert([list(row)])
+            elapsed = time.perf_counter() - started
+            assert outcome["status"] == "committed"
+            with latency_lock:
+                latencies.append(elapsed)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(N_CLIENTS)
+    ]
+    _, wall = timed(
+        lambda: [
+            [thread.start() for thread in threads],
+            [thread.join() for thread in threads],
+        ]
+    )
+    metrics = service.instrumentation.metrics
+    n_cycles = metrics.counter("service.batches_total")
+    batch_mean = metrics.histograms["service.batch.size"].mean
+    service.shutdown()
+    n_requests = len(latencies)
+    return {
+        "window_ms": window_ms,
+        "throughput": n_requests / wall,
+        "p50": percentile(latencies, 50),
+        "p95": percentile(latencies, 95),
+        "p99": percentile(latencies, 99),
+        "cycles": n_cycles,
+        "batch_mean": batch_mean,
+        "n_requests": n_requests,
+    }
+
+
+def test_service_throughput(benchmark, tmp_path):
+    table = ResultTable(
+        "Serving layer — closed-loop write throughput, coalesced vs not",
+        [
+            "window_ms",
+            "clients",
+            "req/s",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+            "cycles",
+            "batch_mean",
+        ],
+        "service_throughput.txt",
+    )
+    measurements = {}
+    for window_ms in WINDOWS_MS:
+        result = run_closed_loop(tmp_path, window_ms)
+        measurements[window_ms] = result
+        table.add(
+            window_ms,
+            N_CLIENTS,
+            round(result["throughput"], 1),
+            round(result["p50"] * 1000, 2),
+            round(result["p95"] * 1000, 2),
+            round(result["p99"] * 1000, 2),
+            result["cycles"],
+            round(result["batch_mean"], 2),
+        )
+
+    coalesced = measurements[5.0]
+    uncoalesced = measurements[0.0]
+    # The acceptance criterion: coalescing is observable under load.
+    assert coalesced["batch_mean"] > 1.0, (
+        "concurrent closed-loop clients must coalesce into multi-request "
+        f"batches, got mean {coalesced['batch_mean']:.2f}"
+    )
+    assert coalesced["cycles"] < coalesced["n_requests"]
+
+    table.finish(
+        shape_notes=[
+            f"coalesced {coalesced['n_requests']} requests into "
+            f"{coalesced['cycles']} cycles (mean batch "
+            f"{coalesced['batch_mean']:.2f}) vs {uncoalesced['cycles']} "
+            "cycles without a window",
+            "single-row closed-loop writes; each cycle = one WAL "
+            "round-trip + one snapshot publish regardless of batch size",
+        ]
+    )
+
+    benchmark.pedantic(
+        lambda: run_closed_loop(tmp_path / "bench", 5.0),
+        rounds=1,
+        iterations=1,
+    )

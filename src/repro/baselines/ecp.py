@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.enumeration.mmcs import mmcs_enumerate
 from repro.evidence.builder import build_evidence_state
@@ -42,7 +42,7 @@ class StaticDiscoveryResult:
 
 def ecp_discover(
     relation: Relation,
-    space: PredicateSpace = None,
+    space: Optional[PredicateSpace] = None,
     cross_column_ratio: float = DEFAULT_CROSS_COLUMN_RATIO,
 ) -> StaticDiscoveryResult:
     """Run the full static discovery on ``relation`` from scratch.

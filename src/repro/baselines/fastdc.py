@@ -9,6 +9,7 @@ evidence phase is exactly what motivates the evidence-context pipeline.
 from __future__ import annotations
 
 import time
+from typing import Optional
 
 from repro.baselines.ecp import StaticDiscoveryResult
 from repro.enumeration.dfs import dfs_enumerate
@@ -26,7 +27,7 @@ logger = get_logger(__name__)
 
 def fastdc_discover(
     relation: Relation,
-    space: PredicateSpace = None,
+    space: Optional[PredicateSpace] = None,
     cross_column_ratio: float = DEFAULT_CROSS_COLUMN_RATIO,
 ) -> StaticDiscoveryResult:
     """Run FastDC-style static discovery on ``relation``."""

@@ -12,7 +12,12 @@ Subcommands mirror the 3DC life cycle:
   ``recover``/``status``): every update batch is write-ahead logged and
   the state is checkpointed atomically every ``--checkpoint-every``
   batches, so a crash at any instant recovers without data loss
-  (docs/durability.md).
+  (docs/durability.md);
+- ``serve``     — long-running JSON-over-HTTP service around a durable
+  session: concurrent writes are coalesced into batch-update cycles,
+  reads (``/dcs``, ``/rank``, ``/status``, ``/metrics``) and online
+  violation checks (``/check``) are served lock-free from immutable
+  snapshots, and SIGTERM drains + checkpoints (docs/service.md).
 
 ``discover``/``insert``/``delete`` accept ``--workers N`` to shard
 evidence construction over a process pool and ``--backend
@@ -301,6 +306,83 @@ def _cmd_session_recover(args) -> int:
 def _cmd_session_status(args) -> int:
     with DurableSession.recover(args.dir) as session:
         _print_session_status(session)
+        path = getattr(args, "metrics_out", None)
+        if path:
+            session.export_gauges()
+            snapshot = session.discoverer.instrumentation.metrics.snapshot()
+            if str(path).endswith(".prom"):
+                text = snapshot_to_prometheus(snapshot)
+            else:
+                from repro.observability import snapshot_to_json
+
+                text = snapshot_to_json(snapshot) + "\n"
+            with open(path, "w") as handle:
+                handle.write(text)
+            print(f"metrics written to {path}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import os
+
+    from repro.service import DCService, ServiceConfig
+
+    if os.path.exists(os.path.join(args.dir, "session.json")):
+        if args.csv:
+            print(
+                f"serve: session already exists in {args.dir}; "
+                f"omit the CSV to serve it",
+                file=sys.stderr,
+            )
+            return 2
+        session = DurableSession.recover(args.dir)
+        print(
+            f"recovered session from {args.dir} "
+            f"(replayed {session.replayed_records} WAL records)"
+        )
+        if args.workers is not None:
+            session.discoverer.workers = args.workers
+        if args.backend is not None:
+            session.discoverer.backend = args.backend
+    else:
+        if not args.csv:
+            print(
+                f"serve: no session in {args.dir}; pass a CSV to bootstrap one",
+                file=sys.stderr,
+            )
+            return 2
+        relation = load_csv(args.csv, null_policy=args.null_policy)
+        discoverer = DCDiscoverer(
+            relation,
+            cross_column_ratio=args.cross_ratio,
+            workers=args.workers or 1,
+            backend=args.backend or "auto",
+        )
+        result = discoverer.fit()
+        print(result)
+        session = DurableSession.create(
+            discoverer,
+            args.dir,
+            checkpoint_every=args.checkpoint_every,
+            retain=args.retain,
+        )
+        print(f"durable session initialized in {session.directory}")
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        queue_depth=args.queue_depth,
+        batch_window_ms=args.batch_window_ms,
+        request_timeout_s=args.request_timeout,
+    )
+    service = DCService(session, config)
+    service.install_signal_handlers()
+    service.start()
+    print(f"serving on {service.url}", flush=True)
+    service.serve_forever()
+    print(
+        f"drained and stopped after {len(service.commit_log)} commits "
+        f"(state in {session.directory})"
+    )
     return 0
 
 
@@ -466,7 +548,72 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = session_sub.add_parser("status", help="inspect a session directory")
     sp.add_argument("dir", help="session directory")
+    sp.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the session's gauges (JSON, or Prometheus text for "
+        "*.prom) — the same stream `repro-dc serve` exports at /metrics",
+    )
     sp.set_defaults(func=_cmd_session_status)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve a durable session over JSON/HTTP "
+        "(coalesced writes, snapshot reads, online violation checks)",
+    )
+    p.add_argument(
+        "csv",
+        nargs="?",
+        help="CSV to bootstrap a fresh session (omit to serve an existing "
+        "session directory)",
+    )
+    p.add_argument("--dir", required=True, help="session directory")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8334,
+        help="listen port (0 = pick an ephemeral port)",
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help="bounded write-queue capacity (full queue answers HTTP 429)",
+    )
+    p.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help="how long the writer lingers coalescing concurrent writes "
+        "into one batch (0 = merge only what already queued)",
+    )
+    p.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="per-write commit wait before answering 503",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=DEFAULT_CHECKPOINT_EVERY,
+        metavar="N",
+        help="checkpoint after every N applied batches (new sessions)",
+    )
+    p.add_argument(
+        "--retain", type=int, default=3, help="checkpoints kept on disk"
+    )
+    p.add_argument("--cross-ratio", type=float, default=0.3)
+    p.add_argument(
+        "--null-policy", choices=["reject", "drop", "fill"], default="reject"
+    )
+    _add_workers_flag(p, default=None)
+    _add_backend_flag(p, default=None)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("datasets", help="list or generate synthetic datasets")
     p.add_argument("name", nargs="?", help="dataset name (omit to list)")

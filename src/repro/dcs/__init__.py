@@ -7,6 +7,7 @@ from repro.dcs.violations import (
     iter_violating_pairs,
     partners_satisfying,
     violating_partners,
+    violating_partners_for_row,
 )
 from repro.dcs.ranking import DCScore, coverage, rank_dcs, score_dc, succinctness
 from repro.dcs.approximate import approximate_dcs, violation_count
@@ -37,6 +38,7 @@ __all__ = [
     "iter_violating_pairs",
     "partners_satisfying",
     "violating_partners",
+    "violating_partners_for_row",
     "DCScore",
     "coverage",
     "rank_dcs",

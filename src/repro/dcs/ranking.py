@@ -18,7 +18,7 @@ witnesses" of it) count most.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.dcs.denial_constraint import DenialConstraint
 from repro.evidence.evidence_set import EvidenceSet
@@ -80,7 +80,7 @@ def rank_dcs(
     evidence_set: EvidenceSet,
     succinctness_weight: float = 0.5,
     coverage_weight: float = 0.5,
-    top_k: int = None,
+    top_k: Optional[int] = None,
 ) -> List[DCScore]:
     """Rank DCs by combined score, best first.
 

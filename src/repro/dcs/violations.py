@@ -12,14 +12,16 @@ Two strategies:
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.evidence.indexes import ColumnIndexes
 from repro.predicates.operator import Operator
 from repro.relational.relation import Relation
 
 
-def find_violations(dc, relation: Relation, limit: int = None) -> List[Tuple[int, int]]:
+def find_violations(
+    dc, relation: Relation, limit: Optional[int] = None
+) -> List[Tuple[int, int]]:
     """All ordered rid pairs ``(t, t')`` violating ``dc`` by direct scan.
 
     :param limit: stop early after this many violations (None = all).
@@ -64,20 +66,23 @@ def partners_satisfying(
     return indexes.indexed_bits & ~gt_bits  # LE
 
 
-def violating_partners(
-    dc, relation: Relation, indexes: ColumnIndexes, rid: int
+def violating_partners_for_row(
+    dc, row: Sequence, indexes: ColumnIndexes, exclude_bits: int = 0
 ) -> Tuple[int, int]:
-    """Partners forming a violating pair with tuple ``rid``.
+    """Partners forming a violating pair with a *candidate* row.
 
-    Returns ``(as_first, as_second)``: rid bits of partners ``u`` such that
-    ``(rid, u)`` respectively ``(u, rid)`` violates the DC.  The tuple
-    itself is excluded.  Every predicate contributes one index probe and
-    one intersection — the IncDC retrieval plan.
+    ``row`` need not be present in any relation: this is the admission
+    check an application runs *before* committing a tuple ("would this
+    row violate the constraint against the live table?", the serving-time
+    primitive behind the service layer's ``POST /check``).  Returns
+    ``(as_first, as_second)``: rid bits of indexed partners ``u`` such
+    that ``(row, u)`` respectively ``(u, row)`` violates the DC.
+    ``exclude_bits`` removes rids from consideration (a row already in
+    the relation excludes itself).  Every predicate contributes one index
+    probe and one intersection — the IncDC retrieval plan.
     """
-    row = relation.row(rid)
-    self_bit = 1 << rid
-    as_first = indexes.indexed_bits & ~self_bit
-    as_second = indexes.indexed_bits & ~self_bit
+    as_first = indexes.indexed_bits & ~exclude_bits
+    as_second = indexes.indexed_bits & ~exclude_bits
     for predicate in dc.predicates:
         if not as_first and not as_second:
             break
@@ -98,6 +103,20 @@ def violating_partners(
                 row[predicate.rhs_position],
             )
     return as_first, as_second
+
+
+def violating_partners(
+    dc, relation: Relation, indexes: ColumnIndexes, rid: int
+) -> Tuple[int, int]:
+    """Partners forming a violating pair with tuple ``rid``.
+
+    Returns ``(as_first, as_second)``: rid bits of partners ``u`` such that
+    ``(rid, u)`` respectively ``(u, rid)`` violates the DC.  The tuple
+    itself is excluded.
+    """
+    return violating_partners_for_row(
+        dc, relation.row(rid), indexes, exclude_bits=1 << rid
+    )
 
 
 def iter_violating_pairs(

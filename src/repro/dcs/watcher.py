@@ -18,7 +18,7 @@ manually with :meth:`on_insert` / :meth:`on_delete`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.bitmaps.bitutils import iter_bits
 from repro.dcs.denial_constraint import DenialConstraint
@@ -47,7 +47,9 @@ class ViolationWatcher:
             self._absorb_row(rid, restrict_bits=seen_bits)
             seen_bits |= 1 << rid
 
-    def _absorb_row(self, rid: int, restrict_bits: int = None) -> Dict[int, Set[Pair]]:
+    def _absorb_row(
+        self, rid: int, restrict_bits: Optional[int] = None
+    ) -> Dict[int, Set[Pair]]:
         """Record the violations row ``rid`` forms with indexed partners.
 
         ``restrict_bits`` limits partners (used during the initial scan to

@@ -253,6 +253,26 @@ class DurableSession:
         the discoverer's (and the paper's) decomposition."""
         return self.delete(delete_rids), self.insert(insert_rows)
 
+    def validate_insert_rows(self, rows: Iterable[Sequence]) -> list:
+        """Check an insert batch against the schema *without* applying it.
+
+        Returns the materialized rows.  The service layer uses this for
+        per-request admission before merging requests into one batch (a
+        bad row must fail its own request, not the whole cycle).
+        """
+        materialized = [list(row) for row in rows]
+        self._validate_insert(materialized)
+        return materialized
+
+    def validate_delete_rids(self, rids: Iterable[int]) -> list:
+        """Check a delete batch (alive, duplicate-free) without applying.
+
+        Returns the sorted rid list.
+        """
+        rid_list = sorted(int(rid) for rid in rids)
+        self._validate_delete(rid_list)
+        return rid_list
+
     def _validate_insert(self, rows: list) -> None:
         # A record must be replayable before it may be logged.
         schema = self.discoverer.relation.schema
@@ -318,6 +338,34 @@ class DurableSession:
             self.checkpoint()
 
     # -- introspection and shutdown --------------------------------------
+
+    @property
+    def last_applied_seq(self) -> int:
+        """WAL seq of the most recently applied record (0 = none yet)."""
+        return self._next_seq - 1
+
+    def export_gauges(self) -> None:
+        """Publish the session's state as ``durability.*`` gauges.
+
+        Lands the same numbers :meth:`status` reports in the metrics
+        registry, so ``session status --metrics-out`` and the serving
+        layer's ``/metrics`` endpoint expose one consistent stream.
+        """
+        instrumentation = self.discoverer.instrumentation
+        checkpoint_dir = os.path.join(self.directory, CHECKPOINT_DIR)
+        instrumentation.set_gauge("durability.next_seq", self._next_seq)
+        instrumentation.set_gauge(
+            "durability.checkpoint_seq", self._checkpoint_seq
+        )
+        instrumentation.set_gauge(
+            "durability.pending_wal_records", self._pending_records
+        )
+        instrumentation.set_gauge("durability.wal_bytes", self._wal.size)
+        instrumentation.set_gauge(
+            "durability.checkpoints_on_disk",
+            len(list_checkpoints(checkpoint_dir)),
+        )
+        self.discoverer._record_state_gauges()
 
     def status(self) -> dict:
         """Machine-readable session status (backs ``session status``)."""

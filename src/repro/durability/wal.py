@@ -94,6 +94,10 @@ class WriteAheadLog:
         if not self._handle.closed:
             self._handle.close()
 
+    @property
+    def is_open(self) -> bool:
+        return not self._handle.closed
+
     # -- reading ---------------------------------------------------------
 
     @staticmethod

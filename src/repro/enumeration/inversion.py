@@ -25,7 +25,7 @@ def refine_sigma(
     space: PredicateSpace,
     sigma: SetTrie,
     evidence_masks: Iterable[int],
-    blocking_sigma: SetTrie = None,
+    blocking_sigma: Optional[SetTrie] = None,
 ) -> SetTrie:
     """Fold ``evidence_masks`` into the DC antichain ``sigma`` (in place).
 

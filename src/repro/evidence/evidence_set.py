@@ -14,7 +14,7 @@ evidence).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional
 
 
 class EvidenceSet:
@@ -22,7 +22,7 @@ class EvidenceSet:
 
     __slots__ = ("counts",)
 
-    def __init__(self, counts: Dict[int, int] = None):
+    def __init__(self, counts: Optional[Dict[int, int]] = None):
         self.counts = dict(counts) if counts else {}
 
     # -- mutation ----------------------------------------------------------

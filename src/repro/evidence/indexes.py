@@ -20,7 +20,7 @@ line 1 indexes the *updated* table).
 from __future__ import annotations
 
 from bisect import bisect_right, insort
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.observability.probe import get_probe
 from repro.relational.relation import Relation
@@ -49,6 +49,12 @@ class EqualityIndex:
     def probe(self, value) -> int:
         """Rids whose column value equals ``value`` (0 when none)."""
         return self.entries.get(value, 0)
+
+    def snapshot_clone(self) -> "EqualityIndex":
+        """Independent copy for publication to concurrent readers."""
+        clone = EqualityIndex()
+        clone.entries = dict(self.entries)
+        return clone
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -139,6 +145,24 @@ class RangeIndex:
             gt_bits |= self._checkpoints[checkpoint]
         return eq_bits, gt_bits
 
+    def snapshot_clone(self) -> "RangeIndex":
+        """Independent copy for publication to concurrent readers.
+
+        Checkpoints are rebuilt eagerly (in the cloning thread) so the
+        clone never mutates itself on a probe: after construction every
+        ``eq_gt`` call is a pure read, safe to share across threads.
+        """
+        clone = RangeIndex(self.step)
+        clone.entries = dict(self.entries)
+        clone.values = list(self.values)
+        clone.nan_bits = self.nan_bits
+        if self._dirty:
+            clone._rebuild_checkpoints()
+        else:
+            clone._checkpoints = list(self._checkpoints)
+            clone._dirty = False
+        return clone
+
     def __len__(self) -> int:
         return len(self.values) + (1 if self.nan_bits else 0)
 
@@ -185,6 +209,27 @@ class ColumnIndexes:
                 range_index = self.ranges[position]
                 if range_index is not None:
                     range_index.remove(rid, value)
+
+    def snapshot_clone(self, relation: Optional[Relation] = None) -> "ColumnIndexes":
+        """Independent, probe-only copy for publication to readers.
+
+        The clone shares no mutable structure with this instance, so a
+        writer may keep maintaining the live indexes while readers probe
+        the clone (the service layer's snapshot store relies on this).
+        ``relation`` replaces the back-reference (pass the frozen copy
+        published alongside the indexes); it is only consulted by
+        ``add_rows``/``remove_rows``, which snapshots never call.
+        """
+        clone = ColumnIndexes.__new__(ColumnIndexes)
+        clone.relation = relation if relation is not None else self.relation
+        clone.step = self.step
+        clone.equality = [index.snapshot_clone() for index in self.equality]
+        clone.ranges = [
+            index.snapshot_clone() if index is not None else None
+            for index in self.ranges
+        ]
+        clone.indexed_bits = self.indexed_bits
+        return clone
 
     def probe_group(self, group, value) -> tuple:
         """Probe the indexes of ``group``'s rhs column with the lhs value.

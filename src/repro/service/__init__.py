@@ -1,0 +1,44 @@
+"""The concurrent DC serving layer (docs/service.md).
+
+Turns a :class:`~repro.durability.session.DurableSession` into a
+long-running online system: concurrent writes are coalesced into the
+paper's batch-update cycles by a single writer thread, reads are served
+lock-free from immutable snapshots, and an online violation-check API
+answers "would this row violate the current constraints?" before the row
+is committed.
+
+    from repro.service import DCService, ServiceClient, ServiceConfig
+
+    service = DCService(session, ServiceConfig(port=8334))
+    service.start()
+    client = ServiceClient(base_url=service.url)
+    client.insert([[5, "Ema", 2002, 3, 1]])
+    client.check([5, "Ana", 2000, 5, 1])     # violates? don't commit.
+    service.shutdown()
+"""
+
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceSaturatedError,
+    ServiceUnavailableError,
+)
+from repro.service.coalescer import CoalescedBatch, WriteRequest, coalesce
+from repro.service.config import ServiceConfig
+from repro.service.server import DCService, ServiceStopped
+from repro.service.snapshot import Snapshot, build_snapshot
+
+__all__ = [
+    "CoalescedBatch",
+    "DCService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceSaturatedError",
+    "ServiceStopped",
+    "ServiceUnavailableError",
+    "Snapshot",
+    "WriteRequest",
+    "build_snapshot",
+    "coalesce",
+]

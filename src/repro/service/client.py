@@ -1,0 +1,167 @@
+"""Python client for the DC service — drive it like an application.
+
+:class:`ServiceClient` speaks the JSON-over-HTTP protocol of
+:mod:`repro.service.server` with nothing but the stdlib.  Each call opens
+its own connection (simple and unconditionally thread-safe: the
+concurrency tests and the closed-loop benchmark share one client across
+many threads).
+
+Error mapping mirrors the protocol's status codes:
+
+- 429 → :class:`ServiceSaturatedError` (back off and retry);
+- 503 → :class:`ServiceUnavailableError` (draining, or commit timeout
+  with *unknown* outcome);
+- other non-2xx → :class:`ServiceError`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Iterable, List, Optional, Sequence
+from urllib.parse import urlsplit
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: dict):
+        message = payload.get("message") or payload.get("error") or "?"
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceSaturatedError(ServiceError):
+    """The write queue is full (HTTP 429) — back off and retry."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """Draining or commit timeout (HTTP 503); write outcome unknown."""
+
+
+class ServiceClient:
+    """Blocking client for one service endpoint."""
+
+    def __init__(
+        self,
+        base_url: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout: float = 30.0,
+    ):
+        if base_url is not None:
+            parts = urlsplit(base_url)
+            self.host = parts.hostname or "127.0.0.1"
+            self.port = parts.port or 80
+        else:
+            if host is None or port is None:
+                raise ValueError("pass base_url or host and port")
+            self.host = host
+            self.port = port
+        self.timeout = timeout
+
+    # -- transport --------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        finally:
+            connection.close()
+        if response.headers.get_content_type() == "text/plain":
+            document = {"text": raw.decode("utf-8")}
+        else:
+            document = json.loads(raw.decode("utf-8")) if raw else {}
+        if response.status == 429:
+            raise ServiceSaturatedError(response.status, document)
+        if response.status == 503:
+            raise ServiceUnavailableError(response.status, document)
+        if response.status >= 400:
+            raise ServiceError(response.status, document)
+        return document
+
+    def wait_ready(self, deadline_s: float = 10.0) -> dict:
+        """Poll ``/status`` until the service answers (or raise)."""
+        deadline = time.monotonic() + deadline_s
+        while True:
+            try:
+                return self.status()
+            except (OSError, ServiceError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    # -- writes -----------------------------------------------------------
+
+    def insert(
+        self, rows: Iterable[Sequence], timeout: Optional[float] = None
+    ) -> dict:
+        """Durably insert rows; returns ``{"seq", "rids", ...}``."""
+        payload = {"rows": [list(row) for row in rows]}
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return self._request("POST", "/insert", payload)
+
+    def delete(
+        self, rids: Iterable[int], timeout: Optional[float] = None
+    ) -> dict:
+        """Durably delete rows by rid."""
+        payload = {"rids": [int(rid) for rid in rids]}
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return self._request("POST", "/delete", payload)
+
+    # -- reads ------------------------------------------------------------
+
+    def dcs(self) -> dict:
+        """Current canonical DCs of the latest snapshot."""
+        return self._request("GET", "/dcs")
+
+    def rank(self, top: int = 10) -> dict:
+        """Top-k ranked DCs of the latest snapshot."""
+        return self._request("GET", f"/rank?top={int(top)}")
+
+    def check(
+        self,
+        row: Sequence,
+        dcs: Optional[List[str]] = None,
+        limit: Optional[int] = None,
+    ) -> dict:
+        """Violation-check a candidate row *before* inserting it."""
+        payload: dict = {"row": list(row)}
+        if dcs is not None:
+            payload["dcs"] = list(dcs)
+        if limit is not None:
+            payload["limit"] = int(limit)
+        return self._request("POST", "/check", payload)
+
+    def status(self) -> dict:
+        return self._request("GET", "/status")
+
+    def metrics_text(self) -> str:
+        """Prometheus exposition text of the live registry."""
+        return self._request("GET", "/metrics")["text"]
+
+    def log(self, since: int = -1) -> dict:
+        """Commit history with seq > ``since`` (oracle replay feed)."""
+        return self._request("GET", f"/log?since={int(since)}")
+
+    def shutdown(self) -> dict:
+        """Ask the service to drain and stop (returns immediately)."""
+        return self._request("POST", "/shutdown")
+
+    def __repr__(self) -> str:
+        return f"ServiceClient(http://{self.host}:{self.port})"

@@ -1,0 +1,116 @@
+"""Request coalescing: many concurrent writes, one batch-update cycle.
+
+The paper's update model is *batched*: evidence maintenance and DC
+enumeration pay per batch, not per row, so N concurrent single-row
+inserts applied as one merged batch cost one incremental evidence update
+and one WAL append cycle instead of N.  This module turns a slice of the
+write queue into that merged batch:
+
+- every request is validated *individually* against the pre-cycle state
+  (a bad row or dead rid fails its own request, never the cycle);
+- validated deletes are unioned (a rid claimed by an earlier request in
+  the cycle rejects later claimants — double-delete is a client error);
+- validated inserts are concatenated in arrival order, and each request
+  remembers its slice so the newly assigned rids can be handed back;
+- the merged batch applies as delete-then-insert, matching the paper's
+  (and :meth:`DurableSession.update`'s) decomposition.
+
+Pure logic, no threads: the writer loop in
+:mod:`repro.service.server` owns the concurrency.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Tuple
+
+OP_INSERT = "insert"
+OP_DELETE = "delete"
+
+
+class WriteRequest:
+    """One client write waiting for its commit.
+
+    The submitting thread blocks on :attr:`done`; the writer thread
+    stores :attr:`outcome` (a response payload) before setting it.
+    """
+
+    __slots__ = ("op", "payload", "done", "outcome")
+
+    def __init__(self, op: str, payload):
+        if op not in (OP_INSERT, OP_DELETE):
+            raise ValueError(f"unknown write op {op!r}")
+        self.op = op
+        self.payload = payload
+        self.done = threading.Event()
+        self.outcome: Optional[dict] = None
+
+    def resolve(self, outcome: dict) -> None:
+        self.outcome = outcome
+        self.done.set()
+
+    def __repr__(self) -> str:
+        return f"WriteRequest({self.op}, {len(self.payload)} items)"
+
+
+class CoalescedBatch:
+    """The merge of one cycle's admitted requests."""
+
+    __slots__ = ("delete_rids", "insert_rows", "deletes", "inserts", "rejected")
+
+    def __init__(self):
+        #: Union of all admitted delete rids (sorted).
+        self.delete_rids: List[int] = []
+        #: Concatenation of all admitted insert rows, arrival order.
+        self.insert_rows: list = []
+        #: ``(request, rids)`` per admitted delete request.
+        self.deletes: List[Tuple[WriteRequest, list]] = []
+        #: ``(request, offset, count)`` per admitted insert request —
+        #: the slice of the merged row list (and of the assigned rids).
+        self.inserts: List[Tuple[WriteRequest, int, int]] = []
+        #: ``(request, message)`` per rejected request.
+        self.rejected: List[Tuple[WriteRequest, str]] = []
+
+    @property
+    def n_admitted(self) -> int:
+        return len(self.deletes) + len(self.inserts)
+
+
+def coalesce(session, requests: List[WriteRequest]) -> CoalescedBatch:
+    """Validate and merge one cycle's requests against ``session``.
+
+    ``session`` is only read (schema, alive rids); nothing is applied.
+    Requests are processed in arrival order, so when two requests claim
+    the same rid the earlier one wins deterministically.
+    """
+    batch = CoalescedBatch()
+    claimed = set()
+    for request in requests:
+        if request.op == OP_DELETE:
+            try:
+                rid_list = session.validate_delete_rids(request.payload)
+            except (KeyError, ValueError, TypeError) as exc:
+                batch.rejected.append((request, str(exc)))
+                continue
+            stolen = [rid for rid in rid_list if rid in claimed]
+            if stolen:
+                batch.rejected.append(
+                    (
+                        request,
+                        f"rid {stolen[0]} already deleted by an earlier "
+                        f"request in this batch",
+                    )
+                )
+                continue
+            claimed.update(rid_list)
+            batch.deletes.append((request, rid_list))
+        else:
+            try:
+                rows = session.validate_insert_rows(request.payload)
+            except (KeyError, ValueError, TypeError) as exc:
+                batch.rejected.append((request, str(exc)))
+                continue
+            batch.inserts.append((request, len(batch.insert_rows), len(rows)))
+            batch.insert_rows.extend(rows)
+    batch.delete_rids = sorted(claimed)
+    return batch

@@ -1,0 +1,60 @@
+"""Configuration of the serving layer.
+
+One :class:`ServiceConfig` parameterizes everything operational about a
+:class:`~repro.service.server.DCService`: where it listens, how deep the
+write queue may grow before admission control rejects (backpressure), how
+long the writer lingers collecting concurrent writes into one coalesced
+batch (the paper's batch-update model driven by live traffic), and how
+long a client request may wait for its commit before being told to retry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_QUEUE_DEPTH = 64
+DEFAULT_BATCH_WINDOW_MS = 5.0
+DEFAULT_REQUEST_TIMEOUT_S = 30.0
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Operational knobs of one service instance.
+
+    :param host: bind address.
+    :param port: bind port (0 = pick an ephemeral port; read the actual
+        one from :attr:`DCService.port` after start).
+    :param queue_depth: bounded write-queue capacity.  A write arriving
+        at a full queue is rejected immediately with HTTP 429 — requests
+        never hang on saturation.
+    :param batch_window_ms: after picking up the first queued write, the
+        writer waits this long for more requests to coalesce into the
+        same batch.  0 disables the window: the writer still merges
+        whatever has accumulated while it was busy, but never waits.
+    :param request_timeout_s: how long a write request waits for its
+        commit before the server answers 503.  The request stays queued
+        — the 503 means "outcome unknown, poll /status", not "rolled
+        back"; see docs/service.md.
+    :param drain_timeout_s: shutdown grace period for the writer to
+        drain the queue and checkpoint.
+    :param cycle_delay_s: artificial stall at the start of every write
+        cycle.  0 in production; the backpressure tests use it to make
+        queue saturation and commit timeouts deterministic.
+    """
+
+    host: str = DEFAULT_HOST
+    port: int = 0
+    queue_depth: int = DEFAULT_QUEUE_DEPTH
+    batch_window_ms: float = DEFAULT_BATCH_WINDOW_MS
+    request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S
+    drain_timeout_s: float = 60.0
+    cycle_delay_s: float = 0.0
+
+    def __post_init__(self):
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be >= 0")
+        if self.request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be > 0")

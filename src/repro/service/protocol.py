@@ -1,0 +1,104 @@
+"""The JSON-over-HTTP protocol of the serving layer.
+
+Kept separate from the server so the client, the server, and the tests
+agree on one vocabulary: endpoint paths, error codes, and the row
+coercion that undoes JSON's numeric lossiness (an integral float comes
+back from ``json.loads`` as an ``int``) before a row touches the schema.
+
+Status-code semantics (docs/service.md spells out the full contract):
+
+- ``200`` — success;
+- ``400`` — the request itself is invalid (bad JSON, schema mismatch,
+  dead rid): retrying unchanged will fail again;
+- ``404`` — unknown endpoint;
+- ``429`` — the write queue is full (backpressure): retry with backoff;
+- ``503`` — the service is draining, or the request timed out waiting
+  for its commit (outcome unknown — the write may still land);
+- ``500`` — internal failure, the writer is stopped.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnType, Schema
+
+#: Error codes carried in the ``"error"`` field of non-200 responses.
+ERR_BAD_REQUEST = "bad_request"
+ERR_NOT_FOUND = "not_found"
+ERR_SATURATED = "saturated"
+ERR_TIMEOUT = "timeout"
+ERR_DRAINING = "draining"
+ERR_INTERNAL = "internal"
+
+#: Map error code -> HTTP status.
+STATUS_OF_ERROR = {
+    ERR_BAD_REQUEST: 400,
+    ERR_NOT_FOUND: 404,
+    ERR_SATURATED: 429,
+    ERR_TIMEOUT: 503,
+    ERR_DRAINING: 503,
+    ERR_INTERNAL: 500,
+}
+
+
+class ProtocolError(ValueError):
+    """A request body that cannot be honored (maps to HTTP 400)."""
+
+
+def encode(payload: dict) -> bytes:
+    """Canonical wire encoding of a response payload."""
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode(body: bytes) -> dict:
+    """Parse a JSON request body into a dict (empty body = empty dict)."""
+    if not body:
+        return {}
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"request body is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("request body must be a JSON object")
+    return payload
+
+
+def coerce_row(schema: Schema, row: Sequence) -> tuple:
+    """Type-check one wire row against the schema, fixing JSON lossiness.
+
+    Integral values destined for FLOAT columns come back from JSON as
+    ints; promote them before validation so a round-tripped row equals
+    the row the writer will durably log.
+    """
+    columns = list(schema)
+    if not isinstance(row, (list, tuple)):
+        raise ProtocolError("row must be a JSON array")
+    if len(row) != len(columns):
+        raise ProtocolError(
+            f"row of {len(row)} values for {len(columns)} columns"
+        )
+    coerced = []
+    for value, column in zip(row, columns):
+        if column.ctype is ColumnType.FLOAT and isinstance(value, int):
+            value = float(value)
+        try:
+            Relation._check_value(value, column.ctype, column.name)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(str(exc)) from None
+        coerced.append(value)
+    return tuple(coerced)
+
+
+def require_field(payload: dict, name: str, kind: type):
+    """Fetch a required, type-checked field from a request payload."""
+    if name not in payload:
+        raise ProtocolError(f"missing required field {name!r}")
+    value = payload[name]
+    if not isinstance(value, kind):
+        raise ProtocolError(
+            f"field {name!r} must be a JSON {kind.__name__}"
+        )
+    return value

@@ -1,0 +1,573 @@
+"""The long-running DC service: one writer, many lock-free readers.
+
+Architecture (docs/service.md has the operator view)::
+
+    clients ──HTTP──▶ handler threads ──▶ bounded write queue ─▶ writer
+                         │                                        │
+                         │ reads                    one coalesced batch
+                         ▼                          per cycle (WAL+apply)
+                  latest Snapshot ◀── publish ────────────┘
+
+- **Write path**: POST /insert and /delete enqueue a
+  :class:`~repro.service.coalescer.WriteRequest` and block until the
+  writer commits it (or the per-request timeout fires).  The single
+  writer thread drains the queue into one merged delta per cycle — N
+  concurrent clients pay one incremental evidence update and one WAL
+  append cycle instead of N.
+- **Read path**: GET /dcs, /rank, /status and POST /check serve from the
+  latest published :class:`~repro.service.snapshot.Snapshot` without
+  taking any lock the writer can hold.
+- **Backpressure**: a full queue rejects instantly with 429; a commit
+  that outlives the request timeout answers 503 with outcome unknown.
+- **Shutdown**: SIGTERM (or POST /shutdown) stops admissions, drains the
+  queue, writes a final checkpoint, and closes the session — the durable
+  state equals the serially-applied commit history.
+"""
+
+from __future__ import annotations
+
+import queue
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.dcs.denial_constraint import DenialConstraint
+from repro.observability import get_logger, snapshot_to_prometheus
+from repro.predicates.parser import parse_dc
+from repro.service import protocol
+from repro.service.coalescer import (
+    OP_DELETE,
+    OP_INSERT,
+    WriteRequest,
+    coalesce,
+)
+from repro.service.config import ServiceConfig
+from repro.service.snapshot import Snapshot, build_snapshot
+
+logger = get_logger(__name__)
+
+#: How often the idle writer wakes to notice a shutdown request.
+_IDLE_POLL_S = 0.05
+
+
+class ServiceStopped(RuntimeError):
+    """A write was submitted to a service that no longer accepts any."""
+
+
+class DCService:
+    """Serves one :class:`~repro.durability.session.DurableSession`.
+
+    The session (and its discoverer) is owned by the writer thread from
+    :meth:`start` until the drain completes; everything any other thread
+    needs is published through immutable snapshots.
+    """
+
+    def __init__(self, session, config: Optional[ServiceConfig] = None):
+        self.session = session
+        self.config = config or ServiceConfig()
+        self.instrumentation = session.discoverer.instrumentation
+        self._queue: "queue.Queue[WriteRequest]" = queue.Queue(
+            maxsize=self.config.queue_depth
+        )
+        #: Serializes metric mutation/export between handler threads,
+        #: the writer, and /metrics (dict iteration vs. resize).
+        self._metrics_lock = threading.Lock()
+        self._stop = threading.Event()  # no new writes admitted
+        self._drained = threading.Event()  # writer finished its drain
+        self._shutdown_requested = threading.Event()
+        self._failure: Optional[BaseException] = None
+        #: Applied operations in commit order (the serial oracle of the
+        #: concurrency tests, and the seed of any future replication).
+        self.commit_log: list = []
+        #: Seq of every snapshot ever published (reads must only ever
+        #: observe members of this list).
+        self.published_seqs: list = []
+        session.export_gauges()
+        self._snapshot = build_snapshot(session)
+        self.published_seqs.append(self._snapshot.seq)
+        self._writer: Optional[threading.Thread] = None
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+        self.started_at = time.time()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind the HTTP server and start the writer thread."""
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), handler
+        )
+        self._httpd.daemon_threads = True
+        self._writer = threading.Thread(
+            target=self._writer_loop, name="dc-service-writer", daemon=True
+        )
+        self._writer.start()
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="dc-service-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+        logger.debug("service listening on %s:%d", self.host, self.port)
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0] if self._httpd else self.config.host
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_port if self._httpd else self.config.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def request_shutdown(self) -> None:
+        """Signal-safe: ask the service to drain and stop."""
+        self._shutdown_requested.set()
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to a graceful drain (main thread only)."""
+
+        def _handle(signum, frame):
+            logger.debug("signal %d: draining service", signum)
+            self.request_shutdown()
+
+        signal.signal(signal.SIGTERM, _handle)
+        signal.signal(signal.SIGINT, _handle)
+
+    def serve_forever(self) -> None:
+        """Block until a shutdown is requested, then drain and close."""
+        if self._httpd is None:
+            self.start()
+        self._shutdown_requested.wait()
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Drain the write queue, checkpoint, and stop serving.
+
+        Idempotent.  After it returns the session directory holds
+        exactly the serially-applied commit history (final checkpoint
+        included) and the HTTP socket is closed.
+        """
+        self._stop.set()
+        self._shutdown_requested.set()
+        if self._writer is not None:
+            self._drained.wait(timeout=self.config.drain_timeout_s)
+        else:
+            self._drain_queue()  # never started: fail queued writes fast
+        if self.session._wal.is_open:
+            if self._failure is None:
+                if self.session.status()["pending_wal_records"]:
+                    self.session.checkpoint()
+                self.session.export_gauges()
+            self.session.close()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        logger.debug(
+            "service stopped after %d commits", len(self.commit_log)
+        )
+
+    # -- write path -------------------------------------------------------
+
+    def submit(
+        self, op: str, payload, timeout: Optional[float] = None
+    ) -> dict:
+        """Enqueue one write and wait for its outcome.
+
+        Returns the response payload; raises :class:`queue.Full` on
+        saturation and :class:`ServiceStopped` when draining.  A timeout
+        returns a ``status: "timeout"`` payload (the request stays
+        queued; its outcome is unknown to the caller).
+        """
+        if self._stop.is_set():
+            raise ServiceStopped("service is draining")
+        if self._failure is not None:
+            raise ServiceStopped(f"writer failed: {self._failure}")
+        request = WriteRequest(op, payload)
+        self._queue.put_nowait(request)  # queue.Full propagates -> 429
+        self._metric_gauge("service.queue.depth", self._queue.qsize())
+        wait_s = timeout if timeout is not None else self.config.request_timeout_s
+        if not request.done.wait(wait_s):
+            self._metric_inc("service.requests_timeout_total")
+            return {
+                "status": "timeout",
+                "error": protocol.ERR_TIMEOUT,
+                "message": (
+                    f"commit did not land within {wait_s:.3f}s; the write "
+                    f"stays queued and may still be applied"
+                ),
+            }
+        return request.outcome
+
+    def _writer_loop(self) -> None:
+        try:
+            while True:
+                try:
+                    first = self._queue.get(timeout=_IDLE_POLL_S)
+                except queue.Empty:
+                    if self._stop.is_set():
+                        break
+                    continue
+                batch = [first]
+                window_s = self.config.batch_window_ms / 1000.0
+                if window_s > 0 and not self._stop.is_set():
+                    deadline = time.monotonic() + window_s
+                    while True:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        try:
+                            batch.append(self._queue.get(timeout=remaining))
+                        except queue.Empty:
+                            break
+                while True:  # merge whatever else already accumulated
+                    try:
+                        batch.append(self._queue.get_nowait())
+                    except queue.Empty:
+                        break
+                self._apply_cycle(batch)
+        finally:
+            self._drain_queue()
+            self._drained.set()
+
+    def _drain_queue(self) -> None:
+        """Apply (or fail) everything still queued at shutdown."""
+        leftovers = []
+        while True:
+            try:
+                leftovers.append(self._queue.get_nowait())
+            except queue.Empty:
+                break
+        if not leftovers:
+            return
+        if self._failure is None:
+            self._apply_cycle(leftovers)
+        else:
+            for request in leftovers:
+                request.resolve(
+                    {
+                        "status": "failed",
+                        "error": protocol.ERR_INTERNAL,
+                        "message": f"writer failed: {self._failure}",
+                    }
+                )
+
+    def _apply_cycle(self, requests: list) -> None:
+        """Validate, merge, durably apply, publish, respond."""
+        if self.config.cycle_delay_s:
+            time.sleep(self.config.cycle_delay_s)
+        with self._metrics_lock:
+            self.instrumentation.inc("service.batches_total")
+            self.instrumentation.inc(
+                "service.coalesced_requests_total", len(requests)
+            )
+            self.instrumentation.observe("service.batch.size", len(requests))
+        batch = coalesce(self.session, requests)
+        for request, message in batch.rejected:
+            self._metric_inc("service.requests_rejected_total")
+            request.resolve(
+                {
+                    "status": "rejected",
+                    "error": protocol.ERR_BAD_REQUEST,
+                    "message": message,
+                }
+            )
+        if not batch.n_admitted:
+            return
+        started = time.perf_counter()
+        try:
+            new_rids: list = []
+            if batch.delete_rids:
+                self.session.delete(batch.delete_rids)
+                self.commit_log.append(
+                    {
+                        "seq": self.session.last_applied_seq,
+                        "op": OP_DELETE,
+                        "rids": list(batch.delete_rids),
+                    }
+                )
+            if batch.insert_rows:
+                result = self.session.insert(batch.insert_rows)
+                new_rids = result.rids
+                self.commit_log.append(
+                    {
+                        "seq": self.session.last_applied_seq,
+                        "op": OP_INSERT,
+                        "rows": [list(row) for row in batch.insert_rows],
+                        "rids": list(new_rids),
+                    }
+                )
+        except BaseException as exc:  # writer must never die silently
+            self._failure = exc
+            self._stop.set()
+            logger.error("writer failed applying a batch: %s", exc)
+            for request, _ in batch.deletes:
+                request.resolve(_internal_failure(exc))
+            for request, _, _ in batch.inserts:
+                request.resolve(_internal_failure(exc))
+            return
+        seq = self.session.last_applied_seq
+        with self._metrics_lock:
+            self.instrumentation.observe(
+                "service.cycle_seconds", time.perf_counter() - started
+            )
+            self.session.export_gauges()
+        self._snapshot = build_snapshot(self.session)
+        self.published_seqs.append(seq)
+        for request, rid_list in batch.deletes:
+            request.resolve(
+                {"status": "committed", "seq": seq, "rids": rid_list}
+            )
+        for request, offset, count in batch.inserts:
+            request.resolve(
+                {
+                    "status": "committed",
+                    "seq": seq,
+                    "rids": new_rids[offset : offset + count],
+                }
+            )
+
+    # -- read path --------------------------------------------------------
+
+    @property
+    def snapshot(self) -> Snapshot:
+        """The latest published snapshot (atomic reference read)."""
+        return self._snapshot
+
+    def status_payload(self) -> dict:
+        payload = self.snapshot.status_payload()
+        payload.update(
+            {
+                "serving": not self._stop.is_set(),
+                "uptime_s": round(time.time() - self.started_at, 3),
+                "queue_depth": self._queue.qsize(),
+                "queue_capacity": self.config.queue_depth,
+                "batch_window_ms": self.config.batch_window_ms,
+                "commits": len(self.commit_log),
+            }
+        )
+        return payload
+
+    def metrics_text(self) -> str:
+        """Prometheus exposition of the live registry (/metrics)."""
+        with self._metrics_lock:
+            for attempt in range(3):
+                try:
+                    snapshot = self.instrumentation.metrics.snapshot()
+                    break
+                except RuntimeError:  # resized mid-iteration by a probe
+                    if attempt == 2:
+                        raise
+        return snapshot_to_prometheus(snapshot)
+
+    def check_payload(self, body: dict) -> dict:
+        """Violation-check a candidate row against the latest snapshot."""
+        snapshot = self.snapshot
+        row = protocol.coerce_row(
+            snapshot.relation.schema, protocol.require_field(body, "row", list)
+        )
+        dcs = None
+        if "dcs" in body:
+            texts = protocol.require_field(body, "dcs", list)
+            try:
+                dcs = [
+                    DenialConstraint(
+                        parse_dc(text, snapshot.space), snapshot.space
+                    )
+                    for text in texts
+                ]
+            except (KeyError, ValueError) as exc:
+                raise protocol.ProtocolError(f"bad DC: {exc}") from None
+        limit = body.get("limit")
+        if limit is not None and (not isinstance(limit, int) or limit < 0):
+            raise protocol.ProtocolError("limit must be a non-negative int")
+        self._metric_inc("service.checks_total")
+        return snapshot.check(row, dcs=dcs, limit=limit)
+
+    def log_payload(self, since: int) -> dict:
+        """Commit history with seq > ``since`` (bounded by construction)."""
+        entries = [
+            entry for entry in list(self.commit_log) if entry["seq"] > since
+        ]
+        return {
+            "since": since,
+            "last_seq": self.session.last_applied_seq,
+            "entries": entries,
+        }
+
+    # -- metric helpers (handler threads go through the lock) -------------
+
+    def _metric_inc(self, name: str, amount: int = 1) -> None:
+        with self._metrics_lock:
+            self.instrumentation.inc(name, amount)
+
+    def _metric_gauge(self, name: str, value: float) -> None:
+        with self._metrics_lock:
+            self.instrumentation.set_gauge(name, value)
+
+    def _metric_observe(self, name: str, value: float) -> None:
+        with self._metrics_lock:
+            self.instrumentation.observe(name, value)
+
+
+def _internal_failure(exc: BaseException) -> dict:
+    return {
+        "status": "failed",
+        "error": protocol.ERR_INTERNAL,
+        "message": f"writer failed: {exc}",
+    }
+
+
+def _make_handler(service: DCService):
+    """A request-handler class bound to one service instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-dc-service/1.0"
+
+        # -- plumbing --------------------------------------------------
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib name
+            logger.debug("%s %s", self.address_string(), format % args)
+
+        def _respond(self, status: int, payload: dict) -> None:
+            body = protocol.encode(payload)
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _respond_error(self, code: str, message: str) -> None:
+            self._respond(
+                protocol.STATUS_OF_ERROR[code],
+                {"status": "error", "error": code, "message": message},
+            )
+
+        def _read_body(self) -> dict:
+            length = int(self.headers.get("Content-Length") or 0)
+            return protocol.decode(self.rfile.read(length))
+
+        def _route(self, method: str) -> None:
+            started = time.perf_counter()
+            url = urlsplit(self.path)
+            try:
+                handler = _ROUTES.get((method, url.path))
+                if handler is None:
+                    self._respond_error(
+                        protocol.ERR_NOT_FOUND,
+                        f"no such endpoint: {method} {url.path}",
+                    )
+                    return
+                handler(self, parse_qs(url.query))
+            except protocol.ProtocolError as exc:
+                self._respond_error(protocol.ERR_BAD_REQUEST, str(exc))
+            except queue.Full:
+                service._metric_inc("service.requests_saturated_total")
+                self._respond_error(
+                    protocol.ERR_SATURATED,
+                    f"write queue is full "
+                    f"(depth {service.config.queue_depth}); retry later",
+                )
+            except ServiceStopped as exc:
+                self._respond_error(protocol.ERR_DRAINING, str(exc))
+            except BrokenPipeError:  # client went away mid-response
+                pass
+            except Exception as exc:  # pragma: no cover - defensive
+                logger.error("request handler failed: %s", exc)
+                try:
+                    self._respond_error(protocol.ERR_INTERNAL, str(exc))
+                except Exception:
+                    pass
+            finally:
+                service._metric_observe(
+                    "service.request_seconds", time.perf_counter() - started
+                )
+                service._metric_inc("service.requests_total")
+
+        def do_GET(self):  # noqa: N802 - stdlib casing
+            self._route("GET")
+
+        def do_POST(self):  # noqa: N802 - stdlib casing
+            self._route("POST")
+
+        # -- endpoints -------------------------------------------------
+
+        def _get_dcs(self, query):
+            self._respond(200, service.snapshot.dcs_payload())
+
+        def _get_rank(self, query):
+            try:
+                top = int(query.get("top", ["10"])[0])
+            except ValueError:
+                raise protocol.ProtocolError("top must be an int") from None
+            self._respond(200, service.snapshot.rank_payload(max(top, 0)))
+
+        def _get_status(self, query):
+            self._respond(200, service.status_payload())
+
+        def _get_metrics(self, query):
+            text = service.metrics_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(text)))
+            self.end_headers()
+            self.wfile.write(text)
+
+        def _get_log(self, query):
+            try:
+                since = int(query.get("since", ["-1"])[0])
+            except ValueError:
+                raise protocol.ProtocolError("since must be an int") from None
+            self._respond(200, service.log_payload(since))
+
+        def _post_write(self, op: str):
+            body = self._read_body()
+            field = "rows" if op == OP_INSERT else "rids"
+            payload = protocol.require_field(body, field, list)
+            timeout = body.get("timeout")
+            if timeout is not None and not isinstance(timeout, (int, float)):
+                raise protocol.ProtocolError("timeout must be a number")
+            outcome = service.submit(op, payload, timeout=timeout)
+            status = {
+                "committed": 200,
+                "rejected": 400,
+                "timeout": 503,
+                "failed": 500,
+            }[outcome["status"]]
+            self._respond(status, outcome)
+
+        def _post_insert(self, query):
+            self._post_write(OP_INSERT)
+
+        def _post_delete(self, query):
+            self._post_write(OP_DELETE)
+
+        def _post_check(self, query):
+            self._respond(200, service.check_payload(self._read_body()))
+
+        def _post_shutdown(self, query):
+            service.request_shutdown()
+            self._respond(200, {"status": "draining"})
+
+    _ROUTES = {
+        ("GET", "/dcs"): Handler._get_dcs,
+        ("GET", "/rank"): Handler._get_rank,
+        ("GET", "/status"): Handler._get_status,
+        ("GET", "/metrics"): Handler._get_metrics,
+        ("GET", "/log"): Handler._get_log,
+        ("POST", "/insert"): Handler._post_insert,
+        ("POST", "/delete"): Handler._post_delete,
+        ("POST", "/check"): Handler._post_check,
+        ("POST", "/shutdown"): Handler._post_shutdown,
+    }
+
+    return Handler

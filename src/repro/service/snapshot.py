@@ -1,0 +1,200 @@
+"""Immutable published state: what readers see between write cycles.
+
+After every applied batch the writer thread builds one :class:`Snapshot`
+and publishes it with a single reference assignment (atomic under the
+GIL).  Read endpoints grab the current reference and work on that object
+alone, so reads never block on — and are never blocked by — the writer:
+
+- the relation copy and the cloned column indexes share no mutable
+  structure with the live engine (see
+  :meth:`~repro.evidence.indexes.ColumnIndexes.snapshot_clone`);
+- the evidence multiset is copied (counts dict), so rankings computed
+  from a snapshot are rankings *of that seq*, not of whatever the writer
+  is mid-way through;
+- the predicate space is shared by reference — it is frozen at fit()
+  time by design (the DC search space is a property of the schema and
+  the initial distributions, Section III), so sharing is safe.
+
+A snapshot also answers the serving-time question of the companion
+detection line of work: :meth:`Snapshot.check` runs the candidate row
+through :func:`~repro.dcs.violations.violating_partners_for_row` against
+the snapshot's indexes — an admission check *before* the row is
+committed, at index-probe cost.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from repro.bitmaps.bitutils import iter_bits
+from repro.dcs.canonical import canonicalize_masks
+from repro.dcs.denial_constraint import DenialConstraint
+from repro.dcs.ranking import rank_dcs
+from repro.dcs.violations import violating_partners_for_row
+from repro.evidence.evidence_set import EvidenceSet
+from repro.relational.relation import Relation
+
+
+class Snapshot:
+    """One immutable published state of the served session."""
+
+    __slots__ = (
+        "seq",
+        "created_at",
+        "relation",
+        "indexes",
+        "space",
+        "dc_masks",
+        "canonical",
+        "evidence",
+        "status",
+        "_rank_cache",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        relation: Relation,
+        indexes,
+        space,
+        dc_masks: List[int],
+        canonical: List[DenialConstraint],
+        evidence: EvidenceSet,
+        status: dict,
+    ):
+        self.seq = seq
+        self.created_at = time.time()
+        self.relation = relation
+        self.indexes = indexes
+        self.space = space
+        self.dc_masks = dc_masks
+        self.canonical = canonical
+        self.evidence = evidence
+        self.status = status
+        self._rank_cache = {}
+
+    # -- read endpoints ---------------------------------------------------
+
+    def dcs_payload(self) -> dict:
+        """Body of ``GET /dcs``."""
+        return {
+            "seq": self.seq,
+            "n_rows": len(self.relation),
+            "n_minimal": len(self.dc_masks),
+            "dcs": [str(dc) for dc in self.canonical],
+            "masks": [format(mask, "x") for mask in sorted(self.dc_masks)],
+        }
+
+    def rank_payload(self, top: int) -> dict:
+        """Body of ``GET /rank?top=K`` (per-snapshot memoized)."""
+        cached = self._rank_cache.get(top)
+        if cached is None:
+            entries = rank_dcs(self.canonical, self.evidence, top_k=top or None)
+            cached = {
+                "seq": self.seq,
+                "top": top,
+                "ranking": [
+                    {
+                        "dc": str(entry.dc),
+                        "score": round(entry.score, 6),
+                        "succinctness": round(entry.succinctness, 6),
+                        "coverage": round(entry.coverage, 6),
+                    }
+                    for entry in entries
+                ],
+            }
+            # Benign race: two readers may compute the same entry; the
+            # dict assignment is atomic and both results are identical.
+            self._rank_cache[top] = cached
+        return cached
+
+    def check(
+        self,
+        row: Sequence,
+        dcs: Optional[List[DenialConstraint]] = None,
+        limit: Optional[int] = None,
+    ) -> dict:
+        """Violation-check a candidate row against this snapshot.
+
+        ``dcs`` defaults to the snapshot's canonical DC set; pass parsed
+        constraints to check business rules instead.  ``limit`` caps the
+        partners listed per direction (the bit counts stay exact).
+        Returns the body of ``POST /check``.
+        """
+        violations = []
+        for dc in dcs if dcs is not None else self.canonical:
+            as_first, as_second = violating_partners_for_row(
+                dc, row, self.indexes
+            )
+            if not as_first and not as_second:
+                continue
+            violations.append(
+                {
+                    "dc": str(dc),
+                    "mask": format(dc.mask, "x"),
+                    "n_partners": (as_first | as_second).bit_count(),
+                    "as_first": _rid_list(as_first, limit),
+                    "as_second": _rid_list(as_second, limit),
+                }
+            )
+        return {
+            "seq": self.seq,
+            "ok": not violations,
+            "n_violated_dcs": len(violations),
+            "violations": violations,
+        }
+
+    def status_payload(self) -> dict:
+        """Session-level portion of ``GET /status``."""
+        payload = dict(self.status)
+        payload["seq"] = self.seq
+        payload["snapshot_age_s"] = round(time.time() - self.created_at, 3)
+        return payload
+
+    def __repr__(self) -> str:
+        return (
+            f"Snapshot(seq={self.seq}, {len(self.relation)} rows, "
+            f"{len(self.dc_masks)} DCs)"
+        )
+
+
+def _rid_list(bits: int, limit: Optional[int]) -> List[int]:
+    rids = []
+    for rid in iter_bits(bits):
+        if limit is not None and len(rids) >= limit:
+            break
+        rids.append(rid)
+    return rids
+
+
+def _copy_relation(relation: Relation) -> Relation:
+    rows = {rid: relation.row(rid) for rid in relation.rids()}
+    return Relation.from_sparse_rows(relation.schema, rows, relation.next_rid)
+
+
+def build_snapshot(session) -> Snapshot:
+    """Materialize the current session state as an immutable snapshot.
+
+    Called by the writer thread between cycles — never concurrently with
+    maintenance, so plain reads of the live structures are safe here.
+    """
+    discoverer = session.discoverer
+    relation_copy = _copy_relation(discoverer.relation)
+    indexes = discoverer.engine_state.indexes.snapshot_clone(relation_copy)
+    dc_masks = list(discoverer.dc_masks)
+    canonical = [
+        DenialConstraint(mask, discoverer.space)
+        for mask in canonicalize_masks(dc_masks, discoverer.space)
+    ]
+    evidence = EvidenceSet(dict(discoverer.evidence_set.counts))
+    return Snapshot(
+        seq=session.last_applied_seq,
+        relation=relation_copy,
+        indexes=indexes,
+        space=discoverer.space,
+        dc_masks=dc_masks,
+        canonical=canonical,
+        evidence=evidence,
+        status=session.status(),
+    )

@@ -22,7 +22,7 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.relational.loader import relation_from_rows
 from repro.relational.relation import Relation
@@ -56,7 +56,7 @@ class DatasetSpec:
             generated.append(tuple(row))
         return generated
 
-    def relation(self, n_rows: int = None, seed: int = 0) -> Relation:
+    def relation(self, n_rows: Optional[int] = None, seed: int = 0) -> Relation:
         """Generate the dataset as a :class:`Relation`."""
         if n_rows is None:
             n_rows = self.default_rows
@@ -324,7 +324,9 @@ def dataset_names() -> List[str]:
     return sorted(DATASETS, key=lambda name: name.lower())
 
 
-def generate_dataset(name: str, n_rows: int = None, seed: int = 0) -> Relation:
+def generate_dataset(
+    name: str, n_rows: Optional[int] = None, seed: int = 0
+) -> Relation:
     """Generate a named dataset as a relation.
 
     :raises KeyError: for unknown names, listing the valid ones.

@@ -100,6 +100,105 @@ class TestIncrementalMaintenance:
         assert watcher.violations(dcs[0]) == set()
         assert watcher.total_violations() == 0
 
+class TestDirectMixedWorkloads:
+    """Drive ``on_insert`` / ``on_delete`` by hand — no discoverer in the
+    loop — and hold the watcher to the ``find_violations`` oracle after
+    every single step of mixed insert→delete→insert workloads."""
+
+    DC_TEXTS = ["!(t.A = t'.A)", "!(t.B = t'.B & t.C != t'.C)", "!(t.A <= t'.C)"]
+
+    @staticmethod
+    def oracle(dcs, relation):
+        return {dc.mask: set(find_violations(dc, relation)) for dc in dcs}
+
+    def build(self, rng, n_rows=10):
+        relation = relation_from_rows(["A", "B", "C"], random_rows(rng, n_rows))
+        space = build_predicate_space(relation)
+        dcs = watched_dcs(space, self.DC_TEXTS)
+        indexes = ColumnIndexes(relation)
+        return relation, dcs, indexes, ViolationWatcher(relation, indexes, dcs)
+
+    def apply_insert(self, relation, indexes, watcher, rows):
+        rids = relation.insert(rows)
+        indexes.add_rows(rids)
+        return rids, watcher.on_insert(rids)
+
+    def apply_delete(self, relation, indexes, watcher, rids):
+        relation.delete(rids)
+        indexes.remove_rows(rids)
+        return watcher.on_delete(rids)
+
+    def test_reinserted_value_pairs_use_the_new_rid(self):
+        relation = relation_from_rows(["A", "B", "C"], [(1, "a", 0), (1, "b", 1)])
+        space = build_predicate_space(relation)
+        dcs = watched_dcs(space, ["!(t.A = t'.A)"])
+        indexes = ColumnIndexes(relation)
+        watcher = ViolationWatcher(relation, indexes, dcs)
+        assert watcher.violations(dcs[0]) == {(0, 1), (1, 0)}
+
+        # Delete rid 1, then insert a row with the very same values: the
+        # clash reappears, but keyed to the fresh rid (rids never recycle).
+        removed = self.apply_delete(relation, indexes, watcher, [1])
+        assert removed[dcs[0].mask] == {(0, 1), (1, 0)}
+        assert watcher.violations(dcs[0]) == set()
+        new_rids, report = self.apply_insert(
+            relation, indexes, watcher, [(1, "b", 1)]
+        )
+        assert new_rids == [2]
+        assert report[dcs[0].mask] == {(0, 2), (2, 0)}
+        assert watcher.violations(dcs[0]) == {(0, 2), (2, 0)}
+
+    def test_insert_report_is_exactly_the_oracle_delta(self):
+        rng = random.Random(21)
+        relation, dcs, indexes, watcher = self.build(rng)
+        before = self.oracle(dcs, relation)
+        _, report = self.apply_insert(
+            relation, indexes, watcher, random_rows(rng, 3)
+        )
+        after = self.oracle(dcs, relation)
+        for dc in dcs:
+            assert report.get(dc.mask, set()) == after[dc.mask] - before[dc.mask]
+            assert watcher.violations(dc) == after[dc.mask]
+
+    def test_delete_report_is_exactly_the_oracle_delta(self):
+        rng = random.Random(22)
+        relation, dcs, indexes, watcher = self.build(rng)
+        before = self.oracle(dcs, relation)
+        victims = rng.sample(list(relation.rids()), 3)
+        report = self.apply_delete(relation, indexes, watcher, victims)
+        after = self.oracle(dcs, relation)
+        for dc in dcs:
+            assert report.get(dc.mask, set()) == before[dc.mask] - after[dc.mask]
+            assert watcher.violations(dc) == after[dc.mask]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_mixed_workload_tracks_oracle_stepwise(self, seed):
+        rng = random.Random(100 + seed)
+        relation, dcs, indexes, watcher = self.build(rng)
+        deleted_rows = []  # value-payloads of dropped rows, for re-insertion
+        for step in range(12):
+            alive = list(relation.rids())
+            move = rng.random()
+            if move < 0.4 or len(alive) < 4:
+                rows = random_rows(rng, rng.randint(1, 3))
+                if deleted_rows and rng.random() < 0.5:
+                    rows.append(deleted_rows.pop())  # insert→delete→insert
+                self.apply_insert(relation, indexes, watcher, rows)
+            else:
+                victims = rng.sample(alive, rng.randint(1, 2))
+                deleted_rows.extend(relation.row(rid) for rid in victims)
+                self.apply_delete(relation, indexes, watcher, victims)
+            expected = self.oracle(dcs, relation)
+            for dc in dcs:
+                assert watcher.violations(dc) == expected[dc.mask], (
+                    f"seed={seed} step={step} dc={dc}"
+                )
+        assert watcher.total_violations() == sum(
+            len(pairs) for pairs in self.oracle(dcs, relation).values()
+        )
+
+
+class TestRepr:
     def test_repr(self, staff):
         space = build_predicate_space(staff)
         dcs = watched_dcs(space, ["!(t.Name = t'.Name)"])
