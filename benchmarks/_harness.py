@@ -131,6 +131,9 @@ class ResultTable:
         self.rows = []
         self.phases = {}
         self.counters = {}
+        #: Free-form extra payloads for the JSON twin (e.g. per-endpoint
+        #: latency quantiles) — keep values JSON-serializable.
+        self.extras = {}
 
     def add(self, *values) -> None:
         if len(values) != len(self.columns):
@@ -210,6 +213,7 @@ class ResultTable:
             "notes": list(shape_notes),
             "phases": self.phases,
             "counters": self.counters,
+            "extras": self.extras,
         }
 
     def finish(self, shape_notes=()) -> str:

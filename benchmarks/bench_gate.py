@@ -132,6 +132,103 @@ def compute_digests() -> dict:
     return digests
 
 
+def trace_overhead_check() -> dict:
+    """Tracing must observe the engine, never change it.
+
+    Runs one fixed maintenance workload twice — with a flight recorder
+    installed under an active trace context, and fully untraced — and
+    demands byte-identical work counters and state digests.  No committed
+    baseline: the run is its own oracle (traced vs untraced).  Wall-clock
+    overhead is logged to ``results/trace_overhead.json`` for the perf
+    trajectory but never gated on (CI wall time is noise).
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    import time
+
+    from repro.core.state_io import state_to_bytes
+    from repro.observability.flight import FlightRecorder, set_recorder
+    from repro.observability.tracectx import TraceContext, activate
+    from _harness import (
+        BASE_ROWS,
+        clone_discoverer,
+        fitted_state_payload,
+        insert_workload,
+    )
+
+    name, delete_strategy = DIGEST_WORKLOADS[0]
+    total_rows = max(40, int(BASE_ROWS[name] * GATE_SCALE))
+    static_rows, delta_rows = insert_workload(name, 0.2, total_rows=total_rows)
+    payload = fitted_state_payload(
+        name, static_rows, delete_strategy=delete_strategy
+    )
+
+    def run(traced: bool):
+        discoverer = clone_discoverer(payload)
+        half = len(delta_rows) // 2 or 1
+        previous = None
+        if traced:
+            previous = set_recorder(FlightRecorder(max_spans=4096))
+        started = time.perf_counter()
+        try:
+            context = activate(TraceContext.mint()) if traced else None
+            if context is not None:
+                context.__enter__()
+            try:
+                reports = [
+                    discoverer.insert(delta_rows[:half]).report,
+                    discoverer.delete(
+                        sorted(discoverer.relation.rids())[1::5]
+                    ).report,
+                    discoverer.insert(delta_rows[half:]).report,
+                ]
+            finally:
+                if context is not None:
+                    context.__exit__(None, None, None)
+        finally:
+            if traced:
+                set_recorder(previous)
+        wall = time.perf_counter() - started
+        counters = json.dumps(
+            [report.metrics["counters"] for report in reports], sort_keys=True
+        )
+        digest = hashlib.sha256(state_to_bytes(discoverer)).hexdigest()
+        return counters, digest, wall
+
+    untraced_counters, untraced_digest, untraced_wall = run(traced=False)
+    traced_counters, traced_digest, traced_wall = run(traced=True)
+    if traced_counters != untraced_counters:
+        raise SystemExit(
+            "gate: FAIL — work counters differ with tracing enabled "
+            f"({name}/{delete_strategy})"
+        )
+    if traced_digest != untraced_digest:
+        raise SystemExit(
+            "gate: FAIL — state digest differs with tracing enabled "
+            f"({name}/{delete_strategy})"
+        )
+    report = {
+        "workload": f"{name}/{delete_strategy}",
+        "scale": GATE_SCALE,
+        "counters_identical": True,
+        "digest_identical": True,
+        "untraced_wall_s": round(untraced_wall, 6),
+        "traced_wall_s": round(traced_wall, 6),
+        "overhead_ratio": round(
+            traced_wall / untraced_wall if untraced_wall else 1.0, 4
+        ),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "trace_overhead.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+    print(
+        f"gate: trace overhead OK — counters and digest byte-identical, "
+        f"wall {untraced_wall:.3f}s -> {traced_wall:.3f}s "
+        f"(x{report['overhead_ratio']:.2f}, logged, not gated)"
+    )
+    return report
+
+
 def compare_counters(baseline: dict, current: dict, tolerance: float) -> list:
     problems = []
     for filename, labels in baseline.items():
@@ -184,6 +281,7 @@ def main(argv=None) -> int:
         run_benchmarks()
     counters = collect_counters()
     digests = compute_digests()
+    trace_overhead_check()
 
     if args.update:
         BASELINE_PATH.parent.mkdir(exist_ok=True)

@@ -81,6 +81,7 @@ def run_closed_loop(tmp_path, window_ms: float) -> dict:
     metrics = service.instrumentation.metrics
     n_cycles = metrics.counter("service.batches_total")
     batch_mean = metrics.histograms["service.batch.size"].mean
+    endpoint_latency = endpoint_quantiles(metrics)
     service.shutdown()
     n_requests = len(latencies)
     return {
@@ -92,7 +93,30 @@ def run_closed_loop(tmp_path, window_ms: float) -> dict:
         "cycles": n_cycles,
         "batch_mean": batch_mean,
         "n_requests": n_requests,
+        "endpoint_latency": endpoint_latency,
     }
+
+
+def endpoint_quantiles(metrics) -> dict:
+    """Server-side p50/p95/p99 per endpoint from the live histograms.
+
+    These are the service's own ``service.endpoint_seconds.*`` latency
+    histograms (exemplar-carrying, sub-second bucket bounds) — the same
+    series ``/metrics`` exposes — so the recorded percentiles are what an
+    operator's dashboards would show, not a client-side re-measurement.
+    """
+    quantiles = {}
+    prefix = "service.endpoint_seconds."
+    for name, histogram in sorted(metrics.histograms.items()):
+        if not name.startswith(prefix) or not histogram.count:
+            continue
+        quantiles[name[len(prefix):]] = {
+            "count": histogram.count,
+            "p50_ms": round(histogram.quantile(0.50) * 1000, 3),
+            "p95_ms": round(histogram.quantile(0.95) * 1000, 3),
+            "p99_ms": round(histogram.quantile(0.99) * 1000, 3),
+        }
+    return quantiles
 
 
 def test_service_throughput(benchmark, tmp_path):
@@ -124,6 +148,11 @@ def test_service_throughput(benchmark, tmp_path):
             result["cycles"],
             round(result["batch_mean"], 2),
         )
+
+    table.extras["endpoint_latency"] = {
+        str(window_ms): measurements[window_ms]["endpoint_latency"]
+        for window_ms in WINDOWS_MS
+    }
 
     coalesced = measurements[5.0]
     uncoalesced = measurements[0.0]

@@ -17,7 +17,10 @@ Subcommands mirror the 3DC life cycle:
   session: concurrent writes are coalesced into batch-update cycles,
   reads (``/dcs``, ``/rank``, ``/status``, ``/metrics``) and online
   violation checks (``/check``) are served lock-free from immutable
-  snapshots, and SIGTERM drains + checkpoints (docs/service.md).
+  snapshots, and SIGTERM drains + checkpoints (docs/service.md);
+- ``doctor``    — one-shot diagnostics bundle: environment, metrics
+  snapshot, recent traces, session/WAL status, and benchmark counters
+  in one tarball/JSON (docs/observability.md).
 
 ``discover``/``insert``/``delete`` accept ``--workers N`` to shard
 evidence construction over a process pool and ``--backend
@@ -322,6 +325,36 @@ def _cmd_session_status(args) -> int:
     return 0
 
 
+def _cmd_doctor(args) -> int:
+    from repro.doctor import build_bundle, write_bundle
+
+    bundle = build_bundle(
+        session_dir=args.dir,
+        url=args.url,
+        results_dir=args.results,
+        metrics_path=args.metrics,
+    )
+    path = write_bundle(bundle, args.out)
+    session = bundle["session"]
+    service = bundle["service"]
+    print(f"doctor bundle written to {path}")
+    if session.get("directory"):
+        wal = session.get("wal", {})
+        print(
+            f"  session: {session['directory']} "
+            f"({wal.get('records', 0)} WAL records, "
+            f"{len(session.get('checkpoints', []))} checkpoints)"
+        )
+    if service.get("url"):
+        status = service.get("status", {})
+        state = "unreachable" if "error" in status else "reachable"
+        print(f"  service: {service['url']} ({state})")
+    files = bundle["results"].get("files", {})
+    if files:
+        print(f"  results: {len(files)} benchmark file(s)")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import os
 
@@ -373,6 +406,8 @@ def _cmd_serve(args) -> int:
         queue_depth=args.queue_depth,
         batch_window_ms=args.batch_window_ms,
         request_timeout_s=args.request_timeout,
+        slow_trace_threshold_s=args.slow_trace_threshold,
+        metrics_out=args.metrics_out,
     )
     service = DCService(session, config)
     service.install_signal_handlers()
@@ -611,9 +646,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--null-policy", choices=["reject", "drop", "fill"], default="reject"
     )
+    p.add_argument(
+        "--slow-trace-threshold",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="spans at least this long are kept in the flight recorder's "
+        "slow ring (served at GET /debug/trace?slow=1)",
+    )
+    p.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write a final JSON metrics snapshot here on shutdown, after "
+        "the SIGTERM drain (the last cycle's counters included)",
+    )
     _add_workers_flag(p, default=None)
     _add_backend_flag(p, default=None)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "doctor",
+        help="assemble a diagnostics bundle (environment, metrics, recent "
+        "traces, session/WAL status, bench counters) into one artifact",
+    )
+    p.add_argument(
+        "--dir", help="session directory to inspect (read-only)"
+    )
+    p.add_argument(
+        "--url", help="base URL of a live service to query (best-effort)"
+    )
+    p.add_argument(
+        "--results",
+        help="benchmark results directory whose *.json files to include",
+    )
+    p.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="a previously exported JSON metrics snapshot to include",
+    )
+    p.add_argument(
+        "--out",
+        default="doctor-bundle.tar.gz",
+        help="output path: *.json for plain JSON, anything else is a "
+        "tar.gz containing bundle.json (default: %(default)s)",
+    )
+    p.set_defaults(func=_cmd_doctor)
 
     p = sub.add_parser("datasets", help="list or generate synthetic datasets")
     p.add_argument("name", nargs="?", help="dataset name (omit to list)")

@@ -38,7 +38,7 @@ from repro.evidence.incremental import (
     apply_insert_evidence,
     incremental_evidence_for_insert,
 )
-from repro.observability import Instrumentation, get_logger
+from repro.observability import Instrumentation, flight, get_logger
 from repro.predicates.space import (
     DEFAULT_CROSS_COLUMN_RATIO,
     PredicateSpace,
@@ -324,6 +324,9 @@ class DCDiscoverer:
             instrumentation.inc("discoverer.dcs_removed", n_removed)
         self._record_state_gauges()
         report = instrumentation.finish_operation(kind, root, before)
+        # Mirror the maintenance span tree into the flight recorder under
+        # the active trace context (no-op outside the serving layer).
+        flight.record_report_spans(report)
         logger.debug(
             "%s: |Δr|=%d, E^inc=%d, DCs +%d/-%d in %.3fs",
             kind, len(rids), n_changed, n_new, n_removed, root.duration,

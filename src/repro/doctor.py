@@ -1,0 +1,243 @@
+"""``repro-dc doctor``: assemble a diagnostics bundle for offline debugging.
+
+One command collects everything a failure report needs — environment,
+metrics, recent traces, session/WAL status, benchmark counters — into a
+single JSON document (optionally wrapped in a ``.tar.gz``), so a CI
+failure or an operator incident ships one artifact instead of a scavenger
+hunt.  Every collector degrades gracefully: an unreachable service or a
+missing directory records an ``{"error": ...}`` stanza instead of failing
+the bundle, because the doctor runs exactly when things are broken.
+
+Session inspection is strictly **read-only**: it parses the manifest,
+lists checkpoints, and decodes the WAL with
+:meth:`~repro.durability.wal.WriteAheadLog.read_traced_records` — it must
+never use :meth:`DurableSession.recover`, which truncates torn WAL tails
+and opens an append handle (destructive on a directory another process
+owns, and it would destroy the very evidence being collected).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import platform
+import sys
+import tarfile
+import time
+from typing import Optional
+
+BUNDLE_FORMAT = "3dc-doctor-bundle"
+BUNDLE_VERSION = 1
+
+#: Sections every bundle must contain, with their required type.
+_REQUIRED_SECTIONS = {
+    "format": str,
+    "version": int,
+    "generated_at": float,
+    "environment": dict,
+    "session": dict,
+    "service": dict,
+    "results": dict,
+}
+
+#: Cap per-file result payloads so a bundle stays shippable.
+_MAX_RESULT_BYTES = 1 << 20
+
+
+def collect_environment() -> dict:
+    """Interpreter, platform, and process facts."""
+    return {
+        "python": sys.version,
+        "executable": sys.executable,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "pid": os.getpid(),
+        "cwd": os.getcwd(),
+        "argv": list(sys.argv),
+    }
+
+
+def inspect_session(directory) -> dict:
+    """Read-only view of a session directory: manifest, checkpoints, WAL.
+
+    Never truncates, never appends — safe against a live writer.
+    """
+    from repro.durability.session import (
+        CHECKPOINT_DIR,
+        MANIFEST_NAME,
+        WAL_NAME,
+    )
+    from repro.durability.wal import WriteAheadLog
+
+    directory = os.fspath(directory)
+    if not os.path.isdir(directory):
+        return {"directory": directory, "error": "no such directory"}
+    report: dict = {"directory": directory}
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(manifest_path, encoding="utf-8") as handle:
+            report["manifest"] = json.load(handle)
+    except (OSError, ValueError) as exc:
+        report["manifest"] = {"error": str(exc)}
+    checkpoint_dir = os.path.join(directory, CHECKPOINT_DIR)
+    try:
+        report["checkpoints"] = sorted(os.listdir(checkpoint_dir))
+    except OSError:
+        report["checkpoints"] = []
+    wal_path = os.path.join(directory, WAL_NAME)
+    records = WriteAheadLog.read_traced_records(wal_path)
+    seqs = [record.get("seq") for record, _ in records]
+    traced = [trace_id for _, trace_id in records if trace_id]
+    report["wal"] = {
+        "path": wal_path,
+        "bytes": os.path.getsize(wal_path) if os.path.exists(wal_path) else 0,
+        "records": len(records),
+        "first_seq": seqs[0] if seqs else None,
+        "last_seq": seqs[-1] if seqs else None,
+        "traced_records": len(traced),
+        "trace_ids": sorted(set(traced)),
+    }
+    return report
+
+
+def collect_service(url: Optional[str], timeout: float = 5.0) -> dict:
+    """Live-service facts: status, metrics text, recent traces.
+
+    An unreachable or half-dead service yields error stanzas, not an
+    exception — the doctor must produce a bundle from a corpse too.
+    """
+    if not url:
+        return {"url": None}
+    from repro.service.client import ServiceClient, ServiceError
+
+    report: dict = {"url": url}
+    client = ServiceClient(base_url=url, timeout=timeout)
+    for section, call in (
+        ("status", client.status),
+        ("metrics_text", client.metrics_text),
+        ("debug_trace", client.debug_trace),
+    ):
+        try:
+            report[section] = call()
+        except (OSError, ValueError, ServiceError) as exc:
+            report[section] = {"error": str(exc)}
+    return report
+
+
+def collect_results(results_dir: Optional[str]) -> dict:
+    """Benchmark counters: every ``*.json`` under ``results_dir``."""
+    if not results_dir:
+        return {"directory": None, "files": {}}
+    results_dir = os.fspath(results_dir)
+    report: dict = {"directory": results_dir, "files": {}}
+    if not os.path.isdir(results_dir):
+        report["error"] = "no such directory"
+        return report
+    for name in sorted(os.listdir(results_dir)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(results_dir, name)
+        try:
+            if os.path.getsize(path) > _MAX_RESULT_BYTES:
+                report["files"][name] = {"error": "file too large for bundle"}
+                continue
+            with open(path, encoding="utf-8") as handle:
+                report["files"][name] = json.load(handle)
+        except (OSError, ValueError) as exc:
+            report["files"][name] = {"error": str(exc)}
+    return report
+
+
+def collect_metrics_file(path: Optional[str]) -> Optional[dict]:
+    """A previously exported metrics snapshot (``--metrics-out`` file)."""
+    if not path:
+        return None
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as exc:
+        return {"error": str(exc)}
+
+
+def build_bundle(
+    session_dir: Optional[str] = None,
+    url: Optional[str] = None,
+    results_dir: Optional[str] = None,
+    metrics_path: Optional[str] = None,
+) -> dict:
+    """Collect every section into one schema-checked bundle dict."""
+    bundle = {
+        "format": BUNDLE_FORMAT,
+        "version": BUNDLE_VERSION,
+        "generated_at": time.time(),
+        "environment": collect_environment(),
+        "session": (
+            inspect_session(session_dir) if session_dir
+            else {"directory": None}
+        ),
+        "service": collect_service(url),
+        "results": collect_results(results_dir),
+    }
+    metrics = collect_metrics_file(metrics_path)
+    if metrics is not None:
+        bundle["metrics_snapshot"] = metrics
+    validate_bundle(bundle)
+    return bundle
+
+
+def validate_bundle(bundle: dict) -> None:
+    """Schema check: required sections present with the right types.
+
+    :raises ValueError: on any missing or mistyped section.
+    """
+    if not isinstance(bundle, dict):
+        raise ValueError("bundle must be a dict")
+    for key, expected in _REQUIRED_SECTIONS.items():
+        if key not in bundle:
+            raise ValueError(f"bundle is missing required section {key!r}")
+        value = bundle[key]
+        if expected is float and isinstance(value, int):
+            value = float(value)
+        if not isinstance(value, expected):
+            raise ValueError(
+                f"bundle section {key!r} must be {expected.__name__}, "
+                f"got {type(value).__name__}"
+            )
+    if bundle["format"] != BUNDLE_FORMAT:
+        raise ValueError(f"unknown bundle format {bundle['format']!r}")
+    if bundle["version"] != BUNDLE_VERSION:
+        raise ValueError(f"unknown bundle version {bundle['version']!r}")
+
+
+def write_bundle(bundle: dict, out_path: str) -> str:
+    """Write the bundle: plain JSON for ``*.json``, else a ``.tar.gz``
+    containing ``bundle.json``.  Returns the path written."""
+    validate_bundle(bundle)
+    rendered = json.dumps(bundle, indent=2, sort_keys=True) + "\n"
+    if out_path.endswith(".json"):
+        with open(out_path, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        return out_path
+    data = rendered.encode("utf-8")
+    with tarfile.open(out_path, "w:gz") as archive:
+        info = tarfile.TarInfo("bundle.json")
+        info.size = len(data)
+        info.mtime = int(bundle["generated_at"])
+        archive.addfile(info, io.BytesIO(data))
+    return out_path
+
+
+def read_bundle(path: str) -> dict:
+    """Load (and schema-check) a bundle written by :func:`write_bundle`."""
+    if path.endswith(".json"):
+        with open(path, encoding="utf-8") as handle:
+            bundle = json.load(handle)
+    else:
+        with tarfile.open(path, "r:gz") as archive:
+            member = archive.extractfile("bundle.json")
+            if member is None:
+                raise ValueError(f"{path} has no bundle.json member")
+            bundle = json.load(member)
+    validate_bundle(bundle)
+    return bundle

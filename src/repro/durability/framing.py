@@ -2,7 +2,16 @@
 
 Each record on disk is::
 
-    MAGIC(4) | payload_length(4, LE) | crc32(payload)(4, LE) | payload
+    MAGIC(4) | body_length(4, LE) | crc32(body)(4, LE) | body
+
+Two magics select the body layout: ``3DCW`` frames carry the payload
+alone, ``3DCT`` frames prefix it with the 16-byte binary trace id of the
+batch cycle that wrote them (``body = trace_id(16) | payload``), so a
+request trace can be joined against the WAL offline.  The trace id sits
+*inside* the checksummed, length-covered body — torn-write detection is
+identical for both layouts, and a pre-tracing reader rejecting the
+unknown magic truncates at the frame boundary, exactly the forgiving
+behaviour it has for any unrecognized tail.
 
 A reader walking the file can therefore always classify the tail: a
 frame whose magic, declared length, or checksum does not hold marks the
@@ -17,9 +26,12 @@ from __future__ import annotations
 
 import struct
 import zlib
-from typing import Iterator, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 MAGIC = b"3DCW"
+#: Frames whose body is prefixed with a 16-byte batch-cycle trace id.
+MAGIC_TRACED = b"3DCT"
+TRACE_ID_BYTES = 16
 _HEADER = struct.Struct("<4sII")
 HEADER_SIZE = _HEADER.size
 
@@ -28,38 +40,63 @@ HEADER_SIZE = _HEADER.size
 MAX_RECORD_SIZE = 1 << 30
 
 
-def encode_record(payload: bytes) -> bytes:
-    """Frame one payload for appending to the log."""
+def encode_record(payload: bytes, trace_id: Optional[str] = None) -> bytes:
+    """Frame one payload for appending to the log.
+
+    ``trace_id`` (32 hex chars) selects the traced layout; None keeps the
+    original untraced frame byte-for-byte.
+    """
     if len(payload) > MAX_RECORD_SIZE:
         raise ValueError(f"record of {len(payload)} bytes exceeds frame limit")
-    return _HEADER.pack(MAGIC, len(payload), zlib.crc32(payload)) + payload
+    if trace_id is None:
+        return _HEADER.pack(MAGIC, len(payload), zlib.crc32(payload)) + payload
+    body = bytes.fromhex(trace_id) + payload
+    if len(body) - len(payload) != TRACE_ID_BYTES:
+        raise ValueError(f"trace id must be {TRACE_ID_BYTES} bytes of hex")
+    return _HEADER.pack(MAGIC_TRACED, len(body), zlib.crc32(body)) + body
 
 
-def decode_records(data: bytes) -> Tuple[list, int]:
-    """Decode the valid prefix of a log image.
+def decode_frames(data: bytes) -> Tuple[List[Tuple[bytes, Optional[str]]], int]:
+    """Decode the valid prefix of a log image, keeping trace ids.
 
-    Returns ``(payloads, good_size)`` where ``good_size`` is the byte
-    offset of the first invalid/truncated frame (== ``len(data)`` for a
-    fully valid log).  Never raises on corruption — a damaged tail is an
-    expected input, not an error.
+    Returns ``(frames, good_size)`` where each frame is ``(payload,
+    trace_id hex or None)`` and ``good_size`` is the byte offset of the
+    first invalid/truncated frame (== ``len(data)`` for a fully valid
+    log).  Never raises on corruption — a damaged tail is an expected
+    input, not an error.
     """
-    payloads = []
+    frames: List[Tuple[bytes, Optional[str]]] = []
     offset = 0
     total = len(data)
     while offset + HEADER_SIZE <= total:
         magic, length, checksum = _HEADER.unpack_from(data, offset)
-        if magic != MAGIC or length > MAX_RECORD_SIZE:
+        if magic not in (MAGIC, MAGIC_TRACED) or length > MAX_RECORD_SIZE:
+            break
+        if magic == MAGIC_TRACED and length < TRACE_ID_BYTES:
             break
         start = offset + HEADER_SIZE
         end = start + length
         if end > total:
-            break  # torn tail: header landed, payload did not
-        payload = data[start:end]
-        if zlib.crc32(payload) != checksum:
+            break  # torn tail: header landed, body did not
+        body = data[start:end]
+        if zlib.crc32(body) != checksum:
             break
-        payloads.append(payload)
+        if magic == MAGIC_TRACED:
+            frames.append((body[TRACE_ID_BYTES:], body[:TRACE_ID_BYTES].hex()))
+        else:
+            frames.append((body, None))
         offset = end
-    return payloads, offset
+    return frames, offset
+
+
+def decode_records(data: bytes) -> Tuple[list, int]:
+    """Decode the valid prefix of a log image to bare payloads.
+
+    The trace-agnostic view of :func:`decode_frames`, kept for callers
+    (replay, recovery) that only need the record contents.
+    """
+    frames, good_size = decode_frames(data)
+    return [payload for payload, _ in frames], good_size
 
 
 def iter_records(data: bytes) -> Iterator[bytes]:

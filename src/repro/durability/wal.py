@@ -26,11 +26,17 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Iterator, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.durability.atomic import canonical_json_bytes
 from repro.durability.faults import fault_point
-from repro.durability.framing import HEADER_SIZE, decode_records, encode_record
+from repro.durability.framing import (
+    HEADER_SIZE,
+    TRACE_ID_BYTES,
+    decode_frames,
+    encode_record,
+)
+from repro.observability import flight, tracectx
 from repro.observability.probe import get_probe
 
 
@@ -56,22 +62,37 @@ class WriteAheadLog:
 
     # -- writing ---------------------------------------------------------
 
-    def append(self, record: dict) -> None:
-        """Frame, write, and fsync one record; crash-safe by contract."""
-        fault_point("wal.append")
-        frame = encode_record(canonical_json_bytes(record))
-        self._handle.write(frame)
-        self._handle.flush()
-        fault_point("wal.pre_fsync")
-        os.fsync(self._handle.fileno())
-        self._size += len(frame)
-        self.durable_size = self._size
-        probe = get_probe()
-        if probe is not None:
-            probe.inc("durability.wal_records")
-            probe.inc("durability.wal_bytes", len(frame))
-            probe.inc("durability.fsyncs")
-        fault_point("wal.post_fsync")
+    def append(self, record: dict, trace_id: Optional[str] = None) -> None:
+        """Frame, write, and fsync one record; crash-safe by contract.
+
+        ``trace_id`` stamps the frame with the writing batch cycle's
+        trace (see :mod:`repro.durability.framing`); when omitted, the
+        thread's active trace context — the batch cycle, in the serving
+        layer — is used, and outside any trace the untraced frame layout
+        is written unchanged.
+        """
+        if trace_id is None:
+            context = tracectx.current()
+            if context is not None:
+                trace_id = context.trace_id
+        with flight.trace_span("durability.wal_append") as span:
+            fault_point("wal.append")
+            frame = encode_record(canonical_json_bytes(record), trace_id)
+            self._handle.write(frame)
+            self._handle.flush()
+            fault_point("wal.pre_fsync")
+            os.fsync(self._handle.fileno())
+            self._size += len(frame)
+            self.durable_size = self._size
+            probe = get_probe()
+            if probe is not None:
+                probe.inc("durability.wal_records")
+                probe.inc("durability.wal_bytes", len(frame))
+                probe.inc("durability.fsyncs")
+            if span is not None:
+                span["attrs"]["bytes"] = len(frame)
+                span["attrs"]["seq"] = record.get("seq")
+            fault_point("wal.post_fsync")
 
     def reset(self) -> None:
         """Truncate the log to empty (after a checkpoint incorporated it).
@@ -113,10 +134,10 @@ class WriteAheadLog:
                 data = handle.read()
         except FileNotFoundError:
             return [], 0
-        payloads, _ = decode_records(data)
+        frames, _ = decode_frames(data)
         records = []
         good_size = 0
-        for payload in payloads:
+        for payload, trace_id in frames:
             try:
                 record = json.loads(payload)
             except ValueError:
@@ -124,8 +145,34 @@ class WriteAheadLog:
                 # JSON was never written by us: stop trusting the log.
                 break
             records.append(record)
+            # Traced frames carry 16 extra body bytes before the payload.
             good_size += HEADER_SIZE + len(payload)
+            if trace_id is not None:
+                good_size += TRACE_ID_BYTES
         return records, good_size
+
+    @staticmethod
+    def read_traced_records(path) -> List[Tuple[dict, Optional[str]]]:
+        """``(record, trace id or None)`` pairs of the log's valid prefix.
+
+        Read-only (no truncation, no append handle) — safe against a log
+        another process is writing; the doctor bundle uses this to join
+        WAL contents with recorded traces.
+        """
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            return []
+        frames, _ = decode_frames(data)
+        records = []
+        for payload, trace_id in frames:
+            try:
+                record = json.loads(payload)
+            except ValueError:
+                break
+            records.append((record, trace_id))
+        return records
 
     def replay(self, after_seq: int = -1) -> Iterator[dict]:
         """Valid records with ``seq > after_seq``, oldest first."""

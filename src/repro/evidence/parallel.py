@@ -48,7 +48,7 @@ from repro.evidence.kernels.base import (
     ListRecorder,
     ReconcileTask,
 )
-from repro.observability import get_logger
+from repro.observability import flight, get_logger
 from repro.observability import probe as _probe_module
 from repro.observability.probe import get_probe
 
@@ -202,6 +202,9 @@ def run_shards(context: dict, specs: List[dict], workers: int) -> List[ShardResu
         ) as pool:
             results = list(pool.map(_run_shard, specs))
         report_shards(results, workers, len(context["space"].groups))
+        # Mirror the shards into the flight recorder (no-op unless the
+        # serving layer installed one and a trace context is active).
+        flight.record_shard_spans(results)
     finally:
         _SHARD_STATE = None
     return results

@@ -18,14 +18,31 @@ Deep modules reach the active instrumentation through the probe
 """
 
 from repro.observability.exporters import (
+    PROMETHEUS_CONTENT_TYPE,
+    escape_label_value,
     parse_prometheus,
     snapshot_to_json,
     snapshot_to_prometheus,
 )
+from repro.observability.flight import (
+    FlightRecorder,
+    build_span_tree,
+    get_recorder,
+    record_report_spans,
+    record_shard_spans,
+    set_recorder,
+    split_counters,
+    trace_span,
+)
 from repro.observability.logging import configure_logging, get_logger
-from repro.observability.metrics import Histogram, MetricsRegistry
+from repro.observability.metrics import (
+    LATENCY_BOUNDS_S,
+    Histogram,
+    MetricsRegistry,
+)
 from repro.observability.probe import get_probe, install, probe_span
 from repro.observability.report import Instrumentation, RunReport
+from repro.observability.tracectx import TraceContext
 from repro.observability.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -34,20 +51,32 @@ from repro.observability.tracer import (
 )
 
 __all__ = [
+    "FlightRecorder",
     "Histogram",
     "Instrumentation",
+    "LATENCY_BOUNDS_S",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "PROMETHEUS_CONTENT_TYPE",
     "RunReport",
     "Span",
     "SpanTracer",
+    "TraceContext",
+    "build_span_tree",
     "configure_logging",
+    "escape_label_value",
     "get_logger",
     "get_probe",
+    "get_recorder",
     "install",
     "parse_prometheus",
     "probe_span",
+    "record_report_spans",
+    "record_shard_spans",
+    "set_recorder",
     "snapshot_to_json",
     "snapshot_to_prometheus",
+    "split_counters",
+    "trace_span",
 ]

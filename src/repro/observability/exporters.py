@@ -7,13 +7,19 @@ per-call deltas embedded in run reports), so they need no live registry.
 The Prometheus exposition follows the text format v0.0.4: one
 ``# TYPE`` line per family, dotted metric names flattened to underscores
 under the ``repro_`` namespace, counters suffixed ``_total``, histograms
-expanded to ``_bucket``/``_sum``/``_count`` series.
+expanded to ``_bucket``/``_sum``/``_count`` series with cumulative bucket
+counts and a terminal ``+Inf`` bucket.  Label values are escaped per the
+spec (backslash, double-quote, newline).  Servers exposing this text must
+send :data:`PROMETHEUS_CONTENT_TYPE`.
 """
 
 from __future__ import annotations
 
 import json
 import re
+
+#: The Content-Type the text exposition format requires.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 _NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_]")
 
@@ -22,6 +28,16 @@ def metric_name(name: str, prefix: str = "repro") -> str:
     """Flatten a dotted metric name to a Prometheus-legal identifier."""
     flattened = _NAME_SANITIZER.sub("_", name)
     return f"{prefix}_{flattened}" if prefix else flattened
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: ``\\``, ``"``, LF."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
 
 
 def snapshot_to_json(snapshot: dict, indent: int = 2) -> str:
@@ -35,6 +51,17 @@ def _format_value(value) -> str:
     if isinstance(value, float):
         return repr(value)
     return str(value)
+
+
+def _bucket_order(buckets: dict):
+    """Finite bucket bounds in ascending numeric order.
+
+    Snapshots that round-tripped through ``sort_keys`` JSON arrive with
+    lexicographic key order ("16" < "4"), which would corrupt the
+    cumulative counts if trusted; always re-sort numerically.
+    """
+    finite = [bound for bound in buckets if bound != "+inf"]
+    return sorted(finite, key=float)
 
 
 def snapshot_to_prometheus(snapshot: dict, prefix: str = "repro") -> str:
@@ -51,21 +78,23 @@ def snapshot_to_prometheus(snapshot: dict, prefix: str = "repro") -> str:
     for name, histogram in sorted(snapshot.get("histograms", {}).items()):
         flat = metric_name(name, prefix)
         lines.append(f"# TYPE {flat} histogram")
+        buckets = histogram.get("buckets", {})
         cumulative = 0
-        for bound, hits in histogram.get("buckets", {}).items():
-            if bound == "+inf":
-                continue
-            cumulative += hits
-            lines.append(f'{flat}_bucket{{le="{bound}"}} {cumulative}')
+        for bound in _bucket_order(buckets):
+            cumulative += buckets[bound]
+            escaped = escape_label_value(bound)
+            lines.append(f'{flat}_bucket{{le="{escaped}"}} {cumulative}')
         lines.append(f'{flat}_bucket{{le="+Inf"}} {histogram["count"]}')
         lines.append(f"{flat}_sum {_format_value(histogram['sum'])}")
         lines.append(f"{flat}_count {histogram['count']}")
     return "\n".join(lines) + "\n" if lines else ""
 
 
+# A label value is any run of escaped sequences or non-quote characters;
+# the sample line as a whole is name, optional {labels}, value.
 _SAMPLE_LINE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?P<labels>\{[^}]*\})?\s+"
+    r'(?P<labels>\{(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*",?)*\})?\s+'
     r"(?P<value>[^\s]+)$"
 )
 
@@ -74,7 +103,8 @@ def parse_prometheus(text: str) -> dict:
     """Parse exposition text back to ``{sample name (with labels): value}``.
 
     Used by tests (and available for smoke-checking exported files);
-    raises ``ValueError`` on any malformed non-comment line.
+    raises ``ValueError`` on any malformed non-comment line.  Escaped
+    quotes and backslashes inside label values are handled.
     """
     samples = {}
     for line in text.splitlines():

@@ -15,43 +15,86 @@ without keeping raw samples.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
+
+#: Bucket upper bounds suited to request latencies in seconds.  The default
+#: power-of-two bounds start at 1, so every sub-second sample would land in
+#: the first bucket; endpoint histograms pass these instead.
+LATENCY_BOUNDS_S = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
 
 
 class Histogram:
     """Streaming summary of observed values (no raw samples kept)."""
 
-    __slots__ = ("count", "total", "min", "max", "buckets")
+    __slots__ = ("count", "total", "min", "max", "buckets", "bounds",
+                 "exemplars")
 
     #: Upper bounds of the power-of-two buckets (the last is +inf).
     BOUNDS = tuple(2 ** exponent for exponent in range(0, 21, 2))
 
-    def __init__(self):
+    def __init__(self, bounds: Optional[Sequence[float]] = None):
+        self.bounds = tuple(bounds) if bounds is not None else self.BOUNDS
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
-        self.buckets = [0] * (len(self.BOUNDS) + 1)
+        self.buckets = [0] * (len(self.bounds) + 1)
+        #: Per-bucket exemplar: bucket index -> {"value", "trace_id"}.
+        self.exemplars: Dict[int, dict] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         self.count += 1
         self.total += value
         if self.min is None or value < self.min:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
-        for position, bound in enumerate(self.BOUNDS):
+        position = len(self.bounds)
+        for index, bound in enumerate(self.bounds):
             if value <= bound:
-                self.buckets[position] += 1
-                return
-        self.buckets[-1] += 1
+                position = index
+                break
+        self.buckets[position] += 1
+        if exemplar is not None:
+            self.exemplars[position] = {"value": value, "trace_id": exemplar}
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the q-quantile (0..1) from the bucket counts.
+
+        Linear interpolation within the winning bucket, clamped to the
+        observed min/max; None when the histogram is empty.
+        """
+        if not self.count:
+            return None
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        rank = q * self.count
+        cumulative = 0
+        for index, hits in enumerate(self.buckets):
+            if not hits:
+                continue
+            if cumulative + hits >= rank:
+                lower = self.bounds[index - 1] if index else self.min
+                upper = (self.bounds[index] if index < len(self.bounds)
+                         else self.max)
+                lower = max(lower, self.min)
+                upper = min(upper, self.max)
+                if upper <= lower:
+                    return upper
+                fraction = (rank - cumulative) / hits
+                return lower + (upper - lower) * fraction
+            cumulative += hits
+        return self.max
+
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
@@ -59,10 +102,17 @@ class Histogram:
             "mean": self.mean,
             "buckets": {
                 **{str(bound): hits
-                   for bound, hits in zip(self.BOUNDS, self.buckets)},
+                   for bound, hits in zip(self.bounds, self.buckets)},
                 "+inf": self.buckets[-1],
             },
         }
+        if self.exemplars:
+            payload["exemplars"] = {
+                str(self.bounds[index]) if index < len(self.bounds)
+                else "+inf": dict(record)
+                for index, record in sorted(self.exemplars.items())
+            }
+        return payload
 
 
 class MetricsRegistry:
@@ -85,12 +135,22 @@ class MetricsRegistry:
         """Set gauge ``name`` to its latest value."""
         self.gauges[name] = value
 
-    def observe(self, name: str, value: float) -> None:
-        """Record one sample into histogram ``name``."""
+    def observe(
+        self,
+        name: str,
+        value: float,
+        bounds: Optional[Sequence[float]] = None,
+        exemplar: Optional[str] = None,
+    ) -> None:
+        """Record one sample into histogram ``name``.
+
+        ``bounds`` only takes effect when the histogram is first created;
+        ``exemplar`` (a trace id) is remembered per bucket for drill-down.
+        """
         histogram = self.histograms.get(name)
         if histogram is None:
-            histogram = self.histograms[name] = Histogram()
-        histogram.observe(value)
+            histogram = self.histograms[name] = Histogram(bounds)
+        histogram.observe(value, exemplar=exemplar)
 
     # -- reading -----------------------------------------------------------
 

@@ -126,8 +126,8 @@ class Instrumentation:
         counters = self.metrics.counters
         counters[name] = counters.get(name, 0) + amount
 
-    def observe(self, name: str, value: float) -> None:
-        self.metrics.observe(name, value)
+    def observe(self, name: str, value: float, **kwargs) -> None:
+        self.metrics.observe(name, value, **kwargs)
 
     def set_gauge(self, name: str, value: float) -> None:
         self.metrics.set_gauge(name, value)

@@ -22,6 +22,8 @@ import time
 from typing import Iterable, List, Optional, Sequence
 from urllib.parse import urlsplit
 
+from repro.observability.tracectx import TraceContext
+
 
 class ServiceError(RuntimeError):
     """A non-2xx response from the service."""
@@ -61,6 +63,9 @@ class ServiceClient:
             self.host = host
             self.port = port
         self.timeout = timeout
+        #: Trace id of the most recent request (from the X-Trace-Id
+        #: response header), resolvable at ``GET /debug/trace``.
+        self.last_trace_id: Optional[str] = None
 
     # -- transport --------------------------------------------------------
 
@@ -70,9 +75,12 @@ class ServiceClient:
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
+        # Mint one trace context per call; the server adopts it, so the
+        # client-side id and the server-side trace are the same.
+        trace = TraceContext.mint()
         try:
             body = None
-            headers = {}
+            headers = {"traceparent": trace.traceparent()}
             if payload is not None:
                 body = json.dumps(payload).encode("utf-8")
                 headers["Content-Type"] = "application/json"
@@ -81,6 +89,9 @@ class ServiceClient:
             raw = response.read()
         finally:
             connection.close()
+        self.last_trace_id = (
+            response.headers.get("X-Trace-Id") or trace.trace_id
+        )
         if response.headers.get_content_type() == "text/plain":
             document = {"text": raw.decode("utf-8")}
         else:
@@ -158,6 +169,24 @@ class ServiceClient:
     def log(self, since: int = -1) -> dict:
         """Commit history with seq > ``since`` (oracle replay feed)."""
         return self._request("GET", f"/log?since={int(since)}")
+
+    def debug_trace(
+        self,
+        trace_id: Optional[str] = None,
+        slow: bool = False,
+        limit: Optional[int] = None,
+    ) -> dict:
+        """Query the flight recorder: one resolved trace (``trace_id``),
+        the slow-span ring (``slow=True``), or the recent spans/events."""
+        params = []
+        if trace_id is not None:
+            params.append(f"trace_id={trace_id}")
+        if slow:
+            params.append("slow=1")
+        if limit is not None:
+            params.append(f"limit={int(limit)}")
+        query = "?" + "&".join(params) if params else ""
+        return self._request("GET", f"/debug/trace{query}")
 
     def shutdown(self) -> dict:
         """Ask the service to drain and stop (returns immediately)."""

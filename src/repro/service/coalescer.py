@@ -33,17 +33,20 @@ class WriteRequest:
 
     The submitting thread blocks on :attr:`done`; the writer thread
     stores :attr:`outcome` (a response payload) before setting it.
+    :attr:`trace` carries the submitting request's trace context across
+    the queue, so the batch cycle that commits it can link back.
     """
 
-    __slots__ = ("op", "payload", "done", "outcome")
+    __slots__ = ("op", "payload", "done", "outcome", "trace")
 
-    def __init__(self, op: str, payload):
+    def __init__(self, op: str, payload, trace=None):
         if op not in (OP_INSERT, OP_DELETE):
             raise ValueError(f"unknown write op {op!r}")
         self.op = op
         self.payload = payload
         self.done = threading.Event()
         self.outcome: Optional[dict] = None
+        self.trace = trace
 
     def resolve(self, outcome: dict) -> None:
         self.outcome = outcome

@@ -11,11 +11,14 @@ long a client request may wait for its commit before being told to retry.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_QUEUE_DEPTH = 64
 DEFAULT_BATCH_WINDOW_MS = 5.0
 DEFAULT_REQUEST_TIMEOUT_S = 30.0
+DEFAULT_FLIGHT_RECORDER_SPANS = 2048
+DEFAULT_SLOW_TRACE_THRESHOLD_S = 1.0
 
 
 @dataclass(frozen=True)
@@ -41,6 +44,13 @@ class ServiceConfig:
     :param cycle_delay_s: artificial stall at the start of every write
         cycle.  0 in production; the backpressure tests use it to make
         queue saturation and commit timeouts deterministic.
+    :param flight_recorder_spans: capacity of the in-memory flight
+        recorder's span ring (``GET /debug/trace`` serves from it).
+    :param slow_trace_threshold_s: spans at least this long are copied
+        into the recorder's slow ring, which outlives the main ring.
+    :param metrics_out: when set, the service writes a final JSON metrics
+        snapshot to this path on shutdown, after the drain — so the last
+        coalesced cycle's counters survive a SIGTERM.
     """
 
     host: str = DEFAULT_HOST
@@ -50,6 +60,9 @@ class ServiceConfig:
     request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S
     drain_timeout_s: float = 60.0
     cycle_delay_s: float = 0.0
+    flight_recorder_spans: int = DEFAULT_FLIGHT_RECORDER_SPANS
+    slow_trace_threshold_s: float = DEFAULT_SLOW_TRACE_THRESHOLD_S
+    metrics_out: Optional[str] = None
 
     def __post_init__(self):
         if self.queue_depth < 1:
@@ -58,3 +71,7 @@ class ServiceConfig:
             raise ValueError("batch_window_ms must be >= 0")
         if self.request_timeout_s <= 0:
             raise ValueError("request_timeout_s must be > 0")
+        if self.flight_recorder_spans < 1:
+            raise ValueError("flight_recorder_spans must be >= 1")
+        if self.slow_trace_threshold_s < 0:
+            raise ValueError("slow_trace_threshold_s must be >= 0")

@@ -35,7 +35,17 @@ from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
 from repro.dcs.denial_constraint import DenialConstraint
-from repro.observability import get_logger, snapshot_to_prometheus
+from repro.observability import (
+    LATENCY_BOUNDS_S,
+    PROMETHEUS_CONTENT_TYPE,
+    FlightRecorder,
+    TraceContext,
+    get_logger,
+    snapshot_to_json,
+    snapshot_to_prometheus,
+)
+from repro.observability import flight, tracectx
+from repro.observability.flight import set_recorder, split_counters, trace_span
 from repro.predicates.parser import parse_dc
 from repro.service import protocol
 from repro.service.coalescer import (
@@ -51,6 +61,17 @@ logger = get_logger(__name__)
 
 #: How often the idle writer wakes to notice a shutdown request.
 _IDLE_POLL_S = 0.05
+
+#: Deterministic engine work counters split per request each cycle.  Any
+#: probe counter would do; these are the ones Rapidash-style cost models
+#: care about (pairs compared, index probes, evidence ops).
+_WORK_COUNTERS = (
+    "evidence.pairs_compared",
+    "evidence.index_probes",
+    "evidence.context_pipelines",
+    "evidence.contexts_out",
+    "evidence.pairs_inferred",
+)
 
 
 class ServiceStopped(RuntimeError):
@@ -92,11 +113,18 @@ class DCService:
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._http_thread: Optional[threading.Thread] = None
         self.started_at = time.time()
+        #: Ring buffer of recent spans, served at GET /debug/trace.
+        self.flight = FlightRecorder(
+            max_spans=self.config.flight_recorder_spans,
+            slow_threshold_s=self.config.slow_trace_threshold_s,
+        )
+        self._previous_recorder: Optional[FlightRecorder] = None
 
     # -- lifecycle --------------------------------------------------------
 
     def start(self) -> None:
         """Bind the HTTP server and start the writer thread."""
+        self._previous_recorder = set_recorder(self.flight)
         handler = _make_handler(self)
         self._httpd = ThreadingHTTPServer(
             (self.config.host, self.config.port), handler
@@ -169,9 +197,26 @@ class DCService:
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()
+        # The drain is complete: the registry now holds the last cycle's
+        # counters, so this is the one snapshot a SIGTERM must not lose.
+        if self.config.metrics_out:
+            try:
+                self.write_metrics_snapshot(self.config.metrics_out)
+            except OSError as exc:
+                logger.error("final metrics snapshot failed: %s", exc)
+        if flight.get_recorder() is self.flight:
+            set_recorder(self._previous_recorder)
         logger.debug(
             "service stopped after %d commits", len(self.commit_log)
         )
+
+    def write_metrics_snapshot(self, path) -> None:
+        """Write the live registry to ``path`` as deterministic JSON."""
+        with self._metrics_lock:
+            snapshot = self.instrumentation.metrics.snapshot()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(snapshot_to_json(snapshot))
+            handle.write("\n")
 
     # -- write path -------------------------------------------------------
 
@@ -189,7 +234,7 @@ class DCService:
             raise ServiceStopped("service is draining")
         if self._failure is not None:
             raise ServiceStopped(f"writer failed: {self._failure}")
-        request = WriteRequest(op, payload)
+        request = WriteRequest(op, payload, trace=tracectx.current())
         self._queue.put_nowait(request)  # queue.Full propagates -> 429
         self._metric_gauge("service.queue.depth", self._queue.qsize())
         wait_s = timeout if timeout is not None else self.config.request_timeout_s
@@ -259,7 +304,15 @@ class DCService:
                 )
 
     def _apply_cycle(self, requests: list) -> None:
-        """Validate, merge, durably apply, publish, respond."""
+        """Validate, merge, durably apply, publish, respond.
+
+        The cycle runs under its own freshly minted trace context whose
+        cycle span *links* every contributing request's trace id — the
+        join point ``/debug/trace`` follows from a request back to the
+        batch that served it.  WAL appends and incremental maintenance
+        inside :meth:`DurableSession.insert`/``delete`` inherit the cycle
+        context through the writer thread's locals.
+        """
         if self.config.cycle_delay_s:
             time.sleep(self.config.cycle_delay_s)
         with self._metrics_lock:
@@ -280,58 +333,104 @@ class DCService:
             )
         if not batch.n_admitted:
             return
+        cycle_context = TraceContext.mint()
+        links = sorted({
+            request.trace.trace_id
+            for request in requests
+            if request.trace is not None
+        })
         started = time.perf_counter()
-        try:
-            new_rids: list = []
-            if batch.delete_rids:
-                self.session.delete(batch.delete_rids)
-                self.commit_log.append(
-                    {
-                        "seq": self.session.last_applied_seq,
-                        "op": OP_DELETE,
-                        "rids": list(batch.delete_rids),
-                    }
-                )
-            if batch.insert_rows:
-                result = self.session.insert(batch.insert_rows)
-                new_rids = result.rids
-                self.commit_log.append(
-                    {
-                        "seq": self.session.last_applied_seq,
-                        "op": OP_INSERT,
-                        "rows": [list(row) for row in batch.insert_rows],
-                        "rids": list(new_rids),
-                    }
-                )
-        except BaseException as exc:  # writer must never die silently
-            self._failure = exc
-            self._stop.set()
-            logger.error("writer failed applying a batch: %s", exc)
-            for request, _ in batch.deletes:
-                request.resolve(_internal_failure(exc))
-            for request, _, _ in batch.inserts:
-                request.resolve(_internal_failure(exc))
-            return
-        seq = self.session.last_applied_seq
         with self._metrics_lock:
-            self.instrumentation.observe(
-                "service.cycle_seconds", time.perf_counter() - started
-            )
-            self.session.export_gauges()
+            work_before = {
+                name: self.instrumentation.metrics.counter(name)
+                for name in _WORK_COUNTERS
+            }
+        with tracectx.activate(cycle_context), trace_span(
+            "service.cycle",
+            attrs={"requests": len(requests), "admitted": batch.n_admitted},
+            links=links,
+        ) as cycle_span:
+            try:
+                new_rids: list = []
+                if batch.delete_rids:
+                    self.session.delete(batch.delete_rids)
+                    self.commit_log.append(
+                        {
+                            "seq": self.session.last_applied_seq,
+                            "op": OP_DELETE,
+                            "rids": list(batch.delete_rids),
+                        }
+                    )
+                if batch.insert_rows:
+                    result = self.session.insert(batch.insert_rows)
+                    new_rids = result.rids
+                    self.commit_log.append(
+                        {
+                            "seq": self.session.last_applied_seq,
+                            "op": OP_INSERT,
+                            "rows": [list(row) for row in batch.insert_rows],
+                            "rids": list(new_rids),
+                        }
+                    )
+            except BaseException as exc:  # writer must never die silently
+                self._failure = exc
+                self._stop.set()
+                logger.error("writer failed applying a batch: %s", exc)
+                self.flight.record_event(
+                    "writer_failure",
+                    error=str(exc),
+                    cycle_trace_id=cycle_context.trace_id,
+                )
+                for request, _ in batch.deletes:
+                    request.resolve(_internal_failure(exc))
+                for request, _, _ in batch.inserts:
+                    request.resolve(_internal_failure(exc))
+                return
+            seq = self.session.last_applied_seq
+            with self._metrics_lock:
+                self.instrumentation.observe(
+                    "service.cycle_seconds", time.perf_counter() - started
+                )
+                self.session.export_gauges()
+                work_totals = {
+                    name: self.instrumentation.metrics.counter(name)
+                    - work_before[name]
+                    for name in _WORK_COUNTERS
+                }
+            if cycle_span is not None:
+                cycle_span["attrs"]["seq"] = seq
+                cycle_span["attrs"]["work"] = dict(work_totals)
+        # Per-request work attribution: split the cycle's counter deltas
+        # across admitted requests, weighted by row count, exactly (the
+        # shares always sum back to the cycle totals).
+        weights = [max(1, len(rids)) for _, rids in batch.deletes]
+        weights += [max(1, count) for _, _, count in batch.inserts]
+        shares = split_counters(work_totals, weights)
         self._snapshot = build_snapshot(self.session)
         self.published_seqs.append(seq)
+        position = 0
         for request, rid_list in batch.deletes:
             request.resolve(
-                {"status": "committed", "seq": seq, "rids": rid_list}
+                {
+                    "status": "committed",
+                    "seq": seq,
+                    "rids": rid_list,
+                    "work": shares[position],
+                    "cycle_trace_id": cycle_context.trace_id,
+                }
             )
+            position += 1
         for request, offset, count in batch.inserts:
             request.resolve(
                 {
                     "status": "committed",
                     "seq": seq,
                     "rids": new_rids[offset : offset + count],
+                    "work": shares[position],
+                    "cycle_trace_id": cycle_context.trace_id,
                 }
             )
+            position += 1
 
     # -- read path --------------------------------------------------------
 
@@ -401,6 +500,31 @@ class DCService:
             "entries": entries,
         }
 
+    def debug_trace_payload(self, query: dict) -> dict:
+        """Answer ``GET /debug/trace`` from the flight recorder.
+
+        ``?trace_id=`` resolves one trace (links followed), ``?slow=1``
+        lists the slow ring, otherwise the most recent spans and events;
+        ``?limit=`` bounds any listing.
+        """
+        limit_raw = query.get("limit", ["100"])[0]
+        try:
+            limit = max(1, int(limit_raw))
+        except ValueError:
+            raise protocol.ProtocolError("limit must be an int") from None
+        trace_id = query.get("trace_id", [None])[0]
+        if trace_id:
+            return self.flight.trace_tree(trace_id)
+        if query.get("slow", ["0"])[0] not in ("0", "", "false"):
+            return {
+                "slow_threshold_s": self.flight.slow_threshold_s,
+                "slow": self.flight.slow_spans(limit),
+            }
+        return {
+            "spans": self.flight.spans(limit),
+            "events": self.flight.events(limit),
+        }
+
     # -- metric helpers (handler threads go through the lock) -------------
 
     def _metric_inc(self, name: str, amount: int = 1) -> None:
@@ -414,6 +538,23 @@ class DCService:
     def _metric_observe(self, name: str, value: float) -> None:
         with self._metrics_lock:
             self.instrumentation.observe(name, value)
+
+    def _finish_request(
+        self, method: str, endpoint: str, elapsed: float, trace_id: str
+    ) -> None:
+        """One lock acquisition for everything a finished request emits:
+        the aggregate latency histogram, the per-endpoint histogram with
+        the request's trace id as bucket exemplar, and the request count.
+        """
+        with self._metrics_lock:
+            self.instrumentation.observe("service.request_seconds", elapsed)
+            self.instrumentation.observe(
+                f"service.endpoint_seconds.{method} {endpoint}",
+                elapsed,
+                bounds=LATENCY_BOUNDS_S,
+                exemplar=trace_id,
+            )
+            self.instrumentation.inc("service.requests_total")
 
 
 def _internal_failure(exc: BaseException) -> dict:
@@ -437,10 +578,19 @@ def _make_handler(service: DCService):
             logger.debug("%s %s", self.address_string(), format % args)
 
         def _respond(self, status: int, payload: dict) -> None:
+            trace = getattr(self, "_trace", None)
+            if trace is not None:
+                # Shallow-copy before stamping: read payloads (rank, dcs)
+                # are memoized on the shared snapshot, and mutating them
+                # would leak the first requester's trace id to everyone.
+                payload = dict(payload)
+                payload["trace_id"] = trace.trace_id
             body = protocol.encode(payload)
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            if trace is not None:
+                self.send_header("X-Trace-Id", trace.trace_id)
             self.end_headers()
             self.wfile.write(body)
 
@@ -457,19 +607,34 @@ def _make_handler(service: DCService):
         def _route(self, method: str) -> None:
             started = time.perf_counter()
             url = urlsplit(self.path)
+            # Adopt the caller's trace or mint one: every response
+            # carries a trace id either way.
+            self._trace = TraceContext.from_traceparent(
+                self.headers.get("traceparent")
+            ) or TraceContext.mint()
+            known = (method, url.path) in _ROUTES
+            endpoint = url.path if known else "unknown"
             try:
-                handler = _ROUTES.get((method, url.path))
-                if handler is None:
-                    self._respond_error(
-                        protocol.ERR_NOT_FOUND,
-                        f"no such endpoint: {method} {url.path}",
-                    )
-                    return
-                handler(self, parse_qs(url.query))
+                with tracectx.activate(self._trace), trace_span(
+                    f"http.{method} {url.path}"
+                ):
+                    handler = _ROUTES.get((method, url.path))
+                    if handler is None:
+                        self._respond_error(
+                            protocol.ERR_NOT_FOUND,
+                            f"no such endpoint: {method} {url.path}",
+                        )
+                        return
+                    handler(self, parse_qs(url.query))
             except protocol.ProtocolError as exc:
                 self._respond_error(protocol.ERR_BAD_REQUEST, str(exc))
             except queue.Full:
                 service._metric_inc("service.requests_saturated_total")
+                service.flight.record_event(
+                    "queue_full",
+                    endpoint=f"{method} {url.path}",
+                    trace_id=self._trace.trace_id,
+                )
                 self._respond_error(
                     protocol.ERR_SATURATED,
                     f"write queue is full "
@@ -486,10 +651,12 @@ def _make_handler(service: DCService):
                 except Exception:
                     pass
             finally:
-                service._metric_observe(
-                    "service.request_seconds", time.perf_counter() - started
+                service._finish_request(
+                    method,
+                    endpoint,
+                    time.perf_counter() - started,
+                    self._trace.trace_id,
                 )
-                service._metric_inc("service.requests_total")
 
         def do_GET(self):  # noqa: N802 - stdlib casing
             self._route("GET")
@@ -515,12 +682,16 @@ def _make_handler(service: DCService):
         def _get_metrics(self, query):
             text = service.metrics_text().encode("utf-8")
             self.send_response(200)
-            self.send_header(
-                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
-            )
+            self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
             self.send_header("Content-Length", str(len(text)))
+            trace = getattr(self, "_trace", None)
+            if trace is not None:
+                self.send_header("X-Trace-Id", trace.trace_id)
             self.end_headers()
             self.wfile.write(text)
+
+        def _get_debug_trace(self, query):
+            self._respond(200, service.debug_trace_payload(query))
 
         def _get_log(self, query):
             try:
@@ -563,6 +734,7 @@ def _make_handler(service: DCService):
         ("GET", "/rank"): Handler._get_rank,
         ("GET", "/status"): Handler._get_status,
         ("GET", "/metrics"): Handler._get_metrics,
+        ("GET", "/debug/trace"): Handler._get_debug_trace,
         ("GET", "/log"): Handler._get_log,
         ("POST", "/insert"): Handler._post_insert,
         ("POST", "/delete"): Handler._post_delete,

@@ -1,0 +1,197 @@
+"""Exporter round-trips: JSON ↔ registry ↔ Prometheus text ↔ parser.
+
+The exposition bugs this file pins down:
+
+- label values must be escaped per the text format v0.0.4 (backslash,
+  double quote, newline) and the parser must undo none of it silently;
+- ``_bucket`` series must be *cumulative* in ascending **numeric** bound
+  order — a snapshot that round-tripped through ``sort_keys`` JSON
+  arrives with lexicographic key order ("16" < "4") and must not corrupt
+  the running totals;
+- the terminal ``+Inf`` bucket always equals the observation count;
+- rendering stays coherent while other threads hammer the registry.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.observability.exporters import (
+    PROMETHEUS_CONTENT_TYPE,
+    escape_label_value,
+    metric_name,
+    parse_prometheus,
+    snapshot_to_json,
+    snapshot_to_prometheus,
+)
+from repro.observability.metrics import (
+    LATENCY_BOUNDS_S,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.inc("evidence.pairs_compared", 42)
+    registry.inc("service.requests_total", 7)
+    registry.set_gauge("discoverer.rows", 120.0)
+    for value in (1, 3, 5, 17, 900):
+        registry.observe("enumeration.einc_size", value)
+    for value in (0.002, 0.004, 0.03, 0.3):
+        registry.observe(
+            "service.endpoint_seconds.GET /status",
+            value,
+            bounds=LATENCY_BOUNDS_S,
+            exemplar="a" * 32,
+        )
+    return registry
+
+
+class TestRoundTrip:
+    def test_registry_to_prometheus_to_samples(self):
+        snapshot = populated_registry().snapshot()
+        samples = parse_prometheus(snapshot_to_prometheus(snapshot))
+        assert samples["repro_evidence_pairs_compared_total"] == 42
+        assert samples["repro_service_requests_total_total"] == 7
+        assert samples["repro_discoverer_rows"] == 120.0
+        assert samples["repro_enumeration_einc_size_count"] == 5
+        assert samples["repro_enumeration_einc_size_sum"] == 926
+        assert samples['repro_enumeration_einc_size_bucket{le="+Inf"}'] == 5
+
+    def test_json_round_trip_preserves_exposition(self):
+        """sort_keys JSON puts "16" before "4"; the exposition must not
+        trust that order when accumulating bucket counts."""
+        snapshot = populated_registry().snapshot()
+        rehydrated = json.loads(snapshot_to_json(snapshot))
+        assert snapshot_to_prometheus(rehydrated) == snapshot_to_prometheus(
+            snapshot
+        )
+
+    def test_cumulative_buckets_ascend_numerically(self):
+        snapshot = populated_registry().snapshot()
+        text = snapshot_to_prometheus(json.loads(snapshot_to_json(snapshot)))
+        rows = [
+            line for line in text.splitlines()
+            if line.startswith("repro_enumeration_einc_size_bucket")
+        ]
+        bounds, counts = [], []
+        for line in rows:
+            label, value = line.rsplit(" ", 1)
+            bound = label.split('le="', 1)[1].rstrip('"}')
+            bounds.append(float("inf") if bound == "+Inf" else float(bound))
+            counts.append(int(value))
+        assert bounds == sorted(bounds)
+        assert counts == sorted(counts)
+        assert counts[-1] == 5
+
+    def test_exemplars_survive_the_json_snapshot(self):
+        snapshot = populated_registry().snapshot()
+        histogram = snapshot["histograms"][
+            "service.endpoint_seconds.GET /status"
+        ]
+        exemplars = histogram["exemplars"]
+        assert all(
+            record["trace_id"] == "a" * 32 for record in exemplars.values()
+        )
+        assert "0.3" not in exemplars  # keyed by bucket *bound*, not value
+        assert any(float(bound) >= 0.3 for bound in exemplars)
+
+
+class TestEscaping:
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+    def test_parser_handles_escaped_label_values(self):
+        line = 'metric{path="C:\\\\tmp \\"x\\""} 3\n'
+        samples = parse_prometheus(line)
+        assert list(samples.values()) == [3.0]
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_prometheus('metric{broken="} 1')
+
+    def test_metric_name_sanitizes(self):
+        assert (
+            metric_name("service.endpoint_seconds.GET /status")
+            == "repro_service_endpoint_seconds_GET__status"
+        )
+
+    def test_content_type_pins_version(self):
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+        assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain")
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_has_no_quantile(self):
+        assert Histogram().quantile(0.5) is None
+
+    def test_quantile_bounds_check(self):
+        histogram = Histogram()
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_quantiles_are_ordered_and_clamped(self):
+        histogram = Histogram(bounds=LATENCY_BOUNDS_S)
+        samples = [0.002, 0.003, 0.004, 0.02, 0.04, 0.2, 0.4, 2.0]
+        for sample in samples:
+            histogram.observe(sample)
+        p50 = histogram.quantile(0.50)
+        p95 = histogram.quantile(0.95)
+        p99 = histogram.quantile(0.99)
+        assert p50 <= p95 <= p99
+        assert min(samples) <= p50 and p99 <= max(samples)
+
+
+class TestConcurrentExport:
+    def test_render_while_hammering(self):
+        """Exporter renders stay parseable while writer threads pound the
+        same (pre-created) series — the serving layer's /metrics path."""
+        registry = MetricsRegistry()
+        registry.inc("hammer.counter", 0)
+        # Pre-create every series (and the exemplar slot) so the hammer
+        # threads only mutate values — dict *resizes* during a concurrent
+        # snapshot are the service lock's job, not the registry's.
+        registry.observe(
+            "hammer.latency", 0.005, bounds=LATENCY_BOUNDS_S,
+            exemplar="b" * 32,
+        )
+        stop = threading.Event()
+        errors: list = []
+
+        def hammer():
+            try:
+                while not stop.is_set():
+                    registry.inc("hammer.counter")
+                    registry.observe(
+                        "hammer.latency", 0.005, exemplar="b" * 32
+                    )
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        writers = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in writers:
+            thread.start()
+        try:
+            for _ in range(50):
+                samples = parse_prometheus(
+                    snapshot_to_prometheus(registry.snapshot())
+                )
+                assert "repro_hammer_counter_total" in samples
+        finally:
+            stop.set()
+            for thread in writers:
+                thread.join()
+        assert errors == []
+        final = parse_prometheus(snapshot_to_prometheus(registry.snapshot()))
+        assert final["repro_hammer_counter_total"] == registry.counter(
+            "hammer.counter"
+        )
+        assert (
+            final['repro_hammer_latency_bucket{le="+Inf"}']
+            == final["repro_hammer_latency_count"]
+        )
