@@ -45,12 +45,14 @@ GATE_SCALE = float(os.environ.get("REPRO_GATE_SCALE", "0.5"))
 GATE_BENCHMARKS = (
     "bench_fig5_insert_scaling.py",
     "bench_fig13_breakdown.py",
+    "bench_verification.py",
 )
 GATE_RESULTS = (
     "fig5_insert_scaling.json",
     "fig5_backend_speedup.json",
     "fig13a_breakdown_static.json",
     "fig13b_breakdown_inserts.json",
+    "verification_kernel.json",
 )
 
 #: Fixed digest workloads: (dataset, delete strategy).

@@ -1,0 +1,119 @@
+"""Verification fast path — sweep-and-probe kernel vs per-tuple plan.
+
+Checks a held Σ (the DCs discovered on the fig5-scale Tax relation)
+against the very relation it was discovered on, twice:
+
+- **per-tuple** — the IncDC-style probe plan: for every tuple and every
+  DC, probe the column indexes once per predicate and direction
+  (:func:`repro.dcs.violations.violating_partners_for_row`);
+- **kernel** — the sweep-and-probe verification kernel
+  (:class:`repro.verification.Verifier`): sweep one predicate's index in
+  blocks, refine only tuples whose block is non-empty, share probes via
+  the per-scan cache.
+
+Both plans must enumerate the identical violating-pair sets (here: none —
+a discovered Σ holds on its own data by definition, and a deliberately
+broken constraint is checked as the non-empty differential case).  The
+gated assertion is on deterministic *work*: the kernel must spend
+strictly fewer probe operations (index probes + sweep merge steps) than
+the per-tuple plan spends index probes.  The counters feed
+``benchmarks/bench_gate.py`` via ``results/verification_kernel.json``.
+"""
+
+from _harness import DATASETS, ResultTable, dataset_rows, rows_for
+
+from repro.bitmaps.bitutils import iter_bits
+from repro.core.discoverer import DCDiscoverer
+from repro.dcs.violations import partners_satisfying, violating_partners_for_row
+from repro.relational.loader import relation_from_rows
+from repro.verification import Verifier
+
+
+class _CountingProbes:
+    """The per-tuple plan's probe primitive with an operation counter."""
+
+    def __init__(self, indexes):
+        self.indexes = indexes
+        self.count = 0
+
+    def __call__(self, position, op, value):
+        self.count += 1
+        return partners_satisfying(self.indexes, position, op, value)
+
+
+def _per_tuple_pairs(dc, relation, indexes, probes):
+    pairs = set()
+    for rid in relation.rids():
+        as_first, as_second = violating_partners_for_row(
+            dc, relation.row(rid), indexes, exclude_bits=1 << rid, probes=probes
+        )
+        pairs.update((rid, partner) for partner in iter_bits(as_first))
+        pairs.update((partner, rid) for partner in iter_bits(as_second))
+    return pairs
+
+
+def test_verification_kernel_vs_per_tuple_plan():
+    name = "Tax"
+    rows = dataset_rows(name, rows_for(name))
+    relation = relation_from_rows(DATASETS[name].header, rows)
+    discoverer = DCDiscoverer(relation)
+    discoverer.fit()
+    space = discoverer.space
+    indexes = discoverer.engine_state.indexes
+    sigma = discoverer.dcs
+    # The non-empty differential case: an FD-style rule the synthetic Tax
+    # data deliberately breaks (same zip, different city occurs).
+    from repro.predicates.parser import parse_dc
+    from repro.dcs.denial_constraint import DenialConstraint
+
+    broken = [
+        DenialConstraint(parse_dc(text, space), space)
+        for text in ("!(t.zip = t'.zip)",)
+    ]
+    workload = list(sigma) + broken
+
+    table = ResultTable(
+        "Verification — sweep-and-probe kernel vs per-tuple probe plan",
+        ["dataset", "rows", "|Σ|", "plan", "probe ops", "violating pairs"],
+        "verification_kernel.txt",
+    )
+
+    counting = _CountingProbes(indexes)
+    per_tuple = {dc.mask: _per_tuple_pairs(dc, relation, indexes, counting)
+                 for dc in workload}
+    per_tuple_ops = counting.count
+    per_tuple_found = sum(len(pairs) for pairs in per_tuple.values())
+
+    verifier = Verifier(relation, indexes, space)
+    kernel = {dc.mask: set(verifier.violating_pairs(dc)) for dc in workload}
+    kernel_ops = verifier.probe_operations()
+    kernel_found = verifier.counters["verification.violations_found"]
+
+    # Differential: both plans enumerate the identical ordered pairs.
+    assert kernel == per_tuple
+    assert kernel_found == per_tuple_found
+    # A discovered Σ holds on its own data; the broken rule does not.
+    assert all(not kernel[dc.mask] for dc in sigma)
+    assert all(kernel[dc.mask] for dc in broken)
+    # The gated claim: strictly less probe work than the per-tuple plan.
+    assert kernel_ops < per_tuple_ops, (
+        f"kernel spent {kernel_ops} probe ops vs per-tuple {per_tuple_ops}"
+    )
+
+    table.add(
+        name, len(relation), len(workload), "per-tuple", per_tuple_ops,
+        per_tuple_found,
+    )
+    table.add(
+        name, len(relation), len(workload), "kernel", kernel_ops, kernel_found
+    )
+    table.counters[f"{name} verification"] = dict(
+        sorted(verifier.counters.items())
+    ) | {"violations.per_tuple_probes": per_tuple_ops}
+    table.finish(
+        shape_notes=[
+            f"kernel: {kernel_ops} probe ops vs per-tuple {per_tuple_ops} "
+            f"({per_tuple_ops / kernel_ops:.1f}x less index work on "
+            f"|Σ|={len(workload)}, {len(relation)} rows)",
+        ]
+    )

@@ -6,6 +6,9 @@ Subcommands mirror the 3DC life cycle:
 - ``insert``    — load a state, insert rows from a CSV, print the changes;
 - ``delete``    — load a state, delete rows by rid, print the changes;
 - ``rank``      — load a state, print the top-k ranked DCs;
+- ``verify``    — check a *fixed* set of DCs against a CSV with the
+  near-linear verification kernel (docs/verification.md); exits 0 iff
+  every constraint holds, 1 otherwise;
 - ``stats``     — structural + pipeline statistics of a CSV or saved state;
 - ``datasets``  — generate one of the synthetic evaluation datasets;
 - ``session``   — durable sessions (``init``/``insert``/``delete``/
@@ -15,9 +18,10 @@ Subcommands mirror the 3DC life cycle:
   (docs/durability.md);
 - ``serve``     — long-running JSON-over-HTTP service around a durable
   session: concurrent writes are coalesced into batch-update cycles,
-  reads (``/dcs``, ``/rank``, ``/status``, ``/metrics``) and online
-  violation checks (``/check``) are served lock-free from immutable
-  snapshots, and SIGTERM drains + checkpoints (docs/service.md);
+  reads (``/dcs``, ``/rank``, ``/verify``, ``/status``, ``/metrics``)
+  and online violation checks (``/check``) are served lock-free from
+  immutable snapshots, and SIGTERM drains + checkpoints
+  (docs/service.md);
 - ``doctor``    — one-shot diagnostics bundle: environment, metrics
   snapshot, recent traces, session/WAL status, and benchmark counters
   in one tarball/JSON (docs/observability.md).
@@ -137,6 +141,66 @@ def _cmd_delete(args) -> int:
     save_state(discoverer, args.state)
     print(f"state saved to {args.state}")
     return 0
+
+
+def _collect_verify_constraints(dcs, dcs_file) -> list:
+    """Merge ``--dc`` strings and the lines of ``--dcs-file``.
+
+    The file format is one DC per line; blank lines and ``#`` comments
+    are skipped, so a DC list exported from ``/dcs`` can be annotated.
+    """
+    constraints = list(dcs or [])
+    if dcs_file:
+        with open(dcs_file) as handle:
+            for line in handle:
+                line = line.strip()
+                if line and not line.startswith("#"):
+                    constraints.append(line)
+    return constraints
+
+
+def _print_verification_report(report: dict) -> None:
+    for entry in report["constraints"]:
+        if entry["holds"]:
+            print(f"  holds     {entry['dc']}")
+            continue
+        print(f"  VIOLATED  {entry['dc']}  ({entry['n_violations']} pairs)")
+        for first, second in entry["sample_pairs"]:
+            print(f"            t{first} ⋈ t{second}")
+    print(
+        f"{report['n_constraints'] - report['n_violated']}"
+        f"/{report['n_constraints']} constraints hold on "
+        f"{report['n_rows']} rows "
+        f"({report['total_violations']} violating pairs)"
+    )
+
+
+def _cmd_verify(args) -> int:
+    constraints = _collect_verify_constraints(args.dc, args.dcs_file)
+    if not constraints:
+        print("verify: pass --dc and/or --dcs-file", file=sys.stderr)
+        return 2
+    relation = load_csv(args.csv, null_policy=args.null_policy)
+    discoverer = DCDiscoverer(
+        relation,
+        mode="verify",
+        constraints=constraints,
+        cross_column_ratio=args.cross_ratio,
+        allow_cross_columns=not args.no_cross_columns,
+    )
+    try:
+        result = discoverer.fit()
+    except ValueError as exc:
+        print(f"verify: {exc}", file=sys.stderr)
+        return 2
+    print(result)
+    report = discoverer.verification_report(sample=args.sample)
+    _print_verification_report(report)
+    _emit_observability(args, result)
+    if args.state:
+        save_state(discoverer, args.state)
+        print(f"state saved to {args.state}")
+    return 0 if report["n_violated"] == 0 else 1
 
 
 def _cmd_rank(args) -> int:
@@ -368,6 +432,13 @@ def _cmd_serve(args) -> int:
                 file=sys.stderr,
             )
             return 2
+        if args.verify_dcs:
+            print(
+                f"serve: session already exists in {args.dir}; its mode is "
+                f"persisted — omit --verify-dcs to serve it",
+                file=sys.stderr,
+            )
+            return 2
         session = DurableSession.recover(args.dir)
         print(
             f"recovered session from {args.dir} "
@@ -385,12 +456,26 @@ def _cmd_serve(args) -> int:
             )
             return 2
         relation = load_csv(args.csv, null_policy=args.null_policy)
-        discoverer = DCDiscoverer(
-            relation,
-            cross_column_ratio=args.cross_ratio,
-            workers=args.workers or 1,
-            backend=args.backend or "auto",
-        )
+        if args.verify_dcs:
+            constraints = _collect_verify_constraints([], args.verify_dcs)
+            if not constraints:
+                print(
+                    f"serve: {args.verify_dcs} lists no DCs", file=sys.stderr
+                )
+                return 2
+            discoverer = DCDiscoverer(
+                relation,
+                mode="verify",
+                constraints=constraints,
+                cross_column_ratio=args.cross_ratio,
+            )
+        else:
+            discoverer = DCDiscoverer(
+                relation,
+                cross_column_ratio=args.cross_ratio,
+                workers=args.workers or 1,
+                backend=args.backend or "auto",
+            )
         result = discoverer.fit()
         print(result)
         session = DurableSession.create(
@@ -408,6 +493,7 @@ def _cmd_serve(args) -> int:
         request_timeout_s=args.request_timeout,
         slow_trace_threshold_s=args.slow_trace_threshold,
         metrics_out=args.metrics_out,
+        verification_limit=args.verify_limit,
     )
     service = DCService(session, config)
     service.install_signal_handlers()
@@ -502,6 +588,49 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_flag(p, default=None)
     _add_observability_flags(p)
     p.set_defaults(func=_cmd_delete)
+
+    p = sub.add_parser(
+        "verify",
+        help="check a fixed set of DCs against a CSV "
+        "(near-linear verification kernel; exit 0 iff all hold)",
+    )
+    p.add_argument("csv", help="input CSV file (with header)")
+    p.add_argument(
+        "--dc",
+        action="append",
+        metavar="DC",
+        help="a DC to check, e.g. \"!(t.city = t'.city & t.state != "
+        "t'.state)\" (repeatable)",
+    )
+    p.add_argument(
+        "--dcs-file",
+        metavar="PATH",
+        help="file with one DC per line (# comments and blanks skipped)",
+    )
+    p.add_argument(
+        "--sample",
+        type=int,
+        default=10,
+        metavar="N",
+        help="violating pairs printed per violated DC",
+    )
+    p.add_argument(
+        "--state",
+        metavar="PATH",
+        help="save the verify-mode state for incremental maintenance "
+        "(insert/delete/session/serve keep the verdicts current)",
+    )
+    p.add_argument(
+        "--cross-ratio",
+        type=float,
+        default=0.0,
+        help="shared-value threshold for cross-column predicates "
+        "(default 0.0: widest space, so any parseable DC is in scope)",
+    )
+    p.add_argument("--no-cross-columns", action="store_true")
+    p.add_argument("--null-policy", choices=["reject", "drop", "fill"], default="reject")
+    _add_observability_flags(p)
+    p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("rank", help="rank the DCs of a saved state")
     p.add_argument("--state", required=True)
@@ -645,6 +774,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cross-ratio", type=float, default=0.3)
     p.add_argument(
         "--null-policy", choices=["reject", "drop", "fill"], default="reject"
+    )
+    p.add_argument(
+        "--verify-dcs",
+        metavar="PATH",
+        help="bootstrap a verify-mode session tracking the DCs listed in "
+        "PATH (one per line) instead of discovering; GET /verify reports "
+        "their verdicts",
+    )
+    p.add_argument(
+        "--verify-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="default per-DC violation cap for GET /verify "
+        "(unset = count exactly)",
     )
     p.add_argument(
         "--slow-trace-threshold",

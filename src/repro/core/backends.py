@@ -51,6 +51,7 @@ class DynEIBackend:
         self,
         removed_evidence_masks: Sequence[int],
         remaining_evidence_masks: Iterable[int],
+        verifier=None,
     ) -> None:
         if removed_evidence_masks:
             masks = dynei_delete(
@@ -58,6 +59,7 @@ class DynEIBackend:
                 self._trie.masks(),
                 removed_evidence_masks,
                 remaining_evidence_masks,
+                verifier=verifier,
             )
             self._trie = SetTrie(masks)
 
@@ -91,7 +93,10 @@ class DynHSBackend:
         self,
         removed_evidence_masks: Sequence[int],
         remaining_evidence_masks: Iterable[int],
+        verifier=None,
     ) -> None:
+        # DynHS keeps its own criticality state; the verifier fast path
+        # only applies to DynEI's drop/re-add split.
         self._enumerator.delete_evidence(
             removed_evidence_masks, remaining_evidence_masks
         )
@@ -109,9 +114,49 @@ class DynHSBackend:
         )
 
 
+class FixedSigmaBackend:
+    """A frozen antichain for verify-only maintenance.
+
+    ``mode="verify"`` tracks a *fixed* Σ instead of rediscovering: every
+    enumeration hook is a no-op, ``masks`` always returns the constraints
+    the discoverer was configured with.  Masks are installed via
+    :meth:`set_masks` (at ``fit()`` or state restore).
+    """
+
+    name = "fixed"
+
+    def __init__(self, space: PredicateSpace):
+        self._space = space
+        self._masks: List[int] = []
+
+    def bootstrap(self, evidence_masks: Iterable[int]) -> None:
+        pass
+
+    def insert(self, new_evidence_masks: Sequence[int], remaining_unused=None) -> None:
+        pass
+
+    def delete(
+        self,
+        removed_evidence_masks: Sequence[int],
+        remaining_evidence_masks: Iterable[int],
+        verifier=None,
+    ) -> None:
+        pass
+
+    @property
+    def masks(self) -> List[int]:
+        return list(self._masks)
+
+    def set_masks(
+        self, masks: Sequence[int], evidence_masks: Iterable[int] = ()
+    ) -> None:
+        self._masks = sorted(set(masks))
+
+
 _BACKENDS = {
     "dynei": DynEIBackend,
     "dynhs": DynHSBackend,
+    "fixed": FixedSigmaBackend,
 }
 
 

@@ -83,6 +83,21 @@ class DCDiscoverer:
         :class:`~repro.observability.Instrumentation`.  Pass
         ``Instrumentation(enabled=False)`` to skip all deep accounting
         (phase timings are always recorded).
+    :param mode: ``"discover"`` (the default: maintain evidence and
+        rediscover Σ on every update) or ``"verify"``: track a *fixed*
+        Σ of ``constraints`` without any evidence maintenance — updates
+        only maintain the column indexes and the violating pairs of the
+        tracked DCs (via the verification kernel), which is far cheaper
+        when the constraint set is already known.
+    :param constraints: the DCs to track in ``mode="verify"`` — DC
+        strings (``"!(t.A = t'.A ∧ …)"``), predicate masks, or
+        :class:`~repro.dcs.DenialConstraint` objects; resolved against
+        the predicate space at ``fit()``.
+    :param verify_pruning: in discover mode, use the verification kernel
+        for the exact minimality re-check of conservatively dropped DCs
+        on deletes (near-linear index sweeps instead of a scan over all
+        remaining evidence; the resulting antichain is identical).  An
+        execution knob like ``workers`` — not persisted with the state.
     """
 
     def __init__(
@@ -98,6 +113,9 @@ class DCDiscoverer:
         workers: int = 1,
         backend: str = "auto",
         instrumentation: Optional[Instrumentation] = None,
+        mode: str = "discover",
+        constraints: Optional[Sequence] = None,
+        verify_pruning: bool = True,
     ):
         from repro.evidence.kernels import validate_backend
 
@@ -110,6 +128,12 @@ class DCDiscoverer:
             raise ValueError(
                 "delete_strategy='index' requires maintain_tuple_index=True"
             )
+        if mode not in ("discover", "verify"):
+            raise ValueError(
+                f"mode must be 'discover' or 'verify', got {mode!r}"
+            )
+        if mode == "discover" and constraints is not None:
+            raise ValueError("constraints are only meaningful with mode='verify'")
         self.relation = relation
         self.cross_column_ratio = cross_column_ratio
         self.allow_cross_columns = allow_cross_columns
@@ -117,7 +141,12 @@ class DCDiscoverer:
         self.maintain_tuple_index = maintain_tuple_index
         self.delete_strategy = delete_strategy
         self.infer_within_delta = infer_within_delta
-        self.enumeration_backend = enumeration_backend
+        self.mode = mode
+        # A verify-mode discoverer always runs the frozen-Σ backend, so
+        # the persisted config round-trips through state_from_dict.
+        self.enumeration_backend = "fixed" if mode == "verify" else enumeration_backend
+        self.constraints = list(constraints) if constraints is not None else None
+        self.verify_pruning = verify_pruning
         self.workers = workers
         self.backend = validate_backend(backend)
         self.instrumentation = instrumentation or Instrumentation()
@@ -127,11 +156,21 @@ class DCDiscoverer:
         self._fitted = False
         self._monitors = []
         self._watchers = []
+        self._verify_watcher = None
 
     # -- bootstrap -----------------------------------------------------------
 
     def fit(self) -> DiscoveryResult:
-        """Run the static discovery on the current relation state."""
+        """Run the static discovery on the current relation state.
+
+        In ``mode="verify"`` there is nothing to discover: ``fit()``
+        freezes the predicate space, indexes the relation, resolves the
+        configured ``constraints`` against the space, and seeds the
+        violating-pair watcher from one verification-kernel enumeration
+        (no evidence set is ever built).
+        """
+        if self.mode == "verify":
+            return self._fit_verify()
         instrumentation = self.instrumentation
         tracer = instrumentation.tracer
         before = instrumentation.begin_operation()
@@ -174,6 +213,101 @@ class DCDiscoverer:
             report=report,
         )
 
+    def _resolve_constraint_masks(self) -> List[int]:
+        """Constraint inputs (strings, masks, DC objects) → sorted masks."""
+        from repro.predicates.parser import parse_dc
+
+        masks = []
+        for constraint in self.constraints:
+            if isinstance(constraint, DenialConstraint):
+                mask = constraint.mask
+            elif isinstance(constraint, int):
+                mask = constraint
+            else:
+                mask = parse_dc(constraint, self.space)
+            if not mask:
+                raise ValueError("cannot track an empty constraint")
+            if mask & ~self.space.full_mask:
+                raise ValueError(
+                    f"constraint mask {mask:#x} has predicates outside the "
+                    f"space; widen it (e.g. cross_column_ratio=0.0)"
+                )
+            masks.append(mask)
+        return sorted(set(masks))
+
+    def _seed_verify_watcher(self):
+        """Build the verify-mode watcher, its pairs enumerated by the
+        verification kernel (instead of the watcher's own per-row scan)."""
+        from repro.dcs.watcher import ViolationWatcher
+        from repro.verification.kernel import Verifier
+
+        verifier = Verifier(self.relation, self._state.indexes, self.space)
+        dcs = [
+            DenialConstraint(mask, self.space)
+            for mask in self._backend.masks
+            if mask
+        ]
+        pairs_by_mask = {
+            dc.mask: set(verifier.violating_pairs(dc)) for dc in dcs
+        }
+        watcher = ViolationWatcher.from_pairs(
+            self.relation, self._state.indexes, dcs, pairs_by_mask
+        )
+        self._verify_watcher = watcher
+        self._watchers.append(watcher)
+        return watcher
+
+    def _fit_verify(self) -> DiscoveryResult:
+        from repro.evidence.builder import EvidenceEngineState
+        from repro.evidence.indexes import ColumnIndexes
+
+        if not self.constraints:
+            raise ValueError(
+                "mode='verify' requires constraints=[...] "
+                "(DC strings, masks, or DenialConstraint objects)"
+            )
+        instrumentation = self.instrumentation
+        tracer = instrumentation.tracer
+        before = instrumentation.begin_operation()
+        with instrumentation.activate():
+            with tracer.span("fit") as root:
+                with tracer.span("space"):
+                    self.space = build_predicate_space(
+                        self.relation,
+                        cross_column_ratio=self.cross_column_ratio,
+                        allow_cross_columns=self.allow_cross_columns,
+                        column_names=self.column_names,
+                    )
+                with tracer.span("evidence"):
+                    # No evidence set in verify mode — only the indexes.
+                    self._state = EvidenceEngineState(
+                        space=self.space,
+                        indexes=ColumnIndexes(self.relation),
+                        evidence=EvidenceSet(),
+                        tuple_index=None,
+                    )
+                with tracer.span("enumeration"):
+                    self._backend = make_backend("fixed", self.space)
+                    self._backend.set_masks(self._resolve_constraint_masks())
+                    self._seed_verify_watcher()
+        self._fitted = True
+        self._record_state_gauges()
+        report = instrumentation.finish_operation("fit", root, before)
+        logger.debug(
+            "fit(verify): %d rows, %d predicates, %d constraints, "
+            "%d violating pairs in %.3fs",
+            len(self.relation), self.space.n_bits, len(self.dc_masks),
+            self._verify_watcher.total_violations(), root.duration,
+        )
+        return DiscoveryResult(
+            n_rows=len(self.relation),
+            n_predicates=self.space.n_bits,
+            n_evidence=0,
+            n_dcs=len(self.dc_masks),
+            timings=report.phase_timings(),
+            report=report,
+        )
+
     def _require_fitted(self) -> None:
         if not self._fitted:
             raise RuntimeError("call fit() before incremental maintenance")
@@ -188,6 +322,8 @@ class DCDiscoverer:
         consumers observe every maintenance call symmetrically.
         """
         self._require_fitted()
+        if self.mode == "verify":
+            return self._insert_verify(rows)
         instrumentation = self.instrumentation
         tracer = instrumentation.tracer
         before = instrumentation.begin_operation()
@@ -243,6 +379,8 @@ class DCDiscoverer:
         monitors/watchers with an empty delta.
         """
         self._require_fitted()
+        if self.mode == "verify":
+            return self._delete_verify(rids)
         rid_list = sorted(rids)
         # Validate before touching any state: evidence subtraction happens
         # before the relation delete, so a bad rid must not get that far.
@@ -292,8 +430,19 @@ class DCDiscoverer:
                             watcher.on_delete(rid_list)
                 with tracer.span("enumeration"):
                     tracer.annotate("einc_size", len(removed_masks))
+                    verifier = None
+                    if self.verify_pruning and removed_masks:
+                        from repro.verification.kernel import Verifier
+
+                        # Relation and indexes are post-delete here, so
+                        # kernel sweeps see exactly the remaining rows.
+                        verifier = Verifier(
+                            self.relation, self._state.indexes, self.space
+                        )
                     self._backend.delete(
-                        removed_masks, list(self._state.evidence)
+                        removed_masks,
+                        list(self._state.evidence),
+                        verifier=verifier,
                     )
 
         if instrumentation.enabled:
@@ -302,6 +451,74 @@ class DCDiscoverer:
             instrumentation.inc("enumeration.einc_size", len(removed_masks))
         return self._update_result(
             "delete", rid_list, len(removed_masks), previous_masks, root, before
+        )
+
+    def _insert_verify(self, rows: Iterable[Sequence]) -> UpdateResult:
+        """Verify-mode insert: index the rows, extend the violation sets
+        of the tracked DCs — no evidence work, no enumeration."""
+        instrumentation = self.instrumentation
+        tracer = instrumentation.tracer
+        before = instrumentation.begin_operation()
+        previous_masks = set(self._backend.masks)
+        with instrumentation.activate():
+            with tracer.span("insert") as root:
+                with tracer.span("evidence"):
+                    new_rids = self.relation.insert(rows)
+                    tracer.annotate("batch_rows", len(new_rids))
+                    if new_rids:
+                        with tracer.span("index_update"):
+                            self._state.indexes.add_rows(new_rids)
+                    with tracer.span("notify"):
+                        n_new_pairs = 0
+                        for watcher in self._watchers:
+                            damage = watcher.on_insert(new_rids)
+                            if watcher is self._verify_watcher:
+                                n_new_pairs = sum(
+                                    len(pairs) for pairs in damage.values()
+                                )
+        if instrumentation.enabled:
+            instrumentation.inc("discoverer.inserts")
+            instrumentation.inc("discoverer.rows_inserted", len(new_rids))
+            instrumentation.inc("verification.new_violations", n_new_pairs)
+        return self._update_result(
+            "insert", new_rids, 0, previous_masks, root, before
+        )
+
+    def _delete_verify(self, rids: Iterable[int]) -> UpdateResult:
+        """Verify-mode delete: unindex the rows, drop their violating
+        pairs — no evidence work, no enumeration."""
+        rid_list = sorted(rids)
+        for rid in rid_list:
+            if not self.relation.is_alive(rid):
+                raise KeyError(f"rid {rid} is not an alive row")
+        if len(set(rid_list)) != len(rid_list):
+            raise ValueError("duplicate rids in delete batch")
+        instrumentation = self.instrumentation
+        tracer = instrumentation.tracer
+        before = instrumentation.begin_operation()
+        previous_masks = set(self._backend.masks)
+        with instrumentation.activate():
+            with tracer.span("delete") as root:
+                with tracer.span("evidence"):
+                    tracer.annotate("batch_rows", len(rid_list))
+                    if rid_list:
+                        with tracer.span("index_update"):
+                            self.relation.delete(rid_list)
+                            self._state.indexes.remove_rows(rid_list)
+                    with tracer.span("notify"):
+                        n_cleared = 0
+                        for watcher in self._watchers:
+                            removed = watcher.on_delete(rid_list)
+                            if watcher is self._verify_watcher:
+                                n_cleared = sum(
+                                    len(pairs) for pairs in removed.values()
+                                )
+        if instrumentation.enabled:
+            instrumentation.inc("discoverer.deletes")
+            instrumentation.inc("discoverer.rows_deleted", len(rid_list))
+            instrumentation.inc("verification.cleared_violations", n_cleared)
+        return self._update_result(
+            "delete", rid_list, 0, previous_masks, root, before
         )
 
     def update(
@@ -419,6 +636,40 @@ class DCDiscoverer:
         )
         self._monitors.append(monitor)
         return monitor
+
+    def verification_report(self, sample: int = 10) -> dict:
+        """Per-constraint verdicts of a ``mode="verify"`` discoverer.
+
+        Counts come straight from the incrementally maintained watcher —
+        no rescan.  ``sample`` caps the violating pairs listed per DC.
+        """
+        self._require_fitted()
+        if self._verify_watcher is None:
+            raise RuntimeError("verification_report() requires mode='verify'")
+        constraints = []
+        for dc in self._verify_watcher.dcs:
+            pairs = sorted(self._verify_watcher.violations(dc))
+            constraints.append(
+                {
+                    "dc": str(dc),
+                    "mask": format(dc.mask, "x"),
+                    "holds": not pairs,
+                    "n_violations": len(pairs),
+                    "sample_pairs": [list(pair) for pair in pairs[:sample]],
+                }
+            )
+        return {
+            "mode": self.mode,
+            "n_rows": len(self.relation),
+            "n_constraints": len(constraints),
+            "n_violated": sum(
+                1 for entry in constraints if not entry["holds"]
+            ),
+            "total_violations": sum(
+                entry["n_violations"] for entry in constraints
+            ),
+            "constraints": constraints,
+        }
 
     def attach_violation_watcher(self, dcs: Iterable[DenialConstraint]):
         """Maintain the violating pairs of the given DCs across updates.

@@ -86,25 +86,30 @@ def state_to_dict(discoverer: DCDiscoverer) -> dict:
         # The index's lazy corrections need the retained values of dead
         # rows, which do not survive serialization — settle them now.
         state.tuple_index.compact(relation, discoverer.space)
+    config = {
+        "cross_column_ratio": discoverer.cross_column_ratio,
+        "allow_cross_columns": discoverer.allow_cross_columns,
+        "column_names": list(discoverer.column_names)
+        if discoverer.column_names
+        else None,
+        "maintain_tuple_index": discoverer.maintain_tuple_index,
+        "delete_strategy": discoverer.delete_strategy,
+        "infer_within_delta": discoverer.infer_within_delta,
+        "enumeration_backend": discoverer.enumeration_backend,
+        # The workers, (evidence-kernel) backend, and verify_pruning
+        # knobs are deliberately NOT persisted: they are execution
+        # settings of one process, not part of the data state, and
+        # leaving them out keeps saved states byte-identical across
+        # worker counts and backends.
+    }
+    if discoverer.mode != "discover":
+        # Only serialized when it deviates from the default, so every
+        # discover-mode state stays byte-identical to earlier versions.
+        config["mode"] = discoverer.mode
     return {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
-        "config": {
-            "cross_column_ratio": discoverer.cross_column_ratio,
-            "allow_cross_columns": discoverer.allow_cross_columns,
-            "column_names": list(discoverer.column_names)
-            if discoverer.column_names
-            else None,
-            "maintain_tuple_index": discoverer.maintain_tuple_index,
-            "delete_strategy": discoverer.delete_strategy,
-            "infer_within_delta": discoverer.infer_within_delta,
-            "enumeration_backend": discoverer.enumeration_backend,
-            # The workers and (evidence-kernel) backend knobs are
-            # deliberately NOT persisted: they are execution settings of
-            # one process, not part of the data state, and leaving them
-            # out keeps saved states byte-identical across worker counts
-            # and backends.
-        },
+        "config": config,
         "schema": [
             [column.name, column.ctype.value] for column in relation.schema
         ],
@@ -199,6 +204,12 @@ def state_from_dict(payload: dict) -> DCDiscoverer:
         backend.bootstrap(list(evidence))
     discoverer._backend = backend
     discoverer._fitted = True
+    if discoverer.mode == "verify":
+        # Re-enumerate the tracked DCs' violating pairs with the
+        # verification kernel (they are derived state, not serialized)
+        # and keep the restored constraints for future round trips.
+        discoverer.constraints = list(backend.masks)
+        discoverer._seed_verify_watcher()
     return discoverer
 
 

@@ -12,11 +12,19 @@ Two strategies:
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.evidence.indexes import ColumnIndexes
+from repro.observability.probe import get_probe
 from repro.predicates.operator import Operator
 from repro.relational.relation import Relation
+
+
+class UnsupportedProbeError(ValueError):
+    """An index probe was requested that the column cannot answer (an
+    order operator against a column with no range index).  Subclasses
+    :class:`ValueError` for backward compatibility; the service layer maps
+    it to a protocol (400) error instead of an internal (500) one."""
 
 
 def find_violations(
@@ -51,7 +59,9 @@ def partners_satisfying(
             return eq_bits
         if op is Operator.NE:
             return indexes.indexed_bits & ~eq_bits
-        raise ValueError(f"operator {op} is not defined on a categorical column")
+        raise UnsupportedProbeError(
+            f"operator {op} is not defined on a categorical column"
+        )
     eq_bits, gt_bits = range_index.eq_gt(value)
     if op is Operator.EQ:
         return eq_bits
@@ -67,7 +77,11 @@ def partners_satisfying(
 
 
 def violating_partners_for_row(
-    dc, row: Sequence, indexes: ColumnIndexes, exclude_bits: int = 0
+    dc,
+    row: Sequence,
+    indexes: ColumnIndexes,
+    exclude_bits: int = 0,
+    probes: Optional[Callable[[int, Operator, object], int]] = None,
 ) -> Tuple[int, int]:
     """Partners forming a violating pair with a *candidate* row.
 
@@ -79,29 +93,41 @@ def violating_partners_for_row(
     that ``(row, u)`` respectively ``(u, row)`` violates the DC.
     ``exclude_bits`` removes rids from consideration (a row already in
     the relation excludes itself).  Every predicate contributes one index
-    probe and one intersection — the IncDC retrieval plan.
+    probe and one intersection — the IncDC retrieval plan.  ``probes``
+    replaces the probe primitive (same signature as
+    :func:`partners_satisfying` minus the indexes argument) — the service
+    layer passes a memoizing :class:`~repro.verification.ProbeCache` so
+    the DCs of one admission check share probes.
     """
+    if probes is None:
+        def probes(position, op, value):
+            return partners_satisfying(indexes, position, op, value)
+
     as_first = indexes.indexed_bits & ~exclude_bits
     as_second = indexes.indexed_bits & ~exclude_bits
+    n_probes = 0
     for predicate in dc.predicates:
         if not as_first and not as_second:
             break
         if as_first:
             # (rid, u): rid.lhs op u.rhs  <=>  u.rhs op.converse rid.lhs
-            as_first &= partners_satisfying(
-                indexes,
+            as_first &= probes(
                 predicate.rhs_position,
                 predicate.op.converse,
                 row[predicate.lhs_position],
             )
+            n_probes += 1
         if as_second:
             # (u, rid): u.lhs op rid.rhs
-            as_second &= partners_satisfying(
-                indexes,
+            as_second &= probes(
                 predicate.lhs_position,
                 predicate.op,
                 row[predicate.rhs_position],
             )
+            n_probes += 1
+    probe = get_probe()
+    if probe is not None:
+        probe.inc("violations.index_probes", n_probes)
     return as_first, as_second
 
 

@@ -47,6 +47,32 @@ class ViolationWatcher:
             self._absorb_row(rid, restrict_bits=seen_bits)
             seen_bits |= 1 << rid
 
+    @classmethod
+    def from_pairs(
+        cls,
+        relation: Relation,
+        indexes: ColumnIndexes,
+        dcs: Iterable[DenialConstraint],
+        pairs_by_mask: Dict[int, Set[Pair]],
+    ) -> "ViolationWatcher":
+        """Watcher seeded with pre-enumerated violating pairs.
+
+        The regular constructor scans every alive row against the indexes
+        (one probe refinement per row per DC); when the initial pairs are
+        already known — the verification kernel enumerates them in
+        near-linear time — this skips that scan entirely.  The caller is
+        responsible for ``pairs_by_mask`` being exactly the current
+        ordered violating pairs of each DC.
+        """
+        watcher = cls.__new__(cls)
+        watcher.relation = relation
+        watcher.indexes = indexes
+        watcher.dcs = list(dcs)
+        watcher._pairs = {
+            dc.mask: set(pairs_by_mask.get(dc.mask, ())) for dc in watcher.dcs
+        }
+        return watcher
+
     def _absorb_row(
         self, rid: int, restrict_bits: Optional[int] = None
     ) -> Dict[int, Set[Pair]]:

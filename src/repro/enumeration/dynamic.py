@@ -95,6 +95,7 @@ def dynei_delete(
     sigma_masks: Sequence[int],
     removed_evidence_masks: Sequence[int],
     remaining_evidence_masks: Iterable[int],
+    verifier=None,
 ) -> List[int]:
     """Update the DC antichain after a delete batch.
 
@@ -104,6 +105,14 @@ def dynei_delete(
         :func:`repro.evidence.deletes.apply_delete_evidence`).
     :param remaining_evidence_masks: all distinct evidence masks still in
         the evidence set (``E^left``).
+    :param verifier: optional
+        :class:`~repro.verification.Verifier` over the *post-delete*
+        relation; when given, the minimality re-check of conservatively
+        dropped DCs runs as near-linear index sweeps (is ``dc ∖ {p}``
+        violated?) instead of a scan over all remaining evidence.  A
+        dropped DC stays valid after a delete, so any remaining evidence
+        containing ``dc ∖ {p}`` necessarily lacks ``p`` — both checks are
+        exactly equivalent and the output antichain is identical.
     """
     if not removed_evidence_masks:
         return sorted(sigma_masks)
@@ -129,9 +138,12 @@ def dynei_delete(
             survivors.append(dc_mask)
 
     # (2) Exact minimality re-check of the conservatively dropped DCs.
-    readded = [
-        dc_mask for dc_mask in dropped if _still_minimal(dc_mask, remaining)
-    ]
+    if verifier is not None:
+        readded = [dc_mask for dc_mask in dropped if verifier.is_minimal(dc_mask)]
+    else:
+        readded = [
+            dc_mask for dc_mask in dropped if _still_minimal(dc_mask, remaining)
+        ]
 
     # (3) Targeted re-grow: new minimal DCs live inside removed evidences.
     remaining_complements = [full_mask & ~evidence for evidence in remaining]

@@ -27,7 +27,28 @@ class Operator(enum.Enum):
     GE = ">="
 
     def eval(self, a, b) -> bool:
-        """Evaluate ``a θ b``."""
+        """Evaluate ``a θ b`` under the engine's value order.
+
+        NaN follows the engine-wide total order — NaN equals NaN and is
+        strictly greater than every number — matching the range indexes
+        and :meth:`~repro.predicates.space.PredicateSpace.evidence_of_pair`
+        (IEEE NaN is unordered, which would make direct pair evaluation
+        disagree with every index-driven path on NaN data).
+        """
+        a_nan = isinstance(a, float) and a != a
+        b_nan = isinstance(b, float) and b != b
+        if a_nan or b_nan:
+            if self is Operator.EQ:
+                return a_nan and b_nan
+            if self is Operator.NE:
+                return a_nan != b_nan
+            if self is Operator.LT:
+                return b_nan and not a_nan
+            if self is Operator.LE:
+                return b_nan
+            if self is Operator.GT:
+                return a_nan and not b_nan
+            return a_nan  # GE
         if self is Operator.EQ:
             return a == b
         if self is Operator.NE:

@@ -159,6 +159,15 @@ class ServiceClient:
             payload["limit"] = int(limit)
         return self._request("POST", "/check", payload)
 
+    def verify(self, limit: Optional[int] = None) -> dict:
+        """Per-DC verification verdicts of the latest snapshot.
+
+        ``limit`` caps the violation count per DC (``None`` = server
+        default, usually exact).
+        """
+        path = "/verify" if limit is None else f"/verify?limit={int(limit)}"
+        return self._request("GET", path)
+
     def status(self) -> dict:
         return self._request("GET", "/status")
 

@@ -51,6 +51,10 @@ class ServiceConfig:
     :param metrics_out: when set, the service writes a final JSON metrics
         snapshot to this path on shutdown, after the drain — so the last
         coalesced cycle's counters survive a SIGTERM.
+    :param verification_limit: default per-DC violation-count cap for
+        ``GET /verify`` when the request carries no ``limit`` parameter.
+        ``None`` (the default) counts exactly; a cap turns each check
+        into a cheap "holds / violated at least N times" probe.
     """
 
     host: str = DEFAULT_HOST
@@ -63,6 +67,7 @@ class ServiceConfig:
     flight_recorder_spans: int = DEFAULT_FLIGHT_RECORDER_SPANS
     slow_trace_threshold_s: float = DEFAULT_SLOW_TRACE_THRESHOLD_S
     metrics_out: Optional[str] = None
+    verification_limit: Optional[int] = None
 
     def __post_init__(self):
         if self.queue_depth < 1:
@@ -75,3 +80,5 @@ class ServiceConfig:
             raise ValueError("flight_recorder_spans must be >= 1")
         if self.slow_trace_threshold_s < 0:
             raise ValueError("slow_trace_threshold_s must be >= 0")
+        if self.verification_limit is not None and self.verification_limit < 1:
+            raise ValueError("verification_limit must be >= 1 or None")

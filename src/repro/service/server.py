@@ -35,6 +35,7 @@ from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
 from repro.dcs.denial_constraint import DenialConstraint
+from repro.dcs.violations import UnsupportedProbeError
 from repro.observability import (
     LATENCY_BOUNDS_S,
     PROMETHEUS_CONTENT_TYPE,
@@ -487,7 +488,20 @@ class DCService:
         if limit is not None and (not isinstance(limit, int) or limit < 0):
             raise protocol.ProtocolError("limit must be a non-negative int")
         self._metric_inc("service.checks_total")
-        return snapshot.check(row, dcs=dcs, limit=limit)
+        try:
+            return snapshot.check(row, dcs=dcs, limit=limit)
+        except UnsupportedProbeError as exc:
+            # A DC that the snapshot's indexes cannot answer (an order
+            # operator against a column with no range index) is a bad
+            # request, not an internal failure.
+            raise protocol.ProtocolError(f"unsupported DC: {exc}") from None
+
+    def verify_payload(self, limit: Optional[int] = None) -> dict:
+        """Verify the snapshot's full Σ with the verification kernel."""
+        if limit is None:
+            limit = self.config.verification_limit
+        self._metric_inc("service.verifies_total")
+        return self.snapshot.verify_payload(limit=limit)
 
     def log_payload(self, since: int) -> dict:
         """Commit history with seq > ``since`` (bounded by construction)."""
@@ -679,6 +693,20 @@ def _make_handler(service: DCService):
         def _get_status(self, query):
             self._respond(200, service.status_payload())
 
+        def _get_verify(self, query):
+            limit_raw = query.get("limit", [None])[0]
+            limit = None
+            if limit_raw is not None:
+                try:
+                    limit = int(limit_raw)
+                except ValueError:
+                    raise protocol.ProtocolError(
+                        "limit must be an int"
+                    ) from None
+                if limit < 1:
+                    raise protocol.ProtocolError("limit must be >= 1")
+            self._respond(200, service.verify_payload(limit=limit))
+
         def _get_metrics(self, query):
             text = service.metrics_text().encode("utf-8")
             self.send_response(200)
@@ -733,6 +761,7 @@ def _make_handler(service: DCService):
         ("GET", "/dcs"): Handler._get_dcs,
         ("GET", "/rank"): Handler._get_rank,
         ("GET", "/status"): Handler._get_status,
+        ("GET", "/verify"): Handler._get_verify,
         ("GET", "/metrics"): Handler._get_metrics,
         ("GET", "/debug/trace"): Handler._get_debug_trace,
         ("GET", "/log"): Handler._get_log,

@@ -34,6 +34,7 @@ from repro.dcs.ranking import rank_dcs
 from repro.dcs.violations import violating_partners_for_row
 from repro.evidence.evidence_set import EvidenceSet
 from repro.relational.relation import Relation
+from repro.verification import ProbeCache, Verifier
 
 
 class Snapshot:
@@ -50,6 +51,7 @@ class Snapshot:
         "evidence",
         "status",
         "_rank_cache",
+        "_verify_cache",
     )
 
     def __init__(
@@ -73,6 +75,7 @@ class Snapshot:
         self.evidence = evidence
         self.status = status
         self._rank_cache = {}
+        self._verify_cache = {}
 
     # -- read endpoints ---------------------------------------------------
 
@@ -121,11 +124,17 @@ class Snapshot:
         constraints to check business rules instead.  ``limit`` caps the
         partners listed per direction (the bit counts stay exact).
         Returns the body of ``POST /check``.
+
+        All DCs of one check share a :class:`~repro.verification.ProbeCache`:
+        a minimal cover reuses predicates heavily, so deduplicating the
+        ``(column, op, value)`` probes cuts the per-check index work well
+        below one probe per predicate per DC.
         """
         violations = []
+        cache = ProbeCache(self.indexes)
         for dc in dcs if dcs is not None else self.canonical:
             as_first, as_second = violating_partners_for_row(
-                dc, row, self.indexes
+                dc, row, self.indexes, probes=cache.partners
             )
             if not as_first and not as_second:
                 continue
@@ -143,7 +152,56 @@ class Snapshot:
             "ok": not violations,
             "n_violated_dcs": len(violations),
             "violations": violations,
+            "probes": {"lookups": cache.lookups, "unique": cache.misses},
         }
+
+    def verify_payload(self, limit: Optional[int] = None, sample: int = 5) -> dict:
+        """Body of ``GET /verify`` (per-snapshot memoized).
+
+        Runs the verification kernel over the snapshot's full Σ: per DC,
+        does it hold on the published relation, and how many ordered pairs
+        violate it (counted exactly, or up to ``limit``).  On a discover-
+        mode session every tracked DC holds by construction — the endpoint
+        is the self-audit; on a verify-mode session it reports the
+        violation counts of the fixed constraint set.
+        """
+        key = (limit, sample)
+        cached = self._verify_cache.get(key)
+        if cached is None:
+            verifier = Verifier(self.relation, self.indexes, self.space)
+            constraints = []
+            for mask in sorted(self.dc_masks):
+                result = verifier.verify(
+                    DenialConstraint(mask, self.space), limit=limit, sample=sample
+                )
+                constraints.append(
+                    {
+                        "dc": str(result.dc),
+                        "mask": format(mask, "x"),
+                        "holds": result.holds,
+                        "n_violations": result.n_violations,
+                        "truncated": result.truncated,
+                        "sample_pairs": [list(pair) for pair in result.pairs],
+                        "plan": result.plan,
+                    }
+                )
+            cached = {
+                "seq": self.seq,
+                "n_rows": len(self.relation),
+                "n_constraints": len(constraints),
+                "n_violated": sum(
+                    1 for entry in constraints if not entry["holds"]
+                ),
+                "total_violations": sum(
+                    entry["n_violations"] for entry in constraints
+                ),
+                "limit": limit,
+                "probe_operations": verifier.probe_operations(),
+                "constraints": constraints,
+            }
+            # Benign race, as for rank_payload: identical results.
+            self._verify_cache[key] = cached
+        return cached
 
     def status_payload(self) -> dict:
         """Session-level portion of ``GET /status``."""

@@ -1,0 +1,450 @@
+"""The sweep-and-probe DC verification kernel.
+
+Given a DC ``φ = ¬(p₁ ∧ … ∧ pₘ)``, the kernel picks one predicate as the
+**sweep** and derives, per block of tuples sharing a left-hand value, the
+bit pattern of partners satisfying that predicate:
+
+- ``=``  — one block per distinct value, partners via one hash probe of
+  the partner column's index (a hash join over rid bitmaps);
+- ``<, ≤, >, ≥`` — blocks in value order, partners as a *cumulative*
+  union maintained by a sorted merge over the two
+  :class:`~repro.evidence.indexes.RangeIndex` value lists, so the total
+  union work is linear in the number of distinct values instead of
+  quadratic;
+- ``≠``  — one block per distinct value, partners as the complement of
+  one equality probe.
+
+The remaining predicates are refined per tuple, but only for tuples whose
+sweep block is non-empty, with early exit once the partner set drains and
+a per-scan probe cache keyed ``(position, op, value)`` — tuples sharing
+values share probes.  A single-predicate DC needs no per-tuple work at
+all: each block contributes ``|T|·|B| − |T∩B|`` ordered violating pairs
+by pure popcount arithmetic.
+
+NaN follows the engine-wide total order (NaN = NaN, NaN greater than
+every number), mirroring
+:meth:`~repro.predicates.space.PredicateSpace.evidence_of_pair` and the
+NaN side-bitmaps of :class:`~repro.evidence.indexes.RangeIndex`, so the
+kernel agrees with the evidence pipeline on every pair (the differential
+suite in ``tests/test_verification.py`` asserts exactly that).
+
+Work accounting: every scan tallies ``verification.*`` counters both on
+the active probe (when a discoverer operation is running) and on the
+verifier's own :attr:`Verifier.counters`, so benchmarks can compare the
+kernel's probe operations against the per-tuple IncDC plan without any
+instrumentation plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.dcs.denial_constraint import DenialConstraint
+from repro.dcs.violations import partners_satisfying
+from repro.evidence.indexes import ColumnIndexes
+from repro.observability.probe import get_probe
+from repro.predicates.operator import Operator
+from repro.relational.relation import Relation
+
+Pair = Tuple[int, int]
+
+#: Plan kinds, in preference order: equality blocks are the most
+#: selective, order sweeps amortize to linear, a ≠ sweep still skips the
+#: sweep predicate's per-tuple probes.
+_PLAN_EQ = "eq-sweep"
+_PLAN_ORDER = "order-sweep"
+_PLAN_NE = "ne-sweep"
+_PLAN_PROBE = "probe-sweep"
+_PLAN_TRIVIAL = "trivial"
+
+
+class VerificationResult:
+    """Outcome of one :meth:`Verifier.verify` call."""
+
+    __slots__ = ("mask", "dc", "holds", "n_violations", "truncated", "pairs", "plan")
+
+    def __init__(self, mask, dc, n_violations, truncated, pairs, plan):
+        self.mask = mask
+        self.dc = dc
+        self.holds = n_violations == 0
+        self.n_violations = n_violations
+        #: True when counting stopped at ``limit`` before the scan
+        #: finished — ``n_violations`` is then a lower bound.
+        self.truncated = truncated
+        self.pairs = pairs
+        self.plan = plan
+
+    def __repr__(self) -> str:
+        verdict = "holds" if self.holds else f"{self.n_violations} violations"
+        return f"VerificationResult({self.dc}, {verdict}, plan={self.plan})"
+
+
+class Verifier:
+    """Near-linear DC checking over one relation and its column indexes.
+
+    The verifier is read-only: it probes the indexes exactly like the
+    serving layer does and never mutates relation, indexes, or evidence.
+    ``space`` is only needed for the mask-based entry points
+    (:meth:`has_violation`, :meth:`is_minimal`).
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        indexes: ColumnIndexes,
+        space=None,
+    ):
+        self.relation = relation
+        self.indexes = indexes
+        self.space = space
+        #: Cumulative ``verification.*`` work counters of this instance.
+        self.counters: dict = {}
+
+    # -- public API -------------------------------------------------------
+
+    def verify(
+        self,
+        dc: DenialConstraint,
+        limit: Optional[int] = None,
+        sample: Optional[int] = 0,
+    ) -> VerificationResult:
+        """Check ``dc``; count violating ordered pairs up to ``limit``.
+
+        :param limit: stop counting once this many violations are found
+            (``None`` = exact count).  The validity verdict is always
+            exact — a DC only *holds* when the full sweep finds nothing.
+        :param sample: collect at most this many violating pairs into the
+            result (``None`` = all counted pairs; default 0 = none).
+        """
+        return self._scan(dc, limit=limit, sample=sample)
+
+    def holds(self, dc: DenialConstraint) -> bool:
+        """Decision variant: first violation wins, one-sided early exit."""
+        return self._scan(dc, limit=1, sample=0).holds
+
+    def count_violations(self, dc: DenialConstraint, limit: Optional[int] = None) -> int:
+        """Number of ordered violating pairs (exact when ``limit`` is None)."""
+        return self._scan(dc, limit=limit, sample=0).n_violations
+
+    def violating_pairs(
+        self, dc: DenialConstraint, limit: Optional[int] = None
+    ) -> List[Pair]:
+        """The ordered violating pairs themselves, up to ``limit``."""
+        return self._scan(dc, limit=limit, sample=None).pairs
+
+    def has_violation(self, mask: int, dc=None) -> bool:
+        """Mask-based decision (the enumeration-pruning entry point).
+
+        The empty mask denies every tuple pair, so it is violated exactly
+        when an ordered pair exists at all.
+        """
+        constraint = dc if dc is not None else self._constraint_of(mask)
+        return not self._scan(constraint, limit=1, sample=0).holds
+
+    def is_minimal(self, mask: int) -> bool:
+        """Whether a *valid* DC is minimal: every one-predicate-removed
+        subset must itself be violated (otherwise the subset is a valid,
+        strictly more general DC)."""
+        self._tally({"minimality_checks": 1})
+        bits = mask
+        while bits:
+            low = bits & -bits
+            bits ^= low
+            if not self.has_violation(mask & ~low):
+                return False
+        return True
+
+    def probe_operations(self) -> int:
+        """Total probe-equivalent work so far: index probes plus sweep
+        merge steps (the unit ``benchmarks/bench_verification.py``
+        compares against the per-tuple plan's index probes)."""
+        return self.counters.get("verification.index_probes", 0) + self.counters.get(
+            "verification.sweep_steps", 0
+        )
+
+    # -- plan selection ---------------------------------------------------
+
+    def _constraint_of(self, mask: int) -> DenialConstraint:
+        if self.space is None:
+            raise ValueError("mask-based verification needs a predicate space")
+        return DenialConstraint(mask, self.space)
+
+    def _distinct(self, position: int) -> int:
+        range_index = self.indexes.ranges[position]
+        if range_index is not None:
+            return len(range_index)
+        return len(self.indexes.equality[position])
+
+    def _select_plan(self, predicates) -> Tuple[str, object]:
+        equalities = [p for p in predicates if p.op is Operator.EQ]
+        if equalities:
+            # The most selective equality (most distinct lhs values →
+            # smallest blocks) minimizes per-tuple refinement work.
+            return _PLAN_EQ, max(
+                equalities, key=lambda p: self._distinct(p.lhs_position)
+            )
+        orders = [
+            p
+            for p in predicates
+            if p.op.is_order
+            and self.indexes.ranges[p.lhs_position] is not None
+            and self.indexes.ranges[p.rhs_position] is not None
+        ]
+        if orders:
+            return _PLAN_ORDER, orders[0]
+        inequalities = [p for p in predicates if p.op is Operator.NE]
+        if inequalities:
+            return _PLAN_NE, inequalities[0]
+        # Degenerate (e.g. an order predicate whose range index is gone):
+        # still sweep distinct values, partner sets via one generic probe.
+        return _PLAN_PROBE, predicates[0]
+
+    # -- sweep block generators -------------------------------------------
+    #
+    # Each yields ``(tuple_bits, partner_bits, probe_cost)``: the rids
+    # sharing one sweep value, the rids satisfying the sweep predicate
+    # against that value, and the index work the block cost.  Tuple sets
+    # are disjoint and cover every alive row, so each ordered violating
+    # pair is found exactly once (in the block of its first tuple).
+
+    def _eq_blocks(self, predicate) -> Iterator[Tuple[int, int, int]]:
+        lhs, rhs = predicate.lhs_position, predicate.rhs_position
+        a_range = self.indexes.ranges[lhs]
+        b_range = self.indexes.ranges[rhs]
+        if a_range is not None and b_range is not None:
+            entries = b_range.entries
+            for value in a_range.values:
+                yield a_range.entries[value], entries.get(value, 0), 1
+            if a_range.nan_bits:
+                yield a_range.nan_bits, b_range.nan_bits, 1
+        else:
+            a_eq = self.indexes.equality[lhs]
+            b_eq = self.indexes.equality[rhs]
+            for value in sorted(a_eq.entries):
+                yield a_eq.entries[value], b_eq.probe(value), 1
+
+    def _ne_blocks(self, predicate) -> Iterator[Tuple[int, int, int]]:
+        lhs, rhs = predicate.lhs_position, predicate.rhs_position
+        indexed = self.indexes.indexed_bits
+        a_range = self.indexes.ranges[lhs]
+        b_range = self.indexes.ranges[rhs]
+        if a_range is not None and b_range is not None:
+            entries = b_range.entries
+            for value in a_range.values:
+                yield a_range.entries[value], indexed & ~entries.get(value, 0), 1
+            if a_range.nan_bits:
+                yield a_range.nan_bits, indexed & ~b_range.nan_bits, 1
+        else:
+            a_eq = self.indexes.equality[lhs]
+            b_eq = self.indexes.equality[rhs]
+            for value in sorted(a_eq.entries):
+                yield a_eq.entries[value], indexed & ~b_eq.probe(value), 1
+
+    def _generic_blocks(self, predicate) -> Iterator[Tuple[int, int, int]]:
+        """Fallback sweep: one :func:`partners_satisfying` probe per
+        distinct lhs value (correct for every operator, linear probes)."""
+        lhs, rhs = predicate.lhs_position, predicate.rhs_position
+        converse = predicate.op.converse
+        a_range = self.indexes.ranges[lhs]
+        if a_range is not None:
+            for value in a_range.values:
+                yield a_range.entries[value], partners_satisfying(
+                    self.indexes, rhs, converse, value
+                ), 1
+            if a_range.nan_bits:
+                yield a_range.nan_bits, partners_satisfying(
+                    self.indexes, rhs, converse, float("nan")
+                ), 1
+        else:
+            a_eq = self.indexes.equality[lhs]
+            for value in sorted(a_eq.entries):
+                yield a_eq.entries[value], partners_satisfying(
+                    self.indexes, rhs, converse, value
+                ), 1
+
+    def _order_blocks(self, predicate) -> Iterator[Tuple[int, int, int]]:
+        op = predicate.op
+        a = self.indexes.ranges[predicate.lhs_position]
+        b = self.indexes.ranges[predicate.rhs_position]
+        indexed = self.indexes.indexed_bits
+        b_values = b.values
+        b_entries = b.entries
+        n = len(b_values)
+        if op in (Operator.GT, Operator.GE):
+            # Partner must be strictly smaller (GT) / no greater (GE):
+            # ascending sweep, cumulative union of smaller partner values.
+            cumulative = 0
+            j = 0
+            for value in a.values:
+                steps = 1
+                while j < n and b_values[j] < value:
+                    cumulative |= b_entries[b_values[j]]
+                    j += 1
+                    steps += 1
+                partners = cumulative
+                if op is Operator.GE:
+                    partners |= b_entries.get(value, 0)
+                    steps += 1
+                yield a.entries[value], partners, steps
+            if a.nan_bits:
+                # u.B < NaN ⇔ u.B is a number; u.B ≤ NaN ⇔ always.
+                partners = indexed if op is Operator.GE else indexed & ~b.nan_bits
+                yield a.nan_bits, partners, 1
+        else:  # LT, LE: descending sweep; NaN partners are greater than all
+            cumulative = b.nan_bits
+            k = n - 1
+            for value in reversed(a.values):
+                steps = 1
+                while k >= 0 and b_values[k] > value:
+                    cumulative |= b_entries[b_values[k]]
+                    k -= 1
+                    steps += 1
+                partners = cumulative
+                if op is Operator.LE:
+                    partners |= b_entries.get(value, 0)
+                    steps += 1
+                yield a.entries[value], partners, steps
+            if a.nan_bits:
+                # u.B > NaN ⇔ never; u.B ≥ NaN ⇔ u.B is NaN.
+                yield a.nan_bits, b.nan_bits if op is Operator.LE else 0, 1
+
+    # -- the scan ---------------------------------------------------------
+
+    def _scan(self, dc, limit: Optional[int], sample: Optional[int]) -> VerificationResult:
+        predicates = dc.predicates
+        if not predicates:
+            return self._scan_trivial(dc, limit, sample)
+        plan_kind, sweep = self._select_plan(predicates)
+        rest = tuple(p for p in predicates if p is not sweep)
+        if plan_kind == _PLAN_EQ:
+            blocks = self._eq_blocks(sweep)
+        elif plan_kind == _PLAN_ORDER:
+            blocks = self._order_blocks(sweep)
+        elif plan_kind == _PLAN_NE:
+            blocks = self._ne_blocks(sweep)
+        else:
+            blocks = self._generic_blocks(sweep)
+
+        tally = {
+            "checks": 1,
+            "sweep_blocks": 0,
+            "sweep_steps": 0,
+            "index_probes": 0,
+            "probe_cache_hits": 0,
+            "tuples_refined": 0,
+        }
+        relation = self.relation
+        probe_cache: dict = {}
+        count = 0
+        truncated = False
+        pairs: List[Pair] = []
+        collect_all = sample is None
+
+        for tuple_bits, partner_bits, cost in blocks:
+            tally["sweep_blocks"] += 1
+            tally["sweep_steps"] += cost
+            if not tuple_bits or not partner_bits:
+                continue
+            if not rest and not collect_all and len(pairs) >= (sample or 0):
+                # Pure arithmetic: no pairs wanted from this block.
+                block_count = (
+                    tuple_bits.bit_count() * partner_bits.bit_count()
+                    - (tuple_bits & partner_bits).bit_count()
+                )
+                count += block_count
+                if limit is not None and count >= limit:
+                    truncated = True
+                    count = limit
+                    break
+                continue
+            bits = tuple_bits
+            stop = False
+            while bits:
+                low = bits & -bits
+                bits ^= low
+                partners = partner_bits & ~low
+                if partners and rest:
+                    tally["tuples_refined"] += 1
+                    row = relation.row(low.bit_length() - 1)
+                    for predicate in rest:
+                        key = (
+                            predicate.rhs_position,
+                            predicate.op,
+                            row[predicate.lhs_position],
+                        )
+                        cached = probe_cache.get(key)
+                        if cached is None:
+                            cached = partners_satisfying(
+                                self.indexes,
+                                predicate.rhs_position,
+                                predicate.op.converse,
+                                row[predicate.lhs_position],
+                            )
+                            probe_cache[key] = cached
+                            tally["index_probes"] += 1
+                        else:
+                            tally["probe_cache_hits"] += 1
+                        partners &= cached
+                        if not partners:
+                            break
+                if not partners:
+                    continue
+                count += partners.bit_count()
+                if collect_all or len(pairs) < sample:
+                    rid = low.bit_length() - 1
+                    partner_bits_left = partners
+                    while partner_bits_left:
+                        partner_low = partner_bits_left & -partner_bits_left
+                        partner_bits_left ^= partner_low
+                        pairs.append((rid, partner_low.bit_length() - 1))
+                        if not collect_all and len(pairs) >= sample:
+                            break
+                if limit is not None and count >= limit:
+                    truncated = True
+                    count = limit
+                    stop = True
+                    break
+            if stop:
+                break
+
+        tally["violations_found"] = count
+        self._tally(tally)
+        if collect_all or (sample and len(pairs) > count):
+            pairs = pairs[:count]
+        return VerificationResult(
+            dc.mask, dc, count, truncated, pairs, f"{plan_kind}({sweep})"
+        )
+
+    def _scan_trivial(self, dc, limit: Optional[int], sample: Optional[int]) -> VerificationResult:
+        """The empty predicate set: every ordered pair is a violation."""
+        n = len(self.relation)
+        total = n * (n - 1)
+        count = total if limit is None else min(total, limit)
+        truncated = limit is not None and total > limit
+        wanted = count if sample is None else min(sample, count)
+        pairs: List[Pair] = []
+        if wanted:
+            rids = list(self.relation.rids())
+            for rid_t in rids:
+                for rid_u in rids:
+                    if rid_t != rid_u:
+                        pairs.append((rid_t, rid_u))
+                        if len(pairs) >= wanted:
+                            break
+                if len(pairs) >= wanted:
+                    break
+        self._tally({"checks": 1, "violations_found": count})
+        return VerificationResult(dc.mask, dc, count, truncated, pairs, _PLAN_TRIVIAL)
+
+    # -- accounting -------------------------------------------------------
+
+    def _tally(self, amounts: dict) -> None:
+        probe = get_probe()
+        counters = self.counters
+        for name, amount in amounts.items():
+            if not amount:
+                continue
+            key = f"verification.{name}"
+            counters[key] = counters.get(key, 0) + amount
+            if probe is not None:
+                probe.inc(key, amount)

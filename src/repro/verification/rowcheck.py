@@ -1,0 +1,45 @@
+"""Memoized index probing for admission checks.
+
+``POST /check`` evaluates one candidate row against *every* tracked DC.
+DCs overlap heavily in their predicates (a minimal cover shares columns
+by construction), so the same ``(column, operator, value)`` probe is
+issued many times per check.  :class:`ProbeCache` deduplicates them for
+the duration of one check: probes are pure reads of an immutable snapshot,
+so memoizing is safe and the cache is simply dropped afterwards.
+"""
+
+from __future__ import annotations
+
+from repro.dcs.violations import partners_satisfying
+from repro.evidence.indexes import ColumnIndexes
+
+
+class ProbeCache:
+    """Per-check memo of :func:`~repro.dcs.violations.partners_satisfying`.
+
+    Bind one instance per admission check and pass its :meth:`partners`
+    as the ``probes`` callable of
+    :func:`~repro.dcs.violations.violating_partners_for_row`; all DCs of
+    the check then share one probe per distinct key.
+    """
+
+    __slots__ = ("indexes", "_cache", "lookups", "misses")
+
+    def __init__(self, indexes: ColumnIndexes):
+        self.indexes = indexes
+        self._cache: dict = {}
+        #: Total probe requests routed through the cache.
+        self.lookups = 0
+        #: Requests that actually hit the indexes (unique probe keys).
+        self.misses = 0
+
+    def partners(self, position: int, op, value) -> int:
+        """Rid bits satisfying ``column[position] op value``, memoized."""
+        self.lookups += 1
+        key = (position, op, value)
+        bits = self._cache.get(key)
+        if bits is None:
+            bits = partners_satisfying(self.indexes, position, op, value)
+            self._cache[key] = bits
+            self.misses += 1
+        return bits

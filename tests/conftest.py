@@ -2,13 +2,27 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.durability.faults import get_injector
 from repro.relational import relation_from_rows
 from repro.workloads import staff_relation
+
+# Hypothesis budgets.  Tests that pin max_examples keep their pin; tests
+# that only set deadline=None (the differential verification suites)
+# inherit the active profile, so the dedicated CI job can re-run them
+# with a 10x example budget via HYPOTHESIS_PROFILE=verification.
+hypothesis_settings.register_profile("default", max_examples=30, deadline=None)
+hypothesis_settings.register_profile(
+    "verification", max_examples=300, deadline=None
+)
+hypothesis_settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "default")
+)
 
 
 @pytest.fixture

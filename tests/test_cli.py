@@ -54,6 +54,95 @@ def test_discover_insert_delete_rank_cycle(staff_csv, tmp_path, capsys):
     assert "score=" in out
 
 
+class TestVerifyCommand:
+    def test_exit_zero_when_all_hold(self, staff_csv, capsys):
+        assert (
+            main(
+                [
+                    "verify",
+                    str(staff_csv),
+                    "--dc",
+                    "!(t.Id = t'.Id)",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "holds" in out
+        assert "1/1 constraints hold" in out
+
+    def test_exit_one_with_violating_pairs(self, staff_csv, capsys):
+        assert (
+            main(
+                [
+                    "verify",
+                    str(staff_csv),
+                    "--dc",
+                    "!(t.Name = t'.Name)",  # two Anas
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out and "2 pairs" in out
+        assert "t0 ⋈ t2" in out
+
+    def test_dcs_file_with_comments(self, staff_csv, tmp_path, capsys):
+        dcs_file = tmp_path / "rules.txt"
+        dcs_file.write_text(
+            "# keys\n!(t.Id = t'.Id)\n\n!(t.Name = t'.Name)\n"
+        )
+        assert (
+            main(["verify", str(staff_csv), "--dcs-file", str(dcs_file)]) == 1
+        )
+        out = capsys.readouterr().out
+        assert "1/2 constraints hold" in out
+
+    def test_requires_constraints(self, staff_csv, capsys):
+        assert main(["verify", str(staff_csv)]) == 2
+        assert "pass --dc" in capsys.readouterr().err
+
+    def test_unparseable_dc_is_usage_error(self, staff_csv, capsys):
+        assert (
+            main(["verify", str(staff_csv), "--dc", "!(t.Nope = t'.Nope)"])
+            == 2
+        )
+        assert "verify:" in capsys.readouterr().err
+
+    def test_saved_state_resumes_incrementally(self, staff_csv, tmp_path, capsys):
+        state = tmp_path / "verify.state.json"
+        assert (
+            main(
+                [
+                    "verify",
+                    str(staff_csv),
+                    "--dc",
+                    "!(t.Id = t'.Id)",
+                    "--state",
+                    str(state),
+                ]
+            )
+            == 0
+        )
+        assert state.exists()
+        # The saved verify-mode state maintains verdicts through the
+        # ordinary insert command: a duplicate Id flips the constraint.
+        import csv as csv_module
+
+        new_rows = tmp_path / "dup.csv"
+        with open(new_rows, "w", newline="") as handle:
+            writer = csv_module.writer(handle)
+            writer.writerow(["Id", "Name", "Hired", "Level", "Mgr"])
+            writer.writerow((1, "Dup", 2003, 1, 1))
+        assert main(["insert", str(new_rows), "--state", str(state)]) == 0
+        from repro.core.state_io import load_state
+
+        restored = load_state(state)
+        assert restored.mode == "verify"
+        report = restored.verification_report()
+        assert report["n_violated"] == 1
+
+
 def test_datasets_listing(capsys):
     assert main(["datasets"]) == 0
     out = capsys.readouterr().out

@@ -67,6 +67,85 @@ class TestRangeIndex:
         assert index.eq_gt(5) == (0, 0)
         assert len(index) == 0
 
+    def test_remove_to_empty_and_reprobe(self):
+        """Draining the index leaves a probeable empty structure whose
+        checkpoints rebuild to nothing (no stale suffix bitmap)."""
+        index = RangeIndex(step=2)
+        values = {0: 4, 1: 7, 2: 4}
+        for rid, value in values.items():
+            index.add(rid, value)
+        assert index.eq_gt(4) == (0b101, 0b010)  # force a rebuild first
+        for rid, value in values.items():
+            index.remove(rid, value)
+        assert len(index) == 0
+        assert index.values == [] and index.entries == {}
+        for probe in (-1, 4, 7, 100):
+            assert index.eq_gt(probe) == (0, 0), probe
+
+    def test_readd_after_drain(self):
+        """Values re-added after a full drain probe correctly — the
+        rebuilt checkpoints reflect only the second population."""
+        index = RangeIndex(step=2)
+        for rid, value in [(0, 1), (1, 2), (2, 3)]:
+            index.add(rid, value)
+        index.eq_gt(0)  # rebuild on the first population
+        for rid, value in [(0, 1), (1, 2), (2, 3)]:
+            index.remove(rid, value)
+        second = {3: 2, 4: 9, 5: 2}
+        for rid, value in second.items():
+            index.add(rid, value)
+        for probe in (0, 1, 2, 3, 9, 10):
+            assert index.eq_gt(probe) == self._reference(second, probe), probe
+
+    def test_duplicates_straddling_checkpoint_boundary(self):
+        """Duplicate values landing exactly at a checkpoint position must
+        union into the checkpoint once, not per-rid: many rids share few
+        distinct values, so positions (which index *distinct* values) and
+        rids diverge."""
+        step = 4
+        index = RangeIndex(step=step)
+        values_by_rid = {}
+        rid = 0
+        # 10 distinct values (2.5 checkpoint blocks), each held by 3 rids,
+        # so every block boundary has a duplicated value on both sides.
+        for value in range(10):
+            for _ in range(3):
+                values_by_rid[rid] = value
+                index.add(rid, value)
+                rid += 1
+        for probe in range(-1, 11):
+            assert index.eq_gt(probe) == self._reference(values_by_rid, probe)
+        # Remove one rid of a boundary value (position step-1 and step):
+        # the value keeps its other holders and the checkpoints re-union.
+        for victim_value in (step - 1, step):
+            victim_rid = next(
+                r for r, v in values_by_rid.items() if v == victim_value
+            )
+            index.remove(victim_rid, values_by_rid.pop(victim_rid))
+            for probe in range(-1, 11):
+                assert index.eq_gt(probe) == self._reference(
+                    values_by_rid, probe
+                )
+
+    def test_nan_rids_survive_drain_of_numbers(self):
+        """NaN lives in the side bitmap: removing every number leaves the
+        NaN rids probeable (NaN = NaN, NaN > every number)."""
+        nan = float("nan")
+        index = RangeIndex(step=2)
+        index.add(0, 1.5)
+        index.add(1, nan)
+        index.add(2, nan)
+        assert index.eq_gt(1.5) == (0b001, 0b110)
+        assert index.eq_gt(nan) == (0b110, 0)
+        index.remove(0, 1.5)
+        assert len(index) == 1  # the NaN class
+        assert index.eq_gt(0.0) == (0, 0b110)
+        assert index.eq_gt(nan) == (0b110, 0)
+        index.remove(1, nan)
+        index.remove(2, nan)
+        assert len(index) == 0
+        assert index.eq_gt(nan) == (0, 0)
+
     def test_invalid_step(self):
         with pytest.raises(ValueError):
             RangeIndex(step=0)

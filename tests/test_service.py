@@ -205,6 +205,47 @@ class TestEndpoints:
             client.check([1, "A", 2000, 1, 1], dcs=["!(t.Nope = t'.Nope)"])
         assert excinfo.value.status == 400
 
+    def test_check_reports_probe_cache(self, client):
+        payload = client.check([1, "Ana", 1990, 9, 9])
+        probes = payload["probes"]
+        assert 0 < probes["unique"] <= probes["lookups"]
+
+    def test_unsupported_probe_is_400_not_500(self, service, client):
+        """Regression: an order-op probe that the snapshot's indexes
+        cannot answer (range index gone, e.g. a degraded clone) used to
+        escape as a bare ValueError and a 500; it must be a 400."""
+        snapshot = service.snapshot
+        position = next(
+            i
+            for i, column in enumerate(snapshot.relation.schema)
+            if column.name == "Hired"
+        )
+        snapshot.indexes.ranges[position] = None
+        with pytest.raises(ServiceError) as excinfo:
+            client.check(
+                [9, "Zoe", 1990, 9, 9], dcs=["!(t.Hired > t'.Hired)"]
+            )
+        assert excinfo.value.status == 400
+        assert "unsupported DC" in str(excinfo.value)
+
+    def test_verify_endpoint(self, client):
+        payload = client.verify()
+        assert payload["seq"] == 0
+        assert payload["n_constraints"] == len(client.dcs()["masks"])
+        # A discover-mode session's Σ holds on its own data by definition.
+        assert payload["n_violated"] == 0
+        assert payload["total_violations"] == 0
+        assert payload["probe_operations"] > 0
+        plans = {
+            entry["plan"].split("(")[0] for entry in payload["constraints"]
+        }
+        assert plans <= {"eq-sweep", "order-sweep", "ne-sweep", "probe-sweep"}
+        capped = client.verify(limit=1)
+        assert capped["limit"] == 1
+        with pytest.raises(ServiceError) as excinfo:
+            client.verify(limit=0)
+        assert excinfo.value.status == 400
+
     def test_unknown_endpoint_is_404(self, client):
         with pytest.raises(ServiceError) as excinfo:
             client._request("GET", "/nope")
@@ -229,6 +270,49 @@ class TestEndpoints:
 
 
 # -- concurrency correctness ------------------------------------------------
+
+
+class TestVerifyModeService:
+    def test_fixed_sigma_verdicts_follow_writes(self, tmp_path):
+        """A verify-mode session serves /verify over a fixed Σ; repairing
+        the data through the write endpoints flips the verdicts."""
+        relation = relation_from_rows(
+            ["City", "State", "Salary"],
+            [
+                ("LA", "CA", 100),
+                ("SF", "CA", 120),
+                ("NY", "NY", 90),
+                ("LA", "WA", 50),
+            ],
+        )
+        discoverer = DCDiscoverer(
+            relation,
+            mode="verify",
+            constraints=[
+                "!(t.City = t'.City & t.State != t'.State)",
+                "!(t.Salary > t'.Salary & t.State = t'.State)",
+            ],
+            cross_column_ratio=0.0,
+        )
+        session = DurableSession.create(discoverer, tmp_path / "verify-session")
+        service = DCService(session, ServiceConfig(port=0, batch_window_ms=2.0))
+        service.start()
+        try:
+            client = ServiceClient(base_url=service.url, timeout=10.0)
+            client.wait_ready()
+            payload = client.verify()
+            assert payload["n_constraints"] == 2
+            assert payload["n_violated"] == 2
+            sample = payload["constraints"][0]["sample_pairs"]
+            assert sample and all(len(pair) == 2 for pair in sample)
+            client.delete([3])  # the LA/WA row: City rule now holds
+            assert client.verify()["n_violated"] == 1
+            client.delete([1])  # the top CA salary: Σ fully holds
+            repaired = client.verify()
+            assert repaired["n_violated"] == 0
+            assert repaired["total_violations"] == 0
+        finally:
+            service.shutdown()
 
 
 class TestConcurrency:

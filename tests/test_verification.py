@@ -1,0 +1,425 @@
+"""Differential tests of the sweep-and-probe verification kernel.
+
+The kernel (:mod:`repro.verification`) must agree *byte-identically* with
+the two pre-existing violation detectors on every relation and DC:
+
+- :func:`repro.dcs.violations.find_violations` — the quadratic
+  ordered-pair oracle;
+- :func:`repro.dcs.violations.violating_partners` — the per-tuple IncDC
+  probe plan, checked row by row.
+
+Hypothesis generates the relations (categorical, integer, and float
+columns — NaN included, exercising the engine-wide NaN total order) and a
+seeded RNG draws DC masks from the predicate space.  The heavy suites
+carry the ``verification`` marker; the dedicated CI job re-runs them
+under the high-budget Hypothesis profile (see ``tests/conftest.py``).
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DCDiscoverer, relation_from_rows
+from repro.core.state_io import state_to_bytes, state_to_dict
+from repro.dcs.denial_constraint import DenialConstraint
+from repro.dcs.violations import find_violations, violating_partners
+from repro.enumeration.dynamic import dynei_delete
+from repro.evidence.indexes import ColumnIndexes
+from repro.predicates import build_predicate_space
+from repro.verification import ProbeCache, Verifier
+
+NAN = float("nan")
+
+# Tight domains so ties, violations, and NaN collisions all occur.
+row_strategy = st.tuples(
+    st.integers(0, 3),
+    st.sampled_from("ab"),
+    st.sampled_from([0.0, 1.5, 2.0, 7.25, NAN]),
+)
+rows_strategy = st.lists(row_strategy, min_size=2, max_size=12)
+
+
+def _fixture(rows):
+    relation = relation_from_rows(["A", "B", "C"], rows)
+    space = build_predicate_space(relation, cross_column_ratio=0.0)
+    return relation, space, ColumnIndexes(relation)
+
+
+def _draw_masks(rng, space, count=6, max_width=3):
+    bits = list(range(space.n_bits))
+    masks = set()
+    for _ in range(count):
+        mask = 0
+        for bit in rng.sample(bits, rng.randint(1, min(max_width, len(bits)))):
+            mask |= 1 << bit
+        masks.add(mask)
+    return sorted(masks)
+
+
+def _partner_bits(oracle, rid):
+    as_first = 0
+    as_second = 0
+    for first, second in oracle:
+        if first == rid:
+            as_first |= 1 << second
+        if second == rid:
+            as_second |= 1 << first
+    return as_first, as_second
+
+
+@pytest.mark.verification
+@given(rows=rows_strategy, seed=st.integers(0, 10**9))
+@settings(deadline=None)
+def test_kernel_matches_oracle(rows, seed):
+    """verify() reproduces the ordered-pair oracle exactly: same pairs,
+    same count, same verdict — for every plan the selector picks."""
+    relation, space, indexes = _fixture(rows)
+    verifier = Verifier(relation, indexes, space)
+    rng = random.Random(seed)
+    for mask in _draw_masks(rng, space):
+        dc = DenialConstraint(mask, space)
+        oracle = sorted(find_violations(dc, relation))
+        result = verifier.verify(dc, sample=None)
+        assert sorted(result.pairs) == oracle, (dc, result.plan)
+        assert result.n_violations == len(oracle)
+        assert result.holds == (not oracle)
+        assert not result.truncated
+        # The capped scan is a prefix-exact lower bound.
+        if oracle:
+            cap = rng.randint(1, len(oracle) + 1)
+            capped = verifier.verify(dc, limit=cap)
+            assert capped.n_violations == min(cap, len(oracle))
+            if not capped.truncated:
+                assert capped.n_violations == len(oracle)
+            assert not capped.holds
+
+
+@pytest.mark.verification
+@given(rows=rows_strategy, seed=st.integers(0, 10**9))
+@settings(deadline=None)
+def test_kernel_matches_per_tuple_plan(rows, seed):
+    """For every generated row, the kernel's pair set projects to exactly
+    the per-tuple IncDC probe plan's (as_first, as_second) bits."""
+    relation, space, indexes = _fixture(rows)
+    verifier = Verifier(relation, indexes, space)
+    rng = random.Random(seed)
+    for mask in _draw_masks(rng, space, count=4):
+        dc = DenialConstraint(mask, space)
+        pairs = verifier.violating_pairs(dc)
+        for rid in relation.rids():
+            expected = _partner_bits(pairs, rid)
+            assert violating_partners(dc, relation, indexes, rid) == expected
+
+
+@pytest.mark.verification
+@given(rows=rows_strategy, row=row_strategy, seed=st.integers(0, 10**9))
+@settings(deadline=None)
+def test_admission_check_matches_pairwise_eval(rows, row, seed):
+    """violating_partners_for_row on a candidate row (not in the
+    relation) agrees with direct pairwise evaluation, with and without a
+    shared ProbeCache."""
+    from repro.dcs.violations import violating_partners_for_row
+
+    relation, space, indexes = _fixture(rows)
+    rng = random.Random(seed)
+    cache = ProbeCache(indexes)
+    for mask in _draw_masks(rng, space, count=4):
+        dc = DenialConstraint(mask, space)
+        expect_first = 0
+        expect_second = 0
+        for rid in relation.rids():
+            other = relation.row(rid)
+            if not dc.holds_on_pair(row, other):
+                expect_first |= 1 << rid
+            if not dc.holds_on_pair(other, row):
+                expect_second |= 1 << rid
+        assert violating_partners_for_row(dc, row, indexes) == (
+            expect_first,
+            expect_second,
+        )
+        assert violating_partners_for_row(
+            dc, row, indexes, probes=cache.partners
+        ) == (expect_first, expect_second)
+    assert cache.misses <= cache.lookups
+
+
+class TestPlans:
+    """Every plan kind is reachable and correct on a crafted relation."""
+
+    def _fixture(self):
+        rows = [
+            (1, "a", 1.0),
+            (1, "b", 2.0),
+            (2, "a", NAN),
+            (2, "a", 2.0),
+            (3, "c", 0.5),
+        ]
+        return _fixture(rows)
+
+    def _dc(self, space, text):
+        from repro.predicates.parser import parse_dc
+
+        return DenialConstraint(parse_dc(text, space), space)
+
+    def _check(self, verifier, relation, dc, expect_plan):
+        result = verifier.verify(dc, sample=None)
+        assert result.plan.startswith(expect_plan), result.plan
+        assert sorted(result.pairs) == sorted(find_violations(dc, relation))
+        return result
+
+    def test_eq_sweep(self):
+        relation, space, indexes = self._fixture()
+        verifier = Verifier(relation, indexes, space)
+        dc = self._dc(space, "!(t.A = t'.A & t.B != t'.B)")
+        self._check(verifier, relation, dc, "eq-sweep")
+
+    def test_order_sweep_all_operators(self):
+        relation, space, indexes = self._fixture()
+        verifier = Verifier(relation, indexes, space)
+        for op in ("<", "<=", ">", ">="):
+            dc = self._dc(space, f"!(t.C {op} t'.C)")
+            self._check(verifier, relation, dc, "order-sweep")
+
+    def test_ne_sweep(self):
+        relation, space, indexes = self._fixture()
+        verifier = Verifier(relation, indexes, space)
+        dc = self._dc(space, "!(t.B != t'.B)")
+        self._check(verifier, relation, dc, "ne-sweep")
+
+    def test_probe_sweep_on_degraded_index(self):
+        """An order predicate whose *lhs* range index is gone falls back
+        to the generic probe sweep (equality entries swept, rhs probed) —
+        still byte-identical to the oracle."""
+        relation, space, indexes = self._fixture()
+        dc = self._dc(space, "!(t.A >= t'.C)")
+        indexes.ranges[relation.schema.position("A")] = None
+        verifier = Verifier(relation, indexes, space)
+        result = verifier.verify(dc, sample=None)
+        assert result.plan.startswith("probe-sweep"), result.plan
+        assert sorted(result.pairs) == sorted(find_violations(dc, relation))
+
+    def test_trivial_empty_mask(self):
+        relation, space, indexes = self._fixture()
+        verifier = Verifier(relation, indexes, space)
+        n = len(relation)
+        result = verifier.verify(DenialConstraint(0, space), sample=None)
+        assert result.plan == "trivial"
+        assert result.n_violations == n * (n - 1)
+        assert len(result.pairs) == n * (n - 1)
+        assert verifier.has_violation(0)
+
+    def test_counters_accumulate(self):
+        relation, space, indexes = self._fixture()
+        verifier = Verifier(relation, indexes, space)
+        dc = self._dc(space, "!(t.A = t'.A & t.B != t'.B)")
+        verifier.verify(dc)
+        assert verifier.counters["verification.checks"] == 1
+        assert verifier.probe_operations() > 0
+
+
+class TestMinimality:
+    def test_is_minimal_matches_evidence_recheck(self, abc_factory):
+        """is_minimal agrees with the evidence-based definition: a valid
+        DC is minimal iff no one-predicate-removed subset is valid."""
+        relation = abc_factory(14, seed=3)
+        discoverer = DCDiscoverer(relation)
+        discoverer.fit()
+        space = discoverer.space
+        indexes = discoverer.engine_state.indexes
+        verifier = Verifier(relation, indexes, space)
+        for mask in discoverer.dc_masks:
+            assert verifier.is_minimal(mask)
+            # Any strict superset of a minimal valid DC is non-minimal.
+            free = space.full_mask & ~mask
+            if free:
+                extra = free & -free
+                dc = DenialConstraint(mask | extra, space)
+                if not find_violations(dc, relation, limit=1):
+                    assert not verifier.is_minimal(mask | extra)
+
+
+@pytest.mark.verification
+@given(
+    rows=st.lists(
+        st.tuples(st.integers(0, 3), st.sampled_from("ab"), st.integers(0, 2)),
+        min_size=4,
+        max_size=14,
+    ),
+    n_delete=st.integers(1, 3),
+)
+@settings(deadline=None)
+def test_verify_pruning_identical_antichain(rows, n_delete):
+    """Deletes with verify_pruning on and off produce the identical DC
+    antichain and byte-identical saved state (the kernel's minimality
+    re-check is exactly equivalent to the evidence scan)."""
+    rids = sorted(random.Random(7).sample(range(len(rows)), n_delete))
+    results = []
+    for pruning in (True, False):
+        relation = relation_from_rows(["A", "B", "C"], rows)
+        discoverer = DCDiscoverer(relation, verify_pruning=pruning)
+        discoverer.fit()
+        discoverer.delete(rids)
+        results.append((list(discoverer.dc_masks), state_to_bytes(discoverer)))
+    assert results[0] == results[1]
+
+
+def test_dynei_delete_with_verifier_matches_evidence_path(abc_factory):
+    """dynei_delete(verifier=...) returns the identical antichain to the
+    pure evidence-scan path at every step of a delete workload."""
+    relation = abc_factory(16, seed=11)
+    discoverer = DCDiscoverer(relation, verify_pruning=False)
+    discoverer.fit()
+    rng = random.Random(5)
+    exercised = 0
+    for _ in range(6):
+        alive = list(discoverer.relation.rids())
+        if len(alive) < 4:
+            break
+        rid = rng.choice(alive)
+        sigma_before = sorted(discoverer.dc_masks)
+        evidence_before = set(discoverer.evidence_set)
+        discoverer.delete([rid])  # ran the evidence-scan path
+        removed = sorted(evidence_before - set(discoverer.evidence_set))
+        # Replay the enumeration step with the verifier over the
+        # post-delete state; the antichain must come out identical.
+        verifier = Verifier(
+            discoverer.relation, discoverer.engine_state.indexes, discoverer.space
+        )
+        replayed = dynei_delete(
+            discoverer.space,
+            sigma_before,
+            removed_evidence_masks=removed,
+            remaining_evidence_masks=list(discoverer.evidence_set),
+            verifier=verifier,
+        )
+        assert replayed == sorted(discoverer.dc_masks)
+        exercised += bool(removed)
+    assert exercised, "workload never removed evidence — widen it"
+
+
+class TestVerifyMode:
+    DCS = [
+        "!(t.A = t'.A & t.B != t'.B)",
+        "!(t.C > t'.C & t.B = t'.B)",
+    ]
+
+    def _discoverer(self, rows):
+        relation = relation_from_rows(["A", "B", "C"], rows)
+        discoverer = DCDiscoverer(
+            relation, mode="verify", constraints=self.DCS, cross_column_ratio=0.0
+        )
+        discoverer.fit()
+        return discoverer
+
+    def _assert_watcher_fresh(self, discoverer):
+        """The incrementally maintained pairs equal a fresh kernel run."""
+        verifier = Verifier(
+            discoverer.relation, discoverer.engine_state.indexes, discoverer.space
+        )
+        watcher = discoverer._verify_watcher
+        for dc in watcher.dcs:
+            assert watcher.violations(dc) == set(verifier.violating_pairs(dc))
+
+    def test_lifecycle_tracks_kernel(self):
+        discoverer = self._discoverer(
+            [(1, "a", 1.0), (1, "b", 2.0), (2, "a", 1.0)]
+        )
+        report = discoverer.verification_report()
+        assert report["n_constraints"] == 2
+        assert report["n_violated"] == 1  # the A/B rule: t0 vs t1
+        self._assert_watcher_fresh(discoverer)
+        discoverer.insert([(2, "a", 0.5), (1, "a", 9.0)])
+        self._assert_watcher_fresh(discoverer)
+        discoverer.delete([1])
+        self._assert_watcher_fresh(discoverer)
+        report = discoverer.verification_report()
+        assert report["n_violated"] == 1  # C ordering within B='a'
+        assert report["mode"] == "verify"
+
+    def test_state_round_trip(self):
+        from repro.core.state_io import state_from_dict
+
+        discoverer = self._discoverer(
+            [(1, "a", 1.0), (1, "b", 2.0), (2, "a", 3.0)]
+        )
+        discoverer.insert([(3, "c", NAN)])
+        payload = state_to_dict(discoverer)
+        assert payload["config"]["mode"] == "verify"
+        restored = state_from_dict(payload)
+        assert restored.mode == "verify"
+        assert restored.dc_masks == discoverer.dc_masks
+        assert state_to_bytes(restored) == state_to_bytes(discoverer)
+        self._assert_watcher_fresh(restored)
+
+    def test_discover_state_has_no_mode_key(self, abc_factory):
+        """Discover-mode states stay byte-identical to pre-verify builds."""
+        discoverer = DCDiscoverer(abc_factory(8, seed=1))
+        discoverer.fit()
+        assert "mode" not in state_to_dict(discoverer)["config"]
+
+    def test_requires_constraints(self):
+        relation = relation_from_rows(["A"], [(1,), (2,)])
+        with pytest.raises(ValueError, match="requires constraints"):
+            DCDiscoverer(relation, mode="verify").fit()
+
+    def test_constraints_only_in_verify_mode(self):
+        relation = relation_from_rows(["A"], [(1,), (2,)])
+        with pytest.raises(ValueError, match="mode='verify'"):
+            DCDiscoverer(relation, constraints=["!(t.A = t'.A)"])
+
+    def test_out_of_space_constraint_rejected(self):
+        relation = relation_from_rows(["A"], [(1,), (2,)])
+        discoverer = DCDiscoverer(
+            relation, mode="verify", constraints=[1 << 200]
+        )
+        with pytest.raises(ValueError, match="outside the space"):
+            discoverer.fit()
+
+
+class TestProbeCache:
+    def test_deduplicates_probes(self):
+        relation = relation_from_rows(
+            ["A"], [(1,), (2,), (1,)]
+        )
+        indexes = ColumnIndexes(relation)
+        cache = ProbeCache(indexes)
+        from repro.predicates.operator import Operator
+
+        first = cache.partners(0, Operator.EQ, 1)
+        again = cache.partners(0, Operator.EQ, 1)
+        assert first == again == 0b101
+        assert cache.lookups == 2
+        assert cache.misses == 1
+
+
+def test_nan_total_order_agrees_everywhere():
+    """One NaN-heavy relation, every operator: Operator.eval, the range
+    index, and the kernel all implement the same NaN total order."""
+    from repro.predicates.operator import Operator
+
+    assert Operator.EQ.eval(NAN, NAN)
+    assert not Operator.NE.eval(NAN, NAN)
+    assert Operator.GT.eval(NAN, 5.0) and not Operator.GT.eval(5.0, NAN)
+    assert Operator.GE.eval(NAN, NAN) and Operator.LE.eval(NAN, NAN)
+    assert Operator.LT.eval(5.0, NAN) and not Operator.LT.eval(NAN, 5.0)
+
+    rows = [(NAN,), (1.0,), (NAN,), (2.0,)]
+    relation, space, indexes = (
+        relation_from_rows(["X"], rows),
+        None,
+        None,
+    )
+    space = build_predicate_space(relation)
+    indexes = ColumnIndexes(relation)
+    verifier = Verifier(relation, indexes, space)
+    from repro.predicates.parser import parse_dc
+
+    for text in ("!(t.X = t'.X)", "!(t.X > t'.X)", "!(t.X <= t'.X)"):
+        dc = DenialConstraint(parse_dc(text, space), space)
+        assert sorted(verifier.violating_pairs(dc)) == sorted(
+            find_violations(dc, relation)
+        )
+    assert math.isnan(relation.value(0, 0))
