@@ -46,6 +46,7 @@ GATE_BENCHMARKS = (
     "bench_fig5_insert_scaling.py",
     "bench_fig13_breakdown.py",
     "bench_verification.py",
+    "bench_replication.py",
 )
 GATE_RESULTS = (
     "fig5_insert_scaling.json",
@@ -53,6 +54,7 @@ GATE_RESULTS = (
     "fig13a_breakdown_static.json",
     "fig13b_breakdown_inserts.json",
     "verification_kernel.json",
+    "replication.json",
 )
 
 #: Fixed digest workloads: (dataset, delete strategy).

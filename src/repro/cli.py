@@ -424,6 +424,8 @@ def _cmd_serve(args) -> int:
 
     from repro.service import DCService, ServiceConfig
 
+    if args.follow:
+        return _serve_follower(args)
     if os.path.exists(os.path.join(args.dir, "session.json")):
         if args.csv:
             print(
@@ -485,7 +487,24 @@ def _cmd_serve(args) -> int:
             retain=args.retain,
         )
         print(f"durable session initialized in {session.directory}")
-    config = ServiceConfig(
+    config = _service_config(args)
+    service = DCService(session, config)
+    service.install_signal_handlers()
+    service.start()
+    role = "primary" if args.replicate_listen else "standalone"
+    print(f"serving on {service.url} ({role})", flush=True)
+    service.serve_forever()
+    print(
+        f"drained and stopped after {len(service.commit_log)} commits "
+        f"(state in {session.directory})"
+    )
+    return 0
+
+
+def _service_config(args):
+    from repro.service import ServiceConfig
+
+    return ServiceConfig(
         host=args.host,
         port=args.port,
         queue_depth=args.queue_depth,
@@ -494,15 +513,56 @@ def _cmd_serve(args) -> int:
         slow_trace_threshold_s=args.slow_trace_threshold,
         metrics_out=args.metrics_out,
         verification_limit=args.verify_limit,
+        replicate_listen=args.replicate_listen,
+        min_seq_wait_s=args.min_seq_wait,
     )
-    service = DCService(session, config)
+
+
+def _serve_follower(args) -> int:
+    from repro.replication import FollowerService, FollowerSession, HTTPSource
+
+    if args.csv:
+        print(
+            "serve: --follow replicates an existing primary; "
+            "a CSV cannot bootstrap a follower",
+            file=sys.stderr,
+        )
+        return 2
+    if args.verify_dcs:
+        print(
+            "serve: --verify-dcs applies to the primary; followers "
+            "inherit its mode through the replicated state",
+            file=sys.stderr,
+        )
+        return 2
+    source = HTTPSource(args.follow)
+    follower = FollowerSession.bootstrap(
+        args.dir,
+        source,
+        checkpoint_every=args.checkpoint_every,
+        retain=args.retain,
+        primary_url=args.follow,
+    )
+    if follower.session.replayed_records:
+        print(
+            f"resumed follower in {args.dir} (replayed "
+            f"{follower.session.replayed_records} WAL records)"
+        )
+    else:
+        print(
+            f"follower in {args.dir} at seq {follower.last_applied_seq}, "
+            f"tailing {args.follow}"
+        )
+    service = FollowerService(
+        follower, _service_config(args), primary_url=args.follow
+    )
     service.install_signal_handlers()
     service.start()
-    print(f"serving on {service.url}", flush=True)
+    print(f"serving reads on {service.url} (follower)", flush=True)
     service.serve_forever()
     print(
-        f"drained and stopped after {len(service.commit_log)} commits "
-        f"(state in {session.directory})"
+        f"follower stopped at seq {follower.session.last_applied_seq} "
+        f"as {service.role} (state in {follower.session.directory})"
     )
     return 0
 
@@ -797,6 +857,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="spans at least this long are kept in the flight recorder's "
         "slow ring (served at GET /debug/trace?slow=1)",
+    )
+    p.add_argument(
+        "--replicate-listen",
+        action="store_true",
+        help="serve the WAL frame feed (GET /replication/frames and "
+        "/replication/checkpoint) so followers can tail this node",
+    )
+    p.add_argument(
+        "--follow",
+        metavar="URL",
+        help="run as a read-only follower of the primary at URL: "
+        "bootstrap (or resume) a replica in --dir from its latest "
+        "checkpoint, tail its WAL, serve reads locally, answer writes "
+        "with 421 + the primary URL (POST /promote takes over)",
+    )
+    p.add_argument(
+        "--min-seq-wait",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="how long a min_seq-bounded read may wait for a fresh "
+        "enough snapshot before answering 409",
     )
     p.add_argument(
         "--metrics-out",

@@ -122,6 +122,15 @@ def collect_service(url: Optional[str], timeout: float = 5.0) -> dict:
             report[section] = call()
         except (OSError, ValueError, ServiceError) as exc:
             report[section] = {"error": str(exc)}
+    status = report.get("status", {})
+    if "error" not in status:
+        # Lift the fleet-topology facts to the top so a bundle from a
+        # failover incident says at a glance which node this was and how
+        # far behind it had fallen.
+        report["role"] = status.get("role", "primary")
+        replication = status.get("replication")
+        if isinstance(replication, dict):
+            report["replication_lag_seq"] = replication.get("lag_seq")
     return report
 
 

@@ -44,11 +44,13 @@ from repro.durability.faults import (
 )
 from repro.durability.framing import decode_records, encode_record, iter_records
 from repro.durability.session import DurableSession, SessionError
-from repro.durability.wal import WriteAheadLog
+from repro.durability.wal import TailFrame, WALReader, WriteAheadLog
 
 __all__ = [
     "DurableSession",
     "SessionError",
+    "TailFrame",
+    "WALReader",
     "WriteAheadLog",
     "CheckpointError",
     "FAULT_POINTS",

@@ -301,6 +301,72 @@ class DurableSession:
         self._next_seq += 1
         self._pending_records += 1
 
+    # -- replication (follower apply path) -------------------------------
+
+    def apply_replicated(self, record: dict, raw: bytes) -> None:
+        """Durably append a primary-framed record, then apply it.
+
+        The follower-side twin of :meth:`insert`/:meth:`delete`: same
+        log-before-apply contract, but the WAL frame is the primary's
+        bytes verbatim (:meth:`WriteAheadLog.append_frame`) instead of a
+        re-encoding, so the follower's log is byte-identical to the
+        acknowledged primary stream.  The record must be the next seq —
+        gaps mean the caller skipped history and must re-seed from a
+        checkpoint instead (:meth:`install_checkpoint`).
+        """
+        seq = record.get("seq")
+        if seq != self._next_seq:
+            raise SessionError(
+                f"replicated record seq {seq!r} does not follow "
+                f"last applied seq {self.last_applied_seq}"
+            )
+        op = record.get("op")
+        if op not in ("insert", "delete"):
+            raise SessionError(f"unknown WAL op {op!r}")
+        instrumentation = self.discoverer.instrumentation
+        with instrumentation.activate():
+            with instrumentation.tracer.span("durability.wal_append"):
+                self._wal.append_frame(raw, seq=seq)
+            self._next_seq += 1
+            self._pending_records += 1
+            if op == "insert":
+                self.discoverer.insert(
+                    _coerce_rows(self.discoverer.relation.schema, record["rows"])
+                )
+            else:
+                self.discoverer.delete(record["rids"])
+        self._maybe_checkpoint()
+
+    def install_checkpoint(self, wal_seq: int, state_payload: dict) -> None:
+        """Adopt a replicated checkpoint wholesale (follower catch-up).
+
+        Writes the checkpoint locally, resets the WAL (every local record
+        is at or below ``wal_seq`` and therefore incorporated), and swaps
+        in the rebuilt state.  The live instrumentation is transplanted
+        onto the new discoverer so metric streams survive the swap.
+        """
+        if wal_seq <= self.last_applied_seq:
+            raise SessionError(
+                f"checkpoint at seq {wal_seq} is not ahead of "
+                f"last applied seq {self.last_applied_seq}"
+            )
+        from repro.core.state_io import state_from_dict
+
+        checkpoint_dir = os.path.join(self.directory, CHECKPOINT_DIR)
+        instrumentation = self.discoverer.instrumentation
+        with instrumentation.activate():
+            with instrumentation.tracer.span("durability.install_checkpoint"):
+                discoverer = state_from_dict(state_payload)
+                discoverer.instrumentation = instrumentation
+                write_checkpoint(checkpoint_dir, wal_seq, state_payload)
+                self._wal.reset()
+                apply_retention(checkpoint_dir, self.retain)
+        self.discoverer = discoverer
+        self._next_seq = wal_seq + 1
+        self._checkpoint_seq = wal_seq
+        self._pending_records = 0
+        logger.debug("installed replicated checkpoint at seq %d", wal_seq)
+
     # -- checkpointing ---------------------------------------------------
 
     def checkpoint(self) -> str:

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, NamedTuple, Optional, Tuple
 
 from repro.durability.atomic import canonical_json_bytes
 from repro.durability.faults import fault_point
@@ -92,6 +92,40 @@ class WriteAheadLog:
             if span is not None:
                 span["attrs"]["bytes"] = len(frame)
                 span["attrs"]["seq"] = record.get("seq")
+            fault_point("wal.post_fsync")
+
+    def append_frame(self, frame: bytes, seq: Optional[int] = None) -> None:
+        """Write and fsync one *pre-framed* record verbatim.
+
+        The replication apply path: a follower appends the primary's
+        frame bytes unchanged (trace id included), so the follower's log
+        is byte-for-byte the stream the primary acknowledged and any
+        offline frame-level tooling reads both the same way.  The bytes
+        must decode to exactly one valid frame — a follower must never
+        persist what it could not replay.
+        """
+        decoded, good_size = decode_frames(frame)
+        if len(decoded) != 1 or good_size != len(frame):
+            raise ValueError(
+                "append_frame requires exactly one complete valid frame"
+            )
+        with flight.trace_span("durability.wal_append") as span:
+            fault_point("wal.append")
+            self._handle.write(frame)
+            self._handle.flush()
+            fault_point("wal.pre_fsync")
+            os.fsync(self._handle.fileno())
+            self._size += len(frame)
+            self.durable_size = self._size
+            probe = get_probe()
+            if probe is not None:
+                probe.inc("durability.wal_records")
+                probe.inc("durability.wal_bytes", len(frame))
+                probe.inc("durability.fsyncs")
+            if span is not None:
+                span["attrs"]["bytes"] = len(frame)
+                span["attrs"]["seq"] = seq
+                span["attrs"]["replicated"] = True
             fault_point("wal.post_fsync")
 
     def reset(self) -> None:
@@ -187,3 +221,121 @@ class WriteAheadLog:
 
     def __repr__(self) -> str:
         return f"WriteAheadLog({self.path!r}, {self._size} bytes)"
+
+
+#: How many of the newest consumed WAL bytes a :class:`WALReader`
+#: fingerprints to detect in-place truncate-then-append rewrites whose
+#: sizes alias with plain appends.
+_TAIL_PROBE = 64
+
+
+class TailFrame(NamedTuple):
+    """One decoded frame from a :class:`WALReader` poll."""
+
+    record: dict
+    raw: bytes
+    trace_id: Optional[str]
+
+
+class WALReader:
+    """Tail-follow a live WAL without reopening it per poll.
+
+    Keeps one read handle and a byte offset; :meth:`poll` reads only the
+    bytes appended since the previous call and returns the newly
+    completed frames.  A torn tail — a frame whose header landed but
+    whose body has not (yet) — stays buffered until its continuation
+    arrives, so a reader polling mid-append sees nothing rather than
+    garbage, and the rest of the frame on the next poll
+    (*torn-tail-then-continue*).
+
+    The one discontinuity an append-only log allows is in-place
+    truncation: a checkpoint resetting the WAL, or a recovering writer
+    cutting a crash-torn tail.  A truncation that leaves the file
+    *smaller* than the consumed offset is visible in ``fstat`` alone —
+    but a truncate-then-append that grows the file back past the old
+    offset is not (the sizes alias).  :meth:`poll` therefore also
+    fingerprints the last :data:`_TAIL_PROBE` consumed bytes and
+    re-reads them every poll: an append-only writer never changes bytes
+    below the offset, while any rewrite does (replacement frames carry
+    strictly larger ``seq`` values, so the bytes cannot repeat).
+    Either signal triggers a rescan from the start with ``reset=True``;
+    frames re-read after a reset may repeat, and it is the caller's job
+    (the replication feed's) to dedup by ``seq``.
+    """
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self._handle = None
+        #: Bytes consumed from the file (buffered bytes included).
+        self._offset = 0
+        #: Undecodable tail bytes awaiting their continuation.
+        self._buffer = b""
+        #: Fingerprint of the newest consumed bytes (reset detection).
+        self._tail_mark = b""
+        #: How many in-place truncations this reader has survived.
+        self.resets = 0
+
+    def poll(self) -> Tuple[List[TailFrame], bool]:
+        """``(new_frames, reset)`` appended since the previous poll."""
+        reset = False
+        if self._handle is None:
+            try:
+                self._handle = open(self.path, "rb")
+            except FileNotFoundError:
+                return [], False
+        try:
+            size = os.fstat(self._handle.fileno()).st_size
+        except OSError:
+            return [], False
+        if size < self._offset:
+            reset = True
+        elif self._tail_mark:
+            self._handle.seek(self._offset - len(self._tail_mark))
+            if self._handle.read(len(self._tail_mark)) != self._tail_mark:
+                reset = True
+        if reset:
+            self.resets += 1
+            self._buffer = b""
+            self._offset = 0
+            self._tail_mark = b""
+        if size > self._offset:
+            self._handle.seek(self._offset)
+            chunk = self._handle.read(size - self._offset)
+            self._offset += len(chunk)
+            self._buffer += chunk
+            self._tail_mark = (self._tail_mark + chunk)[-_TAIL_PROBE:]
+        frames: List[TailFrame] = []
+        decoded, good_size = decode_frames(self._buffer)
+        consumed = 0
+        for payload, trace_id in decoded:
+            length = HEADER_SIZE + len(payload)
+            if trace_id is not None:
+                length += TRACE_ID_BYTES
+            raw = self._buffer[consumed : consumed + length]
+            try:
+                record = json.loads(payload)
+            except ValueError:
+                # Checksum-valid but not JSON: never written by us.
+                # Stop trusting the stream (mirrors read_records).
+                break
+            frames.append(TailFrame(record, raw, trace_id))
+            consumed += length
+        self._buffer = self._buffer[consumed:]
+        return frames, reset
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        self._handle = None
+
+    def __enter__(self) -> "WALReader":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"WALReader({self.path!r}, offset={self._offset}, "
+            f"{len(self._buffer)} buffered)"
+        )

@@ -1,0 +1,42 @@
+"""Replication: a serving fleet maintained by WAL shipping.
+
+The durability layer's framed, seq-stamped WAL doubles as a replication
+log: a primary streams the exact frames it fsyncs, followers append
+them verbatim and replay them through the recovery apply path, and every
+replica publishes the same immutable seq-stamped snapshots the serving
+layer already reads from.  One primary takes writes; any number of
+followers serve reads and stand by for promotion (docs/replication.md).
+
+    from repro.replication import FollowerSession, FollowerService
+    from repro.replication.source import DirectorySource, HTTPSource
+
+    follower = FollowerSession.bootstrap(
+        "replica-dir", HTTPSource("http://primary:8334")
+    )
+    service = FollowerService(follower, primary_url="http://primary:8334")
+    service.start()                  # serves /dcs, /check, ... locally
+    ...
+    service.promote()                # failover: start accepting writes
+"""
+
+from repro.replication.follower import FollowerSession
+from repro.replication.service import FollowerService
+from repro.replication.source import (
+    DirectorySource,
+    Frame,
+    FrameBatch,
+    HTTPSource,
+    ReplicationError,
+    ReplicationFeed,
+)
+
+__all__ = [
+    "DirectorySource",
+    "FollowerService",
+    "FollowerSession",
+    "Frame",
+    "FrameBatch",
+    "HTTPSource",
+    "ReplicationError",
+    "ReplicationFeed",
+]

@@ -1,0 +1,254 @@
+"""The follower session: a replica maintained by WAL tailing.
+
+A :class:`FollowerSession` owns a *complete, ordinary* session
+directory — manifest, WAL, rotated checkpoints — identical in format to
+the primary's, built by replaying the primary's frames through the same
+apply path recovery uses.  That identity is the whole failover story:
+
+- **restart** is just :meth:`~repro.durability.session.DurableSession.recover`
+  on the follower's own directory (replays its own WAL tail, then keeps
+  tailing the primary from where it left off);
+- **promotion** is a no-op on disk — the follower stops tailing and its
+  directory *is* a primary session directory, byte-compatible with
+  every existing tool (``repro-dc serve --dir``, doctor, the CLI).
+
+Catch-up protocol (docs/replication.md walks through it):
+
+1. bootstrap: fetch the primary's latest checkpoint, install it as the
+   follower's first checkpoint, recover from the own directory;
+2. tail: poll frames after ``last_applied_seq``; append each frame's
+   bytes verbatim to the own WAL (log-before-apply), then apply the
+   record; duplicates (``seq`` already applied) are skipped — replaying
+   a frame twice is idempotent by construction;
+3. on ``snapshot_needed`` (the primary checkpointed past us): install
+   the latest checkpoint wholesale and resume tailing from its seq.
+
+The follower checkpoints on its *own* cadence — replication never ships
+checkpoints in steady state, only the frame stream.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional
+
+from repro.durability.atomic import atomic_write_json
+from repro.durability.checkpoint import write_checkpoint
+from repro.durability.session import (
+    CHECKPOINT_DIR,
+    DEFAULT_CHECKPOINT_EVERY,
+    DEFAULT_RETAIN,
+    MANIFEST_FORMAT,
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    DurableSession,
+)
+from repro.observability import get_logger
+from repro.replication.source import FrameBatch, ReplicationError
+
+logger = get_logger(__name__)
+
+
+class FollowerSession:
+    """One replica: a durable session fed by a frame source.
+
+    Use :meth:`bootstrap` — it both creates a fresh follower directory
+    and resumes an existing one (mirroring ``create``/``recover`` being
+    one decision on the primary side).
+    """
+
+    def __init__(self, session: DurableSession, source, primary_url=None):
+        self.session = session
+        self.source = source
+        #: Where writes should be redirected (None for DirectorySource).
+        self.primary_url = primary_url
+        #: Newest seq known durable on the primary (from the last poll).
+        self.primary_last_seq = session.last_applied_seq
+        self._caught_up_at = time.monotonic()
+        self._detached = False
+        self.frames_applied_total = 0
+        self.frames_duplicate_total = 0
+        self.catchups_total = 0
+        self.polls_total = 0
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def bootstrap(
+        cls,
+        directory,
+        source,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        retain: int = DEFAULT_RETAIN,
+        primary_url: Optional[str] = None,
+    ) -> "FollowerSession":
+        """Create-or-resume a follower directory around a frame source.
+
+        A fresh directory is seeded from the primary's latest checkpoint
+        (written locally *before* the manifest, so the manifest stays the
+        commit point exactly as in ``DurableSession.create``); an
+        existing one — including one whose last run died mid-catch-up —
+        is simply recovered, own WAL tail replayed, and tailing resumes
+        from wherever it got to.
+        """
+        directory = os.fspath(directory)
+        if os.path.exists(os.path.join(directory, MANIFEST_NAME)):
+            session = DurableSession.recover(directory)
+        else:
+            wal_seq, state_payload = source.fetch_checkpoint()
+            checkpoint_dir = os.path.join(directory, CHECKPOINT_DIR)
+            os.makedirs(checkpoint_dir, exist_ok=True)
+            write_checkpoint(checkpoint_dir, wal_seq, state_payload)
+            atomic_write_json(
+                os.path.join(directory, MANIFEST_NAME),
+                {
+                    "format": MANIFEST_FORMAT,
+                    "version": MANIFEST_VERSION,
+                    "checkpoint_every": checkpoint_every,
+                    "retain": retain,
+                },
+                fault_prefix="checkpoint",
+            )
+            session = DurableSession.recover(directory)
+            logger.debug(
+                "bootstrapped follower in %s from checkpoint seq %d",
+                directory,
+                wal_seq,
+            )
+        return cls(session, source, primary_url=primary_url)
+
+    # -- tailing ---------------------------------------------------------
+
+    @property
+    def last_applied_seq(self) -> int:
+        return self.session.last_applied_seq
+
+    @property
+    def lag_seq(self) -> int:
+        """How many committed primary records this replica has not applied."""
+        return max(0, self.primary_last_seq - self.last_applied_seq)
+
+    @property
+    def lag_seconds(self) -> float:
+        """Seconds since this replica was last fully caught up (0 = now)."""
+        if self.lag_seq == 0:
+            return 0.0
+        return time.monotonic() - self._caught_up_at
+
+    def poll(self, wait_s: float = 0.0, max_frames: Optional[int] = None) -> int:
+        """Fetch and apply one batch of frames; returns records applied."""
+        if self._detached:
+            raise ReplicationError("follower is detached (promoted or closed)")
+        batch = self.source.fetch_frames(
+            self.last_applied_seq, wait_s=wait_s, max_frames=max_frames
+        )
+        if batch.snapshot_needed:
+            self._install_latest_checkpoint()
+            batch = self.source.fetch_frames(
+                self.last_applied_seq, wait_s=0.0, max_frames=max_frames
+            )
+            if batch.snapshot_needed:
+                # The primary checkpointed again between our two fetches;
+                # the next poll restarts the catch-up from the newer one.
+                batch = FrameBatch([], batch.last_seq, batch.checkpoint_seq, False)
+        applied = 0
+        for frame in batch.frames:
+            if frame.seq <= self.last_applied_seq:
+                self.frames_duplicate_total += 1
+                continue
+            self.session.apply_replicated(frame.record, frame.raw)
+            applied += 1
+        self.frames_applied_total += applied
+        self.polls_total += 1
+        self.primary_last_seq = max(
+            self.primary_last_seq, batch.last_seq, self.last_applied_seq
+        )
+        if self.lag_seq == 0:
+            self._caught_up_at = time.monotonic()
+        self.export_gauges()
+        return applied
+
+    def _install_latest_checkpoint(self) -> None:
+        wal_seq, state_payload = self.source.fetch_checkpoint()
+        if wal_seq <= self.last_applied_seq:
+            # Raced a concurrent checkpoint rotation; the frames we need
+            # are (back) in the WAL, so plain tailing can continue.
+            return
+        self.session.install_checkpoint(wal_seq, state_payload)
+        self.catchups_total += 1
+        logger.debug(
+            "follower %s caught up from checkpoint seq %d",
+            self.session.directory,
+            wal_seq,
+        )
+
+    # -- gauges / status -------------------------------------------------
+
+    def export_gauges(self) -> None:
+        """Publish ``replication.*`` gauges next to the session's own."""
+        instrumentation = self.session.discoverer.instrumentation
+        instrumentation.set_gauge("replication.lag_seq", self.lag_seq)
+        instrumentation.set_gauge(
+            "replication.lag_seconds", round(self.lag_seconds, 6)
+        )
+        instrumentation.set_gauge(
+            "replication.frames_applied", self.frames_applied_total
+        )
+        instrumentation.set_gauge(
+            "replication.frames_duplicate", self.frames_duplicate_total
+        )
+        instrumentation.set_gauge(
+            "replication.catchups", self.catchups_total
+        )
+        instrumentation.set_gauge("replication.polls", self.polls_total)
+
+    def status(self) -> dict:
+        """Machine-readable replication status (joins session status)."""
+        return {
+            "last_applied_seq": self.last_applied_seq,
+            "primary_last_seq": self.primary_last_seq,
+            "lag_seq": self.lag_seq,
+            "lag_seconds": round(self.lag_seconds, 6),
+            "frames_applied": self.frames_applied_total,
+            "frames_duplicate": self.frames_duplicate_total,
+            "catchups": self.catchups_total,
+            "polls": self.polls_total,
+            "primary_url": self.primary_url,
+        }
+
+    # -- failover --------------------------------------------------------
+
+    def promote(self) -> DurableSession:
+        """Stop tailing and hand over the session for primary duty.
+
+        Nothing on disk changes: the follower directory already is a
+        valid primary session directory.  The returned session accepts
+        writes immediately; the old primary must stay dead (or fenced)
+        — this layer does not arbitrate split-brain.
+        """
+        self._detached = True
+        self.source.close()
+        logger.debug(
+            "promoted follower %s at seq %d",
+            self.session.directory,
+            self.last_applied_seq,
+        )
+        return self.session
+
+    def close(self) -> None:
+        self._detached = True
+        self.source.close()
+        self.session.close()
+
+    def __enter__(self) -> "FollowerSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"FollowerSession({self.session.directory!r}, "
+            f"seq={self.last_applied_seq}, lag={self.lag_seq})"
+        )

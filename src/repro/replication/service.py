@@ -1,0 +1,179 @@
+"""Serving from a replica: the follower-mode DC service.
+
+A :class:`FollowerService` is a :class:`~repro.service.server.DCService`
+whose writer thread is replaced by a replication loop: instead of
+draining a write queue, it tails the primary's WAL through a
+:class:`~repro.replication.follower.FollowerSession` and publishes a
+fresh immutable snapshot after every applied frame batch.  Reads
+(``GET /dcs``, ``/rank``, ``/check``, ``/verify``) are served locally
+from those snapshots exactly as on the primary — same endpoints, same
+payloads, same seq stamps — so a load balancer can spread reads across
+the fleet and clients can pin freshness with the ``min_seq`` token.
+
+Writes are refused with HTTP 421 and a ``primary_url`` redirect hint;
+:meth:`promote` (or ``POST /promote``) flips the node to primary duty —
+the replication loop stops, the write queue gets its writer thread, and
+the very same session directory starts accepting writes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.observability import get_logger
+from repro.replication.follower import FollowerSession
+from repro.replication.source import ReplicationError
+from repro.service import protocol
+from repro.service.config import ServiceConfig
+from repro.service.server import DCService
+from repro.service.snapshot import build_snapshot
+
+logger = get_logger(__name__)
+
+#: Backoff after a transient source failure (primary down/restarting).
+_SOURCE_RETRY_S = 0.2
+
+
+class FollowerService(DCService):
+    """Serve reads from a replica; tail the primary; refuse writes."""
+
+    role = "follower"
+
+    def __init__(
+        self,
+        follower: FollowerSession,
+        config: Optional[ServiceConfig] = None,
+        primary_url: Optional[str] = None,
+    ):
+        self.follower = follower
+        super().__init__(follower.session, config)
+        self.primary_url = primary_url or follower.primary_url
+        self._replication_stop = threading.Event()
+        self._replication_thread: Optional[threading.Thread] = None
+        self._promote_lock = threading.Lock()
+        self.source_errors_total = 0
+        follower.export_gauges()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind the HTTP server and start the replication loop."""
+        self._start_http()
+        self._replication_thread = threading.Thread(
+            target=self._replication_loop,
+            name="dc-service-replication",
+            daemon=True,
+        )
+        self._replication_thread.start()
+        logger.debug(
+            "follower serving on %s:%d (primary: %s)",
+            self.host,
+            self.port,
+            self.primary_url,
+        )
+
+    def _replication_loop(self) -> None:
+        while not self._replication_stop.is_set():
+            try:
+                applied = self.follower.poll(
+                    wait_s=self.config.follow_poll_wait_s
+                )
+            except (OSError, ReplicationError) as exc:
+                # Transient by assumption: the primary is down, draining,
+                # or mid-rotation.  Keep the replica serving its current
+                # snapshot and keep trying — surviving primary death is
+                # the point of having a follower.
+                self.source_errors_total += 1
+                self._metric_gauge(
+                    "replication.source_errors", self.source_errors_total
+                )
+                self.flight.record_event(
+                    "replication_source_error", error=str(exc)
+                )
+                self._replication_stop.wait(_SOURCE_RETRY_S)
+                continue
+            except Exception as exc:  # apply failed: replica is broken
+                self._failure = exc
+                logger.error("replication apply failed: %s", exc)
+                self.flight.record_event(
+                    "replication_failure", error=str(exc)
+                )
+                return
+            if applied:
+                with self._metrics_lock:
+                    self.session.export_gauges()
+                self._publish(build_snapshot(self.session))
+
+    def shutdown(self) -> None:
+        self._replication_stop.set()
+        if (
+            self._replication_thread is not None
+            and self._replication_thread.is_alive()
+        ):
+            self._replication_thread.join(
+                timeout=self.config.drain_timeout_s
+            )
+        super().shutdown()
+
+    # -- write path -------------------------------------------------------
+
+    def submit(self, op, payload, timeout=None) -> dict:
+        """Refuse writes while a follower; accept them once promoted."""
+        if self.role == "primary":
+            return super().submit(op, payload, timeout=timeout)
+        raise protocol.NotPrimaryError(self.primary_url)
+
+    # -- failover ---------------------------------------------------------
+
+    def promote(self) -> bool:
+        """Take over primary duty; returns False if already promoted.
+
+        Stops the replication loop, detaches the follower session (its
+        directory is already a complete primary directory), and starts
+        the writer thread — from here on this node is indistinguishable
+        from a service that recovered the directory itself.  Fencing the
+        old primary is the operator's job; this layer assumes it stays
+        dead.
+        """
+        with self._promote_lock:
+            if self.role == "primary":
+                return False
+            self._replication_stop.set()
+            if (
+                self._replication_thread is not None
+                and self._replication_thread.is_alive()
+                and threading.current_thread() is not self._replication_thread
+            ):
+                self._replication_thread.join(
+                    timeout=self.config.drain_timeout_s
+                )
+            self.follower.promote()
+            self.role = "primary"
+            self.started_at = time.time()
+            self._metric_gauge("replication.lag_seq", 0)
+            self._metric_gauge("replication.lag_seconds", 0.0)
+            self._start_writer()
+            logger.debug(
+                "follower promoted to primary at seq %d",
+                self.session.last_applied_seq,
+            )
+            return True
+
+    def promote_payload(self) -> dict:
+        promoted = self.promote()
+        return {
+            "role": self.role,
+            "promoted": promoted,
+            "seq": self.session.last_applied_seq,
+        }
+
+    # -- introspection ----------------------------------------------------
+
+    def status_payload(self) -> dict:
+        payload = super().status_payload()
+        if self.role == "follower":
+            payload["primary_url"] = self.primary_url
+            payload["replication"] = self.follower.status()
+        return payload

@@ -1,0 +1,248 @@
+"""Frame sources: where a follower gets the primary's WAL stream.
+
+The replication transport is deliberately dumb — the WAL *is* the
+protocol.  A primary ships the exact crc32-framed, seq-stamped records
+it already fsyncs (:mod:`repro.durability.framing`); a follower verifies
+each frame's checksum itself, appends the bytes verbatim to its own WAL,
+and replays the record through the same apply path recovery uses.  Two
+transports implement the same three-method surface:
+
+- :class:`DirectorySource` reads a primary session directory straight
+  off the filesystem — the deterministic in-process transport the
+  failover matrix and the Hypothesis topology property run on (no
+  sockets, no timing);
+- :class:`HTTPSource` long-polls a primary service's
+  ``GET /replication/frames`` / ``GET /replication/checkpoint``
+  endpoints (enabled by ``--replicate-listen``).
+
+Both hand back :class:`FrameBatch` objects.  ``snapshot_needed`` is the
+catch-up signal: the frames after the follower's seq are no longer in
+the primary's WAL (a checkpoint incorporated and reset them), so the
+follower must install the latest checkpoint and tail from there.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import List, NamedTuple, Optional
+
+from repro.durability.checkpoint import (
+    load_latest_checkpoint,
+    parse_checkpoint_seq,
+    validate_checkpoint,
+)
+from repro.durability.framing import decode_frames
+from repro.durability.session import CHECKPOINT_DIR, WAL_NAME
+from repro.durability.wal import WALReader
+from repro.observability import get_logger
+
+logger = get_logger(__name__)
+
+#: Small sleep between filesystem re-checks while a directory source
+#: waits out ``wait_s`` for new frames.
+_WAIT_POLL_S = 0.01
+
+
+class ReplicationError(RuntimeError):
+    """The frame stream or checkpoint fetch cannot be trusted/continued."""
+
+
+class Frame(NamedTuple):
+    """One replicable WAL record: seq, the exact frame bytes, the record."""
+
+    seq: int
+    raw: bytes
+    record: dict
+
+
+class FrameBatch(NamedTuple):
+    """One poll's worth of replication progress.
+
+    :param frames: new frames with ``seq > after_seq``, seq-ascending.
+    :param last_seq: newest seq durable on the primary (checkpointed or
+        in its WAL) — the follower's catch-up target, hence its lag.
+    :param checkpoint_seq: seq of the primary's newest checkpoint.
+    :param snapshot_needed: the requested tail predates the primary's
+        WAL; the follower must install the latest checkpoint first.
+    """
+
+    frames: List[Frame]
+    last_seq: int
+    checkpoint_seq: int
+    snapshot_needed: bool
+
+
+class ReplicationFeed:
+    """Frame cache over one session directory's WAL (the primary side).
+
+    Tails the WAL with a :class:`~repro.durability.wal.WALReader` and
+    retains every frame currently in it, seq-ascending.  A WAL reset
+    (checkpoint) or torn-tail truncation triggers a rescan, after which
+    the retained window again mirrors the file exactly; duplicates
+    re-read across a rescan are dropped by seq.  One feed serves any
+    number of followers at arbitrary ``after_seq`` positions — it is the
+    backing store of both :class:`DirectorySource` and the primary's
+    ``/replication/frames`` endpoint (which serializes access with a
+    lock; the feed itself is not thread-safe).
+    """
+
+    def __init__(self, directory):
+        self.directory = os.fspath(directory)
+        self._reader = WALReader(os.path.join(self.directory, WAL_NAME))
+        self._checkpoint_dir = os.path.join(self.directory, CHECKPOINT_DIR)
+        self._frames: List[Frame] = []
+
+    def refresh(self) -> None:
+        """Pull newly appended frames off the WAL into the cache."""
+        tail_frames, reset = self._reader.poll()
+        if reset:
+            self._frames = []
+        last = self._frames[-1].seq if self._frames else -1
+        for tail in tail_frames:
+            seq = tail.record.get("seq")
+            if isinstance(seq, int) and seq > last:
+                self._frames.append(Frame(seq, tail.raw, tail.record))
+                last = seq
+
+    def checkpoint_seq(self) -> int:
+        """Seq of the newest checkpoint file (0 = none)."""
+        try:
+            names = os.listdir(self._checkpoint_dir)
+        except OSError:
+            return 0
+        seqs = [parse_checkpoint_seq(name) for name in names]
+        return max((seq for seq in seqs if seq is not None), default=0)
+
+    def fetch(
+        self, after_seq: int, max_frames: Optional[int] = None
+    ) -> FrameBatch:
+        """Frames with ``seq > after_seq``, or the catch-up signal."""
+        self.refresh()
+        checkpoint_seq = self.checkpoint_seq()
+        newest = self._frames[-1].seq if self._frames else 0
+        last_seq = max(checkpoint_seq, newest, after_seq, 0)
+        available = [f for f in self._frames if f.seq > after_seq]
+        # A gap between the follower's position and the oldest retained
+        # frame means those records were incorporated into a checkpoint
+        # and reset away — frame-tailing cannot continue from here.
+        gapped = bool(available) and available[0].seq != after_seq + 1
+        if gapped or (not available and checkpoint_seq > after_seq):
+            return FrameBatch([], last_seq, checkpoint_seq, True)
+        if max_frames is not None:
+            available = available[:max_frames]
+        return FrameBatch(available, last_seq, checkpoint_seq, False)
+
+    def close(self) -> None:
+        self._reader.close()
+
+
+class DirectorySource:
+    """Fetch frames straight from a primary session directory.
+
+    The in-process transport: deterministic (no sockets, no server
+    threads), safe against a concurrently writing primary (reads never
+    mutate the directory), and equally happy reading a *dead* primary's
+    directory — which is exactly what failover does.
+    """
+
+    def __init__(self, directory):
+        self.directory = os.fspath(directory)
+        self._feed = ReplicationFeed(self.directory)
+
+    def fetch_frames(
+        self,
+        after_seq: int,
+        wait_s: float = 0.0,
+        max_frames: Optional[int] = None,
+    ) -> FrameBatch:
+        deadline = time.monotonic() + wait_s
+        while True:
+            batch = self._feed.fetch(after_seq, max_frames)
+            if (
+                batch.frames
+                or batch.snapshot_needed
+                or time.monotonic() >= deadline
+            ):
+                return batch
+            time.sleep(_WAIT_POLL_S)
+
+    def fetch_checkpoint(self):
+        """``(wal_seq, state_payload)`` of the primary's newest checkpoint."""
+        loaded = load_latest_checkpoint(
+            os.path.join(self.directory, CHECKPOINT_DIR)
+        )
+        if loaded is None:
+            raise ReplicationError(
+                f"no valid checkpoint to replicate in {self.directory}"
+            )
+        wal_seq, state_payload, _path = loaded
+        return wal_seq, state_payload
+
+    def close(self) -> None:
+        self._feed.close()
+
+    def __repr__(self) -> str:
+        return f"DirectorySource({self.directory!r})"
+
+
+class HTTPSource:
+    """Fetch frames from a primary service over long-polled HTTP.
+
+    Wire format is hex-encoded frame *bytes*, not re-serialized records:
+    the follower decodes each frame itself, so the crc32 that protected
+    the record on the primary's disk also protects it across the wire.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        from repro.service.client import ServiceClient
+
+        self.base_url = base_url
+        self._client = ServiceClient(base_url=base_url, timeout=timeout)
+
+    def fetch_frames(
+        self,
+        after_seq: int,
+        wait_s: float = 0.0,
+        max_frames: Optional[int] = None,
+    ) -> FrameBatch:
+        payload = self._client.replication_frames(
+            after_seq=after_seq, wait_s=wait_s, max_frames=max_frames
+        )
+        frames = []
+        for entry in payload.get("frames", []):
+            raw = bytes.fromhex(entry["raw"])
+            decoded, good_size = decode_frames(raw)
+            if len(decoded) != 1 or good_size != len(raw):
+                raise ReplicationError(
+                    f"frame for seq {entry.get('seq')!r} failed checksum "
+                    f"validation in transit"
+                )
+            record = json.loads(decoded[0][0])
+            if record.get("seq") != entry.get("seq"):
+                raise ReplicationError(
+                    f"frame seq mismatch: envelope says {entry.get('seq')!r},"
+                    f" record says {record.get('seq')!r}"
+                )
+            frames.append(Frame(record["seq"], raw, record))
+        return FrameBatch(
+            frames,
+            int(payload.get("last_seq", after_seq)),
+            int(payload.get("checkpoint_seq", 0)),
+            bool(payload.get("snapshot_needed", False)),
+        )
+
+    def fetch_checkpoint(self):
+        payload = self._client.replication_checkpoint()
+        document = payload.get("document")
+        if not isinstance(document, dict):
+            raise ReplicationError("primary returned no checkpoint document")
+        state_payload = validate_checkpoint(document)
+        return document["wal_seq"], state_payload
+
+    def close(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return f"HTTPSource({self.base_url!r})"

@@ -18,9 +18,11 @@ is committed.
 """
 
 from repro.service.client import (
+    NotPrimaryError,
     ServiceClient,
     ServiceError,
     ServiceSaturatedError,
+    ServiceStaleError,
     ServiceUnavailableError,
 )
 from repro.service.coalescer import CoalescedBatch, WriteRequest, coalesce
@@ -31,10 +33,12 @@ from repro.service.snapshot import Snapshot, build_snapshot
 __all__ = [
     "CoalescedBatch",
     "DCService",
+    "NotPrimaryError",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
     "ServiceSaturatedError",
+    "ServiceStaleError",
     "ServiceStopped",
     "ServiceUnavailableError",
     "Snapshot",

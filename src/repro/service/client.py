@@ -8,6 +8,10 @@ many threads).
 
 Error mapping mirrors the protocol's status codes:
 
+- 409 → :class:`ServiceStaleError` (the node could not reach the
+  requested ``min_seq`` within its wait budget);
+- 421 → :class:`NotPrimaryError` (the node is a read-only follower;
+  ``.primary_url`` says where the write belongs);
 - 429 → :class:`ServiceSaturatedError` (back off and retry);
 - 503 → :class:`ServiceUnavailableError` (draining, or commit timeout
   with *unknown* outcome);
@@ -41,6 +45,25 @@ class ServiceSaturatedError(ServiceError):
 
 class ServiceUnavailableError(ServiceError):
     """Draining or commit timeout (HTTP 503); write outcome unknown."""
+
+
+class ServiceStaleError(ServiceError):
+    """A ``min_seq``-bounded read could not be served fresh enough
+    (HTTP 409): the node's snapshot seq is in ``.seq``."""
+
+    def __init__(self, status: int, payload: dict):
+        super().__init__(status, payload)
+        self.min_seq = payload.get("min_seq")
+        self.seq = payload.get("seq")
+
+
+class NotPrimaryError(ServiceError):
+    """A write reached a read-only follower (HTTP 421); retry against
+    ``.primary_url``."""
+
+    def __init__(self, status: int, payload: dict):
+        super().__init__(status, payload)
+        self.primary_url = payload.get("primary_url")
 
 
 class ServiceClient:
@@ -96,6 +119,10 @@ class ServiceClient:
             document = {"text": raw.decode("utf-8")}
         else:
             document = json.loads(raw.decode("utf-8")) if raw else {}
+        if response.status == 409:
+            raise ServiceStaleError(response.status, document)
+        if response.status == 421:
+            raise NotPrimaryError(response.status, document)
         if response.status == 429:
             raise ServiceSaturatedError(response.status, document)
         if response.status == 503:
@@ -136,20 +163,29 @@ class ServiceClient:
         return self._request("POST", "/delete", payload)
 
     # -- reads ------------------------------------------------------------
+    #
+    # ``min_seq`` on any read is the cross-node read-your-writes token:
+    # pass the seq a commit returned and the answering node either serves
+    # a snapshot at least that fresh or raises ServiceStaleError.
 
-    def dcs(self) -> dict:
+    def dcs(self, min_seq: Optional[int] = None) -> dict:
         """Current canonical DCs of the latest snapshot."""
-        return self._request("GET", "/dcs")
+        query = f"?min_seq={int(min_seq)}" if min_seq is not None else ""
+        return self._request("GET", f"/dcs{query}")
 
-    def rank(self, top: int = 10) -> dict:
+    def rank(self, top: int = 10, min_seq: Optional[int] = None) -> dict:
         """Top-k ranked DCs of the latest snapshot."""
-        return self._request("GET", f"/rank?top={int(top)}")
+        query = f"/rank?top={int(top)}"
+        if min_seq is not None:
+            query += f"&min_seq={int(min_seq)}"
+        return self._request("GET", query)
 
     def check(
         self,
         row: Sequence,
         dcs: Optional[List[str]] = None,
         limit: Optional[int] = None,
+        min_seq: Optional[int] = None,
     ) -> dict:
         """Violation-check a candidate row *before* inserting it."""
         payload: dict = {"row": list(row)}
@@ -157,16 +193,25 @@ class ServiceClient:
             payload["dcs"] = list(dcs)
         if limit is not None:
             payload["limit"] = int(limit)
+        if min_seq is not None:
+            payload["min_seq"] = int(min_seq)
         return self._request("POST", "/check", payload)
 
-    def verify(self, limit: Optional[int] = None) -> dict:
+    def verify(
+        self, limit: Optional[int] = None, min_seq: Optional[int] = None
+    ) -> dict:
         """Per-DC verification verdicts of the latest snapshot.
 
         ``limit`` caps the violation count per DC (``None`` = server
         default, usually exact).
         """
-        path = "/verify" if limit is None else f"/verify?limit={int(limit)}"
-        return self._request("GET", path)
+        params = []
+        if limit is not None:
+            params.append(f"limit={int(limit)}")
+        if min_seq is not None:
+            params.append(f"min_seq={int(min_seq)}")
+        query = "?" + "&".join(params) if params else ""
+        return self._request("GET", f"/verify{query}")
 
     def status(self) -> dict:
         return self._request("GET", "/status")
@@ -196,6 +241,28 @@ class ServiceClient:
             params.append(f"limit={int(limit)}")
         query = "?" + "&".join(params) if params else ""
         return self._request("GET", f"/debug/trace{query}")
+
+    # -- replication ------------------------------------------------------
+
+    def replication_frames(
+        self,
+        after_seq: int = 0,
+        wait_s: float = 0.0,
+        max_frames: Optional[int] = None,
+    ) -> dict:
+        """Long-poll the primary's WAL frame feed (hex frame bytes)."""
+        query = f"?after_seq={int(after_seq)}&wait_s={float(wait_s):g}"
+        if max_frames is not None:
+            query += f"&max_frames={int(max_frames)}"
+        return self._request("GET", f"/replication/frames{query}")
+
+    def replication_checkpoint(self) -> dict:
+        """The primary's newest checkpoint document (follower catch-up)."""
+        return self._request("GET", "/replication/checkpoint")
+
+    def promote(self) -> dict:
+        """Ask a follower to take over primary duty (idempotent)."""
+        return self._request("POST", "/promote")
 
     def shutdown(self) -> dict:
         """Ask the service to drain and stop (returns immediately)."""

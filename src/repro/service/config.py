@@ -55,6 +55,22 @@ class ServiceConfig:
         ``GET /verify`` when the request carries no ``limit`` parameter.
         ``None`` (the default) counts exactly; a cap turns each check
         into a cheap "holds / violated at least N times" probe.
+    :param replicate_listen: serve the replication feed
+        (``GET /replication/frames`` and ``/replication/checkpoint``) so
+        followers can tail this node's WAL.  Off by default — shipping
+        the update stream is opt-in.
+    :param min_seq_wait_s: how long a ``min_seq``-bounded read may block
+        waiting for a fresh enough snapshot before answering 409.  The
+        staleness token's wait budget, on primaries and followers alike.
+    :param replication_wait_s_cap: upper bound a ``/replication/frames``
+        long-poll honors for its ``wait_s`` parameter (keeps handler
+        threads from being parked indefinitely by a bad client).
+    :param replication_max_frames: frame-count cap per
+        ``/replication/frames`` response (a lagging follower simply
+        polls again).
+    :param follow_poll_wait_s: how long a follower's replication loop
+        asks its source to wait for new frames per poll (the long-poll
+        interval; also bounds shutdown latency of the loop).
     """
 
     host: str = DEFAULT_HOST
@@ -68,6 +84,11 @@ class ServiceConfig:
     slow_trace_threshold_s: float = DEFAULT_SLOW_TRACE_THRESHOLD_S
     metrics_out: Optional[str] = None
     verification_limit: Optional[int] = None
+    replicate_listen: bool = False
+    min_seq_wait_s: float = 5.0
+    replication_wait_s_cap: float = 30.0
+    replication_max_frames: int = 512
+    follow_poll_wait_s: float = 0.5
 
     def __post_init__(self):
         if self.queue_depth < 1:
@@ -82,3 +103,11 @@ class ServiceConfig:
             raise ValueError("slow_trace_threshold_s must be >= 0")
         if self.verification_limit is not None and self.verification_limit < 1:
             raise ValueError("verification_limit must be >= 1 or None")
+        if self.min_seq_wait_s < 0:
+            raise ValueError("min_seq_wait_s must be >= 0")
+        if self.replication_wait_s_cap < 0:
+            raise ValueError("replication_wait_s_cap must be >= 0")
+        if self.replication_max_frames < 1:
+            raise ValueError("replication_max_frames must be >= 1")
+        if self.follow_poll_wait_s < 0:
+            raise ValueError("follow_poll_wait_s must be >= 0")

@@ -11,6 +11,11 @@ Status-code semantics (docs/service.md spells out the full contract):
 - ``400`` — the request itself is invalid (bad JSON, schema mismatch,
   dead rid): retrying unchanged will fail again;
 - ``404`` — unknown endpoint;
+- ``409`` — the read carried a ``min_seq`` staleness bound this node
+  could not reach within its wait budget: retry here later, or read a
+  fresher node;
+- ``421`` — the node is a read-only follower and the request was a
+  write: redirect to the ``primary_url`` in the response;
 - ``429`` — the write queue is full (backpressure): retry with backoff;
 - ``503`` — the service is draining, or the request timed out waiting
   for its commit (outcome unknown — the write may still land);
@@ -20,7 +25,7 @@ Status-code semantics (docs/service.md spells out the full contract):
 from __future__ import annotations
 
 import json
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.relational.relation import Relation
 from repro.relational.schema import ColumnType, Schema
@@ -28,6 +33,8 @@ from repro.relational.schema import ColumnType, Schema
 #: Error codes carried in the ``"error"`` field of non-200 responses.
 ERR_BAD_REQUEST = "bad_request"
 ERR_NOT_FOUND = "not_found"
+ERR_STALE = "stale"
+ERR_NOT_PRIMARY = "not_primary"
 ERR_SATURATED = "saturated"
 ERR_TIMEOUT = "timeout"
 ERR_DRAINING = "draining"
@@ -37,6 +44,8 @@ ERR_INTERNAL = "internal"
 STATUS_OF_ERROR = {
     ERR_BAD_REQUEST: 400,
     ERR_NOT_FOUND: 404,
+    ERR_STALE: 409,
+    ERR_NOT_PRIMARY: 421,
     ERR_SATURATED: 429,
     ERR_TIMEOUT: 503,
     ERR_DRAINING: 503,
@@ -46,6 +55,33 @@ STATUS_OF_ERROR = {
 
 class ProtocolError(ValueError):
     """A request body that cannot be honored (maps to HTTP 400)."""
+
+
+class StaleReadError(RuntimeError):
+    """A ``min_seq``-bounded read could not be satisfied (HTTP 409).
+
+    Carries the snapshot seq the node *could* serve so clients can see
+    how far behind it is.
+    """
+
+    def __init__(self, min_seq: int, seq: int):
+        super().__init__(
+            f"snapshot seq {seq} has not reached min_seq {min_seq}"
+        )
+        self.min_seq = min_seq
+        self.seq = seq
+
+
+class NotPrimaryError(RuntimeError):
+    """A write reached a read-only follower (HTTP 421).
+
+    ``primary_url`` is the redirect hint — where the write belongs.
+    """
+
+    def __init__(self, primary_url: Optional[str] = None):
+        hint = f"; retry against {primary_url}" if primary_url else ""
+        super().__init__(f"this node is a read-only follower{hint}")
+        self.primary_url = primary_url
 
 
 def encode(payload: dict) -> bytes:

@@ -26,6 +26,8 @@ Architecture (docs/service.md has the operator view)::
 
 from __future__ import annotations
 
+import json
+import os
 import queue
 import signal
 import threading
@@ -87,6 +89,11 @@ class DCService:
     needs is published through immutable snapshots.
     """
 
+    #: What this node is: ``"primary"`` accepts writes; a follower
+    #: subclass (:class:`~repro.replication.service.FollowerService`)
+    #: flips this to ``"follower"`` until promoted.
+    role = "primary"
+
     def __init__(self, session, config: Optional[ServiceConfig] = None):
         self.session = session
         self.config = config or ServiceConfig()
@@ -108,11 +115,18 @@ class DCService:
         #: observe members of this list).
         self.published_seqs: list = []
         session.export_gauges()
+        #: Signaled on every snapshot publish; min_seq-bounded reads and
+        #: replication long-polls wait on it instead of busy-spinning.
+        self._publish_cond = threading.Condition()
         self._snapshot = build_snapshot(session)
         self.published_seqs.append(self._snapshot.seq)
         self._writer: Optional[threading.Thread] = None
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._http_thread: Optional[threading.Thread] = None
+        #: Lazily built WAL frame cache behind /replication/frames
+        #: (handler threads share it under the lock).
+        self._feed = None
+        self._feed_lock = threading.Lock()
         self.started_at = time.time()
         #: Ring buffer of recent spans, served at GET /debug/trace.
         self.flight = FlightRecorder(
@@ -125,23 +139,29 @@ class DCService:
 
     def start(self) -> None:
         """Bind the HTTP server and start the writer thread."""
+        self._start_http()
+        self._start_writer()
+        logger.debug("service listening on %s:%d", self.host, self.port)
+
+    def _start_http(self) -> None:
         self._previous_recorder = set_recorder(self.flight)
         handler = _make_handler(self)
         self._httpd = ThreadingHTTPServer(
             (self.config.host, self.config.port), handler
         )
         self._httpd.daemon_threads = True
-        self._writer = threading.Thread(
-            target=self._writer_loop, name="dc-service-writer", daemon=True
-        )
-        self._writer.start()
         self._http_thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="dc-service-http",
             daemon=True,
         )
         self._http_thread.start()
-        logger.debug("service listening on %s:%d", self.host, self.port)
+
+    def _start_writer(self) -> None:
+        self._writer = threading.Thread(
+            target=self._writer_loop, name="dc-service-writer", daemon=True
+        )
+        self._writer.start()
 
     @property
     def host(self) -> str:
@@ -198,6 +218,10 @@ class DCService:
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()
+        if self._feed is not None:
+            self._feed.close()
+        with self._publish_cond:  # release min_seq waiters promptly
+            self._publish_cond.notify_all()
         # The drain is complete: the registry now holds the last cycle's
         # counters, so this is the one snapshot a SIGTERM must not lose.
         if self.config.metrics_out:
@@ -407,8 +431,7 @@ class DCService:
         weights = [max(1, len(rids)) for _, rids in batch.deletes]
         weights += [max(1, count) for _, _, count in batch.inserts]
         shares = split_counters(work_totals, weights)
-        self._snapshot = build_snapshot(self.session)
-        self.published_seqs.append(seq)
+        self._publish(build_snapshot(self.session))
         position = 0
         for request, rid_list in batch.deletes:
             request.resolve(
@@ -440,10 +463,119 @@ class DCService:
         """The latest published snapshot (atomic reference read)."""
         return self._snapshot
 
+    def _publish(self, snapshot: Snapshot) -> None:
+        """Publish a snapshot and wake everything waiting for its seq."""
+        self._snapshot = snapshot
+        self.published_seqs.append(snapshot.seq)
+        with self._publish_cond:
+            self._publish_cond.notify_all()
+
+    def wait_for_min_seq(self, min_seq: int) -> Snapshot:
+        """The latest snapshot once it reaches ``min_seq``, else 409.
+
+        The cross-node read-your-writes token: a client that observed a
+        commit at seq S passes ``min_seq=S`` to any replica and either
+        gets a snapshot at least that fresh (waiting up to the config's
+        ``min_seq_wait_s`` for replication/publication to catch up) or
+        an explicit :class:`~repro.service.protocol.StaleReadError`.
+        """
+        snapshot = self._snapshot
+        if snapshot.seq >= min_seq:
+            return snapshot
+        deadline = time.monotonic() + self.config.min_seq_wait_s
+        with self._publish_cond:
+            while True:
+                snapshot = self._snapshot
+                if snapshot.seq >= min_seq:
+                    return snapshot
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise protocol.StaleReadError(min_seq, snapshot.seq)
+                self._publish_cond.wait(remaining)
+
+    # -- replication feed (the primary side of WAL shipping) --------------
+
+    def _replication_feed(self):
+        if not self.config.replicate_listen:
+            return None
+        if self._feed is None:
+            from repro.replication.source import ReplicationFeed
+
+            self._feed = ReplicationFeed(self.session.directory)
+        return self._feed
+
+    def replication_frames_payload(
+        self, after_seq: int, wait_s: float, max_frames: int
+    ) -> dict:
+        """Answer ``GET /replication/frames``: hex frames after a seq.
+
+        Long-polls: with no new frames available, the handler thread
+        parks on the publish condition until a commit lands or ``wait_s``
+        (capped by config) runs out, so an idle fleet costs no CPU.
+        """
+        feed = self._replication_feed()
+        if feed is None:
+            raise protocol.ProtocolError(
+                "replication is not enabled on this node "
+                "(start it with --replicate-listen)"
+            )
+        wait_s = max(0.0, min(wait_s, self.config.replication_wait_s_cap))
+        max_frames = max(
+            1, min(max_frames, self.config.replication_max_frames)
+        )
+        deadline = time.monotonic() + wait_s
+        while True:
+            with self._feed_lock:
+                batch = feed.fetch(after_seq, max_frames)
+            if batch.frames or batch.snapshot_needed:
+                break
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or self._stop.is_set():
+                break
+            with self._publish_cond:
+                self._publish_cond.wait(min(remaining, _IDLE_POLL_S * 4))
+        self._metric_inc("service.replication_polls_total")
+        return {
+            "frames": [
+                {"seq": frame.seq, "raw": frame.raw.hex()}
+                for frame in batch.frames
+            ],
+            "last_seq": batch.last_seq,
+            "checkpoint_seq": batch.checkpoint_seq,
+            "snapshot_needed": batch.snapshot_needed,
+        }
+
+    def replication_checkpoint_payload(self) -> dict:
+        """Answer ``GET /replication/checkpoint``: the newest checkpoint
+        document verbatim (the follower re-validates its checksum)."""
+        from repro.durability.checkpoint import list_checkpoints
+        from repro.durability.session import CHECKPOINT_DIR
+
+        if not self.config.replicate_listen:
+            raise protocol.ProtocolError(
+                "replication is not enabled on this node "
+                "(start it with --replicate-listen)"
+            )
+        checkpoint_dir = os.path.join(self.session.directory, CHECKPOINT_DIR)
+        self._metric_inc("service.replication_checkpoint_fetches_total")
+        for path in list_checkpoints(checkpoint_dir):
+            try:
+                with open(path, "rb") as handle:
+                    document = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            return {"document": document}
+        raise protocol.ProtocolError("no checkpoint available to replicate")
+
+    def promote_payload(self) -> dict:
+        """Answer ``POST /promote`` (idempotent on a primary)."""
+        return {"role": self.role, "promoted": False}
+
     def status_payload(self) -> dict:
         payload = self.snapshot.status_payload()
         payload.update(
             {
+                "role": self.role,
                 "serving": not self._stop.is_set(),
                 "uptime_s": round(time.time() - self.started_at, 3),
                 "queue_depth": self._queue.qsize(),
@@ -466,9 +598,10 @@ class DCService:
                         raise
         return snapshot_to_prometheus(snapshot)
 
-    def check_payload(self, body: dict) -> dict:
+    def check_payload(self, body: dict, snapshot: Optional[Snapshot] = None) -> dict:
         """Violation-check a candidate row against the latest snapshot."""
-        snapshot = self.snapshot
+        if snapshot is None:
+            snapshot = self.snapshot
         row = protocol.coerce_row(
             snapshot.relation.schema, protocol.require_field(body, "row", list)
         )
@@ -496,12 +629,16 @@ class DCService:
             # request, not an internal failure.
             raise protocol.ProtocolError(f"unsupported DC: {exc}") from None
 
-    def verify_payload(self, limit: Optional[int] = None) -> dict:
+    def verify_payload(
+        self, limit: Optional[int] = None, snapshot: Optional[Snapshot] = None
+    ) -> dict:
         """Verify the snapshot's full Σ with the verification kernel."""
+        if snapshot is None:
+            snapshot = self.snapshot
         if limit is None:
             limit = self.config.verification_limit
         self._metric_inc("service.verifies_total")
-        return self.snapshot.verify_payload(limit=limit)
+        return snapshot.verify_payload(limit=limit)
 
     def log_payload(self, since: int) -> dict:
         """Commit history with seq > ``since`` (bounded by construction)."""
@@ -642,6 +779,29 @@ def _make_handler(service: DCService):
                     handler(self, parse_qs(url.query))
             except protocol.ProtocolError as exc:
                 self._respond_error(protocol.ERR_BAD_REQUEST, str(exc))
+            except protocol.StaleReadError as exc:
+                service._metric_inc("service.requests_stale_total")
+                self._respond(
+                    protocol.STATUS_OF_ERROR[protocol.ERR_STALE],
+                    {
+                        "status": "error",
+                        "error": protocol.ERR_STALE,
+                        "message": str(exc),
+                        "min_seq": exc.min_seq,
+                        "seq": exc.seq,
+                    },
+                )
+            except protocol.NotPrimaryError as exc:
+                service._metric_inc("service.requests_not_primary_total")
+                self._respond(
+                    protocol.STATUS_OF_ERROR[protocol.ERR_NOT_PRIMARY],
+                    {
+                        "status": "error",
+                        "error": protocol.ERR_NOT_PRIMARY,
+                        "message": str(exc),
+                        "primary_url": exc.primary_url,
+                    },
+                )
             except queue.Full:
                 service._metric_inc("service.requests_saturated_total")
                 service.flight.record_event(
@@ -680,15 +840,36 @@ def _make_handler(service: DCService):
 
         # -- endpoints -------------------------------------------------
 
+        def _bounded_snapshot(self, query, body=None):
+            """The snapshot a read may serve, honoring ``min_seq``.
+
+            The staleness token can arrive as a query parameter (GETs)
+            or a body field (POST /check); absent either, the latest
+            snapshot is served unconditionally.
+            """
+            raw = query.get("min_seq", [None])[0]
+            if raw is None and body is not None:
+                raw = body.get("min_seq")
+            if raw is None:
+                return service.snapshot
+            try:
+                min_seq = int(raw)
+            except (TypeError, ValueError):
+                raise protocol.ProtocolError(
+                    "min_seq must be an int"
+                ) from None
+            return service.wait_for_min_seq(min_seq)
+
         def _get_dcs(self, query):
-            self._respond(200, service.snapshot.dcs_payload())
+            self._respond(200, self._bounded_snapshot(query).dcs_payload())
 
         def _get_rank(self, query):
             try:
                 top = int(query.get("top", ["10"])[0])
             except ValueError:
                 raise protocol.ProtocolError("top must be an int") from None
-            self._respond(200, service.snapshot.rank_payload(max(top, 0)))
+            snapshot = self._bounded_snapshot(query)
+            self._respond(200, snapshot.rank_payload(max(top, 0)))
 
         def _get_status(self, query):
             self._respond(200, service.status_payload())
@@ -705,7 +886,10 @@ def _make_handler(service: DCService):
                     ) from None
                 if limit < 1:
                     raise protocol.ProtocolError("limit must be >= 1")
-            self._respond(200, service.verify_payload(limit=limit))
+            snapshot = self._bounded_snapshot(query)
+            self._respond(
+                200, service.verify_payload(limit=limit, snapshot=snapshot)
+            )
 
         def _get_metrics(self, query):
             text = service.metrics_text().encode("utf-8")
@@ -751,11 +935,42 @@ def _make_handler(service: DCService):
             self._post_write(OP_DELETE)
 
         def _post_check(self, query):
-            self._respond(200, service.check_payload(self._read_body()))
+            body = self._read_body()
+            snapshot = self._bounded_snapshot(query, body)
+            self._respond(
+                200, service.check_payload(body, snapshot=snapshot)
+            )
 
         def _post_shutdown(self, query):
             service.request_shutdown()
             self._respond(200, {"status": "draining"})
+
+        def _post_promote(self, query):
+            self._respond(200, service.promote_payload())
+
+        def _get_replication_frames(self, query):
+            try:
+                after_seq = int(query.get("after_seq", ["0"])[0])
+                wait_s = float(query.get("wait_s", ["0"])[0])
+                max_frames = int(
+                    query.get(
+                        "max_frames",
+                        [str(service.config.replication_max_frames)],
+                    )[0]
+                )
+            except ValueError:
+                raise protocol.ProtocolError(
+                    "after_seq/max_frames must be ints, wait_s a number"
+                ) from None
+            self._respond(
+                200,
+                service.replication_frames_payload(
+                    after_seq, wait_s, max_frames
+                ),
+            )
+
+        def _get_replication_checkpoint(self, query):
+            self._respond(200, service.replication_checkpoint_payload())
 
     _ROUTES = {
         ("GET", "/dcs"): Handler._get_dcs,
@@ -765,10 +980,15 @@ def _make_handler(service: DCService):
         ("GET", "/metrics"): Handler._get_metrics,
         ("GET", "/debug/trace"): Handler._get_debug_trace,
         ("GET", "/log"): Handler._get_log,
+        ("GET", "/replication/frames"): Handler._get_replication_frames,
+        ("GET", "/replication/checkpoint"): (
+            Handler._get_replication_checkpoint
+        ),
         ("POST", "/insert"): Handler._post_insert,
         ("POST", "/delete"): Handler._post_delete,
         ("POST", "/check"): Handler._post_check,
         ("POST", "/shutdown"): Handler._post_shutdown,
+        ("POST", "/promote"): Handler._post_promote,
     }
 
     return Handler

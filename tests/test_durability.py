@@ -19,6 +19,7 @@ from repro.durability import (
     FAULT_POINTS,
     FaultInjector,
     SimulatedCrash,
+    WALReader,
     WriteAheadLog,
     fault_point,
 )
@@ -216,6 +217,150 @@ class TestWriteAheadLog:
         assert wal.durable_size == 0
         wal.append({"seq": 1, "op": "delete", "rids": []})
         assert wal.durable_size == wal.size > 0
+        wal.close()
+
+
+class TestWALReader:
+    """Tail-following a live WAL (the replication transport substrate)."""
+
+    def _donor_frames(self, tmp_path, count):
+        """Real frame bytes: ``(full_bytes, [end_offset_of_each_frame])``."""
+        path = tmp_path / "donor.log"
+        wal = WriteAheadLog(path)
+        ends = []
+        for seq in range(1, count + 1):
+            wal.append({"seq": seq, "op": "delete", "rids": [seq]})
+            ends.append(wal.size)
+        wal.close()
+        return path.read_bytes(), ends
+
+    def test_incremental_appends_yield_only_new_frames(self, tmp_path):
+        path = tmp_path / "wal.log"
+        reader = WALReader(path)
+        assert reader.poll() == ([], False)  # file does not exist yet
+        wal = WriteAheadLog(path)
+        wal.append({"seq": 1, "op": "delete", "rids": []})
+        frames, reset = reader.poll()
+        assert [f.record["seq"] for f in frames] == [1]
+        assert not reset
+        assert reader.poll() == ([], False)
+        wal.append({"seq": 2, "op": "delete", "rids": []})
+        wal.append({"seq": 3, "op": "delete", "rids": []})
+        frames, reset = reader.poll()
+        assert [f.record["seq"] for f in frames] == [2, 3]
+        assert not reset
+        reader.close()
+        wal.close()
+
+    def test_torn_tail_then_continue(self, tmp_path):
+        """A frame delivered in two chunks surfaces exactly once, only
+        when complete — the torn prefix stays buffered, never decoded."""
+        data, ends = self._donor_frames(tmp_path, 2)
+        cut = ends[0] + 7  # mid-second-frame
+        path = tmp_path / "wal.log"
+        reader = WALReader(path)
+        with open(path, "wb") as handle:
+            handle.write(data[:cut])
+            handle.flush()
+            frames, reset = reader.poll()
+            assert [f.record["seq"] for f in frames] == [1]
+            assert not reset
+            assert reader.poll() == ([], False)  # torn tail: nothing yet
+            handle.write(data[cut:])
+            handle.flush()
+        frames, reset = reader.poll()
+        assert [f.record["seq"] for f in frames] == [2]
+        assert not reset
+        assert frames[0].raw == data[ends[0] :]
+        reader.close()
+
+    def test_shrinking_truncation_resets(self, tmp_path):
+        """A file shrunk below the consumed offset (crash-torn tail cut)
+        triggers a rescan-from-zero reset."""
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append({"seq": 1, "op": "delete", "rids": []})
+        wal.append({"seq": 2, "op": "delete", "rids": []})
+        reader = WALReader(path)
+        frames, _ = reader.poll()
+        assert [f.record["seq"] for f in frames] == [1, 2]
+        wal.reset()
+        frames, reset = reader.poll()
+        assert reset
+        assert frames == []
+        assert reader.resets == 1
+        wal.close()
+        reader.close()
+
+    def test_truncate_then_append_past_old_offset_resets(self, tmp_path):
+        """Regression: a reset WAL that grows back *past* the reader's
+        old offset aliases with a plain append in ``fstat`` — the tail
+        fingerprint must still detect the rewrite, or a follower would
+        silently skip the post-reset frames."""
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append({"seq": 1, "op": "delete", "rids": []})
+        reader = WALReader(path)
+        frames, _ = reader.poll()
+        assert [f.record["seq"] for f in frames] == [1]
+        old_offset = wal.size
+        wal.reset()
+        while wal.size <= old_offset:  # outgrow the consumed offset
+            wal.append({"seq": 2, "op": "delete", "rids": [9]})
+            break
+        wal.append({"seq": 3, "op": "insert", "rows": [[1, "a", 2]]})
+        assert wal.size > old_offset
+        frames, reset = reader.poll()
+        assert reset
+        assert [f.record["seq"] for f in frames] == [2, 3]
+        wal.close()
+        reader.close()
+
+    def test_mid_file_truncate_then_append_resets(self, tmp_path):
+        """Regression: recovery cuts a torn tail *mid-file* and keeps
+        appending — the file prefix is untouched and the size grows, yet
+        everything past the cut changed under the reader's feet."""
+        data, ends = self._donor_frames(tmp_path, 2)
+        path = tmp_path / "wal.log"
+        path.write_bytes(data[: ends[0] + 7])  # frame 1 + torn frame 2
+        reader = WALReader(path)
+        frames, _ = reader.poll()
+        assert [f.record["seq"] for f in frames] == [1]
+        # A recovering writer truncates the torn tail in place, then
+        # appends different (bigger) frames.
+        with open(path, "rb+") as handle:
+            handle.truncate(ends[0])
+        wal = WriteAheadLog(path)
+        wal.append({"seq": 2, "op": "insert", "rows": [[5, "b", 1], [6, "c", 0]]})
+        assert wal.size > ends[0] + 7
+        frames, reset = reader.poll()
+        assert reset
+        assert [f.record["seq"] for f in frames] == [1, 2]
+        wal.close()
+        reader.close()
+
+    def test_append_frame_replicates_bytes_verbatim(self, tmp_path):
+        data, ends = self._donor_frames(tmp_path, 2)
+        frames = [data[: ends[0]], data[ends[0] :]]
+        wal = WriteAheadLog(tmp_path / "replica.log")
+        for seq, frame in enumerate(frames, start=1):
+            wal.append_frame(frame, seq=seq)
+        assert wal.durable_size == wal.size == len(data)
+        wal.close()
+        assert (tmp_path / "replica.log").read_bytes() == data
+
+    def test_append_frame_rejects_torn_or_multiple(self, tmp_path):
+        data, ends = self._donor_frames(tmp_path, 2)
+        wal = WriteAheadLog(tmp_path / "replica.log")
+        with pytest.raises(ValueError):
+            wal.append_frame(data[: ends[0] - 3])  # torn
+        with pytest.raises(ValueError):
+            wal.append_frame(data)  # two frames in one call
+        corrupt = bytearray(data[: ends[0]])
+        corrupt[-1] ^= 0xFF
+        with pytest.raises(ValueError):
+            wal.append_frame(bytes(corrupt))  # checksum broken
+        assert wal.size == 0
         wal.close()
 
 

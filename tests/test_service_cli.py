@@ -70,7 +70,7 @@ def spawn_server(staff_csv, session_dir, *extra_args):
 
 
 def read_url(process, deadline_s=30.0):
-    """Parse the flushed ``serving on http://...`` startup line."""
+    """Parse the flushed ``serving on http://... (role)`` startup line."""
     deadline = time.monotonic() + deadline_s
     lines = []
     while time.monotonic() < deadline:
@@ -81,7 +81,7 @@ def read_url(process, deadline_s=30.0):
             )
         lines.append(line)
         if line.startswith("serving on "):
-            return line.split("serving on ", 1)[1].strip()
+            return line.split("serving on ", 1)[1].split()[0]
     raise AssertionError("no startup line within deadline:\n" + "".join(lines))
 
 
