@@ -11,7 +11,10 @@ compares what *is* deterministic:
 2. **State digests** — SHA-256 of the canonical serialized state after
    fixed maintenance workloads, computed per evidence backend.  The
    python and numpy kernels must agree with each other *and* with the
-   committed baseline.
+   committed baseline; the pair-grid executor (workers=2, shards=4,
+   see docs/distributed.md) must reproduce the serial digest exactly,
+   and its deterministic ``executor.*`` dispatch counters are gated like
+   the evidence work counters.
 
 Usage::
 
@@ -134,6 +137,83 @@ def compute_digests() -> dict:
             f"({' = '.join(backends)})"
         )
     return digests
+
+
+def distributed_gate_check(digests: dict) -> dict:
+    """Pair-grid determinism gate (docs/distributed.md).
+
+    Re-runs the first digest workload on the in-process grid executor
+    (``workers=2, executor="serial", shards=4``) and demands the exact
+    serial state digest — a grid kernel that drifts from its serial
+    counterpart fails the gate here even if every unit test was skipped.
+    The run's ``executor.*`` dispatch counters are deterministic for the
+    serial executor (task count is a pure function of the grid), so they
+    are written to ``results/distributed_gate.json`` and gated against
+    the committed baselines alongside the evidence work counters.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.core.state_io import state_to_bytes
+    from _harness import (
+        BASE_ROWS,
+        clone_discoverer,
+        fitted_state_payload,
+        insert_workload,
+    )
+
+    name, delete_strategy = DIGEST_WORKLOADS[0]
+    total_rows = max(40, int(BASE_ROWS[name] * GATE_SCALE))
+    static_rows, delta_rows = insert_workload(name, 0.2, total_rows=total_rows)
+    payload = fitted_state_payload(
+        name, static_rows, delete_strategy=delete_strategy
+    )
+
+    discoverer = clone_discoverer(payload)
+    discoverer.workers = 2
+    discoverer.executor = "serial"
+    discoverer.shards = 4
+    half = len(delta_rows) // 2 or 1
+    reports = [discoverer.insert(delta_rows[:half]).report]
+    reports.append(
+        discoverer.delete(sorted(discoverer.relation.rids())[1::5]).report
+    )
+    reports.append(discoverer.insert(delta_rows[half:]).report)
+    digest = hashlib.sha256(state_to_bytes(discoverer)).hexdigest()
+
+    label = f"{name}/{delete_strategy}"
+    expected = digests[label]
+    if digest != expected:
+        raise SystemExit(
+            f"gate: FAIL — pair-grid state digest diverged from serial on "
+            f"{label} (workers=2, shards=4): {expected[:16]}… -> "
+            f"{digest[:16]}…"
+        )
+
+    counters: dict = {}
+    for report in reports:
+        for key, value in report.metrics["counters"].items():
+            counters[key] = counters.get(key, 0) + value
+    gated = {
+        key: counters[key]
+        for key in sorted(counters)
+        if key.startswith(("executor.", "parallel.", "evidence."))
+    }
+    grid_label = f"{label} workers=2 shards=4 serial-executor"
+    record = {
+        "workload": grid_label,
+        "scale": GATE_SCALE,
+        "digest": digest,
+        "counters": {grid_label: gated},
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "distributed_gate.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
+    print(
+        f"gate: pair-grid digest OK — {label} on the 4-shard grid matches "
+        f"serial ({digest[:16]}…), {len(gated)} executor/evidence counters "
+        "snapshotted"
+    )
+    return record["counters"]
 
 
 def trace_overhead_check() -> dict:
@@ -285,6 +365,7 @@ def main(argv=None) -> int:
         run_benchmarks()
     counters = collect_counters()
     digests = compute_digests()
+    counters["distributed_gate.json"] = distributed_gate_check(digests)
     trace_overhead_check()
 
     if args.update:

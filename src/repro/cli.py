@@ -27,10 +27,11 @@ Subcommands mirror the 3DC life cycle:
   in one tarball/JSON (docs/observability.md).
 
 ``discover``/``insert``/``delete`` accept ``--workers N`` to shard
-evidence construction over a process pool and ``--backend
-{auto,python,numpy}`` to pick the evidence-kernel backend (results are
-identical for any worker count and backend; see docs/observability.md
-and docs/performance.md).
+evidence construction over a worker pool, ``--backend
+{auto,python,numpy}`` to pick the evidence-kernel backend, and
+``--executor {auto,serial,fork,spawn,socket}`` / ``--shards S`` to pick
+the shard executor and pair-grid size (results are identical for any
+combination; see docs/distributed.md and docs/performance.md).
 
 Observability flags (see docs/observability.md): ``--trace`` prints the
 nested span tree and per-call metrics of the operation, ``--metrics-out``
@@ -99,6 +100,8 @@ def _cmd_discover(args) -> int:
         allow_cross_columns=not args.no_cross_columns,
         workers=args.workers,
         backend=args.backend,
+        executor=args.executor,
+        shards=args.shards,
     )
     result = discoverer.fit()
     print(result)
@@ -110,12 +113,22 @@ def _cmd_discover(args) -> int:
     return 0
 
 
-def _cmd_insert(args) -> int:
-    discoverer = load_state(args.state)
+def _apply_execution_flags(discoverer, args) -> None:
+    """Override a loaded discoverer's execution knobs from CLI flags
+    (``None`` = keep what it already has; none of these are persisted)."""
     if args.workers is not None:
         discoverer.workers = args.workers
     if args.backend is not None:
         discoverer.backend = args.backend
+    if getattr(args, "executor", None) is not None:
+        discoverer.executor = args.executor
+    if getattr(args, "shards", None) is not None:
+        discoverer.shards = args.shards
+
+
+def _cmd_insert(args) -> int:
+    discoverer = load_state(args.state)
+    _apply_execution_flags(discoverer, args)
     relation = load_csv(
         args.csv, schema=discoverer.relation.schema, null_policy=args.null_policy
     )
@@ -130,10 +143,7 @@ def _cmd_insert(args) -> int:
 
 def _cmd_delete(args) -> int:
     discoverer = load_state(args.state)
-    if args.workers is not None:
-        discoverer.workers = args.workers
-    if args.backend is not None:
-        discoverer.backend = args.backend
+    _apply_execution_flags(discoverer, args)
     result = discoverer.delete(args.rids)
     print(result)
     _print_dcs(discoverer, args.top)
@@ -319,6 +329,8 @@ def _cmd_session_init(args) -> int:
         allow_cross_columns=not args.no_cross_columns,
         workers=args.workers,
         backend=args.backend,
+        executor=args.executor,
+        shards=args.shards,
     )
     result = discoverer.fit()
     print(result)
@@ -446,10 +458,7 @@ def _cmd_serve(args) -> int:
             f"recovered session from {args.dir} "
             f"(replayed {session.replayed_records} WAL records)"
         )
-        if args.workers is not None:
-            session.discoverer.workers = args.workers
-        if args.backend is not None:
-            session.discoverer.backend = args.backend
+        _apply_execution_flags(session.discoverer, args)
     else:
         if not args.csv:
             print(
@@ -477,6 +486,8 @@ def _cmd_serve(args) -> int:
                 cross_column_ratio=args.cross_ratio,
                 workers=args.workers or 1,
                 backend=args.backend or "auto",
+                executor=args.executor or "auto",
+                shards=args.shards,
             )
         result = discoverer.fit()
         print(result)
@@ -591,6 +602,27 @@ def _add_backend_flag(parser, default) -> None:
     )
 
 
+def _add_executor_flags(parser, default) -> None:
+    from repro.evidence.executors import EXECUTOR_CHOICES
+
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTOR_CHOICES,
+        default=default,
+        help="shard-executor backend for parallel evidence runs (auto = "
+        "fork where available, spawn otherwise; socket drives worker "
+        "processes over TCP; results are identical for any choice)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="S",
+        help="pair-grid shard count override (default: derived from "
+        "--workers; results are identical for any value)",
+    )
+
+
 def _add_observability_flags(parser) -> None:
     parser.add_argument(
         "--trace",
@@ -626,6 +658,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--null-policy", choices=["reject", "drop", "fill"], default="reject")
     _add_workers_flag(p, default=1)
     _add_backend_flag(p, default="auto")
+    _add_executor_flags(p, default="auto")
     _add_observability_flags(p)
     p.set_defaults(func=_cmd_discover)
 
@@ -634,9 +667,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--state", required=True)
     p.add_argument("--top", type=int, default=20)
     p.add_argument("--null-policy", choices=["reject", "drop", "fill"], default="reject")
-    # None = keep the loaded discoverer's worker count / backend.
+    # None = keep the loaded discoverer's worker count / backend / executor.
     _add_workers_flag(p, default=None)
     _add_backend_flag(p, default=None)
+    _add_executor_flags(p, default=None)
     _add_observability_flags(p)
     p.set_defaults(func=_cmd_insert)
 
@@ -646,6 +680,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=20)
     _add_workers_flag(p, default=None)
     _add_backend_flag(p, default=None)
+    _add_executor_flags(p, default=None)
     _add_observability_flags(p)
     p.set_defaults(func=_cmd_delete)
 
@@ -741,6 +776,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--null-policy", choices=["reject", "drop", "fill"], default="reject")
     _add_workers_flag(sp, default=1)
     _add_backend_flag(sp, default="auto")
+    _add_executor_flags(sp, default="auto")
     _add_observability_flags(sp)
     sp.set_defaults(func=_cmd_session_init)
 
@@ -888,6 +924,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_flag(p, default=None)
     _add_backend_flag(p, default=None)
+    _add_executor_flags(p, default=None)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(

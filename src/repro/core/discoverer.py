@@ -72,6 +72,15 @@ class DCDiscoverer:
         and 0 means one worker per CPU.  Results are byte-for-byte
         identical for any worker count (the shard merge is deterministic);
         platforms without the ``fork`` start method fall back to serial.
+    :param executor: shard-executor backend for parallel evidence runs —
+        ``"auto"`` (the default: fork where available, spawn otherwise),
+        ``"serial"``, ``"fork"``, ``"spawn"``, or ``"socket"`` (worker
+        processes over crc32-framed loopback TCP).  Results are
+        byte-for-byte identical for any executor; an execution knob like
+        ``workers`` — not persisted with the state.
+    :param shards: pair-grid shard count override for parallel evidence
+        runs (``None`` = derived from ``workers``); results are identical
+        for any shard count.
     :param backend: evidence-kernel backend — ``"auto"`` (the default;
         NumPy-vectorized when available, pure Python otherwise),
         ``"python"``, or ``"numpy"``.  Results are byte-for-byte
@@ -112,6 +121,8 @@ class DCDiscoverer:
         enumeration_backend: str = "dynei",
         workers: int = 1,
         backend: str = "auto",
+        executor: str = "auto",
+        shards: Optional[int] = None,
         instrumentation: Optional[Instrumentation] = None,
         mode: str = "discover",
         constraints: Optional[Sequence] = None,
@@ -147,8 +158,12 @@ class DCDiscoverer:
         self.enumeration_backend = "fixed" if mode == "verify" else enumeration_backend
         self.constraints = list(constraints) if constraints is not None else None
         self.verify_pruning = verify_pruning
+        from repro.evidence.executors import validate_executor
+
         self.workers = workers
         self.backend = validate_backend(backend)
+        self.executor = validate_executor(executor)
+        self.shards = shards
         self.instrumentation = instrumentation or Instrumentation()
         self.space: Optional[PredicateSpace] = None
         self._state = None
@@ -190,6 +205,8 @@ class DCDiscoverer:
                         maintain_tuple_index=self.maintain_tuple_index,
                         workers=self.workers,
                         backend=self.backend,
+                        executor=self.executor,
+                        shards=self.shards,
                     )
                 with tracer.span("enumeration"):
                     self._backend = make_backend(
@@ -345,6 +362,8 @@ class DCDiscoverer:
                                 infer_within_delta=self.infer_within_delta,
                                 workers=self.workers,
                                 backend=self.backend,
+                                executor=self.executor,
+                                shards=self.shards,
                             )
                         with tracer.span("apply"):
                             new_masks = apply_insert_evidence(
@@ -405,12 +424,16 @@ class DCDiscoverer:
                                     self.relation, self._state, rid_list,
                                     workers=self.workers,
                                     backend=self.backend,
+                                    executor=self.executor,
+                                    shards=self.shards,
                                 )
                             else:
                                 evidence_delta = delete_evidence_by_recompute(
                                     self.relation, self._state, rid_list,
                                     workers=self.workers,
                                     backend=self.backend,
+                                    executor=self.executor,
+                                    shards=self.shards,
                                 )
                         with tracer.span("apply"):
                             removed_masks = apply_delete_evidence(

@@ -44,6 +44,9 @@ FAULT_POINTS = frozenset(
         "state_save.pre_fsync",
         "state_save.pre_rename",
         "state_save.post_rename",
+        # Shard-executor worker, right before it runs a claimed evidence
+        # block (fires in the worker process, never the parent).
+        "executor.shard",
     }
 )
 

@@ -32,6 +32,8 @@ def delete_evidence_by_recompute(
     delete_rids: Iterable[int],
     workers: int = 1,
     backend: Optional[str] = None,
+    executor: Optional[str] = "auto",
+    shards: Optional[int] = None,
 ) -> EvidenceSet:
     """Recompute the evidence produced by the delete batch from scratch.
 
@@ -49,9 +51,10 @@ def delete_evidence_by_recompute(
 
     delete_list = sorted(delete_rids)
     n_workers = parallel.resolve_workers(workers)
-    if parallel.should_parallelize(n_workers, len(delete_list)):
+    if parallel.should_parallelize(n_workers, len(delete_list), executor):
         return parallel.parallel_delete_evidence(
-            relation, state, delete_list, "recompute", n_workers, backend
+            relation, state, delete_list, "recompute", n_workers, backend,
+            executor=executor, shards=shards,
         )
     evidence_delta = EvidenceSet()
     remaining = relation.alive_bits
@@ -70,6 +73,8 @@ def delete_evidence_with_index(
     delete_rids: Iterable[int],
     workers: int = 1,
     backend: Optional[str] = None,
+    executor: Optional[str] = "auto",
+    shards: Optional[int] = None,
 ) -> EvidenceSet:
     """Compute the delete batch's evidence using the per-tuple index.
 
@@ -105,9 +110,10 @@ def delete_evidence_with_index(
         )
     delete_list = sorted(delete_rids)
     n_workers = parallel.resolve_workers(workers)
-    if parallel.should_parallelize(n_workers, len(delete_list)):
+    if parallel.should_parallelize(n_workers, len(delete_list), executor):
         return parallel.parallel_delete_evidence(
-            relation, state, delete_list, "index", n_workers, backend
+            relation, state, delete_list, "index", n_workers, backend,
+            executor=executor, shards=shards,
         )
     evidence_delta = EvidenceSet()
     space = state.space

@@ -1,0 +1,106 @@
+"""Shard executors: strategies for running pair-grid evidence blocks.
+
+The registry maps executor names to implementations:
+
+- ``serial`` — every block in the calling process (grid without pools);
+- ``fork`` — in-process fork pool, snapshot shared copy-on-write;
+- ``spawn`` — spawn-safe process pool, snapshot pickled to workers;
+- ``socket`` — separate worker processes over crc32-framed loopback TCP;
+- ``auto`` — ``fork`` when the platform has it, else ``spawn``.
+
+See docs/distributed.md for the scheduling model and the determinism
+contract shared by all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.evidence.executors.base import (
+    WORKER_FAULT_POINT,
+    ExecutorStats,
+    SerialExecutor,
+    ShardExecutor,
+    ShardResult,
+    fork_available,
+)
+from repro.evidence.executors.grid import (
+    grid_blocks,
+    grid_shard_count,
+    plan_blocks,
+    shard_bitmaps,
+)
+from repro.evidence.executors.pool import ForkPoolExecutor, SpawnPoolExecutor
+from repro.evidence.executors.tcp import SocketExecutor
+
+EXECUTORS = {
+    executor.name: executor
+    for executor in (
+        SerialExecutor,
+        ForkPoolExecutor,
+        SpawnPoolExecutor,
+        SocketExecutor,
+    )
+}
+
+#: CLI/API choices ("auto" resolves per platform).
+EXECUTOR_CHOICES = ("auto",) + tuple(sorted(EXECUTORS))
+
+
+def validate_executor(name: Optional[str]) -> str:
+    """Normalize and validate an executor name (``None`` → ``auto``)."""
+    name = name or "auto"
+    if name not in EXECUTOR_CHOICES:
+        raise ValueError(
+            f"unknown executor {name!r}; choose from "
+            f"{', '.join(EXECUTOR_CHOICES)}"
+        )
+    return name
+
+
+def resolve_executor(name: Optional[str] = "auto") -> Optional[str]:
+    """Resolve a requested executor to a concrete registry name.
+
+    ``auto`` prefers ``fork`` (copy-on-write snapshot sharing, no pickling)
+    and falls back to ``spawn`` where fork does not exist.  Explicitly
+    requesting ``fork`` on a fork-less platform returns ``None`` — the
+    caller degrades to serial and reports ``parallel.fallback``.
+    """
+    name = validate_executor(name)
+    if name == "auto":
+        return "fork" if fork_available() else "spawn"
+    if name == "fork" and not fork_available():
+        return None
+    return name
+
+
+def make_executor(name: Optional[str], workers: int) -> ShardExecutor:
+    """Instantiate the executor ``name`` resolves to."""
+    concrete = resolve_executor(name)
+    if concrete is None:
+        raise RuntimeError(
+            "the 'fork' executor is unavailable on this platform"
+        )
+    return EXECUTORS[concrete](workers)
+
+
+__all__ = [
+    "EXECUTORS",
+    "EXECUTOR_CHOICES",
+    "WORKER_FAULT_POINT",
+    "ExecutorStats",
+    "ForkPoolExecutor",
+    "SerialExecutor",
+    "ShardExecutor",
+    "ShardResult",
+    "SocketExecutor",
+    "SpawnPoolExecutor",
+    "fork_available",
+    "grid_blocks",
+    "grid_shard_count",
+    "make_executor",
+    "plan_blocks",
+    "resolve_executor",
+    "shard_bitmaps",
+    "validate_executor",
+]

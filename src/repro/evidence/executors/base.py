@@ -1,0 +1,180 @@
+"""Shared vocabulary of the shard executors.
+
+A :class:`ShardExecutor` runs a batch of independent evidence *block
+specs* (produced by :mod:`repro.evidence.executors.grid`) and returns one
+:class:`ShardResult` per spec, **in spec order** regardless of which
+worker finished first.  That ordering contract — together with the
+sorted-key signed merge in :func:`repro.evidence.parallel.merge_shard_counts`
+— is what keeps the final evidence state byte-identical to a serial build
+for any executor backend, shard count, and task arrival order.
+
+Executors dispatch specs with *work stealing*: every spec has a "home"
+worker (``index % workers``), but an idle worker takes the next pending
+spec whichever home it has.  The deviation is counted (``steals``) and
+reported through the ``executor.*`` probe metrics; it never affects the
+result bytes.
+
+Workers that die mid-shard (crash, kill, injected fault) are survivable:
+the executor re-runs the lost spec in the parent process — the block
+kernels are pure functions of the shared engine snapshot, so a local
+re-run is byte-identical to whatever the dead worker would have produced.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.observability import get_logger
+
+logger = get_logger(__name__)
+
+#: Fault point armed by the executor fault-handling tests: fires in a
+#: *worker* immediately before it runs a claimed block (the parent never
+#: calls it), modeling the worker dying mid-shard.
+WORKER_FAULT_POINT = "executor.shard"
+
+#: Fork-shared engine snapshot, set by the fork executor immediately
+#: before its worker pool is created and cleared right after the gather.
+_SHARD_STATE: Optional[dict] = None
+
+
+def fork_available() -> bool:
+    """Whether fork-based worker pools can run here.
+
+    ``REPRO_FORCE_SPAWN=1`` pretends they cannot — the CI ``distributed``
+    job uses it to exercise the spawn code paths on Linux runners.
+    """
+    if os.environ.get("REPRO_FORCE_SPAWN"):
+        return False
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+@dataclass
+class ShardResult:
+    """One block's partial evidence plus its accounting.
+
+    ``counts`` is a signed evidence counter — the delete-index strategy
+    subtracts stale-pair corrections that another block's additions cover;
+    only the merged totals must be non-negative.  ``tuple_records`` carries
+    ``(rid, owned_counter, partner_bits)`` entries for the per-tuple
+    evidence index when the caller maintains one.
+    """
+
+    counts: dict
+    tuple_records: list = field(default_factory=list)
+    pipelines: int = 0
+    pairs: int = 0
+    contexts_out: int = 0
+    pairs_inferred: int = 0
+    duration: float = 0.0
+    backend: str = ""
+    #: Spec index this result answers (executors fill these in).
+    index: int = -1
+    #: Worker slot that produced it (-1 = parent ran it locally).
+    worker: int = -1
+
+
+@dataclass
+class ExecutorStats:
+    """One ``run()``'s dispatch accounting (never part of the result
+    bytes; reported through the ``executor.*`` probe metrics)."""
+
+    tasks: int = 0
+    steals: int = 0
+    bytes_shipped: int = 0
+    redispatched: int = 0
+    workers: int = 0
+
+
+class ShardExecutor(ABC):
+    """One strategy for running grid block specs against a shared
+    engine snapshot."""
+
+    #: Registry name ("serial" / "fork" / "spawn" / "socket").
+    name: str = ""
+
+    def __init__(self, workers: int):
+        self.workers = max(1, workers)
+        self.stats = ExecutorStats()
+
+    @abstractmethod
+    def run(self, context: dict, specs: List[dict]) -> List[ShardResult]:
+        """Run every spec, returning results in spec order."""
+
+    def _begin(self, n_specs: int, workers: int) -> None:
+        self.stats = ExecutorStats(tasks=n_specs, workers=workers)
+
+
+def shippable_context(context: dict) -> dict:
+    """The subset of an engine snapshot that crosses a process boundary.
+
+    The kernel object is dropped — spawned/remote workers rebuild it from
+    the backend name so its internal arrays never ride the wire — and the
+    parent's armed fault points are carried along so deterministic fault
+    injection reaches workers that do not inherit memory by fork.
+    """
+    from repro.durability.faults import get_injector
+
+    shipped = {
+        key: value for key, value in context.items() if key != "kernel"
+    }
+    shipped["armed_faults"] = dict(get_injector()._armed)
+    return shipped
+
+
+def load_shipped_context(payload: bytes) -> dict:
+    """Worker-side inverse of :func:`shippable_context` for pickled
+    snapshots (the spawn pool ships bytes)."""
+    return install_shipped_context(pickle.loads(payload))
+
+
+def install_shipped_context(context: dict) -> dict:
+    """Re-arm the shipped fault points and rebuild the kernel of a
+    snapshot that crossed a process boundary."""
+    from repro.durability.faults import get_injector
+    from repro.evidence.kernels import make_kernel
+
+    for point, skip in context.pop("armed_faults", {}).items():
+        get_injector().arm(point, skip=skip)
+    context["kernel"] = make_kernel(
+        context.get("backend"),
+        context["relation"],
+        context["space"],
+        context["indexes"],
+    )
+    return context
+
+
+def run_local(context: dict, specs_by_index: dict) -> List[ShardResult]:
+    """Run the given ``{index: spec}`` blocks in the parent process (the
+    degraded-to-serial path after worker loss)."""
+    from repro.evidence.executors.grid import run_block
+
+    results = []
+    for index in sorted(specs_by_index):
+        result = run_block(context, specs_by_index[index])
+        result.index = index
+        result.worker = -1
+        results.append(result)
+    return results
+
+
+class SerialExecutor(ShardExecutor):
+    """Runs every block in the calling process.
+
+    No parallelism — this executor exists so the pair-grid decomposition
+    itself (block planning, partial merges, record stitching) can run and
+    be tested without any process machinery, and as the last-resort
+    degradation target of the process-based executors.
+    """
+
+    name = "serial"
+
+    def run(self, context: dict, specs: List[dict]) -> List[ShardResult]:
+        self._begin(len(specs), workers=1)
+        return run_local(context, dict(enumerate(specs)))

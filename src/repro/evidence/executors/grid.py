@@ -1,0 +1,326 @@
+"""Shard×shard pair-grid decomposition of evidence construction.
+
+Evidence work is inherently pairwise: every maintenance operation —
+static build, insert delta, delete batch — reconciles a set of ordered
+tuple pairs.  This module decomposes that pair space into a grid: the
+alive rid universe is *striped* into ``S`` shards (rid at position ``p``
+of the sorted universe belongs to shard ``p % S``), and the pairs are
+partitioned into ``S`` intra-shard blocks ``(i, i)`` plus ``S·(S−1)/2``
+cross-shard blocks ``(i, j)``, ``i < j``.  Each block is an independent
+task: it owns exactly the pairs with one endpoint in shard ``i`` and the
+other in shard ``j``, computes their evidence with the same kernels the
+serial path uses, and returns a partial signed counter.  Partial counters
+merge by multiplicity addition (sorted-key, see
+:func:`repro.evidence.parallel.merge_shard_counts`), so the merged
+evidence set is *byte-identical to the serial build* for any shard count,
+executor backend, and completion order.
+
+Pair ownership inside a block replicates the serial loops exactly:
+
+- **static**: the lower rid of each pair runs the context pipeline, the
+  symmetric evidence is inferred — so block ``(i, j)`` emits one task per
+  shard-``i`` rid against its later shard-``j`` partners and vice versa;
+- **insert (Opt/Base)**: delta rids reconcile against static plus
+  later-delta (Opt) or all-other (Base) partners, filtered to the block's
+  opposite shard; the diagonal block additionally guarantees the serial
+  path's unconditional per-tuple index entry for every delta rid;
+- **delete (recompute/index)**: the ``processed`` prefix of the sorted
+  batch is a pure function of the batch, so each block recomputes it
+  locally; the per-rid atomic parts of the index strategy (owned-pair
+  retrieval, stale-pair corrections) cannot be split across partners and
+  run in the dying rid's diagonal block.
+
+Block specs are tiny (kind, block coordinates, shard count, the batch rid
+list) — workers recompute shard membership from the shared engine
+snapshot, which is what keeps the socket executor's shipped bytes small.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bitmaps.bitutils import bits_from, iter_bits
+from repro.evidence.executors.base import ShardResult
+from repro.evidence.kernels.base import (
+    CounterSink,
+    ListRecorder,
+    ReconcileTask,
+)
+
+#: Aim for this many blocks per worker so the work-stealing dispatch has
+#: slack to rebalance (the triangular pair counts make blocks uneven).
+BLOCKS_PER_WORKER = 2
+
+
+def grid_shard_count(workers: int, n_items: int, shards=None) -> int:
+    """The shard count ``S`` for a run: explicit ``shards`` wins, else the
+    smallest ``S`` whose ``S·(S+1)/2`` blocks give every worker
+    :data:`BLOCKS_PER_WORKER` steal targets; never more than ``n_items``."""
+    if shards is not None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        return max(1, min(shards, n_items))
+    size = 1
+    while size * (size + 1) // 2 < BLOCKS_PER_WORKER * workers:
+        size += 1
+    return max(1, min(size, n_items))
+
+
+def grid_blocks(n_shards: int) -> List[tuple]:
+    """The ``S`` intra + ``S·(S−1)/2`` cross block coordinates, diagonal
+    first (deterministic; order never affects merged results)."""
+    return [
+        (i, j) for i in range(n_shards) for j in range(i, n_shards)
+    ]
+
+
+def plan_blocks(kind: str, n_shards: int, **extras) -> List[dict]:
+    """Specs for one maintenance operation's full pair grid."""
+    return [
+        {"kind": kind, "block": block, "n_shards": n_shards, **extras}
+        for block in grid_blocks(n_shards)
+    ]
+
+
+def shard_bitmaps(alive_bits: int, n_shards: int) -> List[int]:
+    """Striped shard membership bitmaps of the sorted alive universe."""
+    bitmaps = [0] * n_shards
+    position = 0
+    bits = alive_bits
+    while bits:
+        low = bits & -bits
+        bitmaps[position % n_shards] |= low
+        bits ^= low
+        position += 1
+    return bitmaps
+
+
+def _shards_of(state: dict, n_shards: int) -> List[int]:
+    """Per-context memo of :func:`shard_bitmaps` (workers run many blocks
+    of the same grid against one snapshot)."""
+    cached = state.get("_shard_bitmaps")
+    if cached is None or len(cached) != n_shards:
+        cached = shard_bitmaps(state["alive_bits"], n_shards)
+        state["_shard_bitmaps"] = cached
+    return cached
+
+
+def _sides(block: tuple) -> List[tuple]:
+    """The (rid shard, partner shard) orientations a block covers: one for
+    a diagonal block, both directions for a cross block."""
+    i, j = block
+    return [(i, j)] if i == j else [(i, j), (j, i)]
+
+
+def run_block(state: dict, spec: dict) -> ShardResult:
+    """Execute one block spec against the shared engine snapshot.
+
+    Pure: depends only on ``state`` and ``spec``, making parent-side
+    re-dispatch after a worker death byte-identical.
+    """
+    import time
+
+    started = time.perf_counter()
+    kind = spec["kind"]
+    if kind == "static":
+        result = _block_static(state, spec)
+    elif kind == "insert_opt":
+        result = _block_insert_opt(state, spec)
+    elif kind == "insert_base":
+        result = _block_insert_base(state, spec)
+    elif kind == "delete_index":
+        result = _block_delete_index(state, spec)
+    elif kind == "delete_recompute":
+        result = _block_delete_recompute(state, spec)
+    else:
+        raise ValueError(f"unknown block kind {kind!r}")
+    result.duration = time.perf_counter() - started
+    return result
+
+
+def _run_tasks(state, result, tasks, symmetric_bits=None, recorder=None):
+    """Run a block's task batch on the snapshot's kernel, folding the
+    evidence into the block's plain counter."""
+    kernel = state["kernel"]
+    stats = kernel.reconcile(
+        tasks, CounterSink(result.counts), recorder, symmetric_bits
+    )
+    result.backend = kernel.name
+    result.pipelines += stats.pipelines
+    result.pairs += stats.pairs
+    result.contexts_out += stats.contexts_out
+    result.pairs_inferred += stats.pairs_inferred
+
+
+def _block_static(state, spec) -> ShardResult:
+    """Static build: each pair's lower rid reconciles, restricted to the
+    block's opposite shard."""
+    result = ShardResult(counts={})
+    shards = _shards_of(state, spec["n_shards"])
+    record = state["tuple_index"] is not None
+    tasks = []
+    for side_rids, side_partners in _sides(spec["block"]):
+        partner_shard = shards[side_partners]
+        for rid in iter_bits(shards[side_rids]):
+            partners = partner_shard & ~((1 << (rid + 1)) - 1)
+            # The serial scan records no entry for a rid with no later
+            # partners; blocks mirror that per shard (unions match).
+            if not partners:
+                continue
+            tasks.append(
+                ReconcileTask(rid, partners, partners if record else None)
+            )
+    recorder = ListRecorder(result.tuple_records) if record else None
+    _run_tasks(state, result, tasks, recorder=recorder)
+    return result
+
+
+def _block_insert_opt(state, spec) -> ShardResult:
+    """Insert, Opt strategy: delta rid vs (statics + later delta) within
+    the opposite shard; symmetric evidence inferred for all partners."""
+    result = ShardResult(counts={})
+    shards = _shards_of(state, spec["n_shards"])
+    delta_bits = bits_from(spec["delta_list"])
+    static_bits = state["alive_bits"] & ~delta_bits
+    record = state["tuple_index"] is not None
+    diagonal = spec["block"][0] == spec["block"][1]
+    tasks = []
+    for side_rids, side_partners in _sides(spec["block"]):
+        partner_shard = shards[side_partners]
+        for rid in iter_bits(shards[side_rids] & delta_bits):
+            later_delta = delta_bits & ~((1 << (rid + 1)) - 1)
+            partners = (static_bits | later_delta) & partner_shard
+            # The diagonal block guarantees the serial unconditional
+            # index entry (a batch into an empty relation still records).
+            if partners or diagonal:
+                tasks.append(
+                    ReconcileTask(rid, partners, partners if record else None)
+                )
+    recorder = ListRecorder(result.tuple_records) if record else None
+    _run_tasks(state, result, tasks, recorder=recorder)
+    return result
+
+
+def _block_insert_base(state, spec) -> ShardResult:
+    """Insert, Base strategy: delta rid vs everyone else in the opposite
+    shard; inference only for static partners (delta pairs run both
+    directions, once from each endpoint's block side)."""
+    result = ShardResult(counts={})
+    shards = _shards_of(state, spec["n_shards"])
+    delta_bits = bits_from(spec["delta_list"])
+    alive_bits = state["alive_bits"]
+    static_bits = alive_bits & ~delta_bits
+    record = state["tuple_index"] is not None
+    diagonal = spec["block"][0] == spec["block"][1]
+    tasks = []
+    for side_rids, side_partners in _sides(spec["block"]):
+        partner_shard = shards[side_partners]
+        for rid in iter_bits(shards[side_rids] & delta_bits):
+            partners = (alive_bits & ~(1 << rid)) & partner_shard
+            later_delta = delta_bits & ~((1 << (rid + 1)) - 1)
+            record_bits = (
+                ((static_bits | later_delta) & partner_shard)
+                if record
+                else None
+            )
+            if partners or diagonal:
+                tasks.append(ReconcileTask(rid, partners, record_bits))
+    recorder = ListRecorder(result.tuple_records) if record else None
+    _run_tasks(
+        state, result, tasks, symmetric_bits=static_bits, recorder=recorder
+    )
+    return result
+
+
+def _prefix_bits(delete_list: List[int], wanted: set) -> Dict[int, int]:
+    """``position → bits of delete_list[:position]`` for the wanted
+    positions, built in one pass over the sorted batch."""
+    prefixes = {}
+    accumulated = 0
+    for position, rid in enumerate(delete_list):
+        if position in wanted:
+            prefixes[position] = accumulated
+        accumulated |= 1 << rid
+    if len(delete_list) in wanted:
+        prefixes[len(delete_list)] = accumulated
+    return prefixes
+
+
+def _block_delete_recompute(state, spec) -> ShardResult:
+    """Delete, recompute strategy: batch position ``p`` reconciles against
+    the alive tuples minus the batch prefix, within the opposite shard."""
+    result = ShardResult(counts={})
+    shards = _shards_of(state, spec["n_shards"])
+    alive_bits = state["alive_bits"]
+    delete_list = spec["delete_list"]
+    prefixes = _prefix_bits(
+        delete_list, set(range(1, len(delete_list) + 1))
+    )
+    tasks = []
+    for side_rids, side_partners in _sides(spec["block"]):
+        rid_shard = shards[side_rids]
+        partner_shard = shards[side_partners]
+        for position, rid in enumerate(delete_list):
+            if not (rid_shard >> rid) & 1:
+                continue
+            partners = (alive_bits & ~prefixes[position + 1]) & partner_shard
+            if partners:
+                tasks.append(ReconcileTask(rid, partners))
+    _run_tasks(state, result, tasks)
+    return result
+
+
+def _block_delete_index(state, spec) -> ShardResult:
+    """Delete, index strategy: the dying rid's owned pairs and stale
+    corrections are per-rid atomic (the index stores one aggregate) and
+    run in its diagonal block; the non-owned reconciliations split across
+    the grid like every other pair."""
+    result = ShardResult(counts={})
+    shards = _shards_of(state, spec["n_shards"])
+    relation = state["relation"]
+    space = state["space"]
+    tuple_index = state["tuple_index"]
+    alive_bits = state["alive_bits"]
+    symmetrize = space.symmetrize
+    evidence_of_pair = space.evidence_of_pair
+    delete_list = spec["delete_list"]
+    diagonal = spec["block"][0] == spec["block"][1]
+    prefixes = _prefix_bits(delete_list, set(range(len(delete_list))))
+    counts = result.counts
+    tasks = []
+    for side_rids, side_partners in _sides(spec["block"]):
+        rid_shard = shards[side_rids]
+        partner_shard = shards[side_partners]
+        for position, rid in enumerate(delete_list):
+            if not (rid_shard >> rid) & 1:
+                continue
+            processed_bits = prefixes[position]
+            rid_bit = 1 << rid
+            partners = tuple_index.partners(rid)
+            if diagonal:
+                for evidence, count in tuple_index.owned_evidence(rid).items():
+                    counts[evidence] = counts.get(evidence, 0) + count
+                    symmetric = symmetrize(evidence)
+                    counts[symmetric] = counts.get(symmetric, 0) + count
+                stale = partners & (~alive_bits | processed_bits)
+                if stale:
+                    row = relation.row(rid)
+                    for partner in iter_bits(stale):
+                        evidence = evidence_of_pair(
+                            row, relation.row(partner)
+                        )
+                        counts[evidence] = counts.get(evidence, 0) - 1
+                        symmetric = symmetrize(evidence)
+                        counts[symmetric] = counts.get(symmetric, 0) - 1
+            others = (
+                alive_bits
+                & ~processed_bits
+                & ~partners
+                & ~rid_bit
+                & partner_shard
+            )
+            if others:
+                tasks.append(ReconcileTask(rid, others))
+    if tasks:
+        _run_tasks(state, result, tasks)
+    return result

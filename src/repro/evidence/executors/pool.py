@@ -1,0 +1,199 @@
+"""Process-pool shard executors (fork and spawn start methods).
+
+Both variants run the same work-stealing dispatch: every block spec goes
+into one shared task queue and idle workers pull whatever is next, so a
+worker that drew cheap intra-shard blocks steals the heavy cross-shard
+blocks a slower sibling would otherwise serialize.  The difference is how
+the engine snapshot reaches the workers:
+
+- **fork**: the parent publishes the snapshot as a module global right
+  before forking; children share it copy-on-write and nothing heavyweight
+  is ever pickled (the historical PR-2 worker-pool behaviour);
+- **spawn**: children start from a fresh interpreter, so the snapshot is
+  pickled once (kernel excluded — each worker rebuilds it from the
+  backend name) and shipped to every worker.  Slower to start, but works
+  on platforms without ``fork`` and doubles as the rehearsal for the
+  socket executor's remote workers.
+
+Fault handling: a worker that dies mid-block (crash, OOM kill, the
+``executor.shard`` fault point) simply never reports its result.  The
+parent's gather loop notices — all results in, or no workers left — and
+re-runs every unreported block in-process; block kernels are pure, so the
+recovered state is byte-identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue as queue_module
+from typing import List
+
+from repro.durability.faults import SimulatedCrash, fault_point
+from repro.evidence.executors import base
+from repro.evidence.executors.base import (
+    WORKER_FAULT_POINT,
+    ShardExecutor,
+    ShardResult,
+    run_local,
+    shippable_context,
+)
+from repro.evidence.executors.grid import run_block
+from repro.observability import get_logger
+
+logger = get_logger(__name__)
+
+#: Parent-side poll interval while gathering results (seconds).  Short
+#: enough that worker death is noticed promptly, long enough to stay off
+#: the profiler.
+_POLL_S = 0.25
+
+
+def _pool_worker(slot: int, task_queue, result_queue, context_blob) -> None:
+    """Worker loop: pull ``(index, spec)`` items until the sentinel.
+
+    Forked children inherit the parent's active probe; per-pair accounting
+    there would be lost at process exit, so it is switched off and the
+    parent re-emits the aggregate from the gathered results.
+    """
+    from repro.observability import probe as _probe_module
+
+    _probe_module._ACTIVE = None
+    if context_blob is None:
+        state = base._SHARD_STATE  # fork: shared copy-on-write
+        if state is None:  # pragma: no cover - defensive
+            raise RuntimeError("fork pool worker without a shared snapshot")
+    else:
+        state = base.load_shipped_context(context_blob)
+    while True:
+        item = task_queue.get()
+        if item is None:
+            break
+        index, blob = item
+        try:
+            fault_point(WORKER_FAULT_POINT)
+            result = run_block(state, pickle.loads(blob))
+            result.index = index
+            result.worker = slot
+            result_queue.put(("done", slot, index, pickle.dumps(result)))
+        except SimulatedCrash:
+            # Model the worker dying mid-shard: no result, no goodbye.
+            os._exit(17)
+        except BaseException as exc:  # pragma: no cover - defensive
+            result_queue.put(("error", slot, index, repr(exc)))
+
+
+class _PoolExecutor(ShardExecutor):
+    """Common work-stealing dispatch over a multiprocessing context."""
+
+    start_method = ""
+
+    def run(self, context: dict, specs: List[dict]) -> List[ShardResult]:
+        n_workers = max(1, min(self.workers, len(specs)))
+        self._begin(len(specs), n_workers)
+        mp_context = multiprocessing.get_context(self.start_method)
+        task_queue = mp_context.Queue()
+        result_queue = mp_context.Queue()
+        blobs = [pickle.dumps(spec) for spec in specs]
+        for index, blob in enumerate(blobs):
+            task_queue.put((index, blob))
+            self.stats.bytes_shipped += len(blob)
+        for _ in range(n_workers):
+            task_queue.put(None)
+
+        context_blob = None
+        if self.start_method == "fork":
+            base._SHARD_STATE = context
+        else:
+            context_blob = pickle.dumps(shippable_context(context))
+            self.stats.bytes_shipped += n_workers * len(context_blob)
+        procs = [
+            mp_context.Process(
+                target=_pool_worker,
+                args=(slot, task_queue, result_queue, context_blob),
+                daemon=True,
+            )
+            for slot in range(n_workers)
+        ]
+        results: dict = {}
+        try:
+            for proc in procs:
+                proc.start()
+            while len(results) < len(specs):
+                try:
+                    message = result_queue.get(timeout=_POLL_S)
+                except queue_module.Empty:
+                    if any(proc.is_alive() for proc in procs):
+                        continue
+                    break  # every worker gone; the audit below recovers
+                self._handle(message, context, specs, results, n_workers)
+            # Late messages beat a local re-run: drain what the feeder
+            # threads managed to flush before any worker died.
+            while len(results) < len(specs):
+                try:
+                    message = result_queue.get_nowait()
+                except queue_module.Empty:
+                    break
+                self._handle(message, context, specs, results, n_workers)
+        finally:
+            for proc in procs:
+                proc.join(timeout=5)
+                if proc.is_alive():  # pragma: no cover - defensive
+                    proc.terminate()
+            task_queue.cancel_join_thread()
+            result_queue.cancel_join_thread()
+            task_queue.close()
+            result_queue.close()
+            if self.start_method == "fork":
+                base._SHARD_STATE = None
+
+        missing = {
+            index: specs[index]
+            for index in range(len(specs))
+            if index not in results
+        }
+        if missing:
+            self.stats.redispatched += len(missing)
+            logger.warning(
+                "%s pool lost %d of %d blocks to dead workers; "
+                "re-running them in-process",
+                self.start_method, len(missing), len(specs),
+            )
+            for result in run_local(context, missing):
+                results[result.index] = result
+        return [results[index] for index in range(len(specs))]
+
+    def _handle(self, message, context, specs, results, n_workers) -> None:
+        kind = message[0]
+        if kind == "done":
+            _, slot, index, blob = message
+            self.stats.bytes_shipped += len(blob)
+            if index not in results:
+                results[index] = pickle.loads(blob)
+                if index % n_workers != slot:
+                    self.stats.steals += 1
+        elif kind == "error":  # pragma: no cover - defensive
+            _, slot, index, text = message
+            logger.warning(
+                "pool worker %d failed on block %d (%s); re-running locally",
+                slot, index, text,
+            )
+            if index not in results:
+                self.stats.redispatched += 1
+                results[index] = run_local(context, {index: specs[index]})[0]
+
+
+class ForkPoolExecutor(_PoolExecutor):
+    """The in-process fork pool: snapshot shared copy-on-write."""
+
+    name = "fork"
+    start_method = "fork"
+
+
+class SpawnPoolExecutor(_PoolExecutor):
+    """Spawn-safe pool for platforms without ``fork``: the snapshot is
+    pickled to every worker."""
+
+    name = "spawn"
+    start_method = "spawn"

@@ -1,0 +1,201 @@
+"""Socket-based multi-process shard executor.
+
+The stepping stone to multi-host evidence construction: workers are
+separate Python processes (launched with ``python -m
+repro.evidence.executors.tcp_worker``) that connect back to the parent
+over loopback TCP and speak the crc32-framed protocol in
+:mod:`repro.evidence.executors.wire`.  Nothing about the protocol assumes
+a shared filesystem or address space — the engine snapshot is shipped as
+one context frame per worker, exactly like the spawn pool's pickle.
+
+Dispatch is parent-driven work stealing: the parent keeps one pending
+deque and hands the next block to whichever worker reports ready, so a
+fast worker drains the queue regardless of the home assignment.  A worker
+whose connection drops mid-block has its claimed block re-queued (or run
+in-process when no workers remain); block kernels are pure, so the
+recovered state is byte-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import selectors
+import socket
+import subprocess
+import sys
+from collections import deque
+from pathlib import Path
+from typing import List
+
+from repro.evidence.executors.base import (
+    ShardExecutor,
+    ShardResult,
+    run_local,
+    shippable_context,
+)
+from repro.evidence.executors.wire import WireError, recv_message, send_message
+from repro.observability import get_logger
+
+logger = get_logger(__name__)
+
+#: How long the parent waits for a launched worker to dial back before
+#: giving up on it (generous: a cold spawn imports numpy).
+ACCEPT_TIMEOUT_S = 30.0
+
+
+def _worker_command(port: int, slot: int) -> List[str]:
+    return [
+        sys.executable,
+        "-m",
+        "repro.evidence.executors.tcp_worker",
+        "--connect",
+        f"127.0.0.1:{port}",
+        "--slot",
+        str(slot),
+    ]
+
+
+def _worker_env() -> dict:
+    """Child environment with ``repro`` importable (workers start from a
+    bare interpreter, not a fork)."""
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing else os.pathsep.join([src_dir, existing])
+    )
+    return env
+
+
+class SocketExecutor(ShardExecutor):
+    """Drives remote worker processes over crc32-framed loopback TCP."""
+
+    name = "socket"
+
+    def run(self, context: dict, specs: List[dict]) -> List[ShardResult]:
+        n_workers = max(1, min(self.workers, len(specs)))
+        self._begin(len(specs), n_workers)
+        self._specs = specs
+        results: dict = {}
+        pending = deque(range(len(specs)))
+        listener = socket.create_server(("127.0.0.1", 0))
+        listener.settimeout(ACCEPT_TIMEOUT_S)
+        port = listener.getsockname()[1]
+        shipped = shippable_context(context)
+        procs = []
+        connections = []
+        claimed: dict = {}  # socket -> (slot, index)
+        try:
+            procs = [
+                subprocess.Popen(_worker_command(port, slot), env=_worker_env())
+                for slot in range(n_workers)
+            ]
+            for _ in range(n_workers):
+                try:
+                    conn, _addr = listener.accept()
+                except (TimeoutError, OSError):  # pragma: no cover - defensive
+                    logger.warning(
+                        "socket executor: a worker never connected; "
+                        "continuing with %d of %d", len(connections), n_workers
+                    )
+                    break
+                self.stats.bytes_shipped += send_message(
+                    conn, ("context", shipped)
+                )
+                connections.append(conn)
+            selector = selectors.DefaultSelector()
+            for conn in connections:
+                selector.register(conn, selectors.EVENT_READ)
+            while len(results) < len(specs) and selector.get_map():
+                for key, _events in selector.select(timeout=0.5):
+                    self._serve(
+                        key.fileobj, selector, pending, results, claimed,
+                        n_workers,
+                    )
+            selector.close()
+        finally:
+            for conn in connections:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+            listener.close()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=5)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    proc.kill()
+
+        missing = {
+            index: specs[index]
+            for index in range(len(specs))
+            if index not in results
+        }
+        if missing:
+            self.stats.redispatched += len(missing)
+            logger.warning(
+                "socket executor lost %d of %d blocks to dead workers; "
+                "running them in-process", len(missing), len(specs),
+            )
+            for result in run_local(context, missing):
+                results[result.index] = result
+        return [results[index] for index in range(len(specs))]
+
+    def _serve(
+        self, conn, selector, pending, results, claimed, n_workers
+    ) -> None:
+        """Handle one readable worker socket: absorb its message, then
+        either hand it the next pending block or send it home."""
+        try:
+            message, n_read = recv_message(conn)
+        except WireError:
+            lost = claimed.pop(conn, None)
+            selector.unregister(conn)
+            conn.close()
+            if lost is not None:
+                slot, index = lost
+                logger.warning(
+                    "socket worker %d died holding block %d; re-queueing",
+                    slot, index,
+                )
+                self.stats.redispatched += 1
+                pending.appendleft(index)
+            return
+        self.stats.bytes_shipped += n_read
+        kind = message[0]
+        slot = message[1]
+        if kind == "done":
+            _, _, index, result = message
+            claimed.pop(conn, None)
+            if index not in results:
+                results[index] = result
+                if index % n_workers != slot:
+                    self.stats.steals += 1
+        elif kind == "error":  # pragma: no cover - defensive
+            _, _, index, text = message
+            claimed.pop(conn, None)
+            logger.warning(
+                "socket worker %d failed on block %d (%s); re-queueing",
+                slot, index, text,
+            )
+            self.stats.redispatched += 1
+            if index not in results:
+                pending.appendleft(index)
+        # "ready" carries no result; fall through to assignment.
+        while pending and pending[0] in results:
+            pending.popleft()
+        if pending:
+            index = pending.popleft()
+            self.stats.bytes_shipped += send_message(
+                conn, ("task", index, self._specs[index])
+            )
+            claimed[conn] = (slot, index)
+        else:
+            try:
+                send_message(conn, ("shutdown",))
+            except WireError:  # pragma: no cover - defensive
+                pass
+            selector.unregister(conn)
+            conn.close()

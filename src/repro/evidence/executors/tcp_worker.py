@@ -1,0 +1,72 @@
+"""Entry point for socket-executor worker processes.
+
+Launched by :class:`repro.evidence.executors.tcp.SocketExecutor` as
+``python -m repro.evidence.executors.tcp_worker --connect HOST:PORT
+--slot N``.  The worker dials the parent, receives one context frame (the
+shipped engine snapshot), then loops: report ready, receive a block spec,
+run it, send the result — until the parent says shutdown or the
+connection drops.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+
+from repro.durability.faults import SimulatedCrash, fault_point
+from repro.evidence.executors.base import (
+    WORKER_FAULT_POINT,
+    install_shipped_context,
+)
+from repro.evidence.executors.grid import run_block
+from repro.evidence.executors.wire import (
+    WireError,
+    recv_message,
+    send_message,
+)
+
+
+def serve(sock, slot: int) -> None:
+    message, _ = recv_message(sock)
+    if message[0] != "context":
+        raise WireError(f"expected context frame, got {message[0]!r}")
+    state = install_shipped_context(message[1])
+    send_message(sock, ("ready", slot))
+    while True:
+        message, _ = recv_message(sock)
+        kind = message[0]
+        if kind == "shutdown":
+            return
+        if kind != "task":  # pragma: no cover - defensive
+            raise WireError(f"unexpected frame {kind!r}")
+        _, index, spec = message
+        try:
+            fault_point(WORKER_FAULT_POINT)
+            result = run_block(state, spec)
+            result.index = index
+            result.worker = slot
+            send_message(sock, ("done", slot, index, result))
+        except SimulatedCrash:
+            # Model the worker dying mid-shard: drop the connection cold.
+            os._exit(17)
+        except BaseException as exc:  # pragma: no cover - defensive
+            send_message(sock, ("error", slot, index, repr(exc)))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="tcp_worker")
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT")
+    parser.add_argument("--slot", type=int, default=0)
+    args = parser.parse_args(argv)
+    host, _, port = args.connect.rpartition(":")
+    with socket.create_connection((host, int(port))) as sock:
+        try:
+            serve(sock, args.slot)
+        except WireError:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

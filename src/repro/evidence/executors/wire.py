@@ -1,0 +1,68 @@
+"""crc32-framed message transport for the socket executor.
+
+Same framing discipline as the WAL (:mod:`repro.durability.framing`): a
+fixed header of magic, payload length, and crc32, followed by the pickled
+payload.  A frame that fails any check — wrong magic, short read, crc
+mismatch — raises :class:`WireError`, which the executor treats as "that
+worker is gone" and the worker treats as "the parent is gone".
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+
+#: Executor wire frames ("3DC eXecutor"); distinct from the WAL's
+#: ``3DCW`` so a misdirected stream fails loudly on the first frame.
+MAGIC = b"3DCX"
+
+_HEADER = struct.Struct("<4sII")  # magic, payload length, crc32
+
+#: Refuse absurd frame lengths before allocating (a corrupt length field
+#: must not look like a 4 GiB read).
+MAX_FRAME = 1 << 30
+
+
+class WireError(ConnectionError):
+    """The peer vanished or sent a corrupt frame."""
+
+
+def send_message(sock, message) -> int:
+    """Frame and send one message; returns the bytes put on the wire."""
+    payload = pickle.dumps(message)
+    frame = _HEADER.pack(MAGIC, len(payload), zlib.crc32(payload)) + payload
+    try:
+        sock.sendall(frame)
+    except OSError as exc:
+        raise WireError(f"send failed: {exc}") from exc
+    return len(frame)
+
+
+def _recv_exactly(sock, n_bytes: int) -> bytes:
+    chunks = []
+    remaining = n_bytes
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except OSError as exc:
+            raise WireError(f"recv failed: {exc}") from exc
+        if not chunk:
+            raise WireError("peer closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock):
+    """Receive one frame; returns ``(message, bytes_read)``."""
+    header = _recv_exactly(sock, _HEADER.size)
+    magic, length, crc = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME:
+        raise WireError(f"frame length {length} exceeds limit")
+    payload = _recv_exactly(sock, length)
+    if zlib.crc32(payload) != crc:
+        raise WireError("frame crc mismatch")
+    return pickle.loads(payload), _HEADER.size + length

@@ -32,6 +32,8 @@ def incremental_evidence_for_insert(
     infer_within_delta: bool = True,
     workers: int = 1,
     backend: Optional[str] = None,
+    executor: Optional[str] = "auto",
+    shards: Optional[int] = None,
 ) -> EvidenceSet:
     """Compute ``E_Δr`` for an insert batch.
 
@@ -47,6 +49,10 @@ def incremental_evidence_for_insert(
         result for any worker count.
     :param backend: evidence-kernel backend (``None`` = auto); results
         are identical for any backend.
+    :param executor: shard-executor backend (``None``/``"auto"`` = fork
+        where available); results are identical for any executor.
+    :param shards: pair-grid shard count override (``None`` = derived
+        from ``workers``); results are identical for any shard count.
     """
     from repro.evidence import parallel
     from repro.evidence.kernels import make_kernel
@@ -61,9 +67,10 @@ def incremental_evidence_for_insert(
         probe.inc("evidence.delta_tuples", len(delta_list))
 
     n_workers = parallel.resolve_workers(workers)
-    if parallel.should_parallelize(n_workers, len(delta_list)):
+    if parallel.should_parallelize(n_workers, len(delta_list), executor):
         return parallel.parallel_insert_evidence(
-            relation, state, delta_list, infer_within_delta, n_workers, backend
+            relation, state, delta_list, infer_within_delta, n_workers,
+            backend, executor=executor, shards=shards,
         )
 
     record = state.tuple_index is not None

@@ -1,63 +1,52 @@
-"""Worker-pool execution layer for evidence construction.
+"""Distributed execution layer for evidence construction.
 
 Evidence-set maintenance dominates 3DC runtime (the paper's Figure 13
-breakdown), yet every pair-reconciliation loop in this package was serial.
-This module shards those loops into independent chunk tasks and runs them
-on a ``concurrent.futures`` process pool:
+breakdown).  This module decomposes each maintenance operation — static
+build, insert batch, delete batch — into the shard×shard pair grid of
+:mod:`repro.evidence.executors.grid` and runs the resulting blocks on a
+pluggable :class:`~repro.evidence.executors.ShardExecutor`:
 
-- **static build** shards the alive-rid range: tuple ``t`` reconciles
-  against the alive tuples after it, so each rid's work is independent
-  given a snapshot of ``alive_bits``;
-- **insert batches** shard ``Δr``: with the Opt strategy the *i*-th
-  incremental tuple's partner set (statics plus later incrementals) is a
-  pure function of the sorted batch, with Base it is "everyone but me";
-- **deletes** shard the batch: the serial loops' ``processed``/
-  ``remaining`` bookkeeping is a prefix of the *sorted* batch, so shard
-  ``i`` recomputes its prefix bits instead of depending on shard ``i-1``;
-  the index strategy additionally reads each dying tuple's own entry from
-  the per-tuple evidence index, which no other shard touches.
+- ``fork`` (the default where available) shares the engine snapshot with
+  forked workers copy-on-write — nothing heavyweight is pickled;
+- ``spawn`` pickles the snapshot to fresh-interpreter workers for
+  platforms without ``fork``;
+- ``socket`` drives separate worker processes over crc32-framed loopback
+  TCP — the stepping stone to multi-host;
+- ``serial`` runs the grid in-process (no pools), which is also the
+  degradation target when workers die.
 
-Workers are forked (start method ``fork``), so the relation, predicate
-space, column indexes, and tuple index are shared copy-on-write through
-:data:`_SHARD_STATE` — nothing heavyweight is pickled per task.  Each
-shard returns a plain evidence counter (with the symmetric inferences
-already folded in, and *signed* counts for the delete-index strategy's
-stale-pair corrections); the parent merges shards with a sorted-key merge
-so the resulting :class:`~repro.evidence.evidence_set.EvidenceSet` is
-identical for any worker count and any sharding.  Platforms without
-``fork`` (and ``workers=1``) fall back to the serial implementations.
-
-Rid assignment to shards is striped (``rids[shard_index::n_shards]``): in
-the static build the per-rid cost shrinks with the rid (fewer partners
-after it), so contiguous chunks would leave the last worker idle.
+Each block returns a plain evidence counter (symmetric inferences folded
+in, *signed* counts for the delete-index strategy's stale-pair
+corrections); the parent merges blocks with a sorted-key merge so the
+resulting :class:`~repro.evidence.evidence_set.EvidenceSet` is
+byte-identical to a serial build for any executor backend, worker count,
+shard count, and task completion order.  ``workers=1`` and platforms
+where the requested executor cannot run fall back to the serial
+implementations (reported through the ``parallel.fallback`` counter).
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.bitmaps.bitutils import bits_from, iter_bits
 from repro.evidence.evidence_set import EvidenceSet
-from repro.evidence.kernels.base import (
-    CounterSink,
-    ListRecorder,
-    ReconcileTask,
+
+# Re-exported so existing imports (tests, evidence/__init__) keep working
+# after the executor refactor.
+from repro.evidence.executors.base import (  # noqa: F401
+    ShardResult,
+    fork_available,
 )
+from repro.evidence.executors import (
+    make_executor,
+    resolve_executor,
+)
+from repro.evidence.executors.grid import grid_shard_count, plan_blocks
 from repro.observability import flight, get_logger
-from repro.observability import probe as _probe_module
 from repro.observability.probe import get_probe
 
 logger = get_logger(__name__)
-
-#: Fork-shared engine snapshot, set by the parent immediately before the
-#: pool is created and cleared right after the gather.  Keys: ``relation``,
-#: ``space``, ``indexes``, ``tuple_index``, ``alive_bits``.
-_SHARD_STATE: Optional[dict] = None
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -70,22 +59,29 @@ def resolve_workers(workers: Optional[int]) -> int:
     return workers
 
 
-def fork_available() -> bool:
-    """Whether the platform supports fork-based worker pools."""
-    return "fork" in multiprocessing.get_all_start_methods()
+def should_parallelize(
+    workers: int, n_items: int, executor: Optional[str] = "auto"
+) -> bool:
+    """Run on an executor only when it can actually split work: more than
+    one worker requested, at least two shardable items, and the requested
+    executor available on this platform.
 
-
-def should_parallelize(workers: int, n_items: int) -> bool:
-    """Run on a pool only when it can actually split work: more than one
-    worker requested, at least two shardable items, and ``fork`` present
-    (without it the copy-on-write state sharing does not work)."""
+    An unavailable executor (today: explicit ``fork`` on a fork-less
+    platform; ``auto`` resolves to ``spawn`` there instead) is a *loud*
+    serial fallback: one warning plus the ``parallel.fallback`` counter,
+    so a deployment that silently lost its parallelism shows up in
+    metrics rather than in a latency graph.
+    """
     if workers <= 1 or n_items < 2:
         return False
-    if not fork_available():
+    if resolve_executor(executor) is None:
         logger.warning(
-            "workers=%d requested but the 'fork' start method is "
-            "unavailable on this platform; running serially", workers
+            "workers=%d requested but executor %r is unavailable on this "
+            "platform; running serially", workers, executor,
         )
+        probe = get_probe()
+        if probe is not None:
+            probe.inc("parallel.fallback")
         return False
     return True
 
@@ -98,36 +94,15 @@ def stripe(items: list, n_shards: int) -> List[list]:
     return [items[shard::n_shards] for shard in range(n_shards)]
 
 
-@dataclass
-class ShardResult:
-    """One shard's partial evidence plus its accounting.
-
-    ``counts`` is a signed evidence counter — the delete-index strategy
-    subtracts stale-pair corrections that another shard's additions cover;
-    only the merged totals must be non-negative.  ``tuple_records`` carries
-    ``(rid, owned_counter, partner_bits)`` entries for the per-tuple
-    evidence index when the caller maintains one.
-    """
-
-    counts: dict
-    tuple_records: list = field(default_factory=list)
-    pipelines: int = 0
-    pairs: int = 0
-    contexts_out: int = 0
-    pairs_inferred: int = 0
-    duration: float = 0.0
-    backend: str = ""
-
-
 def merge_shard_counts(results: List[ShardResult]) -> EvidenceSet:
-    """Sorted-key merge of the shards' signed counters.
+    """Sorted-key merge of the blocks' signed counters.
 
     Totals are accumulated per mask and inserted in ascending-mask order,
     so the merged set's contents *and* iteration order are independent of
-    worker count, sharding, and completion order.
+    executor backend, worker count, sharding, and completion order.
 
     :raises ValueError: if any merged multiplicity is negative — that
-        always means a shard kernel diverged from its serial counterpart.
+        always means a block kernel diverged from its serial counterpart.
     """
     totals: dict = {}
     for shard in results:
@@ -147,22 +122,29 @@ def merge_shard_counts(results: List[ShardResult]) -> EvidenceSet:
 
 
 def apply_tuple_records(tuple_index, results: List[ShardResult]) -> None:
-    """Install the shards' per-tuple ownership records, in rid order."""
+    """Install the blocks' per-tuple ownership records, in rid order.
+
+    A rid's records are split across its grid blocks, so the sort key is
+    the rid alone (the per-rid merge in the recorder is commutative
+    addition / bit-OR; same-rid order cannot affect the result).
+    """
     from repro.evidence.kernels.base import TupleIndexRecorder
 
     recorder = TupleIndexRecorder(tuple_index)
     records = [record for shard in results for record in shard.tuple_records]
-    for rid, owned_counter, partner_bits in sorted(records):
+    for rid, owned_counter, partner_bits in sorted(
+        records, key=lambda record: record[0]
+    ):
         recorder.record(rid, owned_counter, partner_bits)
 
 
 def report_shards(
     results: List[ShardResult], workers: int, n_groups: int
 ) -> None:
-    """Feed per-shard spans' worth of accounting into the active probe.
+    """Feed per-block spans' worth of accounting into the active probe.
 
     Worker processes cannot reach the parent's metrics registry, so each
-    shard measures itself and the parent re-emits the aggregate here: the
+    block measures itself and the parent re-emits the aggregate here: the
     serial continuity counters (``evidence.*``) plus the ``parallel.*``
     family described in docs/observability.md.
     """
@@ -186,231 +168,55 @@ def report_shards(
             probe.inc("evidence.pairs_inferred", shard.pairs_inferred)
 
 
-def run_shards(context: dict, specs: List[dict], workers: int) -> List[ShardResult]:
-    """Scatter ``specs`` over a fork pool and gather results in spec order.
+def report_executor(executor, n_shards: int) -> None:
+    """Emit one grid run's dispatch accounting as ``executor.*`` metrics.
 
-    ``context`` becomes the fork-shared :data:`_SHARD_STATE`.  Results are
-    returned in submission order (``Executor.map`` semantics), so callers
-    can merge without caring which worker finished first.
+    ``tasks``/``grid_shards`` are deterministic for a given workload and
+    shard count (bench_gate gates them); ``steals``/``redispatched`` and
+    the per-run wall depend on scheduling and are observability only.
     """
-    global _SHARD_STATE
-    _SHARD_STATE = context
-    try:
-        mp_context = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(specs)), mp_context=mp_context
-        ) as pool:
-            results = list(pool.map(_run_shard, specs))
-        report_shards(results, workers, len(context["space"].groups))
-        # Mirror the shards into the flight recorder (no-op unless the
-        # serving layer installed one and a trace context is active).
-        flight.record_shard_spans(results)
-    finally:
-        _SHARD_STATE = None
+    probe = get_probe()
+    if probe is None:
+        return
+    stats = executor.stats
+    probe.inc("executor.tasks", stats.tasks)
+    probe.inc(f"executor.runs.{executor.name}")
+    probe.set_gauge("executor.workers", stats.workers)
+    probe.set_gauge("executor.grid_shards", n_shards)
+    probe.inc("executor.bytes_shipped", stats.bytes_shipped)
+    if stats.steals:
+        probe.inc("executor.steals", stats.steals)
+    if stats.redispatched:
+        probe.inc("executor.redispatched", stats.redispatched)
+
+
+def run_grid(
+    context: dict,
+    specs: List[dict],
+    workers: int,
+    executor_name: Optional[str],
+    n_shards: int,
+) -> List[ShardResult]:
+    """Run one operation's grid blocks on the requested executor and
+    gather results in spec order (the caller merges without caring which
+    worker finished first)."""
+    executor = make_executor(executor_name, workers)
+    results = executor.run(context, specs)
+    report_shards(results, workers, len(context["space"].groups))
+    report_executor(executor, n_shards)
+    # Mirror the blocks into the flight recorder (no-op unless the
+    # serving layer installed one and a trace context is active).
+    flight.record_shard_spans(results)
     return results
-
-
-# -- worker-side kernels ------------------------------------------------------
-
-
-def _run_shard(spec: dict) -> ShardResult:
-    """Worker entry point: dispatch one shard spec against the fork-shared
-    engine snapshot."""
-    # The fork inherited the parent's active probe; per-pair accounting in
-    # the child would be lost at process exit, so switch it off and let
-    # report_shards() re-emit the aggregate in the parent.
-    _probe_module._ACTIVE = None
-    state = _SHARD_STATE
-    if state is None:
-        raise RuntimeError(
-            "_run_shard outside a fork-shared context "
-            "(spawn start method cannot run evidence shards)"
-        )
-    started = time.perf_counter()
-    kind = spec["kind"]
-    if kind == "static":
-        result = _shard_static(state, spec)
-    elif kind == "insert_opt":
-        result = _shard_insert_opt(state, spec)
-    elif kind == "insert_base":
-        result = _shard_insert_base(state, spec)
-    elif kind == "delete_index":
-        result = _shard_delete_index(state, spec)
-    elif kind == "delete_recompute":
-        result = _shard_delete_recompute(state, spec)
-    else:
-        raise ValueError(f"unknown shard kind {kind!r}")
-    result.duration = time.perf_counter() - started
-    return result
-
-
-def _run_tasks(state, result, tasks, symmetric_bits=None, recorder=None):
-    """Run a shard's task batch on the fork-shared kernel, folding the
-    evidence into the shard's plain counter and accumulating its work
-    counters."""
-    kernel = state["kernel"]
-    stats = kernel.reconcile(
-        tasks, CounterSink(result.counts), recorder, symmetric_bits
-    )
-    result.backend = kernel.name
-    result.pipelines += stats.pipelines
-    result.pairs += stats.pairs
-    result.contexts_out += stats.contexts_out
-    result.pairs_inferred += stats.pairs_inferred
-
-
-def _shard_static(state, spec) -> ShardResult:
-    """Static build: rid reconciles against the alive rids after it."""
-    result = ShardResult(counts={})
-    alive_bits = state["alive_bits"]
-    record = state["tuple_index"] is not None
-    tasks = []
-    for rid in spec["rids"]:
-        partners = alive_bits & ~((1 << (rid + 1)) - 1)
-        # `if partners`: the serial scan breaks before recording the last
-        # alive rid (it has no partners after it), so an entry for it
-        # would make the index differ from a serial build.
-        if not partners:
-            continue
-        tasks.append(
-            ReconcileTask(rid, partners, partners if record else None)
-        )
-    recorder = ListRecorder(result.tuple_records) if record else None
-    _run_tasks(state, result, tasks, recorder=recorder)
-    return result
-
-
-def _shard_insert_opt(state, spec) -> ShardResult:
-    """Insert, Opt strategy: rid reconciles against the static tuples plus
-    the incremental tuples after it; symmetric evidence inferred for all."""
-    result = ShardResult(counts={})
-    delta_bits = bits_from(spec["delta_list"])
-    static_bits = state["alive_bits"] & ~delta_bits
-    record = state["tuple_index"] is not None
-    tasks = []
-    for rid in spec["rids"]:
-        later_delta = delta_bits & ~((1 << (rid + 1)) - 1)
-        partners = static_bits | later_delta
-        # Incremental tuples get an index entry even with no partners.
-        tasks.append(
-            ReconcileTask(rid, partners, partners if record else None)
-        )
-    recorder = ListRecorder(result.tuple_records) if record else None
-    _run_tasks(state, result, tasks, recorder=recorder)
-    return result
-
-
-def _shard_insert_base(state, spec) -> ShardResult:
-    """Insert, Base strategy: rid reconciles against everyone else;
-    inference only for static partners (delta pairs run both directions)."""
-    result = ShardResult(counts={})
-    delta_bits = bits_from(spec["delta_list"])
-    static_bits = state["alive_bits"] & ~delta_bits
-    all_bits = static_bits | delta_bits
-    record = state["tuple_index"] is not None
-    tasks = []
-    for rid in spec["rids"]:
-        # Single-owner-per-pair bookkeeping: record the static pairs plus
-        # the delta partners after this tuple (mirrors the serial path).
-        later_delta = delta_bits & ~((1 << (rid + 1)) - 1)
-        tasks.append(
-            ReconcileTask(
-                rid,
-                all_bits & ~(1 << rid),
-                (static_bits | later_delta) if record else None,
-            )
-        )
-    recorder = ListRecorder(result.tuple_records) if record else None
-    _run_tasks(
-        state, result, tasks, symmetric_bits=static_bits, recorder=recorder
-    )
-    return result
-
-
-def _prefix_bits(delete_list: List[int], wanted: set) -> dict:
-    """``position → bits of delete_list[:position]`` for the wanted
-    positions, built in one pass over the sorted batch."""
-    prefixes = {}
-    accumulated = 0
-    for position, rid in enumerate(delete_list):
-        if position in wanted:
-            prefixes[position] = accumulated
-        accumulated |= 1 << rid
-    if len(delete_list) in wanted:
-        prefixes[len(delete_list)] = accumulated
-    return prefixes
-
-
-def _shard_delete_index(state, spec) -> ShardResult:
-    """Delete, index strategy: each dying tuple contributes its owned
-    pairs from the per-tuple index (minus stale corrections) plus one
-    pipeline over the alive, unprocessed, non-owned partners.
-
-    ``processed`` for batch position ``i`` is the prefix ``delete_list[:i]``
-    — a pure function of the sorted batch, which is what makes the serial
-    loop shardable.
-    """
-    result = ShardResult(counts={})
-    relation = state["relation"]
-    space = state["space"]
-    tuple_index = state["tuple_index"]
-    alive_bits = state["alive_bits"]
-    symmetrize = space.symmetrize
-    evidence_of_pair = space.evidence_of_pair
-    delete_list = spec["delete_list"]
-    items = spec["items"]
-    prefixes = _prefix_bits(delete_list, {position for position, _ in items})
-    counts = result.counts
-    tasks = []
-    for position, rid in items:
-        processed_bits = prefixes[position]
-        rid_bit = 1 << rid
-        partners = tuple_index.partners(rid)
-        for evidence, count in tuple_index.owned_evidence(rid).items():
-            counts[evidence] = counts.get(evidence, 0) + count
-            symmetric = symmetrize(evidence)
-            counts[symmetric] = counts.get(symmetric, 0) + count
-        stale = partners & (~alive_bits | processed_bits)
-        if stale:
-            row = relation.row(rid)
-            for partner in iter_bits(stale):
-                evidence = evidence_of_pair(row, relation.row(partner))
-                counts[evidence] = counts.get(evidence, 0) - 1
-                symmetric = symmetrize(evidence)
-                counts[symmetric] = counts.get(symmetric, 0) - 1
-        others = alive_bits & ~processed_bits & ~partners & ~rid_bit
-        if others:
-            tasks.append(ReconcileTask(rid, others))
-    if tasks:
-        _run_tasks(state, result, tasks)
-    return result
-
-
-def _shard_delete_recompute(state, spec) -> ShardResult:
-    """Delete, recompute strategy: batch position ``i`` reconciles against
-    the alive tuples minus the batch prefix ``delete_list[:i+1]``."""
-    result = ShardResult(counts={})
-    alive_bits = state["alive_bits"]
-    delete_list = spec["delete_list"]
-    items = spec["items"]
-    prefixes = _prefix_bits(
-        delete_list, {position + 1 for position, _ in items}
-    )
-    tasks = [
-        ReconcileTask(rid, alive_bits & ~prefixes[position + 1])
-        for position, rid in items
-    ]
-    _run_tasks(state, result, tasks)
-    return result
 
 
 # -- parent-side orchestration -------------------------------------------------
 
 
 def _context(relation, space, indexes, tuple_index, backend) -> dict:
-    """Build the fork-shared engine snapshot.  The kernel is constructed
-    in the parent — its column arrays (and any backend fallback decision,
-    with its probe tick) are shared copy-on-write with every worker."""
+    """Build the shared engine snapshot.  The kernel is constructed in the
+    parent — fork workers share its column arrays copy-on-write; spawn and
+    socket workers rebuild it from the ``backend`` name instead."""
     from repro.evidence.kernels import make_kernel
 
     return {
@@ -419,24 +225,32 @@ def _context(relation, space, indexes, tuple_index, backend) -> dict:
         "indexes": indexes,
         "tuple_index": tuple_index,
         "alive_bits": relation.alive_bits,
+        "backend": backend,
         "kernel": make_kernel(backend, relation, space, indexes),
     }
 
 
 def parallel_static_evidence(
-    relation, space, indexes, tuple_index, workers: int, backend=None
+    relation,
+    space,
+    indexes,
+    tuple_index,
+    workers: int,
+    backend=None,
+    executor: Optional[str] = "auto",
+    shards: Optional[int] = None,
 ) -> EvidenceSet:
-    """Sharded static evidence build; populates ``tuple_index`` when given.
-    The caller has already decided to parallelize (``should_parallelize``)."""
-    rids = list(relation.rids())
-    specs = [
-        {"kind": "static", "rids": shard}
-        for shard in stripe(rids, workers)
-    ]
-    results = run_shards(
+    """Pair-grid static evidence build; populates ``tuple_index`` when
+    given.  The caller has already decided to parallelize
+    (``should_parallelize``)."""
+    n_items = len(list(relation.rids()))
+    n_shards = grid_shard_count(workers, n_items, shards)
+    results = run_grid(
         _context(relation, space, indexes, tuple_index, backend),
-        specs,
+        plan_blocks("static", n_shards),
         workers,
+        executor,
+        n_shards,
     )
     if tuple_index is not None:
         apply_tuple_records(tuple_index, results)
@@ -450,20 +264,22 @@ def parallel_insert_evidence(
     infer_within_delta: bool,
     workers: int,
     backend=None,
+    executor: Optional[str] = "auto",
+    shards: Optional[int] = None,
 ) -> EvidenceSet:
-    """Sharded ``E_Δr`` computation for an insert batch (already inserted
-    into the relation and indexed, exactly as the serial precondition)."""
+    """Pair-grid ``E_Δr`` computation for an insert batch (already
+    inserted into the relation and indexed, exactly as the serial
+    precondition)."""
     kind = "insert_opt" if infer_within_delta else "insert_base"
-    specs = [
-        {"kind": kind, "rids": shard, "delta_list": delta_list}
-        for shard in stripe(delta_list, workers)
-    ]
-    results = run_shards(
+    n_shards = grid_shard_count(workers, len(delta_list), shards)
+    results = run_grid(
         _context(
             relation, state.space, state.indexes, state.tuple_index, backend
         ),
-        specs,
+        plan_blocks(kind, n_shards, delta_list=delta_list),
         workers,
+        executor,
+        n_shards,
     )
     if state.tuple_index is not None:
         apply_tuple_records(state.tuple_index, results)
@@ -477,22 +293,22 @@ def parallel_delete_evidence(
     strategy: str,
     workers: int,
     backend=None,
+    executor: Optional[str] = "auto",
+    shards: Optional[int] = None,
 ) -> EvidenceSet:
-    """Sharded ``E_Δr`` computation for a delete batch (rows still alive
+    """Pair-grid ``E_Δr`` computation for a delete batch (rows still alive
     and indexed).  For the index strategy the per-tuple records of the
     dying tuples are dropped after the gather, as the serial loop does."""
     kind = "delete_index" if strategy == "index" else "delete_recompute"
-    items = list(enumerate(delete_list))
-    specs = [
-        {"kind": kind, "items": shard, "delete_list": delete_list}
-        for shard in stripe(items, workers)
-    ]
-    results = run_shards(
+    n_shards = grid_shard_count(workers, len(delete_list), shards)
+    results = run_grid(
         _context(
             relation, state.space, state.indexes, state.tuple_index, backend
         ),
-        specs,
+        plan_blocks(kind, n_shards, delete_list=delete_list),
         workers,
+        executor,
+        n_shards,
     )
     if kind == "delete_index":
         for rid in delete_list:

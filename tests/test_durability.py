@@ -523,7 +523,7 @@ class TestFaultInjection:
 
     def test_registry_covers_all_planted_prefixes(self):
         prefixes = {name.split(".")[0] for name in FAULT_POINTS}
-        assert prefixes == {"wal", "checkpoint", "state_save"}
+        assert prefixes == {"wal", "checkpoint", "state_save", "executor"}
 
 
 # -- the durable session -----------------------------------------------------

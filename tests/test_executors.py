@@ -1,0 +1,343 @@
+"""Tests for the shard executors and the pair-grid decomposition.
+
+The contract under test (docs/distributed.md): for the differential-
+oracle workload, every executor backend × shard count produces a
+serialized state *byte-identical* to the serial build — and the same
+holds when workers die mid-shard (fault injection) or the platform loses
+the fork start method.
+
+The process-spanning cases are marked ``distributed`` (CI runs them in a
+dedicated job across fork and spawn start methods); the in-process grid
+cases run everywhere.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.discoverer import DCDiscoverer
+from repro.core.state_io import state_to_bytes
+from repro.durability.faults import get_injector
+from repro.evidence.executors import (
+    EXECUTOR_CHOICES,
+    EXECUTORS,
+    WORKER_FAULT_POINT,
+    grid_blocks,
+    grid_shard_count,
+    make_executor,
+    resolve_executor,
+    shard_bitmaps,
+    validate_executor,
+)
+from repro.evidence.executors.base import fork_available
+from repro.evidence.executors.wire import WireError, recv_message, send_message
+from repro.relational.loader import relation_from_rows
+from repro.workloads.datasets import DATASETS
+from repro.workloads.updates import pick_delete_rids, split_for_insert
+
+DATASET = "Tax"
+TOTAL_ROWS = 80
+SHARD_COUNTS = (1, 2, 4, 7)
+
+#: Executors exercised by the byte-identity matrix.  ``fork`` is skipped
+#: automatically where the platform (or REPRO_FORCE_SPAWN) removed it.
+ALL_EXECUTORS = ("serial", "fork", "spawn", "socket")
+
+
+def _workload(seed=1):
+    raw = DATASETS[DATASET].rows(TOTAL_ROWS, seed=0)
+    return split_for_insert(raw, ratio=0.25, retain=0.7, seed=seed)
+
+
+def _run_cycle(workers=1, executor="auto", shards=None, **kwargs):
+    """fit → insert → delete on the differential-oracle workload; return
+    the discoverer's canonical serialized state."""
+    workload = _workload()
+    relation = relation_from_rows(
+        DATASETS[DATASET].header, list(workload.static_rows)
+    )
+    discoverer = DCDiscoverer(
+        relation, workers=workers, executor=executor, shards=shards, **kwargs
+    )
+    discoverer.fit()
+    discoverer.insert(list(workload.delta_rows))
+    discoverer.delete(pick_delete_rids(discoverer.relation, 0.15, seed=3))
+    return state_to_bytes(discoverer)
+
+
+@pytest.fixture(scope="module")
+def serial_state():
+    return _run_cycle(workers=1)
+
+
+def _skip_unless_runnable(executor):
+    if executor == "fork" and not fork_available():
+        pytest.skip("fork start method unavailable")
+
+
+# -- grid planning ------------------------------------------------------------
+
+
+def test_grid_blocks_counts():
+    for n_shards in range(1, 9):
+        blocks = grid_blocks(n_shards)
+        assert len(blocks) == n_shards * (n_shards + 1) // 2
+        assert len(set(blocks)) == len(blocks)
+        assert all(i <= j for i, j in blocks)
+
+
+def test_grid_shard_count_scales_with_workers():
+    # Enough blocks for every worker to have steal targets…
+    for workers in (1, 2, 4, 8):
+        size = grid_shard_count(workers, n_items=10_000)
+        assert size * (size + 1) // 2 >= 2 * workers
+    # …but never more shards than items, and explicit override wins.
+    assert grid_shard_count(8, n_items=3) <= 3
+    assert grid_shard_count(2, n_items=100, shards=7) == 7
+    assert grid_shard_count(2, n_items=4, shards=7) == 4
+    with pytest.raises(ValueError):
+        grid_shard_count(2, n_items=10, shards=0)
+
+
+def test_shard_bitmaps_stripe_and_partition():
+    alive = 0b1011011101
+    bitmaps = shard_bitmaps(alive, 3)
+    merged = 0
+    for bitmap in bitmaps:
+        assert merged & bitmap == 0
+        merged |= bitmap
+    assert merged == alive
+    # Striping: sorted positions round-robin over shards.
+    positions = [rid for rid in range(10) if (alive >> rid) & 1]
+    for shard, bitmap in enumerate(bitmaps):
+        expected = sum(1 << rid for rid in positions[shard::3])
+        assert bitmap == expected
+
+
+def test_executor_registry_and_resolution():
+    assert set(EXECUTORS) == {"serial", "fork", "spawn", "socket"}
+    assert validate_executor(None) == "auto"
+    with pytest.raises(ValueError, match="unknown executor"):
+        validate_executor("threads")
+    assert resolve_executor("serial") == "serial"
+    assert resolve_executor("auto") in ("fork", "spawn")
+    assert sorted(EXECUTOR_CHOICES)[0] == "auto"
+
+
+def test_force_spawn_resolution(monkeypatch):
+    monkeypatch.setenv("REPRO_FORCE_SPAWN", "1")
+    assert not fork_available()
+    assert resolve_executor("auto") == "spawn"
+    assert resolve_executor("fork") is None
+    with pytest.raises(RuntimeError, match="unavailable"):
+        make_executor("fork", workers=2)
+
+
+# -- wire framing -------------------------------------------------------------
+
+
+class _LoopSocket:
+    """In-memory socket double for the framing round-trip tests."""
+
+    def __init__(self, buffer=b""):
+        self.buffer = bytearray(buffer)
+
+    def sendall(self, data):
+        self.buffer.extend(data)
+
+    def recv(self, n):
+        chunk = bytes(self.buffer[:n])
+        del self.buffer[: len(chunk)]
+        return chunk
+
+
+def test_wire_round_trip():
+    sock = _LoopSocket()
+    message = ("task", 3, {"kind": "static", "block": (0, 1)})
+    sent = send_message(sock, message)
+    received, n_read = recv_message(sock)
+    assert received == message
+    assert sent == n_read
+
+
+def test_wire_rejects_corruption():
+    sock = _LoopSocket()
+    send_message(sock, ("ready", 0))
+    sock.buffer[-1] ^= 0xFF  # flip a payload byte → crc mismatch
+    with pytest.raises(WireError, match="crc"):
+        recv_message(sock)
+    send_message(sock, ("ready", 0))
+    sock.buffer[0:4] = b"3DCW"  # the WAL's magic is not ours
+    with pytest.raises(WireError, match="magic"):
+        recv_message(sock)
+    with pytest.raises(WireError, match="closed"):
+        recv_message(_LoopSocket(b"\x00" * 3))
+
+
+# -- the byte-identity matrix -------------------------------------------------
+
+
+@pytest.mark.distributed
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("executor", ALL_EXECUTORS)
+def test_executor_states_byte_identical_to_serial(
+    executor, shards, serial_state
+):
+    """Acceptance criterion: every executor backend × shard count in
+    {1, 2, 4, 7} reproduces the serial `state_to_bytes` exactly on the
+    differential-oracle workload (fit → insert → delete)."""
+    _skip_unless_runnable(executor)
+    assert _run_cycle(workers=2, executor=executor, shards=shards) == serial_state
+
+
+@pytest.mark.distributed
+def test_base_strategies_byte_identical_to_serial():
+    """The non-default strategies (Base inserts, recompute deletes) cross
+    the grid's other code paths."""
+    kwargs = dict(delete_strategy="recompute", infer_within_delta=False)
+    serial = _run_cycle(workers=1, **kwargs)
+    for executor in ("serial", resolve_executor("auto")):
+        assert _run_cycle(
+            workers=3, executor=executor, shards=4, **kwargs
+        ) == serial
+
+
+@pytest.mark.distributed
+def test_executor_metrics_reported():
+    workload = _workload()
+    relation = relation_from_rows(
+        DATASETS[DATASET].header, list(workload.static_rows)
+    )
+    discoverer = DCDiscoverer(relation, workers=2, shards=4)
+    report = discoverer.fit().report
+    assert report.metric("executor.tasks") == 10  # 4·5/2 grid blocks
+    assert report.metric("parallel.shards") == 10
+    assert report.metric("executor.bytes_shipped", 0) >= 0
+    assert report.metric("evidence.pairs_compared") > 0
+
+
+def test_fallback_counter_fires_when_fork_unavailable(monkeypatch):
+    """Satellite fix: the silent serial fallback is now loud — one
+    warning plus the ``parallel.fallback`` counter."""
+    monkeypatch.setenv("REPRO_FORCE_SPAWN", "1")
+    workload = _workload()
+    relation = relation_from_rows(
+        DATASETS[DATASET].header, list(workload.static_rows)
+    )
+    discoverer = DCDiscoverer(relation, workers=4, executor="fork")
+    report = discoverer.fit().report
+    assert report.metric("parallel.fallback") == 1
+    # Degraded but correct: identical to the plain serial build.
+    assert state_to_bytes(discoverer) == state_to_bytes(
+        _fit_serial(workload)
+    )
+
+
+def _fit_serial(workload):
+    relation = relation_from_rows(
+        DATASETS[DATASET].header, list(workload.static_rows)
+    )
+    discoverer = DCDiscoverer(relation, workers=1)
+    discoverer.fit()
+    return discoverer
+
+
+# -- fault handling -----------------------------------------------------------
+
+
+@pytest.mark.distributed
+@pytest.mark.parametrize("executor", ("fork", "spawn", "socket"))
+def test_worker_death_mid_shard_recovers_byte_identical(
+    executor, serial_state, fault_injector
+):
+    """Kill workers mid-shard via the ``executor.shard`` fault point (it
+    fires worker-side only): the lost blocks must be re-dispatched or
+    degraded to an in-process run, landing on the exact serial bytes."""
+    _skip_unless_runnable(executor)
+    workload = _workload()
+    relation = relation_from_rows(
+        DATASETS[DATASET].header, list(workload.static_rows)
+    )
+    discoverer = DCDiscoverer(relation, workers=2, executor=executor, shards=4)
+    # skip=1: every worker survives its first claimed block and dies on
+    # the second, so the run sees both healthy and dying workers.
+    fault_injector.arm(WORKER_FAULT_POINT, skip=1)
+    try:
+        discoverer.fit()
+        discoverer.insert(list(workload.delta_rows))
+        discoverer.delete(pick_delete_rids(discoverer.relation, 0.15, seed=3))
+    finally:
+        fault_injector.reset()
+    assert state_to_bytes(discoverer) == serial_state
+
+
+@pytest.mark.distributed
+def test_worker_death_every_block_degrades_to_serial(
+    serial_state, fault_injector
+):
+    """skip=0 kills every worker on its first block: the executor loses
+    the whole pool and must degrade to the in-process path — still
+    byte-identical."""
+    executor = resolve_executor("auto")
+    workload = _workload()
+    relation = relation_from_rows(
+        DATASETS[DATASET].header, list(workload.static_rows)
+    )
+    discoverer = DCDiscoverer(relation, workers=2, executor=executor, shards=2)
+    fault_injector.arm(WORKER_FAULT_POINT)
+    try:
+        discoverer.fit()
+        discoverer.insert(list(workload.delta_rows))
+        discoverer.delete(pick_delete_rids(discoverer.relation, 0.15, seed=3))
+    finally:
+        fault_injector.reset()
+    assert state_to_bytes(discoverer) == serial_state
+    report = discoverer.instrumentation.metrics.counters
+    assert report.get("executor.redispatched", 0) > 0
+
+
+# -- property: random shard counts × executors --------------------------------
+
+
+@pytest.mark.distributed
+@settings(max_examples=8, deadline=None)
+@given(
+    shards=st.integers(min_value=1, max_value=9),
+    workers=st.integers(min_value=2, max_value=4),
+    executor=st.sampled_from(("serial", "auto")),
+)
+def test_random_grid_configurations_match_serial(shards, workers, executor):
+    """Hypothesis property: any (shard count, worker count, executor)
+    triple reproduces the serial state bytes."""
+    get_injector().reset()
+    expected = _EXPECTED_STATE.setdefault("state", _run_cycle(workers=1))
+    assert _run_cycle(
+        workers=workers, executor=executor, shards=shards
+    ) == expected
+
+
+_EXPECTED_STATE: dict = {}
+
+
+# -- scaling-curve artifact shape ---------------------------------------------
+
+
+def test_distributed_scaling_results_shape():
+    """The committed benchmark artifact (uploaded by the CI distributed
+    job) keeps the fields the gate and the docs reference."""
+    path = os.path.join(
+        os.path.dirname(__file__), "..", "benchmarks", "results",
+        "distributed_scaling.json",
+    )
+    with open(path) as handle:
+        payload = json.load(handle)
+    assert payload["benchmark"] == "distributed_scaling"
+    rows = payload["rows"]
+    assert any(row.get("workers") == 4 for row in rows)
+    assert all("evidence_seconds" in row for row in rows)
+    notes = payload.get("notes", {})
+    assert "cpu_count" in notes
+    assert notes["byte_identical"] is True

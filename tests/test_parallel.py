@@ -134,9 +134,14 @@ def test_should_parallelize_gates():
 
 
 def test_fork_unavailable_falls_back_to_serial(monkeypatch):
-    monkeypatch.setattr(parallel, "fork_available", lambda: False)
-    assert not should_parallelize(4, 100)
-    _, payload = _run_cycle(4)  # must silently run serially, same result
+    monkeypatch.setenv("REPRO_FORCE_SPAWN", "1")
+    # ``auto`` re-resolves to the spawn pool — still parallel.
+    assert not parallel.fork_available()
+    assert should_parallelize(4, 100)
+    # An explicitly requested fork pool cannot run: loud serial fallback
+    # (the parallel.fallback counter is asserted in test_executors.py).
+    assert not should_parallelize(4, 100, executor="fork")
+    _, payload = _run_cycle(4, executor="fork")  # runs serially, same result
     assert payload == _run_cycle(1)[1]
 
 
