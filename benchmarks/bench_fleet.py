@@ -1,0 +1,312 @@
+"""Fleet control plane — fencing determinism and failover MTTR.
+
+Not a paper figure: this benchmark tracks the repo's own fleet control
+plane (``repro.fleet``, docs/fleet.md).  Two parts:
+
+1. **Deterministic fence replay** (gated): a scripted split-brain
+   incident over :class:`DirectorySource` replication — promote a
+   follower to a higher epoch, let the deposed primary keep writing as
+   a zombie, point a downstream of the new timeline at the zombie, fence
+   the zombie, and rejoin it as a follower.  The fenced-poll, rejected
+   write, and discarded-tail counts are a pure function of the script,
+   so the CI bench gate pins them; both survivors must end byte-identical
+   to the new primary.
+2. **Live failover MTTR** (logged, not gated): a real HTTP fleet — one
+   ``--replicate-listen`` primary, two followers, a
+   :class:`FleetMonitor` coordinator, and a :class:`FleetClient` writing
+   through the coordinator.  The primary is killed mid-traffic and the
+   table records the detect → fence → drain → promote → repoint
+   breakdown from the monitor's failover record plus the client-observed
+   MTTR: kill to first acknowledged write on the new primary.
+"""
+
+import threading
+import time
+
+from _harness import (
+    ResultTable,
+    clone_discoverer,
+    fitted_state_payload,
+    insert_workload,
+    timed,
+)
+
+from repro.core.state_io import state_to_bytes
+from repro.durability import DurableSession, SessionFencedError
+from repro.fleet import FleetClient, FleetMonitor, HTTPNode
+from repro.fleet.monitor import CoordinatorServer
+from repro.replication import (
+    DirectorySource,
+    FollowerService,
+    FollowerSession,
+    HTTPSource,
+    ReplicationError,
+)
+from repro.service import DCService, ServiceClient, ServiceConfig
+
+DATASET = "Tax"
+#: Polls a downstream aims at the zombie feed — each must be rejected.
+FENCED_POLLS = 3
+SUSPICION_S = 0.2
+MONITOR_INTERVAL_S = 0.05
+FAILOVER_TIMEOUT_S = 60.0
+
+
+def _drain(follower) -> None:
+    while follower.poll() or follower.lag_seq:
+        pass
+
+
+def run_fence_replay(tmp_path) -> dict:
+    """Scripted split-brain: promote, zombie writes, fence, rejoin."""
+    static_rows, delta_rows = insert_workload(DATASET, 0.4)
+    payload = fitted_state_payload(DATASET, static_rows)
+    primary_dir = tmp_path / "fence-primary"
+    session = DurableSession.create(
+        clone_discoverer(payload), primary_dir, checkpoint_every=100
+    )
+    follower = FollowerSession.bootstrap(
+        tmp_path / "fence-follower", DirectorySource(primary_dir)
+    )
+    batches = [delta_rows[i::6] for i in range(6)]
+    for batch in batches[:3]:
+        session.insert(batch)
+    _drain(follower)
+
+    # Failover: the follower takes over at the next epoch; the deposed
+    # primary — fence not yet delivered — keeps writing as a zombie.
+    promoted = follower.promote()
+    session.insert(batches[3])
+    session.insert(batches[4])
+
+    # A downstream of the *new* timeline repointed at the zombie must
+    # reject the feed outright: it proves only the dead epoch.
+    downstream = FollowerSession.bootstrap(
+        tmp_path / "fence-downstream",
+        DirectorySource(tmp_path / "fence-follower"),
+    )
+    _drain(downstream)
+    fenced_polls = 0
+    downstream.source = DirectorySource(primary_dir)
+    for _ in range(FENCED_POLLS):
+        try:
+            downstream.poll()
+        except ReplicationError:
+            fenced_polls += 1
+    frames_fenced = downstream.frames_fenced_total
+    identical_downstream = state_to_bytes(
+        downstream.session.discoverer
+    ) == state_to_bytes(promoted.discoverer)
+    downstream.close()
+
+    # The fence lands on the zombie: its timeline is dead for writes.
+    session.fence(promoted.epoch)
+    fenced_writes = 0
+    try:
+        session.insert(batches[5])
+    except SessionFencedError:
+        fenced_writes += 1
+    session.close()
+
+    # The new primary moves on, then the zombie rejoins as a follower:
+    # rebase onto the live checkpoint, discard the unreplicated tail.
+    promoted.insert(batches[5])
+    promoted.checkpoint()
+    rejoined, rejoin_wall = timed(
+        lambda: FollowerSession.bootstrap(
+            primary_dir, DirectorySource(tmp_path / "fence-follower")
+        )
+    )
+    tail_discarded = rejoined.tail_discarded_total
+    _drain(rejoined)
+    identical_rejoined = state_to_bytes(
+        rejoined.session.discoverer
+    ) == state_to_bytes(promoted.discoverer)
+    result = {
+        "epoch": promoted.epoch,
+        "fenced_polls": fenced_polls,
+        "frames_fenced": frames_fenced,
+        "fenced_writes": fenced_writes,
+        "tail_discarded": tail_discarded,
+        "frames_applied": rejoined.frames_applied_total,
+        "rejoin_wall_s": rejoin_wall,
+        "identical": identical_downstream and identical_rejoined,
+    }
+    rejoined.close()
+    promoted.close()
+    return result
+
+
+def run_live_failover(tmp_path) -> dict:
+    """Kill a live HTTP primary under a monitor; measure the MTTR."""
+    static_rows, delta_rows = insert_workload(DATASET, 0.3, seed=1)
+    payload = fitted_state_payload(DATASET, static_rows)
+    session = DurableSession.create(
+        clone_discoverer(payload),
+        tmp_path / "live-primary",
+        checkpoint_every=1000,
+    )
+    primary = DCService(
+        session,
+        ServiceConfig(port=0, batch_window_ms=0.0, replicate_listen=True),
+    )
+    primary.start()
+    ServiceClient(base_url=primary.url).wait_ready()
+
+    followers = []
+    for index in range(2):
+        follower = FollowerSession.bootstrap(
+            tmp_path / f"live-follower{index}",
+            HTTPSource(primary.url),
+            primary_url=primary.url,
+        )
+        service = FollowerService(
+            follower,
+            ServiceConfig(
+                port=0, batch_window_ms=0.0, follow_poll_wait_s=0.05
+            ),
+            primary_url=primary.url,
+        )
+        service.start()
+        ServiceClient(base_url=service.url).wait_ready()
+        followers.append(service)
+
+    monitor = FleetMonitor(
+        [
+            HTTPNode(url)
+            for url in [primary.url] + [service.url for service in followers]
+        ],
+        suspicion_s=SUSPICION_S,
+        drain_s=2.0,
+    )
+    coordinator = CoordinatorServer(monitor)
+    coordinator.start()
+    stop = threading.Event()
+    monitor_thread = threading.Thread(
+        target=monitor.run,
+        kwargs={"interval_s": MONITOR_INTERVAL_S, "stop": stop},
+        daemon=True,
+    )
+    monitor_thread.start()
+
+    client = FleetClient(
+        [],
+        coordinator_url=coordinator.url,
+        failover_timeout_s=FAILOVER_TIMEOUT_S,
+    )
+    try:
+        for row in delta_rows[:5]:
+            assert client.insert([list(row)])["status"] == "committed"
+        deadline = time.monotonic() + FAILOVER_TIMEOUT_S
+        while monitor.primary_url is None and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert monitor.primary_url == primary.url
+
+        killed_at = time.monotonic()
+        primary.shutdown()
+        # The write blocks across the failover window and returns once
+        # it lands on the newly promoted primary: the client-side MTTR.
+        outcome = client.insert([list(delta_rows[5])])
+        first_write_s = time.monotonic() - killed_at
+        assert outcome["status"] == "committed"
+        record = monitor.last_failover
+        assert record is not None and monitor.failovers_total == 1
+
+        # Read-your-writes on the surviving fleet still holds.
+        assert client.dcs()["dcs"]
+        return {
+            "detect_s": record["detected_at"] - killed_at,
+            "fence_s": record["fenced_at"] - record["detected_at"],
+            "drain_s": record["drained_at"] - record["fenced_at"],
+            "promote_s": record["promoted_at"] - record["drained_at"],
+            "repoint_s": record["repointed_at"] - record["promoted_at"],
+            "first_write_s": first_write_s,
+            "epoch": record["epoch"],
+            "new_primary": record["new_primary"],
+            "write_retries": client.write_retries_total,
+        }
+    finally:
+        stop.set()
+        monitor_thread.join()
+        coordinator.close()
+        for service in followers:
+            service.shutdown()
+        primary.shutdown()
+
+
+def test_fleet_failover(benchmark, tmp_path):
+    table = ResultTable(
+        "Fleet control plane — fencing determinism and failover MTTR",
+        [
+            "scenario",
+            "epoch",
+            "fenced",
+            "discarded",
+            "detect_ms",
+            "promote_ms",
+            "mttr_ms",
+        ],
+        "fleet_failover.txt",
+    )
+
+    replay = run_fence_replay(tmp_path)
+    assert replay["identical"], (
+        "fence-replay survivors diverged from the promoted primary"
+    )
+    assert replay["fenced_polls"] == FENCED_POLLS, replay
+    assert replay["frames_fenced"] == FENCED_POLLS, replay
+    assert replay["fenced_writes"] == 1, replay
+    assert replay["tail_discarded"] > 0, replay
+    table.add(
+        "fence-replay",
+        replay["epoch"],
+        replay["frames_fenced"],
+        replay["tail_discarded"],
+        "-",
+        "-",
+        round(replay["rejoin_wall_s"] * 1000, 1),
+    )
+    # Deterministic split-brain counters for the CI bench gate: how many
+    # zombie feeds were rejected, how many dead-epoch writes refused,
+    # and how much diverged tail the rejoin discarded.
+    table.counters["fence-replay"] = {
+        "fleet.epoch": replay["epoch"],
+        "fleet.frames_fenced": replay["frames_fenced"],
+        "fleet.fenced_writes": replay["fenced_writes"],
+        "fleet.tail_discarded": replay["tail_discarded"],
+        "replication.frames_applied": replay["frames_applied"],
+    }
+
+    live = run_live_failover(tmp_path)
+    table.add(
+        "http-failover",
+        live["epoch"],
+        0,
+        0,
+        round(live["detect_s"] * 1000, 1),
+        round(live["promote_s"] * 1000, 1),
+        round(live["first_write_s"] * 1000, 1),
+    )
+    table.extras["failover"] = {
+        key: (round(value, 6) if isinstance(value, float) else value)
+        for key, value in live.items()
+    }
+
+    table.finish(
+        shape_notes=[
+            "fence-replay: every zombie poll rejected, every dead-epoch "
+            "write refused, rejoin discards the diverged tail — both "
+            "survivors byte-identical to the promoted primary",
+            f"http-failover: suspicion window {SUSPICION_S:g}s, monitor "
+            f"interval {MONITOR_INTERVAL_S:g}s; mttr_ms is kill to first "
+            "acknowledged write through the coordinator-routed client",
+            "MTTR columns are wall clock and logged for the trajectory, "
+            "never gated — only the fence-replay counters are pinned",
+        ]
+    )
+
+    benchmark.pedantic(
+        lambda: run_fence_replay(tmp_path / "bench"),
+        rounds=1,
+        iterations=1,
+    )

@@ -50,6 +50,7 @@ GATE_BENCHMARKS = (
     "bench_fig13_breakdown.py",
     "bench_verification.py",
     "bench_replication.py",
+    "bench_fleet.py",
 )
 GATE_RESULTS = (
     "fig5_insert_scaling.json",
@@ -58,6 +59,7 @@ GATE_RESULTS = (
     "fig13b_breakdown_inserts.json",
     "verification_kernel.json",
     "replication.json",
+    "fleet_failover.json",
 )
 
 #: Fixed digest workloads: (dataset, delete strategy).

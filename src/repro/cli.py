@@ -24,7 +24,12 @@ Subcommands mirror the 3DC life cycle:
   (docs/service.md);
 - ``doctor``    — one-shot diagnostics bundle: environment, metrics
   snapshot, recent traces, session/WAL status, and benchmark counters
-  in one tarball/JSON (docs/observability.md).
+  in one tarball/JSON (docs/observability.md);
+- ``fleet``     — the fleet coordinator: probes every node, declares a
+  dead primary after a suspicion window, and drives the fence → drain
+  → promote → repoint failover sequence; ``--listen`` additionally
+  serves the aggregated topology for ``FleetClient`` discovery
+  (docs/fleet.md).
 
 ``discover``/``insert``/``delete`` accept ``--workers N`` to shard
 evidence construction over a worker pool, ``--backend
@@ -578,6 +583,59 @@ def _serve_follower(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    import json
+    import signal
+    import threading
+
+    from repro.fleet import FleetMonitor, HTTPNode
+    from repro.fleet.monitor import CoordinatorServer
+
+    monitor = FleetMonitor(
+        [HTTPNode(url, timeout=args.node_timeout) for url in args.nodes],
+        suspicion_s=args.suspicion,
+        drain_s=args.drain,
+    )
+    server = None
+    if args.listen:
+        server = CoordinatorServer(
+            monitor, host=args.listen_host, port=args.listen_port
+        )
+        server.start()
+        print(f"fleet coordinator on {server.url}", flush=True)
+    try:
+        if args.once:
+            monitor.step()
+            print(
+                json.dumps(monitor.topology_payload(), indent=2, sort_keys=True)
+            )
+            return 0
+        stop = threading.Event()
+
+        def _request_stop(signum, frame):
+            stop.set()
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            signal.signal(signum, _request_stop)
+        print(
+            f"fleet monitor watching {len(monitor.nodes)} node(s) "
+            f"(suspicion {args.suspicion:.1f}s, probe every "
+            f"{args.interval:.1f}s)",
+            flush=True,
+        )
+        monitor.run(interval_s=args.interval, stop=stop)
+        if monitor.last_failover is not None:
+            print(json.dumps(monitor.last_failover, indent=2, sort_keys=True))
+        print(
+            f"fleet monitor stopped after {monitor.probes_total} probes, "
+            f"{monitor.failovers_total} failover(s)"
+        )
+        return 0
+    finally:
+        if server is not None:
+            server.close()
+
+
 def _add_workers_flag(parser, default) -> None:
     parser.add_argument(
         "--workers",
@@ -954,6 +1012,69 @@ def build_parser() -> argparse.ArgumentParser:
         "tar.gz containing bundle.json (default: %(default)s)",
     )
     p.set_defaults(func=_cmd_doctor)
+
+    p = sub.add_parser(
+        "fleet",
+        help="run the fleet coordinator: probe node /topology endpoints, "
+        "fail over automatically (fence, drain, promote, repoint), and "
+        "optionally serve the aggregated topology to FleetClients",
+    )
+    p.add_argument(
+        "nodes",
+        nargs="+",
+        metavar="URL",
+        help="base URLs of every node in the fleet (primary + followers)",
+    )
+    p.add_argument(
+        "--suspicion",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="how long the primary must be unreachable before failover "
+        "(default: %(default)s)",
+    )
+    p.add_argument(
+        "--drain",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="bounded wait for the candidate to drain the fenced "
+        "primary's tail before promotion (default: %(default)s)",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="probe interval (default: %(default)s)",
+    )
+    p.add_argument(
+        "--node-timeout",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="per-node HTTP timeout for probes and failover commands",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="probe (and fail over if warranted) exactly once, print the "
+        "topology JSON, and exit",
+    )
+    p.add_argument(
+        "--listen",
+        action="store_true",
+        help="serve the aggregated topology over HTTP (GET /topology) "
+        "for FleetClient discovery",
+    )
+    p.add_argument("--listen-host", default="127.0.0.1")
+    p.add_argument(
+        "--listen-port",
+        type=int,
+        default=0,
+        help="coordinator port (0 = pick an ephemeral port)",
+    )
+    p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser("datasets", help="list or generate synthetic datasets")
     p.add_argument("name", nargs="?", help="dataset name (omit to list)")

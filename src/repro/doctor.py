@@ -80,6 +80,13 @@ def inspect_session(directory) -> dict:
             report["manifest"] = json.load(handle)
     except (OSError, ValueError) as exc:
         report["manifest"] = {"error": str(exc)}
+    if isinstance(report["manifest"], dict) and "error" not in report["manifest"]:
+        # Lift the fencing facts: which commit epoch this directory was
+        # last writing, and whether a failover fenced it below another.
+        from repro.durability.session import INITIAL_EPOCH
+
+        report["epoch"] = report["manifest"].get("epoch", INITIAL_EPOCH)
+        report["fenced_below"] = report["manifest"].get("fenced_below")
     checkpoint_dir = os.path.join(directory, CHECKPOINT_DIR)
     try:
         report["checkpoints"] = sorted(os.listdir(checkpoint_dir))
@@ -98,6 +105,19 @@ def inspect_session(directory) -> dict:
         "traced_records": len(traced),
         "trace_ids": sorted(set(traced)),
     }
+    # Epoch census over the frame envelopes: which commit epochs wrote
+    # this WAL (empty on a pre-epoch legacy log).  A fencing incident
+    # shows up here as frames from more than one epoch.
+    from repro.durability.framing import decode_envelopes
+
+    try:
+        with open(wal_path, "rb") as handle:
+            envelopes, _ = decode_envelopes(handle.read())
+    except OSError:
+        envelopes = []
+    report["wal"]["epochs"] = sorted(
+        {env.epoch for env in envelopes if env.epoch is not None}
+    )
     return report
 
 
@@ -128,6 +148,8 @@ def collect_service(url: Optional[str], timeout: float = 5.0) -> dict:
         # failover incident says at a glance which node this was and how
         # far behind it had fallen.
         report["role"] = status.get("role", "primary")
+        report["epoch"] = status.get("epoch")
+        report["upstream_url"] = status.get("upstream_url")
         replication = status.get("replication")
         if isinstance(replication, dict):
             report["replication_lag_seq"] = replication.get("lag_seq")

@@ -42,13 +42,28 @@ from repro.durability.faults import (
     fault_point,
     get_injector,
 )
-from repro.durability.framing import decode_records, encode_record, iter_records
-from repro.durability.session import DurableSession, SessionError
+from repro.durability.framing import (
+    FrameEnvelope,
+    decode_envelopes,
+    decode_records,
+    encode_record,
+    iter_records,
+)
+from repro.durability.session import (
+    INITIAL_EPOCH,
+    DurableSession,
+    SessionError,
+    SessionFencedError,
+    read_manifest,
+)
 from repro.durability.wal import TailFrame, WALReader, WriteAheadLog
 
 __all__ = [
     "DurableSession",
+    "FrameEnvelope",
+    "INITIAL_EPOCH",
     "SessionError",
+    "SessionFencedError",
     "TailFrame",
     "WALReader",
     "WriteAheadLog",
@@ -60,6 +75,7 @@ __all__ = [
     "atomic_write_bytes",
     "atomic_write_json",
     "canonical_json_bytes",
+    "decode_envelopes",
     "decode_records",
     "encode_record",
     "fault_point",
@@ -67,5 +83,6 @@ __all__ = [
     "iter_records",
     "list_checkpoints",
     "load_latest_checkpoint",
+    "read_manifest",
     "write_checkpoint",
 ]

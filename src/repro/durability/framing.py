@@ -4,14 +4,17 @@ Each record on disk is::
 
     MAGIC(4) | body_length(4, LE) | crc32(body)(4, LE) | body
 
-Two magics select the body layout: ``3DCW`` frames carry the payload
+Three magics select the body layout: ``3DCW`` frames carry the payload
 alone, ``3DCT`` frames prefix it with the 16-byte binary trace id of the
-batch cycle that wrote them (``body = trace_id(16) | payload``), so a
-request trace can be joined against the WAL offline.  The trace id sits
-*inside* the checksummed, length-covered body — torn-write detection is
-identical for both layouts, and a pre-tracing reader rejecting the
-unknown magic truncates at the frame boundary, exactly the forgiving
-behaviour it has for any unrecognized tail.
+batch cycle that wrote them (``body = trace_id(16) | payload``), and
+``3DCE`` frames additionally carry the writer's 8-byte commit epoch
+(``body = epoch(8, LE) | trace_id(16) | payload``, an all-zero trace id
+meaning "untraced") so the replication fleet can fence frames from a
+deposed primary.  Every extension sits *inside* the checksummed,
+length-covered body — torn-write detection is identical for all layouts,
+and an older reader rejecting an unknown magic truncates at the frame
+boundary, exactly the forgiving behaviour it has for any unrecognized
+tail.  Pre-epoch logs decode unchanged (``epoch=None``).
 
 A reader walking the file can therefore always classify the tail: a
 frame whose magic, declared length, or checksum does not hold marks the
@@ -26,28 +29,61 @@ from __future__ import annotations
 
 import struct
 import zlib
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, NamedTuple, Optional, Tuple
 
 MAGIC = b"3DCW"
 #: Frames whose body is prefixed with a 16-byte batch-cycle trace id.
 MAGIC_TRACED = b"3DCT"
+#: Frames whose body is prefixed with an 8-byte commit epoch *and* the
+#: 16-byte trace id (all-zero = untraced).
+MAGIC_EPOCH = b"3DCE"
 TRACE_ID_BYTES = 16
 _HEADER = struct.Struct("<4sII")
+_EPOCH = struct.Struct("<Q")
 HEADER_SIZE = _HEADER.size
+EPOCH_BYTES = _EPOCH.size
 
 #: Refuse to trust absurd declared lengths (a corrupt length field would
 #: otherwise make the reader wait for gigabytes that never existed).
 MAX_RECORD_SIZE = 1 << 30
 
+_ZERO_TRACE = b"\x00" * TRACE_ID_BYTES
 
-def encode_record(payload: bytes, trace_id: Optional[str] = None) -> bytes:
+
+class FrameEnvelope(NamedTuple):
+    """One decoded frame with everything its envelope carried."""
+
+    payload: bytes
+    trace_id: Optional[str]
+    epoch: Optional[int]
+    #: Total on-disk frame length (header + body) — callers computing
+    #: valid-prefix offsets sum these instead of re-deriving per-magic
+    #: body overheads.
+    size: int
+
+
+def encode_record(
+    payload: bytes,
+    trace_id: Optional[str] = None,
+    epoch: Optional[int] = None,
+) -> bytes:
     """Frame one payload for appending to the log.
 
-    ``trace_id`` (32 hex chars) selects the traced layout; None keeps the
-    original untraced frame byte-for-byte.
+    ``trace_id`` (32 hex chars) selects the traced layout; ``epoch``
+    selects the epoch-stamped layout (which embeds the trace id too).
+    With both ``None`` the original untraced frame is byte-for-byte
+    unchanged, so pre-epoch fixtures and tools keep round-tripping.
     """
     if len(payload) > MAX_RECORD_SIZE:
         raise ValueError(f"record of {len(payload)} bytes exceeds frame limit")
+    if epoch is not None:
+        if epoch < 0:
+            raise ValueError("epoch must be >= 0")
+        trace = bytes.fromhex(trace_id) if trace_id else _ZERO_TRACE
+        if len(trace) != TRACE_ID_BYTES:
+            raise ValueError(f"trace id must be {TRACE_ID_BYTES} bytes of hex")
+        body = _EPOCH.pack(epoch) + trace + payload
+        return _HEADER.pack(MAGIC_EPOCH, len(body), zlib.crc32(body)) + body
     if trace_id is None:
         return _HEADER.pack(MAGIC, len(payload), zlib.crc32(payload)) + payload
     body = bytes.fromhex(trace_id) + payload
@@ -56,23 +92,27 @@ def encode_record(payload: bytes, trace_id: Optional[str] = None) -> bytes:
     return _HEADER.pack(MAGIC_TRACED, len(body), zlib.crc32(body)) + body
 
 
-def decode_frames(data: bytes) -> Tuple[List[Tuple[bytes, Optional[str]]], int]:
-    """Decode the valid prefix of a log image, keeping trace ids.
+def decode_envelopes(data: bytes) -> Tuple[List[FrameEnvelope], int]:
+    """Decode the valid prefix of a log image, keeping every envelope.
 
-    Returns ``(frames, good_size)`` where each frame is ``(payload,
-    trace_id hex or None)`` and ``good_size`` is the byte offset of the
-    first invalid/truncated frame (== ``len(data)`` for a fully valid
-    log).  Never raises on corruption — a damaged tail is an expected
-    input, not an error.
+    Returns ``(envelopes, good_size)`` where ``good_size`` is the byte
+    offset of the first invalid/truncated frame (== ``len(data)`` for a
+    fully valid log).  Never raises on corruption — a damaged tail is an
+    expected input, not an error.  Legacy ``3DCW``/``3DCT`` frames come
+    back with ``epoch=None``.
     """
-    frames: List[Tuple[bytes, Optional[str]]] = []
+    envelopes: List[FrameEnvelope] = []
     offset = 0
     total = len(data)
     while offset + HEADER_SIZE <= total:
         magic, length, checksum = _HEADER.unpack_from(data, offset)
-        if magic not in (MAGIC, MAGIC_TRACED) or length > MAX_RECORD_SIZE:
+        if magic not in (MAGIC, MAGIC_TRACED, MAGIC_EPOCH):
+            break
+        if length > MAX_RECORD_SIZE:
             break
         if magic == MAGIC_TRACED and length < TRACE_ID_BYTES:
+            break
+        if magic == MAGIC_EPOCH and length < EPOCH_BYTES + TRACE_ID_BYTES:
             break
         start = offset + HEADER_SIZE
         end = start + length
@@ -81,12 +121,37 @@ def decode_frames(data: bytes) -> Tuple[List[Tuple[bytes, Optional[str]]], int]:
         body = data[start:end]
         if zlib.crc32(body) != checksum:
             break
-        if magic == MAGIC_TRACED:
-            frames.append((body[TRACE_ID_BYTES:], body[:TRACE_ID_BYTES].hex()))
+        size = HEADER_SIZE + length
+        if magic == MAGIC_EPOCH:
+            (epoch,) = _EPOCH.unpack_from(body)
+            trace = body[EPOCH_BYTES : EPOCH_BYTES + TRACE_ID_BYTES]
+            trace_id = None if trace == _ZERO_TRACE else trace.hex()
+            payload = body[EPOCH_BYTES + TRACE_ID_BYTES :]
+            envelopes.append(FrameEnvelope(payload, trace_id, epoch, size))
+        elif magic == MAGIC_TRACED:
+            envelopes.append(
+                FrameEnvelope(
+                    body[TRACE_ID_BYTES:],
+                    body[:TRACE_ID_BYTES].hex(),
+                    None,
+                    size,
+                )
+            )
         else:
-            frames.append((body, None))
+            envelopes.append(FrameEnvelope(body, None, None, size))
         offset = end
-    return frames, offset
+    return envelopes, offset
+
+
+def decode_frames(data: bytes) -> Tuple[List[Tuple[bytes, Optional[str]]], int]:
+    """Decode the valid prefix of a log image, keeping trace ids.
+
+    The epoch-agnostic view of :func:`decode_envelopes`: each frame is
+    ``(payload, trace_id hex or None)`` and ``good_size`` is the byte
+    offset of the first invalid/truncated frame.
+    """
+    envelopes, good_size = decode_envelopes(data)
+    return [(env.payload, env.trace_id) for env in envelopes], good_size
 
 
 def decode_records(data: bytes) -> Tuple[list, int]:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import TYPE_CHECKING, Iterable, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.discoverer import DCDiscoverer
@@ -60,9 +60,46 @@ MANIFEST_VERSION = 1
 DEFAULT_CHECKPOINT_EVERY = 8
 DEFAULT_RETAIN = 3
 
+#: Epoch a session is minted at (and the epoch every pre-fleet manifest
+#: implicitly carries — legacy manifests without an ``epoch`` field
+#: recover at this value).
+INITIAL_EPOCH = 1
+
 
 class SessionError(RuntimeError):
     """The session directory is missing, malformed, or unrecoverable."""
+
+
+class SessionFencedError(SessionError):
+    """A write reached a session whose commit epoch has been fenced.
+
+    The fleet promoted a successor: every epoch below ``fenced_below``
+    is dead, and this session's epoch is one of them.  The node must
+    rejoin as a follower (which discards its unreplicated tail) before
+    it can make progress again.
+    """
+
+    def __init__(self, epoch: int, fenced_below: int):
+        super().__init__(
+            f"session epoch {epoch} is fenced (epochs < {fenced_below} "
+            f"are dead); rejoin as a follower to continue"
+        )
+        self.epoch = epoch
+        self.fenced_below = fenced_below
+
+
+def read_manifest(directory) -> dict:
+    """Best-effort read of a session manifest (``{}`` when unreadable).
+
+    Read-only helper for fleet tooling (replication sources report the
+    upstream's epoch from it); never raises on a missing or torn file.
+    """
+    try:
+        with open(os.path.join(os.fspath(directory), MANIFEST_NAME)) as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    return manifest if isinstance(manifest, dict) else {}
 
 
 def _coerce_rows(schema: Schema, rows: Iterable[Sequence]) -> list:
@@ -98,6 +135,8 @@ class DurableSession:
         checkpoint_seq: int,
         pending_records: int = 0,
         replayed_records: int = 0,
+        epoch: int = INITIAL_EPOCH,
+        fenced_below: int = 0,
     ):
         self.directory = os.fspath(directory)
         self.discoverer = discoverer
@@ -109,6 +148,8 @@ class DurableSession:
         self._pending_records = pending_records
         #: WAL records replayed by the most recent recovery (0 for create).
         self.replayed_records = replayed_records
+        self._epoch = epoch
+        self._fenced_below = fenced_below
 
     # -- construction ----------------------------------------------------
 
@@ -148,6 +189,7 @@ class DurableSession:
                 "version": MANIFEST_VERSION,
                 "checkpoint_every": checkpoint_every,
                 "retain": retain,
+                "epoch": INITIAL_EPOCH,
             },
             fault_prefix="checkpoint",
         )
@@ -219,15 +261,125 @@ class DurableSession:
             checkpoint_seq=checkpoint_seq,
             pending_records=replayed,
             replayed_records=replayed,
+            epoch=int(manifest.get("epoch", INITIAL_EPOCH)),
+            fenced_below=int(manifest.get("fenced_below", 0)),
         )
 
     #: Alias: resuming and recovering are the same code path by design.
     open = recover
 
+    # -- commit epoch and fencing ----------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The session's commit epoch: minted at create, bumped by every
+        promotion, stamped into each WAL frame's envelope."""
+        return self._epoch
+
+    @property
+    def fenced_below(self) -> int:
+        """Epochs below this value are dead (0 = never fenced)."""
+        return self._fenced_below
+
+    @property
+    def is_fenced(self) -> bool:
+        """Whether this session's own epoch has been fenced off."""
+        return self._epoch < self._fenced_below
+
+    def _write_manifest(self) -> None:
+        """Atomically rewrite the manifest with the live epoch/fence.
+
+        The manifest is the commit point for epoch transitions exactly as
+        it is for session creation: a promotion is durable — and frames
+        may carry the new epoch — only after this rename lands.
+        """
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "version": MANIFEST_VERSION,
+            "checkpoint_every": self.checkpoint_every,
+            "retain": self.retain,
+            "epoch": self._epoch,
+        }
+        if self._fenced_below:
+            manifest["fenced_below"] = self._fenced_below
+        atomic_write_json(
+            os.path.join(self.directory, MANIFEST_NAME),
+            manifest,
+            fault_prefix="checkpoint",
+        )
+
+    def bump_epoch(self, new_epoch: Optional[int] = None) -> int:
+        """Move to a strictly higher epoch (a promotion), durably.
+
+        The manifest write happens *before* the in-memory epoch flips, so
+        no frame can ever carry an epoch the directory does not yet
+        admit.  Returns the new epoch.
+        """
+        if new_epoch is None:
+            new_epoch = self._epoch + 1
+        if new_epoch <= self._epoch:
+            raise SessionError(
+                f"epoch must increase: {new_epoch} <= current {self._epoch}"
+            )
+        previous, self._epoch = self._epoch, new_epoch
+        try:
+            self._write_manifest()
+        except BaseException:
+            self._epoch = previous
+            raise
+        logger.debug(
+            "session %s epoch %d -> %d", self.directory, previous, new_epoch
+        )
+        return new_epoch
+
+    def adopt_epoch(self, epoch: int) -> bool:
+        """Adopt a higher epoch observed on the replication stream.
+
+        Followers call this when their upstream's frames carry a newer
+        epoch than their own — the normal way promotion knowledge spreads
+        down a replication chain.  Idempotent; returns True if the epoch
+        moved.  Adopting an epoch at or above ``fenced_below`` clears the
+        fence (the node rejoined the live timeline).
+        """
+        if epoch <= self._epoch:
+            return False
+        self.bump_epoch(epoch)
+        return True
+
+    def fence(self, below_epoch: int) -> bool:
+        """Record that every epoch below ``below_epoch`` is dead.
+
+        The failover orchestrator's hammer: a session whose own epoch is
+        fenced refuses writes with :class:`SessionFencedError` until it
+        rejoins as a follower at a live epoch.  Durable (a restarted
+        zombie stays fenced) and idempotent; returns True if the fence
+        moved.
+        """
+        if below_epoch <= self._fenced_below:
+            return False
+        previous, self._fenced_below = self._fenced_below, below_epoch
+        try:
+            self._write_manifest()
+        except BaseException:
+            self._fenced_below = previous
+            raise
+        logger.debug(
+            "session %s fenced below epoch %d (own epoch %d)",
+            self.directory,
+            below_epoch,
+            self._epoch,
+        )
+        return True
+
+    def _check_not_fenced(self) -> None:
+        if self.is_fenced:
+            raise SessionFencedError(self._epoch, self._fenced_below)
+
     # -- update stream ---------------------------------------------------
 
     def insert(self, rows: Iterable[Sequence]) -> UpdateResult:
         """Durably log, then apply, one insert batch."""
+        self._check_not_fenced()
         materialized = [list(row) for row in rows]
         self._validate_insert(materialized)
         self._log({"op": "insert", "rows": materialized})
@@ -239,6 +391,7 @@ class DurableSession:
 
     def delete(self, rids: Iterable[int]) -> UpdateResult:
         """Durably log, then apply, one delete batch."""
+        self._check_not_fenced()
         rid_list = sorted(int(rid) for rid in rids)
         self._validate_delete(rid_list)
         self._log({"op": "delete", "rids": rid_list})
@@ -297,7 +450,7 @@ class DurableSession:
         instrumentation = self.discoverer.instrumentation
         with instrumentation.activate():
             with instrumentation.tracer.span("durability.wal_append"):
-                self._wal.append(record)
+                self._wal.append(record, epoch=self._epoch)
         self._next_seq += 1
         self._pending_records += 1
 
@@ -337,19 +490,30 @@ class DurableSession:
                 self.discoverer.delete(record["rids"])
         self._maybe_checkpoint()
 
-    def install_checkpoint(self, wal_seq: int, state_payload: dict) -> None:
+    def install_checkpoint(
+        self, wal_seq: int, state_payload: dict, force: bool = False
+    ) -> int:
         """Adopt a replicated checkpoint wholesale (follower catch-up).
 
         Writes the checkpoint locally, resets the WAL (every local record
         is at or below ``wal_seq`` and therefore incorporated), and swaps
         in the rebuilt state.  The live instrumentation is transplanted
         onto the new discoverer so metric streams survive the swap.
+
+        ``force=True`` admits a checkpoint at or *below* the local seq —
+        the rejoin-as-follower path for a fenced zombie, whose WAL tail
+        past the new primary's history diverged and must be discarded
+        wholesale.  Returns how many local records were discarded that
+        way (0 on an ordinary catch-up).
         """
+        discarded = 0
         if wal_seq <= self.last_applied_seq:
-            raise SessionError(
-                f"checkpoint at seq {wal_seq} is not ahead of "
-                f"last applied seq {self.last_applied_seq}"
-            )
+            if not force:
+                raise SessionError(
+                    f"checkpoint at seq {wal_seq} is not ahead of "
+                    f"last applied seq {self.last_applied_seq}"
+                )
+            discarded = self.last_applied_seq - wal_seq
         from repro.core.state_io import state_from_dict
 
         checkpoint_dir = os.path.join(self.directory, CHECKPOINT_DIR)
@@ -358,6 +522,23 @@ class DurableSession:
             with instrumentation.tracer.span("durability.install_checkpoint"):
                 discoverer = state_from_dict(state_payload)
                 discoverer.instrumentation = instrumentation
+                if force:
+                    # A rebase rewrites history: any local checkpoint
+                    # *past* the installed seq describes the diverged
+                    # tail being discarded, and retention (which keeps
+                    # the newest seqs) would otherwise preserve it for
+                    # the next recovery to resurrect.
+                    from repro.durability.checkpoint import (
+                        parse_checkpoint_seq,
+                    )
+
+                    for path in list_checkpoints(checkpoint_dir):
+                        seq = parse_checkpoint_seq(os.path.basename(path))
+                        if seq is not None and seq > wal_seq:
+                            try:
+                                os.unlink(path)
+                            except OSError:  # pragma: no cover - defensive
+                                pass
                 write_checkpoint(checkpoint_dir, wal_seq, state_payload)
                 self._wal.reset()
                 apply_retention(checkpoint_dir, self.retain)
@@ -365,7 +546,16 @@ class DurableSession:
         self._next_seq = wal_seq + 1
         self._checkpoint_seq = wal_seq
         self._pending_records = 0
-        logger.debug("installed replicated checkpoint at seq %d", wal_seq)
+        if discarded:
+            logger.debug(
+                "installed checkpoint at seq %d, discarding %d diverged "
+                "local records",
+                wal_seq,
+                discarded,
+            )
+        else:
+            logger.debug("installed replicated checkpoint at seq %d", wal_seq)
+        return discarded
 
     # -- checkpointing ---------------------------------------------------
 
@@ -431,6 +621,10 @@ class DurableSession:
             "durability.checkpoints_on_disk",
             len(list_checkpoints(checkpoint_dir)),
         )
+        instrumentation.set_gauge("durability.epoch", self._epoch)
+        instrumentation.set_gauge(
+            "durability.fenced", 1 if self.is_fenced else 0
+        )
         self.discoverer._record_state_gauges()
 
     def status(self) -> dict:
@@ -451,6 +645,9 @@ class DurableSession:
             "checkpoint_every": self.checkpoint_every,
             "retain": self.retain,
             "replayed_on_recovery": self.replayed_records,
+            "epoch": self._epoch,
+            "fenced": self.is_fenced,
+            "fenced_below": self._fenced_below,
         }
 
     def close(self) -> None:

@@ -31,8 +31,7 @@ from typing import Iterator, List, NamedTuple, Optional, Tuple
 from repro.durability.atomic import canonical_json_bytes
 from repro.durability.faults import fault_point
 from repro.durability.framing import (
-    HEADER_SIZE,
-    TRACE_ID_BYTES,
+    decode_envelopes,
     decode_frames,
     encode_record,
 )
@@ -62,14 +61,21 @@ class WriteAheadLog:
 
     # -- writing ---------------------------------------------------------
 
-    def append(self, record: dict, trace_id: Optional[str] = None) -> None:
+    def append(
+        self,
+        record: dict,
+        trace_id: Optional[str] = None,
+        epoch: Optional[int] = None,
+    ) -> None:
         """Frame, write, and fsync one record; crash-safe by contract.
 
         ``trace_id`` stamps the frame with the writing batch cycle's
         trace (see :mod:`repro.durability.framing`); when omitted, the
         thread's active trace context — the batch cycle, in the serving
-        layer — is used, and outside any trace the untraced frame layout
-        is written unchanged.
+        layer — is used.  ``epoch`` stamps the writer's commit epoch
+        into the envelope (the fleet's fencing token); when omitted the
+        pre-epoch frame layouts are written unchanged, so logs from
+        sessions that never joined a fleet stay byte-identical.
         """
         if trace_id is None:
             context = tracectx.current()
@@ -77,7 +83,9 @@ class WriteAheadLog:
                 trace_id = context.trace_id
         with flight.trace_span("durability.wal_append") as span:
             fault_point("wal.append")
-            frame = encode_record(canonical_json_bytes(record), trace_id)
+            frame = encode_record(
+                canonical_json_bytes(record), trace_id, epoch=epoch
+            )
             self._handle.write(frame)
             self._handle.flush()
             fault_point("wal.pre_fsync")
@@ -168,21 +176,18 @@ class WriteAheadLog:
                 data = handle.read()
         except FileNotFoundError:
             return [], 0
-        frames, _ = decode_frames(data)
+        envelopes, _ = decode_envelopes(data)
         records = []
         good_size = 0
-        for payload, trace_id in frames:
+        for envelope in envelopes:
             try:
-                record = json.loads(payload)
+                record = json.loads(envelope.payload)
             except ValueError:
                 # A frame whose checksum holds but whose payload is not
                 # JSON was never written by us: stop trusting the log.
                 break
             records.append(record)
-            # Traced frames carry 16 extra body bytes before the payload.
-            good_size += HEADER_SIZE + len(payload)
-            if trace_id is not None:
-                good_size += TRACE_ID_BYTES
+            good_size += envelope.size
         return records, good_size
 
     @staticmethod
@@ -235,6 +240,8 @@ class TailFrame(NamedTuple):
     record: dict
     raw: bytes
     trace_id: Optional[str]
+    #: Commit epoch of the writer (None for pre-epoch frame layouts).
+    epoch: Optional[int] = None
 
 
 class WALReader:
@@ -305,21 +312,20 @@ class WALReader:
             self._buffer += chunk
             self._tail_mark = (self._tail_mark + chunk)[-_TAIL_PROBE:]
         frames: List[TailFrame] = []
-        decoded, good_size = decode_frames(self._buffer)
+        decoded, good_size = decode_envelopes(self._buffer)
         consumed = 0
-        for payload, trace_id in decoded:
-            length = HEADER_SIZE + len(payload)
-            if trace_id is not None:
-                length += TRACE_ID_BYTES
-            raw = self._buffer[consumed : consumed + length]
+        for envelope in decoded:
+            raw = self._buffer[consumed : consumed + envelope.size]
             try:
-                record = json.loads(payload)
+                record = json.loads(envelope.payload)
             except ValueError:
                 # Checksum-valid but not JSON: never written by us.
                 # Stop trusting the stream (mirrors read_records).
                 break
-            frames.append(TailFrame(record, raw, trace_id))
-            consumed += length
+            frames.append(
+                TailFrame(record, raw, envelope.trace_id, envelope.epoch)
+            )
+            consumed += envelope.size
         self._buffer = self._buffer[consumed:]
         return frames, reset
 

@@ -57,9 +57,9 @@ def _pool_worker(slot: int, task_queue, result_queue, context_blob) -> None:
     there would be lost at process exit, so it is switched off and the
     parent re-emits the aggregate from the gathered results.
     """
-    from repro.observability import probe as _probe_module
+    from repro.observability.probe import deactivate
 
-    _probe_module._ACTIVE = None
+    deactivate()
     if context_blob is None:
         state = base._SHARD_STATE  # fork: shared copy-on-write
         if state is None:  # pragma: no cover - defensive

@@ -1,0 +1,48 @@
+"""The fleet control plane: failure detection, failover, routing.
+
+The replication layer (:mod:`repro.replication`) gives every node the
+*mechanisms* of a serving fleet — WAL shipping, promotion, epoch
+fencing — but leaves the *decisions* to an operator: who is primary,
+when a primary is dead, which follower takes over, where clients should
+send what.  This package is that decision layer:
+
+- :class:`~repro.fleet.monitor.FleetMonitor` — the failure detector and
+  failover orchestrator.  Polls every node's ``/topology``, declares
+  the primary dead after a configurable suspicion window, and drives
+  the fence → drain → promote → repoint sequence that moves primary
+  duty without losing an acknowledged write (docs/fleet.md proves the
+  ordering).  Embeddable (deterministic ``step()``), or run as the
+  ``repro-dc fleet`` coordinator.
+- :class:`~repro.fleet.monitor.HTTPNode` /
+  :class:`~repro.fleet.monitor.NodeHandle` — how the monitor talks to
+  nodes; tests substitute in-process handles for deterministic
+  failover matrices.
+- :class:`~repro.fleet.client.FleetClient` — the fleet-aware client:
+  discovers the topology, sends writes to the primary (following 421
+  redirects with a loop guard), spreads reads across followers while
+  honoring read-your-writes ``min_seq`` tokens, and transparently
+  retries in-flight requests across a failover.
+
+Epoch fencing is the safety backbone throughout: every promotion mints
+a higher commit epoch, every frame carries its writer's epoch, and
+anything from a dead epoch is rejected wherever it shows up — see
+docs/fleet.md for the lifecycle, the failover timeline, and the
+split-brain guarantees and their limits.
+"""
+
+from repro.fleet.client import FleetClient, NoPrimaryError
+from repro.fleet.monitor import (
+    FleetMonitor,
+    HTTPNode,
+    NodeHandle,
+    choose_candidate,
+)
+
+__all__ = [
+    "FleetClient",
+    "FleetMonitor",
+    "HTTPNode",
+    "NodeHandle",
+    "NoPrimaryError",
+    "choose_candidate",
+]

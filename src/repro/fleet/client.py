@@ -1,0 +1,269 @@
+"""The fleet-aware client: route writes to the primary, reads anywhere.
+
+A :class:`FleetClient` wraps one :class:`~repro.service.client.ServiceClient`
+per node and adds the routing decisions a single-node client cannot
+make:
+
+- **discovery** — the topology comes from a coordinator's aggregated
+  ``GET /topology`` (``repro-dc fleet --listen``) or, seeded with node
+  URLs, from asking each node directly; it is re-discovered whenever
+  routing evidence goes stale (a 421 from the supposed primary, a
+  fenced 409, a dead socket);
+- **write routing** — writes go to the believed primary, chase 421
+  redirect hints through at most two hops (loop guard), and are retried
+  across a failover until ``failover_timeout_s`` runs out.  Only safe
+  because the protocol is idempotent per request *outcome*: a write
+  whose first attempt died with the connection is retried against the
+  new primary, and the zero-acknowledged-write-loss guarantee of the
+  control plane (docs/fleet.md) means an acknowledged first attempt
+  survived the failover — the retry then fails validation or lands as
+  a new batch, exactly as a human operator retrying would see;
+- **read routing** — reads round-robin across live followers (falling
+  back to the primary when there are none), each carrying the
+  read-your-writes ``min_seq`` token of the client's last acknowledged
+  write; a follower that cannot reach it in time answers 409 and the
+  read falls back to the primary.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+import urllib.request
+from typing import Iterable, List, Optional, Sequence
+from urllib.error import URLError
+
+from repro.observability import get_logger
+from repro.service.client import (
+    FencedError,
+    NotPrimaryError,
+    ServiceClient,
+    ServiceError,
+    ServiceStaleError,
+    ServiceUnavailableError,
+)
+
+logger = get_logger(__name__)
+
+#: Maximum 421 redirect hops per logical write (the loop guard).
+MAX_WRITE_HOPS = 2
+
+
+class NoPrimaryError(RuntimeError):
+    """The client could not find (or reach) any primary in time."""
+
+
+class FleetClient:
+    """Application-facing client for a replicated fleet."""
+
+    def __init__(
+        self,
+        seeds: List[str],
+        coordinator_url: Optional[str] = None,
+        timeout: float = 10.0,
+        failover_timeout_s: float = 10.0,
+        retry_backoff_s: float = 0.1,
+    ):
+        if not seeds and coordinator_url is None:
+            raise ValueError("pass node seed URLs or a coordinator URL")
+        self.seeds = list(seeds)
+        self.coordinator_url = coordinator_url
+        self.timeout = timeout
+        #: How long a write keeps retrying across a failover window.
+        self.failover_timeout_s = failover_timeout_s
+        self.retry_backoff_s = retry_backoff_s
+        self._clients: dict = {}
+        self.primary_url: Optional[str] = None
+        self.follower_urls: List[str] = []
+        #: Read-your-writes token: seq of the last acknowledged write.
+        self.last_seq = 0
+        self.discoveries_total = 0
+        self.write_retries_total = 0
+        self._read_cycle = itertools.count()
+
+    # -- discovery ---------------------------------------------------------
+
+    def _client(self, url: str) -> ServiceClient:
+        client = self._clients.get(url)
+        if client is None:
+            client = ServiceClient(base_url=url, timeout=self.timeout)
+            self._clients[url] = client
+        return client
+
+    def _coordinator_topology(self) -> Optional[dict]:
+        if self.coordinator_url is None:
+            return None
+        try:
+            with urllib.request.urlopen(
+                f"{self.coordinator_url}/topology", timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except (OSError, URLError, ValueError):
+            return None
+
+    def discover(self) -> None:
+        """Refresh the routing table from the coordinator or the nodes."""
+        self.discoveries_total += 1
+        primary: Optional[str] = None
+        followers: List[str] = []
+        aggregated = self._coordinator_topology()
+        if aggregated is not None:
+            primary = aggregated.get("primary_url")
+            for entry in aggregated.get("nodes", []):
+                payload = entry.get("probe")
+                if payload is None:
+                    continue
+                url = entry.get("url") or payload.get("url")
+                if payload.get("role") == "follower" and url:
+                    followers.append(url)
+                if url and url not in self.seeds:
+                    self.seeds.append(url)
+        else:
+            best_epoch = -1
+            for url in self.seeds:
+                try:
+                    payload = self._client(url).topology()
+                except (OSError, ServiceError):
+                    continue
+                if payload.get("role") == "follower":
+                    followers.append(url)
+                elif (
+                    payload.get("role") == "primary"
+                    and not payload.get("fenced")
+                    and int(payload.get("epoch") or 0) > best_epoch
+                ):
+                    best_epoch = int(payload.get("epoch") or 0)
+                    primary = url
+        self.primary_url = primary
+        self.follower_urls = followers
+        logger.debug(
+            "fleet discovery: primary=%s followers=%s", primary, followers
+        )
+
+    # -- writes ------------------------------------------------------------
+
+    def _write(self, op: str, payload) -> dict:
+        deadline = time.monotonic() + self.failover_timeout_s
+        attempt = 0
+        while True:
+            if self.primary_url is None:
+                self.discover()
+            target = self.primary_url
+            try:
+                if target is None:
+                    raise NoPrimaryError("no primary known to the fleet")
+                client = self._client(target)
+                hops = 0
+                while True:
+                    try:
+                        if op == "insert":
+                            outcome = client.insert(payload)
+                        else:
+                            outcome = client.delete(payload)
+                        break
+                    except NotPrimaryError as exc:
+                        # Follow the redirect hint, but never in a loop:
+                        # two hops reach any primary a healthy fleet can
+                        # name; more means the hints are stale.
+                        if exc.primary_url is None or hops >= MAX_WRITE_HOPS:
+                            raise
+                        hops += 1
+                        self.primary_url = exc.primary_url
+                        client = self._client(exc.primary_url)
+                self.last_seq = max(self.last_seq, int(outcome.get("seq") or 0))
+                return outcome
+            except (
+                NoPrimaryError,
+                NotPrimaryError,
+                FencedError,
+                ServiceUnavailableError,
+                OSError,
+            ) as exc:
+                # The failover window: the routing table is stale, the
+                # old primary is fenced/dead, or no one has the socket
+                # yet.  Re-discover and retry until the budget runs out.
+                if time.monotonic() >= deadline:
+                    raise NoPrimaryError(
+                        f"write did not land within "
+                        f"{self.failover_timeout_s:.1f}s: {exc}"
+                    ) from exc
+                attempt += 1
+                self.write_retries_total += 1
+                self.primary_url = None
+                time.sleep(min(self.retry_backoff_s * attempt, 1.0))
+
+    def insert(self, rows: Iterable[Sequence]) -> dict:
+        """Insert on the fleet's primary, surviving failovers."""
+        return self._write("insert", [list(row) for row in rows])
+
+    def delete(self, rids: Iterable[int]) -> dict:
+        """Delete on the fleet's primary, surviving failovers."""
+        return self._write("delete", [int(rid) for rid in rids])
+
+    # -- reads -------------------------------------------------------------
+
+    def _read_targets(self) -> List[str]:
+        if not self.follower_urls and self.primary_url is None:
+            self.discover()
+        targets = list(self.follower_urls)
+        if targets:
+            rotation = next(self._read_cycle) % len(targets)
+            targets = targets[rotation:] + targets[:rotation]
+        if self.primary_url is not None:
+            targets.append(self.primary_url)
+        if not targets:
+            raise NoPrimaryError("no reachable node to read from")
+        return targets
+
+    def _read(self, call) -> dict:
+        last_error: Optional[Exception] = None
+        for url in self._read_targets():
+            try:
+                return call(self._client(url))
+            except ServiceStaleError as exc:
+                # This replica can't reach our min_seq in time; another
+                # one (or the primary, last in the rotation) may.
+                last_error = exc
+            except (OSError, ServiceError) as exc:
+                last_error = exc
+        self.discover()
+        for url in self._read_targets():
+            try:
+                return call(self._client(url))
+            except (OSError, ServiceError) as exc:
+                last_error = exc
+        raise NoPrimaryError(f"no node could serve the read: {last_error}")
+
+    def dcs(self) -> dict:
+        """Current DCs, at least as fresh as our last acknowledged write."""
+        return self._read(lambda client: client.dcs(min_seq=self.min_seq))
+
+    def rank(self, top: int = 10) -> dict:
+        return self._read(
+            lambda client: client.rank(top=top, min_seq=self.min_seq)
+        )
+
+    def check(self, row: Sequence, **kwargs) -> dict:
+        return self._read(
+            lambda client: client.check(row, min_seq=self.min_seq, **kwargs)
+        )
+
+    def verify(self, limit: Optional[int] = None) -> dict:
+        return self._read(
+            lambda client: client.verify(limit=limit, min_seq=self.min_seq)
+        )
+
+    @property
+    def min_seq(self) -> Optional[int]:
+        """The read-your-writes bound (None before any write)."""
+        return self.last_seq or None
+
+    def close(self) -> None:
+        self._clients.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"FleetClient(primary={self.primary_url!r}, "
+            f"followers={self.follower_urls!r})"
+        )

@@ -1,0 +1,455 @@
+"""Failure detection and automatic failover for a replication fleet.
+
+The :class:`FleetMonitor` is a deliberately small state machine driven
+by one method, :meth:`FleetMonitor.step`: probe every node, and if the
+primary has been unreachable (or fenced) for longer than the suspicion
+window, run one failover.  The failover sequence is the safety-critical
+part and its ordering is fixed:
+
+1. **choose** the candidate — the reachable follower with the highest
+   applied seq (ties break on lowest URL, so concurrent monitors agree);
+2. **fence** — install ``new_epoch = highest observed epoch + 1`` as a
+   fence on every *other* reachable node, the old primary first.  From
+   the moment the fence lands on the old primary it hard-409s every
+   write, so no write can be acknowledged on the dead timeline after
+   this point;
+3. **drain** — give the candidate a bounded window to pull whatever
+   acknowledged frames remain reachable (it keeps tailing its upstream
+   until promotion, so a fenced-but-alive old primary is drained dry);
+4. **promote** the candidate at ``new_epoch``;
+5. **repoint** the surviving followers at the new primary.
+
+Writes acknowledged before the fence are in the old primary's WAL and
+reachable to the drain; writes attempted after it are refused with the
+fenced 409.  That pincer is the zero-acknowledged-write-loss argument —
+docs/fleet.md walks through it, and the zombie-primary matrix in
+``tests/test_fleet.py`` checks it at every replication fault point.
+
+The monitor is intentionally *not* consensus: it is a single
+coordinator (plus the epoch arithmetic that makes a deposed primary
+harmless even if the coordinator was wrong about its death).  Running
+two monitors against one fleet is safe for the data — fencing is
+monotonic — but can ping-pong primaries; run one.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional
+
+from repro.observability import get_logger
+from repro.observability.probe import get_probe
+
+logger = get_logger(__name__)
+
+#: Default suspicion window: how long the primary must stay unreachable
+#: before the monitor declares it dead and fails over.
+DEFAULT_SUSPICION_S = 2.0
+
+#: Default bound on the post-fence drain wait (step 3 above).
+DEFAULT_DRAIN_S = 2.0
+
+#: Poll cadence inside the drain wait.
+_DRAIN_POLL_S = 0.05
+
+
+class FleetError(RuntimeError):
+    """The monitor cannot make progress (e.g. no promotable follower)."""
+
+
+class NodeHandle:
+    """How the monitor talks to one node.
+
+    The default implementation (:class:`HTTPNode`) speaks the service's
+    HTTP surface; the fleet tests substitute in-process handles wrapping
+    live session objects, which makes the failover matrix deterministic
+    (no sockets, no timers).  ``url`` doubles as the node's identity.
+    """
+
+    url: str
+
+    def probe(self) -> Optional[dict]:
+        """The node's ``/topology`` payload, or None if unreachable."""
+        raise NotImplementedError
+
+    def fence(self, epoch: int) -> bool:
+        """Install a fence; True if it landed (False: unreachable)."""
+        raise NotImplementedError
+
+    def promote(self, epoch: int) -> bool:
+        """Promote to primary at ``epoch``; True if it landed."""
+        raise NotImplementedError
+
+    def follow(self, url: str) -> bool:
+        """Repoint at a new upstream; True if it landed."""
+        raise NotImplementedError
+
+
+class HTTPNode(NodeHandle):
+    """A :class:`NodeHandle` over the service's HTTP endpoints."""
+
+    def __init__(self, url: str, timeout: float = 5.0):
+        from repro.service.client import ServiceClient
+
+        self.url = url
+        self._client = ServiceClient(base_url=url, timeout=timeout)
+
+    def probe(self) -> Optional[dict]:
+        from repro.service.client import ServiceError
+
+        try:
+            return self._client.topology()
+        except (OSError, ServiceError):
+            return None
+
+    def fence(self, epoch: int) -> bool:
+        from repro.service.client import ServiceError
+
+        try:
+            self._client.fence(epoch)
+            return True
+        except (OSError, ServiceError):
+            return False
+
+    def promote(self, epoch: int) -> bool:
+        from repro.service.client import ServiceError
+
+        try:
+            payload = self._client.promote(epoch=epoch)
+            return payload.get("role") == "primary"
+        except (OSError, ServiceError):
+            return False
+
+    def follow(self, url: str) -> bool:
+        from repro.service.client import ServiceError
+
+        try:
+            self._client.follow(url)
+            return True
+        except (OSError, ServiceError):
+            return False
+
+    def __repr__(self) -> str:
+        return f"HTTPNode({self.url!r})"
+
+
+def choose_candidate(probes: Dict[str, Optional[dict]]) -> Optional[str]:
+    """The URL of the follower that must win: highest applied seq.
+
+    Ties break on lowest URL so that any two observers of the same
+    probe set pick the same node.  Only reachable, serving followers
+    are eligible; a *fenced* follower stays eligible because promotion
+    at the fence epoch clears its fence (it rejoins the live timeline
+    as its head).
+    """
+    eligible = [
+        (-int(payload.get("seq") or 0), url)
+        for url, payload in probes.items()
+        if payload is not None
+        and payload.get("role") == "follower"
+        and payload.get("serving", True)
+    ]
+    if not eligible:
+        return None
+    _, url = min(eligible)
+    return url
+
+
+class FleetMonitor:
+    """Poll a fleet; fail over when the primary stays dead too long.
+
+    Deterministic core: :meth:`probe` and :meth:`maybe_failover` take no
+    wall-clock decisions of their own beyond the injected ``clock``, so
+    tests drive the whole state machine with a fake clock.  :meth:`run`
+    wraps them in the obvious loop for the CLI.
+    """
+
+    def __init__(
+        self,
+        nodes: List[NodeHandle],
+        suspicion_s: float = DEFAULT_SUSPICION_S,
+        drain_s: float = DEFAULT_DRAIN_S,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not nodes:
+            raise ValueError("a fleet needs at least one node")
+        self.nodes = {node.url: node for node in nodes}
+        self.suspicion_s = suspicion_s
+        self.drain_s = drain_s
+        self.clock = clock
+        #: URL of the node currently believed primary (None: unknown).
+        self.primary_url: Optional[str] = None
+        #: Highest commit epoch observed anywhere in the fleet.
+        self.epoch = 0
+        #: Last probe payload per node URL (None = unreachable).
+        self.last_probes: Dict[str, Optional[dict]] = {}
+        #: When the primary was last seen healthy (clock units).
+        self._primary_seen_at: Optional[float] = None
+        self.failovers_total = 0
+        self.probes_total = 0
+        #: Timeline of the most recent failover (docs/fleet.md fields:
+        #: detected/fenced/promoted/repointed + the chosen URLs).
+        self.last_failover: Optional[dict] = None
+
+    # -- probing -----------------------------------------------------------
+
+    def probe(self) -> Dict[str, Optional[dict]]:
+        """Poll every node once and update the fleet picture."""
+        now = self.clock()
+        probes: Dict[str, Optional[dict]] = {}
+        for url, node in self.nodes.items():
+            payload = node.probe()
+            probes[url] = payload
+            if payload is not None:
+                self.epoch = max(self.epoch, int(payload.get("epoch") or 0))
+        self.last_probes = probes
+        self.probes_total += 1
+        primary = self._pick_primary(probes)
+        if primary is not None:
+            if primary != self.primary_url:
+                logger.debug("fleet primary is %s (epoch %d)", primary, self.epoch)
+            self.primary_url = primary
+            self._primary_seen_at = now
+        self._export_gauges(probes)
+        return probes
+
+    def _pick_primary(self, probes: Dict[str, Optional[dict]]) -> Optional[str]:
+        """The live, unfenced primary with the highest epoch, if any."""
+        primaries = [
+            (int(payload.get("epoch") or 0), url)
+            for url, payload in probes.items()
+            if payload is not None
+            and payload.get("role") == "primary"
+            and not payload.get("fenced")
+            and payload.get("serving", True)
+        ]
+        if not primaries:
+            return None
+        _, url = max(primaries)
+        return url
+
+    def _export_gauges(self, probes: Dict[str, Optional[dict]]) -> None:
+        probe = get_probe()
+        if probe is None:
+            return
+        up = sum(1 for payload in probes.values() if payload is not None)
+        probe.set_gauge("fleet.nodes_total", len(self.nodes))
+        probe.set_gauge("fleet.nodes_up", up)
+        probe.set_gauge("fleet.monitor_epoch", self.epoch)
+        probe.set_gauge("fleet.failovers", self.failovers_total)
+
+    # -- failover ----------------------------------------------------------
+
+    @property
+    def primary_suspect_for(self) -> float:
+        """Seconds the believed primary has been unhealthy (0 = healthy)."""
+        if self.primary_url is None or self._primary_seen_at is None:
+            return 0.0
+        payload = self.last_probes.get(self.primary_url)
+        if (
+            payload is not None
+            and payload.get("role") == "primary"
+            and not payload.get("fenced")
+            and payload.get("serving", True)
+        ):
+            return 0.0
+        return max(0.0, self.clock() - self._primary_seen_at)
+
+    def maybe_failover(self) -> Optional[dict]:
+        """Run one failover if the suspicion window has elapsed.
+
+        Returns the failover record (also kept in ``last_failover``) or
+        None if the primary is healthy / still within suspicion / there
+        is nothing to promote.  Uses the *last* probe results — call
+        :meth:`probe` first (or use :meth:`step`).
+        """
+        if self.primary_url is None:
+            # Never seen a primary: adopt one if the fleet is all
+            # followers (cold start against an already-failed primary).
+            if self.last_probes and all(
+                payload is None or payload.get("role") == "follower"
+                for payload in self.last_probes.values()
+            ):
+                return self._failover(reason="no primary observed")
+            return None
+        suspect_for = self.primary_suspect_for
+        if suspect_for == 0.0 or suspect_for < self.suspicion_s:
+            return None
+        return self._failover(
+            reason=f"primary {self.primary_url} unhealthy for "
+            f"{suspect_for:.3f}s"
+        )
+
+    def _failover(self, reason: str) -> Optional[dict]:
+        detected_at = self.clock()
+        candidate_url = choose_candidate(self.last_probes)
+        if candidate_url is None:
+            logger.warning("failover wanted (%s) but no candidate", reason)
+            return None
+        new_epoch = self.epoch + 1
+        record = {
+            "reason": reason,
+            "old_primary": self.primary_url,
+            "new_primary": candidate_url,
+            "epoch": new_epoch,
+            "detected_at": detected_at,
+            "fenced": [],
+        }
+        # Fence everything that is not the candidate, the (suspected
+        # dead, possibly zombie) old primary first: after this no write
+        # can be acknowledged on any epoch below new_epoch.
+        others = [self.primary_url] if self.primary_url else []
+        others += [
+            url
+            for url in self.nodes
+            if url != candidate_url and url not in others
+        ]
+        for url in others:
+            if self.nodes[url].fence(new_epoch):
+                record["fenced"].append(url)
+        record["fenced_at"] = self.clock()
+        # Drain: the candidate keeps tailing until promoted; give it a
+        # bounded window to reach the newest seq any reachable node
+        # still holds (a dead primary's frames are gone with it — the
+        # fence guarantees nothing NEW gets acknowledged, and whatever
+        # was acknowledged before the crash either replicated already
+        # or sits on a node we can still read).
+        self._await_drain(candidate_url)
+        record["drained_at"] = self.clock()
+        if not self.nodes[candidate_url].promote(new_epoch):
+            logger.error("promotion of %s failed", candidate_url)
+            return None
+        record["promoted_at"] = self.clock()
+        for url in self.nodes:
+            if url in (candidate_url,):
+                continue
+            payload = self.last_probes.get(url)
+            if payload is not None and payload.get("role") == "follower":
+                self.nodes[url].follow(candidate_url)
+        record["repointed_at"] = self.clock()
+        self.epoch = new_epoch
+        self.primary_url = candidate_url
+        self._primary_seen_at = self.clock()
+        self.failovers_total += 1
+        self.last_failover = record
+        probe = get_probe()
+        if probe is not None:
+            probe.inc("fleet.failovers_total")
+        logger.warning(
+            "failover: %s -> %s at epoch %d (%s)",
+            record["old_primary"],
+            candidate_url,
+            new_epoch,
+            reason,
+        )
+        return record
+
+    def _await_drain(self, candidate_url: str) -> None:
+        """Wait (bounded) until the candidate stops gaining frames."""
+        deadline = self.clock() + self.drain_s
+        last_seq = -1
+        while self.clock() < deadline:
+            payload = self.nodes[candidate_url].probe()
+            if payload is None:
+                break
+            seq = int(payload.get("seq") or 0)
+            lag = payload.get("lag_seq")
+            if seq == last_seq and (lag in (0, None)):
+                break
+            last_seq = seq
+            time.sleep(_DRAIN_POLL_S)
+
+    # -- driving -----------------------------------------------------------
+
+    def step(self) -> Optional[dict]:
+        """One probe plus at most one failover; the embeddable unit."""
+        self.probe()
+        return self.maybe_failover()
+
+    def run(
+        self,
+        interval_s: float = 0.5,
+        stop: Optional[threading.Event] = None,
+        max_steps: Optional[int] = None,
+    ) -> None:
+        """Loop :meth:`step` forever (the ``repro-dc fleet`` main loop)."""
+        stop = stop or threading.Event()
+        steps = 0
+        while not stop.is_set():
+            self.step()
+            steps += 1
+            if max_steps is not None and steps >= max_steps:
+                return
+            stop.wait(interval_s)
+
+    def topology_payload(self) -> dict:
+        """The coordinator's aggregated fleet view (``GET /topology``)."""
+        return {
+            "primary_url": self.primary_url,
+            "epoch": self.epoch,
+            "failovers": self.failovers_total,
+            "nodes": [
+                {"url": url, "probe": payload}
+                for url, payload in sorted(self.last_probes.items())
+            ],
+        }
+
+
+class CoordinatorServer:
+    """A tiny HTTP face for a :class:`FleetMonitor`.
+
+    Serves the aggregated ``GET /topology`` that
+    :class:`~repro.fleet.client.FleetClient` discovers routing from,
+    so clients need one well-known address instead of the node list.
+    """
+
+    def __init__(self, monitor: FleetMonitor, host: str = "127.0.0.1", port: int = 0):
+        self.monitor = monitor
+        handler = _make_coordinator_handler(monitor)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return (
+            f"http://{self._httpd.server_address[0]}:"
+            f"{self._httpd.server_port}"
+        )
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="fleet-coordinator-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+
+
+def _make_coordinator_handler(monitor: FleetMonitor):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib name
+            logger.debug("%s %s", self.address_string(), format % args)
+
+        def do_GET(self):  # noqa: N802 - stdlib casing
+            if self.path.split("?")[0] not in ("/topology", "/status"):
+                body = json.dumps({"error": "not_found"}).encode()
+                self.send_response(404)
+            else:
+                body = json.dumps(monitor.topology_payload()).encode()
+                self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+    return Handler

@@ -23,29 +23,45 @@ Counters must be incremented with *aggregated* quantities (per context
 pipeline, per batch) — never inside per-pair loops — so the enabled
 overhead stays in the low single-digit percent range.
 
-The probe is process-global and not re-entrant across interleaved
-discoverers; 3DC's maintenance calls are synchronous, so the installing
-context manager simply saves and restores the previous probe.
+The slot is **thread-local**: an installation and every ``get_probe``
+that observes it share one synchronous call stack, so each thread's
+installs nest LIFO and co-located pipelines on other threads (a
+replicated fleet in one process: the serving writer, follower apply
+loops, a fleet monitor) can never clobber — or leak through — each
+other's save/restore.
 """
 
 from __future__ import annotations
 
+import threading
+
 from repro.observability.tracer import _NULL_SPAN_CONTEXT
 
-_ACTIVE = None
+_SLOT = threading.local()
 
 
 def get_probe():
     """The installed instrumentation, or ``None`` when accounting is off."""
-    return _ACTIVE
+    return getattr(_SLOT, "active", None)
 
 
 def probe_span(name: str):
     """A span context on the active instrumentation's tracer (no-op when
     no probe is installed)."""
-    if _ACTIVE is None:
+    active = getattr(_SLOT, "active", None)
+    if active is None:
         return _NULL_SPAN_CONTEXT
-    return _ACTIVE.tracer.span(name)
+    return active.tracer.span(name)
+
+
+def deactivate() -> None:
+    """Drop this thread's probe unconditionally.
+
+    For forked pool workers, which inherit the parent's installation
+    without its context manager: per-pair accounting in the child would
+    be lost at process exit, so the parent re-emits aggregates instead.
+    """
+    _SLOT.active = None
 
 
 class _ProbeInstallation:
@@ -58,14 +74,12 @@ class _ProbeInstallation:
         self._previous = None
 
     def __enter__(self):
-        global _ACTIVE
-        self._previous = _ACTIVE
-        _ACTIVE = self._instrumentation
+        self._previous = getattr(_SLOT, "active", None)
+        _SLOT.active = self._instrumentation
         return self._instrumentation
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        global _ACTIVE
-        _ACTIVE = self._previous
+        _SLOT.active = self._previous
 
 
 def install(instrumentation) -> _ProbeInstallation:

@@ -25,6 +25,15 @@ Catch-up protocol (docs/replication.md walks through it):
 
 The follower checkpoints on its *own* cadence — replication never ships
 checkpoints in steady state, only the frame stream.
+
+Epoch fencing (docs/fleet.md): every frame and every batch carries the
+writer's commit epoch.  A follower rejects frames from an epoch below
+its own — the stream of a deposed primary is dead history, never to be
+applied — and adopts higher epochs as it sees them, which is how
+promotion knowledge spreads down a replication chain.  A fenced node
+rejoining as a follower (the zombie-primary path) rebases onto the new
+timeline by force-installing the upstream checkpoint, discarding its
+unreplicated tail.
 """
 
 from __future__ import annotations
@@ -39,12 +48,14 @@ from repro.durability.session import (
     CHECKPOINT_DIR,
     DEFAULT_CHECKPOINT_EVERY,
     DEFAULT_RETAIN,
+    INITIAL_EPOCH,
     MANIFEST_FORMAT,
     MANIFEST_NAME,
     MANIFEST_VERSION,
     DurableSession,
 )
 from repro.observability import get_logger
+from repro.observability.probe import get_probe
 from repro.replication.source import FrameBatch, ReplicationError
 
 logger = get_logger(__name__)
@@ -71,6 +82,10 @@ class FollowerSession:
         self.frames_duplicate_total = 0
         self.catchups_total = 0
         self.polls_total = 0
+        #: Frames rejected because they carried a fenced (lower) epoch.
+        self.frames_fenced_total = 0
+        #: Diverged local records discarded rebasing onto a new timeline.
+        self.tail_discarded_total = 0
 
     # -- construction ----------------------------------------------------
 
@@ -91,31 +106,40 @@ class FollowerSession:
         existing one — including one whose last run died mid-catch-up —
         is simply recovered, own WAL tail replayed, and tailing resumes
         from wherever it got to.
+
+        A recovered directory that was *fenced* — a deposed primary
+        rejoining as a follower — is rebased first: the upstream's
+        checkpoint is force-installed, discarding whatever unreplicated
+        tail the zombie wrote on its dead epoch.
         """
         directory = os.fspath(directory)
         if os.path.exists(os.path.join(directory, MANIFEST_NAME)):
             session = DurableSession.recover(directory)
-        else:
-            wal_seq, state_payload = source.fetch_checkpoint()
-            checkpoint_dir = os.path.join(directory, CHECKPOINT_DIR)
-            os.makedirs(checkpoint_dir, exist_ok=True)
-            write_checkpoint(checkpoint_dir, wal_seq, state_payload)
-            atomic_write_json(
-                os.path.join(directory, MANIFEST_NAME),
-                {
-                    "format": MANIFEST_FORMAT,
-                    "version": MANIFEST_VERSION,
-                    "checkpoint_every": checkpoint_every,
-                    "retain": retain,
-                },
-                fault_prefix="checkpoint",
-            )
-            session = DurableSession.recover(directory)
-            logger.debug(
-                "bootstrapped follower in %s from checkpoint seq %d",
-                directory,
-                wal_seq,
-            )
+            follower = cls(session, source, primary_url=primary_url)
+            if session.is_fenced:
+                follower._rebase_to_source()
+            return follower
+        wal_seq, state_payload = source.fetch_checkpoint()
+        checkpoint_dir = os.path.join(directory, CHECKPOINT_DIR)
+        os.makedirs(checkpoint_dir, exist_ok=True)
+        write_checkpoint(checkpoint_dir, wal_seq, state_payload)
+        atomic_write_json(
+            os.path.join(directory, MANIFEST_NAME),
+            {
+                "format": MANIFEST_FORMAT,
+                "version": MANIFEST_VERSION,
+                "checkpoint_every": checkpoint_every,
+                "retain": retain,
+                "epoch": INITIAL_EPOCH,
+            },
+            fault_prefix="checkpoint",
+        )
+        session = DurableSession.recover(directory)
+        logger.debug(
+            "bootstrapped follower in %s from checkpoint seq %d",
+            directory,
+            wal_seq,
+        )
         return cls(session, source, primary_url=primary_url)
 
     # -- tailing ---------------------------------------------------------
@@ -137,12 +161,48 @@ class FollowerSession:
         return time.monotonic() - self._caught_up_at
 
     def poll(self, wait_s: float = 0.0, max_frames: Optional[int] = None) -> int:
-        """Fetch and apply one batch of frames; returns records applied."""
+        """Fetch and apply one batch of frames; returns records applied.
+
+        Raises :class:`~repro.replication.source.ReplicationError` on a
+        frame from a fenced (lower) epoch — a deposed primary's stream
+        must never be applied, and the caller should stop tailing this
+        source.  Frames from a *higher* epoch adopt that epoch first;
+        the batch-level epoch is adopted only after every frame applied,
+        because a freshly promoted primary's WAL legitimately still
+        holds frames from the previous epoch.
+        """
         if self._detached:
             raise ReplicationError("follower is detached (promoted or closed)")
+        if hasattr(self.source, "epoch"):
+            # Advertise our epoch on every poll — the upstream fences
+            # itself if we prove a newer epoch exists (see
+            # replication_frames_payload).
+            self.source.epoch = self.session.epoch
         batch = self.source.fetch_frames(
             self.last_applied_seq, wait_s=wait_s, max_frames=max_frames
         )
+        if (
+            batch.epoch is not None
+            and batch.epoch > self.session.epoch
+            and batch.source_seq is not None
+            and self.last_applied_seq > batch.source_seq
+        ):
+            # The upstream was promoted onto a shorter history than
+            # ours: everything we hold past it is a diverged tail on
+            # a dead timeline.  Rebase before applying anything.
+            self._rebase_to_source()
+            batch = self.source.fetch_frames(
+                self.last_applied_seq, wait_s=0.0, max_frames=max_frames
+            )
+        if batch.epoch is not None and batch.epoch < self.session.epoch:
+            # The whole upstream timeline is dead, not just one frame —
+            # reject before the snapshot path below could adopt a
+            # checkpoint full of unfenced zombie history.
+            self._count_fenced_frame(None)
+            raise ReplicationError(
+                f"fenced upstream: source is at epoch {batch.epoch}, "
+                f"below local epoch {self.session.epoch}"
+            )
         if batch.snapshot_needed:
             self._install_latest_checkpoint()
             batch = self.source.fetch_frames(
@@ -154,11 +214,29 @@ class FollowerSession:
                 batch = FrameBatch([], batch.last_seq, batch.checkpoint_seq, False)
         applied = 0
         for frame in batch.frames:
+            if frame.epoch is not None:
+                if frame.epoch < self.session.epoch:
+                    self._count_fenced_frame(frame)
+                    raise ReplicationError(
+                        f"fenced frame: seq {frame.seq} carries epoch "
+                        f"{frame.epoch}, below local epoch "
+                        f"{self.session.epoch}"
+                    )
+                if frame.epoch > self.session.epoch:
+                    self.session.adopt_epoch(frame.epoch)
             if frame.seq <= self.last_applied_seq:
                 self.frames_duplicate_total += 1
                 continue
             self.session.apply_replicated(frame.record, frame.raw)
             applied += 1
+        if batch.epoch is not None and (
+            not batch.frames or batch.frames[-1].seq >= batch.last_seq
+        ):
+            # Adopt the source's epoch only once caught up to this
+            # batch's tip: a truncated (paginated) batch may still have
+            # legitimate pre-promotion frames behind it, which adopting
+            # early would wrongly fence on the next poll.
+            self.session.adopt_epoch(batch.epoch)
         self.frames_applied_total += applied
         self.polls_total += 1
         self.primary_last_seq = max(
@@ -168,6 +246,20 @@ class FollowerSession:
             self._caught_up_at = time.monotonic()
         self.export_gauges()
         return applied
+
+    def _count_fenced_frame(self, frame) -> None:
+        self.frames_fenced_total += 1
+        probe = get_probe()
+        if probe is not None:
+            probe.inc("fleet.frames_fenced")
+        self.export_gauges()
+        logger.warning(
+            "follower %s rejected fenced frame seq %s (epoch %s < %d)",
+            self.session.directory,
+            frame.seq if frame is not None else "(batch)",
+            frame.epoch if frame is not None else "(source)",
+            self.session.epoch,
+        )
 
     def _install_latest_checkpoint(self) -> None:
         wal_seq, state_payload = self.source.fetch_checkpoint()
@@ -181,6 +273,35 @@ class FollowerSession:
             "follower %s caught up from checkpoint seq %d",
             self.session.directory,
             wal_seq,
+        )
+
+    def _rebase_to_source(self) -> None:
+        """Force-install the upstream checkpoint, discarding our tail.
+
+        The rejoin-as-follower path for a deposed primary: local records
+        past the upstream's history were acknowledged only on a fenced
+        epoch and are discarded; the count lands in
+        ``tail_discarded_total`` / the ``fleet.tail_discarded`` counter.
+        """
+        wal_seq, state_payload = self.source.fetch_checkpoint()
+        discarded = self.session.install_checkpoint(
+            wal_seq, state_payload, force=True
+        )
+        # The discarded tail also inflated our view of the primary's
+        # durable seq; clamp it back to the adopted timeline.
+        self.primary_last_seq = min(self.primary_last_seq, wal_seq)
+        self.tail_discarded_total += discarded
+        self.catchups_total += 1
+        if discarded:
+            probe = get_probe()
+            if probe is not None:
+                probe.inc("fleet.tail_discarded", discarded)
+        logger.warning(
+            "follower %s rebased onto checkpoint seq %d, discarding %d "
+            "diverged records",
+            self.session.directory,
+            wal_seq,
+            discarded,
         )
 
     # -- gauges / status -------------------------------------------------
@@ -202,6 +323,13 @@ class FollowerSession:
             "replication.catchups", self.catchups_total
         )
         instrumentation.set_gauge("replication.polls", self.polls_total)
+        instrumentation.set_gauge(
+            "fleet.frames_fenced", self.frames_fenced_total
+        )
+        instrumentation.set_gauge(
+            "fleet.tail_discarded", self.tail_discarded_total
+        )
+        instrumentation.set_gauge("fleet.epoch", self.session.epoch)
 
     def status(self) -> dict:
         """Machine-readable replication status (joins session status)."""
@@ -214,25 +342,37 @@ class FollowerSession:
             "frames_duplicate": self.frames_duplicate_total,
             "catchups": self.catchups_total,
             "polls": self.polls_total,
+            "frames_fenced": self.frames_fenced_total,
+            "tail_discarded": self.tail_discarded_total,
+            "epoch": self.session.epoch,
             "primary_url": self.primary_url,
         }
 
     # -- failover --------------------------------------------------------
 
-    def promote(self) -> DurableSession:
+    def promote(self, epoch: Optional[int] = None) -> DurableSession:
         """Stop tailing and hand over the session for primary duty.
 
-        Nothing on disk changes: the follower directory already is a
-        valid primary session directory.  The returned session accepts
-        writes immediately; the old primary must stay dead (or fenced)
-        — this layer does not arbitrate split-brain.
+        Nothing on disk changes beyond the manifest: the follower
+        directory already is a valid primary session directory, and the
+        promotion mints a new commit epoch there (``epoch`` to install a
+        fleet-chosen value, default one past the current).  The bumped
+        epoch is the split-brain arbiter: frames the deposed primary
+        keeps writing carry its old epoch and are fenced off by every
+        follower and frames endpoint that has seen the new one (see
+        docs/fleet.md for the full guarantee and its limits).
         """
         self._detached = True
         self.source.close()
+        if epoch is not None:
+            self.session.bump_epoch(epoch)
+        else:
+            self.session.bump_epoch()
         logger.debug(
-            "promoted follower %s at seq %d",
+            "promoted follower %s at seq %d (epoch %d)",
             self.session.directory,
             self.last_applied_seq,
+            self.session.epoch,
         )
         return self.session
 

@@ -12,8 +12,11 @@ the fleet and clients can pin freshness with the ``min_seq`` token.
 
 Writes are refused with HTTP 421 and a ``primary_url`` redirect hint;
 :meth:`promote` (or ``POST /promote``) flips the node to primary duty —
-the replication loop stops, the write queue gets its writer thread, and
-the very same session directory starts accepting writes.
+the replication loop stops, the write queue gets its writer thread, a
+new commit epoch is minted, and the very same session directory starts
+accepting writes.  ``POST /follow`` repoints a follower at a different
+upstream (how the fleet monitor re-parents survivors after a failover,
+and how chains deeper than one hop are built).
 """
 
 from __future__ import annotations
@@ -53,7 +56,10 @@ class FollowerService(DCService):
         self._replication_stop = threading.Event()
         self._replication_thread: Optional[threading.Thread] = None
         self._promote_lock = threading.Lock()
+        self._repoint_lock = threading.Lock()
+        self._pending_upstream: Optional[str] = None
         self.source_errors_total = 0
+        self.repoints_total = 0
         follower.export_gauges()
 
     # -- lifecycle --------------------------------------------------------
@@ -75,12 +81,15 @@ class FollowerService(DCService):
         )
 
     def _replication_loop(self) -> None:
+        from repro.service.client import ServiceError
+
         while not self._replication_stop.is_set():
+            self._apply_pending_repoint()
             try:
                 applied = self.follower.poll(
                     wait_s=self.config.follow_poll_wait_s
                 )
-            except (OSError, ReplicationError) as exc:
+            except (OSError, ReplicationError, ServiceError) as exc:
                 # Transient by assumption: the primary is down, draining,
                 # or mid-rotation.  Keep the replica serving its current
                 # snapshot and keep trying — surviving primary death is
@@ -127,15 +136,17 @@ class FollowerService(DCService):
 
     # -- failover ---------------------------------------------------------
 
-    def promote(self) -> bool:
+    def promote(self, epoch: Optional[int] = None) -> bool:
         """Take over primary duty; returns False if already promoted.
 
         Stops the replication loop, detaches the follower session (its
-        directory is already a complete primary directory), and starts
-        the writer thread — from here on this node is indistinguishable
-        from a service that recovered the directory itself.  Fencing the
-        old primary is the operator's job; this layer assumes it stays
-        dead.
+        directory is already a complete primary directory), mints a new
+        commit epoch (``epoch`` to install the fleet-chosen value), and
+        starts the writer thread — from here on this node is
+        indistinguishable from a service that recovered the directory
+        itself.  The epoch bump *is* the fence against the old primary:
+        every frame it keeps writing carries a dead epoch and is
+        rejected fleet-wide (docs/fleet.md).
         """
         with self._promote_lock:
             if self.role == "primary":
@@ -149,31 +160,82 @@ class FollowerService(DCService):
                 self._replication_thread.join(
                     timeout=self.config.drain_timeout_s
                 )
-            self.follower.promote()
+            self.follower.promote(epoch=epoch)
             self.role = "primary"
             self.started_at = time.time()
             self._metric_gauge("replication.lag_seq", 0)
             self._metric_gauge("replication.lag_seconds", 0.0)
+            self._metric_gauge("fleet.epoch", self.session.epoch)
             self._start_writer()
             logger.debug(
-                "follower promoted to primary at seq %d",
+                "follower promoted to primary at seq %d (epoch %d)",
                 self.session.last_applied_seq,
+                self.session.epoch,
             )
             return True
 
-    def promote_payload(self) -> dict:
-        promoted = self.promote()
+    def promote_payload(self, epoch: Optional[int] = None) -> dict:
+        promoted = self.promote(epoch=epoch)
         return {
             "role": self.role,
             "promoted": promoted,
             "seq": self.session.last_applied_seq,
+            "epoch": self.session.epoch,
         }
 
+    # -- repointing (follower-of-anything) --------------------------------
+
+    def repoint(self, url: str) -> None:
+        """Ask the replication loop to tail a different upstream.
+
+        Applied between polls (the loop owns the source object); the
+        fleet monitor uses this to re-parent surviving followers onto a
+        freshly promoted primary, and operators use it to build chains
+        (a follower tailing another follower's ``/replication/frames``).
+        """
+        with self._repoint_lock:
+            self._pending_upstream = url
+
+    def _apply_pending_repoint(self) -> None:
+        with self._repoint_lock:
+            pending, self._pending_upstream = self._pending_upstream, None
+        if pending is None or self.role != "follower":
+            return
+        from repro.replication.source import HTTPSource
+
+        old = self.follower.source
+        self.follower.source = HTTPSource(pending, epoch=self.session.epoch)
+        self.follower.primary_url = pending
+        self.primary_url = pending
+        self.repoints_total += 1
+        self._metric_gauge("replication.repoints", self.repoints_total)
+        try:
+            old.close()
+        except Exception:  # pragma: no cover - defensive
+            pass
+        logger.debug("follower repointed to upstream %s", pending)
+
+    def follow_payload(self, url: str) -> dict:
+        if self.role != "follower":
+            return super().follow_payload(url)
+        self.repoint(url)
+        return {"role": self.role, "upstream_url": url, "status": "repointing"}
+
     # -- introspection ----------------------------------------------------
+
+    @property
+    def upstream_url(self) -> Optional[str]:
+        return self.primary_url if self.role == "follower" else None
 
     def status_payload(self) -> dict:
         payload = super().status_payload()
         if self.role == "follower":
             payload["primary_url"] = self.primary_url
             payload["replication"] = self.follower.status()
+        return payload
+
+    def topology_payload(self) -> dict:
+        payload = super().topology_payload()
+        if self.role == "follower":
+            payload["lag_seq"] = self.follower.lag_seq
         return payload

@@ -33,8 +33,8 @@ from repro.durability.checkpoint import (
     parse_checkpoint_seq,
     validate_checkpoint,
 )
-from repro.durability.framing import decode_frames
-from repro.durability.session import CHECKPOINT_DIR, WAL_NAME
+from repro.durability.framing import decode_envelopes
+from repro.durability.session import CHECKPOINT_DIR, WAL_NAME, read_manifest
 from repro.durability.wal import WALReader
 from repro.observability import get_logger
 
@@ -55,6 +55,9 @@ class Frame(NamedTuple):
     seq: int
     raw: bytes
     record: dict
+    #: Commit epoch stamped in the frame envelope (None for frames from
+    #: a pre-epoch log — legacy streams still replicate).
+    epoch: Optional[int] = None
 
 
 class FrameBatch(NamedTuple):
@@ -66,12 +69,21 @@ class FrameBatch(NamedTuple):
     :param checkpoint_seq: seq of the primary's newest checkpoint.
     :param snapshot_needed: the requested tail predates the primary's
         WAL; the follower must install the latest checkpoint first.
+    :param epoch: the source node's current commit epoch (None when the
+        source predates epochs) — the fencing metadata followers check
+        every poll.
+    :param source_seq: the source's own newest durable seq, *not*
+        clamped to ``after_seq`` like ``last_seq`` is.  A requester
+        whose seq exceeds this while the source's epoch exceeds its own
+        holds a diverged tail and must rebase.
     """
 
     frames: List[Frame]
     last_seq: int
     checkpoint_seq: int
     snapshot_needed: bool
+    epoch: Optional[int] = None
+    source_seq: Optional[int] = None
 
 
 class ReplicationFeed:
@@ -103,7 +115,9 @@ class ReplicationFeed:
         for tail in tail_frames:
             seq = tail.record.get("seq")
             if isinstance(seq, int) and seq > last:
-                self._frames.append(Frame(seq, tail.raw, tail.record))
+                self._frames.append(
+                    Frame(seq, tail.raw, tail.record, tail.epoch)
+                )
                 last = seq
 
     def checkpoint_seq(self) -> int:
@@ -115,24 +129,40 @@ class ReplicationFeed:
         seqs = [parse_checkpoint_seq(name) for name in names]
         return max((seq for seq in seqs if seq is not None), default=0)
 
+    def epoch(self) -> Optional[int]:
+        """The directory's current commit epoch (None pre-epoch).
+
+        Read fresh from the manifest each call: a promotion rewrites the
+        manifest, and the very next batch a follower fetches must carry
+        the new epoch.
+        """
+        epoch = read_manifest(self.directory).get("epoch")
+        return int(epoch) if isinstance(epoch, int) else None
+
     def fetch(
         self, after_seq: int, max_frames: Optional[int] = None
     ) -> FrameBatch:
         """Frames with ``seq > after_seq``, or the catch-up signal."""
         self.refresh()
         checkpoint_seq = self.checkpoint_seq()
+        epoch = self.epoch()
         newest = self._frames[-1].seq if self._frames else 0
-        last_seq = max(checkpoint_seq, newest, after_seq, 0)
+        source_seq = max(checkpoint_seq, newest, 0)
+        last_seq = max(source_seq, after_seq)
         available = [f for f in self._frames if f.seq > after_seq]
         # A gap between the follower's position and the oldest retained
         # frame means those records were incorporated into a checkpoint
         # and reset away — frame-tailing cannot continue from here.
         gapped = bool(available) and available[0].seq != after_seq + 1
         if gapped or (not available and checkpoint_seq > after_seq):
-            return FrameBatch([], last_seq, checkpoint_seq, True)
+            return FrameBatch(
+                [], last_seq, checkpoint_seq, True, epoch, source_seq
+            )
         if max_frames is not None:
             available = available[:max_frames]
-        return FrameBatch(available, last_seq, checkpoint_seq, False)
+        return FrameBatch(
+            available, last_seq, checkpoint_seq, False, epoch, source_seq
+        )
 
     def close(self) -> None:
         self._reader.close()
@@ -195,10 +225,19 @@ class HTTPSource:
     the record on the primary's disk also protects it across the wire.
     """
 
-    def __init__(self, base_url: str, timeout: float = 60.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        epoch: Optional[int] = None,
+    ):
         from repro.service.client import ServiceClient
 
         self.base_url = base_url
+        #: The requester's own epoch, advertised on every poll so an
+        #: upstream that has seen a newer epoch can fence itself instead
+        #: of feeding a stale chain.
+        self.epoch = epoch
         self._client = ServiceClient(base_url=base_url, timeout=timeout)
 
     def fetch_frames(
@@ -208,29 +247,36 @@ class HTTPSource:
         max_frames: Optional[int] = None,
     ) -> FrameBatch:
         payload = self._client.replication_frames(
-            after_seq=after_seq, wait_s=wait_s, max_frames=max_frames
+            after_seq=after_seq,
+            wait_s=wait_s,
+            max_frames=max_frames,
+            epoch=self.epoch,
         )
         frames = []
         for entry in payload.get("frames", []):
             raw = bytes.fromhex(entry["raw"])
-            decoded, good_size = decode_frames(raw)
-            if len(decoded) != 1 or good_size != len(raw):
+            envelopes, good_size = decode_envelopes(raw)
+            if len(envelopes) != 1 or good_size != len(raw):
                 raise ReplicationError(
                     f"frame for seq {entry.get('seq')!r} failed checksum "
                     f"validation in transit"
                 )
-            record = json.loads(decoded[0][0])
+            record = json.loads(envelopes[0].payload)
             if record.get("seq") != entry.get("seq"):
                 raise ReplicationError(
                     f"frame seq mismatch: envelope says {entry.get('seq')!r},"
                     f" record says {record.get('seq')!r}"
                 )
-            frames.append(Frame(record["seq"], raw, record))
+            frames.append(Frame(record["seq"], raw, record, envelopes[0].epoch))
+        batch_epoch = payload.get("epoch")
+        source_seq = payload.get("source_seq")
         return FrameBatch(
             frames,
             int(payload.get("last_seq", after_seq)),
             int(payload.get("checkpoint_seq", 0)),
             bool(payload.get("snapshot_needed", False)),
+            int(batch_epoch) if isinstance(batch_epoch, int) else None,
+            int(source_seq) if isinstance(source_seq, int) else None,
         )
 
     def fetch_checkpoint(self):

@@ -18,6 +18,7 @@ is committed.
 """
 
 from repro.service.client import (
+    FencedError,
     NotPrimaryError,
     ServiceClient,
     ServiceError,
@@ -33,6 +34,7 @@ from repro.service.snapshot import Snapshot, build_snapshot
 __all__ = [
     "CoalescedBatch",
     "DCService",
+    "FencedError",
     "NotPrimaryError",
     "ServiceClient",
     "ServiceConfig",

@@ -34,6 +34,7 @@ from repro.relational.schema import ColumnType, Schema
 ERR_BAD_REQUEST = "bad_request"
 ERR_NOT_FOUND = "not_found"
 ERR_STALE = "stale"
+ERR_FENCED = "fenced"
 ERR_NOT_PRIMARY = "not_primary"
 ERR_SATURATED = "saturated"
 ERR_TIMEOUT = "timeout"
@@ -45,6 +46,7 @@ STATUS_OF_ERROR = {
     ERR_BAD_REQUEST: 400,
     ERR_NOT_FOUND: 404,
     ERR_STALE: 409,
+    ERR_FENCED: 409,
     ERR_NOT_PRIMARY: 421,
     ERR_SATURATED: 429,
     ERR_TIMEOUT: 503,
@@ -82,6 +84,24 @@ class NotPrimaryError(RuntimeError):
         hint = f"; retry against {primary_url}" if primary_url else ""
         super().__init__(f"this node is a read-only follower{hint}")
         self.primary_url = primary_url
+
+
+class FencedWriteError(RuntimeError):
+    """A write reached a primary whose epoch has been fenced (HTTP 409).
+
+    The node was deposed by a failover — it must stop acknowledging
+    writes immediately (the hard 409 every zombie gets) and rejoin the
+    fleet as a follower.  Carries the node's dead ``epoch`` and the
+    ``fenced_below`` boundary the fleet installed.
+    """
+
+    def __init__(self, epoch: int, fenced_below: int):
+        super().__init__(
+            f"write fenced: this node's epoch {epoch} was deposed "
+            f"(fenced below {fenced_below})"
+        )
+        self.epoch = epoch
+        self.fenced_below = fenced_below
 
 
 def encode(payload: dict) -> bytes:

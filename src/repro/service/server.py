@@ -38,6 +38,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.dcs.denial_constraint import DenialConstraint
 from repro.dcs.violations import UnsupportedProbeError
+from repro.durability.session import SessionFencedError
 from repro.observability import (
     LATENCY_BOUNDS_S,
     PROMETHEUS_CONTENT_TYPE,
@@ -259,6 +260,14 @@ class DCService:
             raise ServiceStopped("service is draining")
         if self._failure is not None:
             raise ServiceStopped(f"writer failed: {self._failure}")
+        if self.session.is_fenced:
+            # A deposed primary must stop acknowledging immediately: the
+            # fleet moved on to a newer epoch and nothing written here
+            # will ever replicate.
+            self._metric_inc("fleet.writes_fenced_total")
+            raise protocol.FencedWriteError(
+                self.session.epoch, self.session.fenced_below
+            )
         request = WriteRequest(op, payload, trace=tracectx.current())
         self._queue.put_nowait(request)  # queue.Full propagates -> 429
         self._metric_gauge("service.queue.depth", self._queue.qsize())
@@ -397,6 +406,24 @@ class DCService:
                             "rids": list(new_rids),
                         }
                     )
+            except SessionFencedError as exc:
+                # Fenced between admission and apply: the batch fails
+                # with the hard 409 every zombie write gets, but the
+                # writer itself stays healthy (the node may rejoin the
+                # fleet as a follower without a restart).
+                self._metric_inc("fleet.writes_fenced_total")
+                outcome = {
+                    "status": "fenced",
+                    "error": protocol.ERR_FENCED,
+                    "message": str(exc),
+                    "epoch": exc.epoch,
+                    "fenced_below": exc.fenced_below,
+                }
+                for request, _ in batch.deletes:
+                    request.resolve(dict(outcome))
+                for request, _, _ in batch.inserts:
+                    request.resolve(dict(outcome))
+                return
             except BaseException as exc:  # writer must never die silently
                 self._failure = exc
                 self._stop.set()
@@ -505,19 +532,38 @@ class DCService:
         return self._feed
 
     def replication_frames_payload(
-        self, after_seq: int, wait_s: float, max_frames: int
+        self,
+        after_seq: int,
+        wait_s: float,
+        max_frames: int,
+        requester_epoch: Optional[int] = None,
     ) -> dict:
         """Answer ``GET /replication/frames``: hex frames after a seq.
 
         Long-polls: with no new frames available, the handler thread
         parks on the publish condition until a commit lands or ``wait_s``
         (capped by config) runs out, so an idle fleet costs no CPU.
+
+        ``requester_epoch`` is the poller's fencing heartbeat: a
+        requester that has seen a newer epoch than this node proves this
+        node's timeline is dead — the node fences *itself* and answers
+        409 rather than feed a chain from dead history.  That is how
+        epoch knowledge flows against the direction of replication.
         """
         feed = self._replication_feed()
         if feed is None:
             raise protocol.ProtocolError(
                 "replication is not enabled on this node "
                 "(start it with --replicate-listen)"
+            )
+        if (
+            requester_epoch is not None
+            and requester_epoch > self.session.epoch
+        ):
+            self._metric_inc("fleet.polls_fenced_total")
+            self.session.fence(requester_epoch)
+            raise protocol.FencedWriteError(
+                self.session.epoch, self.session.fenced_below
             )
         wait_s = max(0.0, min(wait_s, self.config.replication_wait_s_cap))
         max_frames = max(
@@ -537,12 +583,14 @@ class DCService:
         self._metric_inc("service.replication_polls_total")
         return {
             "frames": [
-                {"seq": frame.seq, "raw": frame.raw.hex()}
+                {"seq": frame.seq, "raw": frame.raw.hex(), "epoch": frame.epoch}
                 for frame in batch.frames
             ],
             "last_seq": batch.last_seq,
             "checkpoint_seq": batch.checkpoint_seq,
             "snapshot_needed": batch.snapshot_needed,
+            "epoch": batch.epoch,
+            "source_seq": batch.source_seq,
         }
 
     def replication_checkpoint_payload(self) -> dict:
@@ -567,9 +615,59 @@ class DCService:
             return {"document": document}
         raise protocol.ProtocolError("no checkpoint available to replicate")
 
-    def promote_payload(self) -> dict:
+    def promote_payload(self, epoch: Optional[int] = None) -> dict:
         """Answer ``POST /promote`` (idempotent on a primary)."""
-        return {"role": self.role, "promoted": False}
+        return {
+            "role": self.role,
+            "promoted": False,
+            "epoch": self.session.epoch,
+        }
+
+    def fence_payload(self, epoch: int) -> dict:
+        """Answer ``POST /fence``: declare every epoch below dead.
+
+        The failover orchestrator's first move against a suspected-dead
+        primary that might still be alive: after this lands (durably),
+        the node hard-409s every write, so nothing acknowledged here can
+        postdate the fence.
+        """
+        changed = self.session.fence(epoch)
+        if changed:
+            self._metric_inc("fleet.fences_total")
+        return {
+            "fenced_below": self.session.fenced_below,
+            "epoch": self.session.epoch,
+            "fenced": self.session.is_fenced,
+            "changed": changed,
+        }
+
+    def follow_payload(self, url: str) -> dict:
+        """Answer ``POST /follow`` — only meaningful on a follower."""
+        raise protocol.ProtocolError(
+            "this node is a primary; /follow repoints followers"
+        )
+
+    @property
+    def upstream_url(self) -> Optional[str]:
+        """Where this node replicates from (None on a primary)."""
+        return None
+
+    def topology_payload(self) -> dict:
+        """Answer ``GET /topology``: this node's view of its own place.
+
+        The fleet coordinator and :class:`~repro.fleet.client.FleetClient`
+        aggregate these per-node answers into the routing table.
+        """
+        return {
+            "role": self.role,
+            "url": self.url,
+            "epoch": self.session.epoch,
+            "fenced": self.session.is_fenced,
+            "fenced_below": self.session.fenced_below,
+            "seq": self.session.last_applied_seq,
+            "upstream_url": self.upstream_url,
+            "serving": not self._stop.is_set(),
+        }
 
     def status_payload(self) -> dict:
         payload = self.snapshot.status_payload()
@@ -582,6 +680,9 @@ class DCService:
                 "queue_capacity": self.config.queue_depth,
                 "batch_window_ms": self.config.batch_window_ms,
                 "commits": len(self.commit_log),
+                "epoch": self.session.epoch,
+                "fenced": self.session.is_fenced,
+                "upstream_url": self.upstream_url,
             }
         )
         return payload
@@ -728,7 +829,12 @@ def _make_handler(service: DCService):
         def log_message(self, format, *args):  # noqa: A002 - stdlib name
             logger.debug("%s %s", self.address_string(), format % args)
 
-        def _respond(self, status: int, payload: dict) -> None:
+        def _respond(
+            self,
+            status: int,
+            payload: dict,
+            headers: Optional[dict] = None,
+        ) -> None:
             trace = getattr(self, "_trace", None)
             if trace is not None:
                 # Shallow-copy before stamping: read payloads (rank, dcs)
@@ -742,6 +848,8 @@ def _make_handler(service: DCService):
             self.send_header("Content-Length", str(len(body)))
             if trace is not None:
                 self.send_header("X-Trace-Id", trace.trace_id)
+            for name, value in (headers or {}).items():
+                self.send_header(name, str(value))
             self.end_headers()
             self.wfile.write(body)
 
@@ -781,6 +889,9 @@ def _make_handler(service: DCService):
                 self._respond_error(protocol.ERR_BAD_REQUEST, str(exc))
             except protocol.StaleReadError as exc:
                 service._metric_inc("service.requests_stale_total")
+                retry_after = max(
+                    1, int(round(service.config.min_seq_wait_s))
+                )
                 self._respond(
                     protocol.STATUS_OF_ERROR[protocol.ERR_STALE],
                     {
@@ -789,6 +900,20 @@ def _make_handler(service: DCService):
                         "message": str(exc),
                         "min_seq": exc.min_seq,
                         "seq": exc.seq,
+                        "retry_after": retry_after,
+                    },
+                    headers={"Retry-After": retry_after},
+                )
+            except (protocol.FencedWriteError, SessionFencedError) as exc:
+                service._metric_inc("service.requests_fenced_total")
+                self._respond(
+                    protocol.STATUS_OF_ERROR[protocol.ERR_FENCED],
+                    {
+                        "status": "error",
+                        "error": protocol.ERR_FENCED,
+                        "message": str(exc),
+                        "epoch": exc.epoch,
+                        "fenced_below": exc.fenced_below,
                     },
                 )
             except protocol.NotPrimaryError as exc:
@@ -925,6 +1050,7 @@ def _make_handler(service: DCService):
                 "rejected": 400,
                 "timeout": 503,
                 "failed": 500,
+                "fenced": 409,
             }[outcome["status"]]
             self._respond(status, outcome)
 
@@ -946,7 +1072,24 @@ def _make_handler(service: DCService):
             self._respond(200, {"status": "draining"})
 
         def _post_promote(self, query):
-            self._respond(200, service.promote_payload())
+            body = self._read_body()
+            epoch = body.get("epoch")
+            if epoch is not None and not isinstance(epoch, int):
+                raise protocol.ProtocolError("epoch must be an int")
+            self._respond(200, service.promote_payload(epoch=epoch))
+
+        def _post_fence(self, query):
+            body = self._read_body()
+            epoch = protocol.require_field(body, "epoch", int)
+            self._respond(200, service.fence_payload(epoch))
+
+        def _post_follow(self, query):
+            body = self._read_body()
+            url = protocol.require_field(body, "url", str)
+            self._respond(200, service.follow_payload(url))
+
+        def _get_topology(self, query):
+            self._respond(200, service.topology_payload())
 
         def _get_replication_frames(self, query):
             try:
@@ -958,14 +1101,21 @@ def _make_handler(service: DCService):
                         [str(service.config.replication_max_frames)],
                     )[0]
                 )
+                epoch_raw = query.get("epoch", [None])[0]
+                requester_epoch = (
+                    int(epoch_raw) if epoch_raw is not None else None
+                )
             except ValueError:
                 raise protocol.ProtocolError(
-                    "after_seq/max_frames must be ints, wait_s a number"
+                    "after_seq/max_frames/epoch must be ints, wait_s a number"
                 ) from None
             self._respond(
                 200,
                 service.replication_frames_payload(
-                    after_seq, wait_s, max_frames
+                    after_seq,
+                    wait_s,
+                    max_frames,
+                    requester_epoch=requester_epoch,
                 ),
             )
 
@@ -987,8 +1137,11 @@ def _make_handler(service: DCService):
         ("POST", "/insert"): Handler._post_insert,
         ("POST", "/delete"): Handler._post_delete,
         ("POST", "/check"): Handler._post_check,
+        ("GET", "/topology"): Handler._get_topology,
         ("POST", "/shutdown"): Handler._post_shutdown,
         ("POST", "/promote"): Handler._post_promote,
+        ("POST", "/fence"): Handler._post_fence,
+        ("POST", "/follow"): Handler._post_follow,
     }
 
     return Handler

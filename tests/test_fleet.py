@@ -1,0 +1,1110 @@
+"""Tests for the fleet control plane (repro.fleet) and epoch fencing.
+
+Five pillars, mirroring the matrix philosophy of the crash and failover
+suites — the proof of the control plane is a *zombie matrix*, not a
+happy-path demo:
+
+- **epoch mechanism units**: the ``3DCE`` frame envelope round-trips
+  epochs next to the legacy ``3DCW``/``3DCT`` magics, sessions mint,
+  bump, adopt, and durably fence epochs, and followers reject fenced
+  frames / adopt newer ones;
+- **the zombie-primary matrix**: for every registered fault point, kill
+  the primary mid-write, promote a drained follower at a higher epoch,
+  resurrect the old primary as an unfenced zombie that keeps writing —
+  every acknowledged write must survive, every zombie frame must be
+  rejected (nonzero ``fleet.frames_fenced``), and after the zombie is
+  fenced and rejoins as a follower its diverged tail is discarded and
+  it converges byte-identically to the single-node oracle;
+- **the chained-convergence property**: Hypothesis drives a
+  primary → follower → follower chain through random bursts with an
+  optional mid-chain kill (the tail repoints past the corpse); per-hop
+  applied seqs stay monotone and the tail converges to the oracle;
+- **monitor units + HTTP failover**: the failure detector's suspicion
+  window, candidate choice, and fence → drain → promote → repoint
+  ordering on scripted in-process nodes with a fake clock, then the
+  same sequence end-to-end over live HTTP services;
+- **client ergonomics**: 421 write-following with a loop guard, bounded
+  connection-refused retry, Retry-After on stale reads, fenced writes
+  as a distinct 409, and the FleetClient's discovery / read spread /
+  failover retry loop.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import tempfile
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DCDiscoverer, DurableSession, relation_from_rows
+from repro.core.state_io import state_to_bytes
+from repro.durability import (
+    FAULT_POINTS,
+    INITIAL_EPOCH,
+    SessionFencedError,
+    SimulatedCrash,
+    get_injector,
+    read_manifest,
+)
+from repro.durability.framing import (
+    MAGIC,
+    MAGIC_EPOCH,
+    decode_envelopes,
+    encode_record,
+)
+from repro.durability.session import MANIFEST_NAME, SessionError, WAL_NAME
+from repro.fleet import FleetClient, FleetMonitor, HTTPNode, NodeHandle
+from repro.fleet.client import NoPrimaryError
+from repro.fleet.monitor import CoordinatorServer, choose_candidate
+from repro.replication import (
+    DirectorySource,
+    FollowerService,
+    FollowerSession,
+    Frame,
+    FrameBatch,
+    HTTPSource,
+    ReplicationError,
+)
+from repro.service import (
+    DCService,
+    FencedError,
+    NotPrimaryError,
+    ServiceClient,
+    ServiceConfig,
+    ServiceStaleError,
+)
+from tests.conftest import random_rows
+from tests.test_crash_matrix import (
+    BATCH_LOST,
+    HEADER,
+    apply_batch,
+    base_rows,
+    oracle_bytes,
+    scripted_batches,
+    target_batch,
+)
+from tests.test_replication import drain, make_primary
+
+pytestmark = pytest.mark.fleet
+
+
+def wait_until(predicate, timeout_s: float = 10.0, message: str = "condition"):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+# -- epoch envelope units ----------------------------------------------------
+
+
+class TestEpochEnvelopes:
+    def test_epoch_frame_roundtrip(self):
+        raw = encode_record(b"payload", epoch=7)
+        assert raw[:4] == MAGIC_EPOCH
+        envelopes, consumed = decode_envelopes(raw)
+        assert consumed == len(raw)
+        [env] = envelopes
+        assert env.payload == b"payload"
+        assert env.epoch == 7
+        assert env.trace_id is None
+        assert env.size == len(raw)
+
+    def test_traced_epoch_frame_roundtrip(self):
+        trace = "ab" * 16
+        raw = encode_record(b"x", trace_id=trace, epoch=3)
+        [env], consumed = decode_envelopes(raw)
+        assert consumed == len(raw)
+        assert (env.payload, env.trace_id, env.epoch) == (b"x", trace, 3)
+
+    def test_legacy_encoding_is_byte_identical(self):
+        """No trace, no epoch: the bytes are the pre-epoch 3DCW format,
+        so mixed-version fleets interoperate frame-for-frame."""
+        raw = encode_record(b"legacy")
+        assert raw[:4] == MAGIC
+        [env], _ = decode_envelopes(raw)
+        assert (env.payload, env.trace_id, env.epoch) == (b"legacy", None, None)
+
+    def test_mixed_stream_decodes_all_magics(self):
+        stream = (
+            encode_record(b"a")
+            + encode_record(b"b", trace_id="cd" * 16)
+            + encode_record(b"c", epoch=9)
+        )
+        envelopes, consumed = decode_envelopes(stream)
+        assert consumed == len(stream)
+        assert [env.payload for env in envelopes] == [b"a", b"b", b"c"]
+        assert [env.epoch for env in envelopes] == [None, None, 9]
+        assert envelopes[1].trace_id == "cd" * 16
+
+    def test_truncated_epoch_tail_is_forgiven(self):
+        whole = encode_record(b"kept", epoch=2)
+        stream = whole + encode_record(b"torn", epoch=2)[:-3]
+        envelopes, consumed = decode_envelopes(stream)
+        assert consumed == len(whole)
+        assert [env.payload for env in envelopes] == [b"kept"]
+
+
+# -- session epoch / fencing units -------------------------------------------
+
+
+class TestSessionEpochs:
+    def _session(self, directory):
+        discoverer = DCDiscoverer(relation_from_rows(HEADER, base_rows()))
+        return DurableSession.create(discoverer, directory)
+
+    def test_create_mints_initial_epoch(self, tmp_path):
+        session = self._session(tmp_path / "s")
+        assert session.epoch == INITIAL_EPOCH
+        assert not session.is_fenced
+        assert read_manifest(tmp_path / "s")["epoch"] == INITIAL_EPOCH
+        session.close()
+
+    def test_bump_epoch_is_durable_and_monotonic(self, tmp_path):
+        session = self._session(tmp_path / "s")
+        assert session.bump_epoch() == INITIAL_EPOCH + 1
+        with pytest.raises(SessionError):
+            session.bump_epoch(INITIAL_EPOCH + 1)
+        session.close()
+        recovered = DurableSession.recover(tmp_path / "s")
+        assert recovered.epoch == INITIAL_EPOCH + 1
+        recovered.close()
+
+    def test_fence_blocks_writes_durably_until_adoption(self, tmp_path):
+        session = self._session(tmp_path / "s")
+        assert session.fence(3) is True
+        assert session.fence(3) is False  # idempotent
+        assert session.is_fenced
+        with pytest.raises(SessionFencedError) as info:
+            session.insert(random_rows(random.Random(5), 1))
+        assert info.value.epoch == INITIAL_EPOCH
+        assert info.value.fenced_below == 3
+        session.close()
+
+        # A restarted zombie stays fenced; adopting the fence epoch
+        # rejoins the live timeline and writes flow again.
+        recovered = DurableSession.recover(tmp_path / "s")
+        assert recovered.is_fenced
+        assert recovered.adopt_epoch(3) is True
+        assert not recovered.is_fenced
+        recovered.insert(random_rows(random.Random(7), 1))
+        recovered.close()
+
+    def test_legacy_manifest_defaults_to_initial_epoch(self, tmp_path):
+        session = self._session(tmp_path / "s")
+        session.insert(random_rows(random.Random(9), 2))
+        expected = state_to_bytes(session.discoverer)
+        session.close()
+        manifest_path = tmp_path / "s" / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest.pop("epoch", None)
+        manifest.pop("fenced_below", None)
+        manifest_path.write_text(json.dumps(manifest))
+
+        recovered = DurableSession.recover(tmp_path / "s")
+        assert recovered.epoch == INITIAL_EPOCH
+        assert not recovered.is_fenced
+        assert state_to_bytes(recovered.discoverer) == expected
+        recovered.close()
+
+    def test_wal_frames_carry_the_session_epoch(self, tmp_path):
+        session = self._session(tmp_path / "s")
+        session.insert(random_rows(random.Random(11), 2))
+        session.bump_epoch()
+        session.insert(random_rows(random.Random(13), 2))
+        session.close()
+        data = (tmp_path / "s" / WAL_NAME).read_bytes()
+        envelopes, _ = decode_envelopes(data)
+        assert envelopes, "WAL should hold frames"
+        assert sorted({env.epoch for env in envelopes}) == [
+            INITIAL_EPOCH,
+            INITIAL_EPOCH + 1,
+        ]
+
+
+# -- follower fencing units --------------------------------------------------
+
+
+class TestFollowerFencing:
+    def test_rejects_lower_epoch_frame(self, tmp_path):
+        primary_dir = tmp_path / "primary"
+        session = make_primary(primary_dir)
+        session.insert(random_rows(random.Random(17), 2))
+        follower = FollowerSession.bootstrap(
+            tmp_path / "follower", DirectorySource(primary_dir)
+        )
+        drain(follower)
+        follower.session.bump_epoch()  # locally at epoch 2 now
+
+        seq = follower.last_applied_seq + 1
+        record = {"seq": seq, "op": "insert", "rows": []}
+        raw = encode_record(
+            json.dumps(record).encode("utf-8"), epoch=INITIAL_EPOCH
+        )
+
+        class _Stub:
+            def close(self):
+                pass
+
+            def fetch_frames(self, after_seq, wait_s=0.0, max_frames=None):
+                return FrameBatch(
+                    [Frame(seq, raw, record, INITIAL_EPOCH)],
+                    seq,
+                    0,
+                    False,
+                    epoch=INITIAL_EPOCH + 1,
+                    source_seq=seq,
+                )
+
+        follower.source = _Stub()
+        with pytest.raises(ReplicationError, match="fenced frame"):
+            follower.poll()
+        assert follower.frames_fenced_total == 1
+        assert follower.last_applied_seq == seq - 1  # nothing applied
+        follower.close()
+        session.close()
+
+    def test_rejects_fenced_upstream_before_snapshot_adoption(self, tmp_path):
+        """A whole source sitting on a dead epoch is rejected *before*
+        the snapshot_needed path could adopt its checkpoint."""
+        primary_dir = tmp_path / "primary"
+        session = make_primary(primary_dir, checkpoint_every=1)
+        session.insert(random_rows(random.Random(19), 2))
+        follower = FollowerSession.bootstrap(
+            tmp_path / "follower", DirectorySource(primary_dir)
+        )
+        drain(follower)
+        follower.session.bump_epoch(5)
+        session.insert(random_rows(random.Random(23), 2))  # zombie keeps going
+        with pytest.raises(ReplicationError, match="fenced upstream"):
+            follower.poll()
+        assert follower.frames_fenced_total == 1
+        follower.close()
+        session.close()
+
+    def test_adopts_higher_epoch_from_stream(self, tmp_path):
+        primary_dir = tmp_path / "primary"
+        session = make_primary(primary_dir)
+        session.insert(random_rows(random.Random(29), 2))
+        follower = FollowerSession.bootstrap(
+            tmp_path / "follower", DirectorySource(primary_dir)
+        )
+        drain(follower)
+        session.bump_epoch()
+        session.insert(random_rows(random.Random(31), 2))
+        drain(follower)
+        assert follower.session.epoch == INITIAL_EPOCH + 1
+        assert state_to_bytes(follower.session.discoverer) == state_to_bytes(
+            session.discoverer
+        )
+        follower.close()
+        session.close()
+
+    def test_paginated_old_epoch_tail_is_not_poisoned(self, tmp_path):
+        """A freshly promoted upstream's WAL legitimately holds frames
+        from the previous epoch; fetching them one at a time must not
+        adopt the new epoch early and then fence its own backlog."""
+        primary_dir = tmp_path / "primary"
+        session = make_primary(primary_dir)
+        for seed in (37, 41, 43):
+            session.insert(random_rows(random.Random(seed), 1))
+        session.bump_epoch()
+        session.insert(random_rows(random.Random(47), 1))
+        follower = FollowerSession.bootstrap(
+            tmp_path / "follower", DirectorySource(primary_dir)
+        )
+        for _ in range(16):
+            follower.poll(max_frames=1)
+            if follower.lag_seq == 0:
+                break
+        assert follower.lag_seq == 0
+        assert follower.session.epoch == INITIAL_EPOCH + 1
+        assert state_to_bytes(follower.session.discoverer) == state_to_bytes(
+            session.discoverer
+        )
+        follower.close()
+        session.close()
+
+
+# -- the zombie-primary matrix -----------------------------------------------
+
+
+@pytest.mark.parametrize("point", sorted(FAULT_POINTS))
+def test_zombie_primary_matrix(tmp_path, fault_injector, point):
+    """Kill the primary at ``point``, promote a drained follower at a
+    higher epoch, resurrect the old primary as a zombie that keeps
+    writing — acknowledged writes survive, zombie frames are rejected,
+    and the fenced zombie rejoins by discarding its diverged tail."""
+    primary_dir = tmp_path / "primary"
+    setup = scripted_batches()
+    session = make_primary(primary_dir, checkpoint_every=1)
+    for batch in setup:
+        apply_batch(session, batch)
+
+    follower = FollowerSession.bootstrap(
+        tmp_path / "follower",
+        DirectorySource(primary_dir),
+        checkpoint_every=1,
+        retain=2,
+    )
+    drain(follower)
+
+    durable = list(setup)
+    fault_injector.arm(point)
+    batch = target_batch("insert")
+    try:
+        apply_batch(session, batch)
+        durable.append(batch)
+    except SimulatedCrash as crash:
+        assert crash.point == point
+        session.simulate_power_loss()
+        if point not in BATCH_LOST:
+            durable.append(batch)
+    else:
+        session.close()
+    fault_injector.reset()
+
+    # Failover: drain the durable tail, promote at the fleet's next
+    # epoch.  Every acknowledged (durably logged) write survives.
+    drain(follower)
+    promoted = follower.promote(epoch=INITIAL_EPOCH + 1)
+    assert promoted.epoch == INITIAL_EPOCH + 1
+    assert state_to_bytes(promoted.discoverer) == oracle_bytes(durable)
+
+    # The old primary rises as a zombie — an operator restarted it and
+    # the fence never reached it — and keeps writing on the dead epoch.
+    zombie = DurableSession.recover(primary_dir)
+    assert zombie.epoch == INITIAL_EPOCH
+    apply_batch(zombie, ("insert", random_rows(random.Random(53), 2)))
+    apply_batch(zombie, ("insert", random_rows(random.Random(59), 1)))
+
+    # A downstream follower of the *new* timeline repointed at the
+    # zombie rejects its feed: it proves only the dead epoch.
+    downstream = FollowerSession.bootstrap(
+        tmp_path / "downstream",
+        DirectorySource(tmp_path / "follower"),
+        checkpoint_every=1,
+    )
+    drain(downstream)
+    assert downstream.session.epoch == INITIAL_EPOCH + 1
+    downstream.source = DirectorySource(primary_dir)
+    with pytest.raises(ReplicationError, match="fenced"):
+        downstream.poll()
+    assert downstream.frames_fenced_total > 0
+    assert state_to_bytes(downstream.session.discoverer) == oracle_bytes(
+        durable
+    )
+    downstream.close()
+
+    # The fence finally lands on the zombie: no write on the dead
+    # timeline can be acknowledged from here on, even across restarts.
+    zombie.fence(INITIAL_EPOCH + 1)
+    with pytest.raises(SessionFencedError):
+        apply_batch(zombie, ("insert", random_rows(random.Random(61), 1)))
+    zombie.close()
+
+    # The new primary moves on...
+    extra = ("insert", random_rows(random.Random(67), 2))
+    apply_batch(promoted, extra)
+    durable.append(extra)
+
+    # ...and the zombie rejoins as a follower: bootstrap sees the fenced
+    # manifest, rebases onto the new primary's checkpoint, discards the
+    # unreplicated zombie tail, and converges byte-identically.
+    rejoined = FollowerSession.bootstrap(
+        primary_dir, DirectorySource(tmp_path / "follower")
+    )
+    assert rejoined.tail_discarded_total > 0
+    drain(rejoined)
+    assert rejoined.session.epoch == INITIAL_EPOCH + 1
+    assert not rejoined.session.is_fenced
+    assert state_to_bytes(rejoined.session.discoverer) == oracle_bytes(durable)
+    assert state_to_bytes(promoted.discoverer) == oracle_bytes(durable)
+
+    # A rejoined zombie survives its own restart on the live timeline.
+    rejoined.close()
+    reopened = DurableSession.recover(primary_dir)
+    try:
+        assert state_to_bytes(reopened.discoverer) == oracle_bytes(durable)
+        assert reopened.epoch == INITIAL_EPOCH + 1
+    finally:
+        reopened.close()
+
+
+def test_zombie_matrix_covers_every_registered_point():
+    """A newly planted fault point must automatically join the matrix."""
+    assert set(sorted(FAULT_POINTS)) == FAULT_POINTS
+
+
+# -- the chained-convergence property ----------------------------------------
+
+
+_row = st.tuples(
+    st.integers(min_value=0, max_value=3),
+    st.sampled_from("abc"),
+    st.integers(min_value=0, max_value=2),
+)
+_chain_op = st.one_of(
+    st.tuples(st.just("insert"), st.lists(_row, min_size=1, max_size=3)),
+    st.tuples(st.just("delete"), st.integers(min_value=1, max_value=2)),
+    st.tuples(st.just("poll_mid"), st.none()),
+    st.tuples(st.just("poll_tail"), st.none()),
+)
+
+
+def _materialize_delete(relation, count):
+    alive = sorted(relation.rids())
+    count = min(count, max(0, len(alive) - 4))
+    return alive[:count]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    plan=st.lists(_chain_op, min_size=1, max_size=6),
+    kill_at=st.one_of(st.none(), st.integers(min_value=0, max_value=5)),
+)
+def test_chained_replication_converges(plan, kill_at):
+    """primary → follower → follower under random bursts; optionally the
+    middle hop dies and the tail repoints past the corpse.  Per-hop
+    applied seqs stay monotone and the tail converges byte-identically
+    to the single-node oracle over every acknowledged batch."""
+    get_injector().reset()
+    with tempfile.TemporaryDirectory() as tmp:
+        primary_dir = os.path.join(tmp, "primary")
+        discoverer = DCDiscoverer(relation_from_rows(HEADER, base_rows()))
+        session = DurableSession.create(
+            discoverer, primary_dir, checkpoint_every=3, retain=2
+        )
+        mid = FollowerSession.bootstrap(
+            os.path.join(tmp, "mid"),
+            DirectorySource(primary_dir),
+            checkpoint_every=2,
+        )
+        tail = FollowerSession.bootstrap(
+            os.path.join(tmp, "tail"),
+            DirectorySource(os.path.join(tmp, "mid")),
+            checkpoint_every=2,
+        )
+        acknowledged = []
+        high_water = {"mid": 0, "tail": 0}
+        mid_alive = True
+
+        def poll_hop(name, follower):
+            follower.poll()
+            assert follower.last_applied_seq >= high_water[name], (
+                f"{name} applied seq went backwards"
+            )
+            high_water[name] = follower.last_applied_seq
+
+        try:
+            for index, (kind, payload) in enumerate(plan):
+                if kill_at == index and mid_alive:
+                    # Mid-chain kill: the middle hop dies; the tail
+                    # repoints straight at the primary.
+                    mid.close()
+                    mid_alive = False
+                    tail.source = DirectorySource(primary_dir)
+                if kind == "insert":
+                    session.insert(payload)
+                    acknowledged.append(("insert", payload))
+                elif kind == "delete":
+                    rids = _materialize_delete(
+                        session.discoverer.relation, payload
+                    )
+                    session.delete(rids)
+                    acknowledged.append(("delete", rids))
+                elif kind == "poll_mid" and mid_alive:
+                    poll_hop("mid", mid)
+                elif kind == "poll_tail":
+                    poll_hop("tail", tail)
+            session.close()
+
+            oracle = oracle_bytes(acknowledged)
+            if mid_alive:
+                drain(mid)
+                assert (
+                    state_to_bytes(mid.session.discoverer) == oracle
+                )
+            drain(tail)
+            assert state_to_bytes(tail.session.discoverer) == oracle
+            assert tail.session.epoch == INITIAL_EPOCH
+        finally:
+            if mid_alive:
+                mid.close()
+            tail.close()
+
+
+# -- fleet monitor units -----------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class ScriptedNode(NodeHandle):
+    """An in-process node handle with a settable probe payload."""
+
+    def __init__(self, url, payload):
+        self.url = url
+        self.payload = payload
+        self.fences = []
+        self.promotions = []
+        self.follows = []
+
+    def probe(self):
+        return self.payload
+
+    def fence(self, epoch):
+        if self.payload is None:
+            return False
+        self.fences.append(epoch)
+        return True
+
+    def promote(self, epoch):
+        if self.payload is None:
+            return False
+        self.promotions.append(epoch)
+        self.payload = dict(
+            self.payload, role="primary", epoch=epoch, fenced=False
+        )
+        return True
+
+    def follow(self, url):
+        self.follows.append(url)
+        return True
+
+
+def _follower_payload(seq, epoch=INITIAL_EPOCH, serving=True):
+    return {
+        "role": "follower",
+        "epoch": epoch,
+        "fenced": False,
+        "seq": seq,
+        "serving": serving,
+        "lag_seq": 0,
+    }
+
+
+def _primary_payload(seq, epoch=INITIAL_EPOCH):
+    return {
+        "role": "primary",
+        "epoch": epoch,
+        "fenced": False,
+        "seq": seq,
+        "serving": True,
+    }
+
+
+class TestChooseCandidate:
+    def test_highest_seq_wins(self):
+        probes = {
+            "http://a": _follower_payload(4),
+            "http://b": _follower_payload(9),
+            "http://c": _primary_payload(12),
+        }
+        assert choose_candidate(probes) == "http://b"
+
+    def test_ties_break_on_lowest_url(self):
+        probes = {
+            "http://b": _follower_payload(5),
+            "http://a": _follower_payload(5),
+        }
+        assert choose_candidate(probes) == "http://a"
+
+    def test_unreachable_and_non_serving_are_ineligible(self):
+        probes = {
+            "http://a": None,
+            "http://b": _follower_payload(9, serving=False),
+        }
+        assert choose_candidate(probes) is None
+
+
+class TestFleetMonitor:
+    def _fleet(self, suspicion_s=2.0):
+        clock = FakeClock()
+        primary = ScriptedNode("http://p", _primary_payload(6))
+        f1 = ScriptedNode("http://f1", _follower_payload(6))
+        f2 = ScriptedNode("http://f2", _follower_payload(4))
+        monitor = FleetMonitor(
+            [primary, f1, f2],
+            suspicion_s=suspicion_s,
+            drain_s=0.2,
+            clock=clock,
+        )
+        return clock, primary, f1, f2, monitor
+
+    def test_healthy_primary_never_fails_over(self):
+        clock, primary, f1, f2, monitor = self._fleet()
+        assert monitor.step() is None
+        assert monitor.primary_url == "http://p"
+        clock.advance(1000.0)
+        assert monitor.step() is None
+        assert monitor.failovers_total == 0
+        assert primary.fences == [] and f1.promotions == []
+
+    def test_failover_waits_out_the_suspicion_window(self):
+        clock, primary, f1, f2, monitor = self._fleet(suspicion_s=2.0)
+        monitor.step()
+        primary.payload = None  # the primary dies
+        clock.advance(1.0)
+        assert monitor.step() is None  # suspicious, but not long enough
+        clock.advance(1.5)
+        record = monitor.step()
+        assert record is not None
+        assert record["new_primary"] == "http://f1"  # highest seq
+        assert record["epoch"] == INITIAL_EPOCH + 1
+        assert monitor.primary_url == "http://f1"
+        assert f1.promotions == [INITIAL_EPOCH + 1]
+        # The dead primary could not be fenced (unreachable), the other
+        # follower was, and was then repointed at the new primary.
+        assert record["fenced"] == ["http://f2"]
+        assert f2.fences == [INITIAL_EPOCH + 1]
+        assert f2.follows == ["http://f1"]
+        # The record is a timeline: each stage stamped in order.
+        stamps = [
+            record["detected_at"],
+            record["fenced_at"],
+            record["drained_at"],
+            record["promoted_at"],
+            record["repointed_at"],
+        ]
+        assert stamps == sorted(stamps)
+
+    def test_cold_start_adopts_a_primary(self):
+        clock = FakeClock()
+        f1 = ScriptedNode("http://f1", _follower_payload(3))
+        f2 = ScriptedNode("http://f2", _follower_payload(8))
+        monitor = FleetMonitor([f1, f2], drain_s=0.1, clock=clock)
+        record = monitor.step()
+        assert record is not None
+        assert record["reason"] == "no primary observed"
+        assert record["new_primary"] == "http://f2"
+
+    def test_no_candidate_means_no_failover(self):
+        clock = FakeClock()
+        primary = ScriptedNode("http://p", _primary_payload(6))
+        monitor = FleetMonitor([primary], suspicion_s=0.5, clock=clock)
+        monitor.step()
+        primary.payload = None
+        clock.advance(1.0)
+        assert monitor.step() is None
+        assert monitor.failovers_total == 0
+
+    def test_topology_payload_aggregates_probes(self):
+        clock, primary, f1, f2, monitor = self._fleet()
+        monitor.step()
+        payload = monitor.topology_payload()
+        assert payload["primary_url"] == "http://p"
+        assert payload["epoch"] == INITIAL_EPOCH
+        assert [node["url"] for node in payload["nodes"]] == [
+            "http://f1",
+            "http://f2",
+            "http://p",
+        ]
+
+
+# -- HTTP fleet: service endpoints, failover end-to-end ----------------------
+
+
+def _start_http_fleet(tmp_path, followers=1, min_seq_wait_s=10.0):
+    session = make_primary(tmp_path / "primary", checkpoint_every=100)
+    primary = DCService(
+        session,
+        ServiceConfig(port=0, batch_window_ms=0.0, replicate_listen=True),
+    )
+    primary.start()
+    ServiceClient(base_url=primary.url).wait_ready()
+    services = [primary]
+    for index in range(followers):
+        follower = FollowerSession.bootstrap(
+            tmp_path / f"follower{index}",
+            HTTPSource(primary.url),
+            primary_url=primary.url,
+        )
+        service = FollowerService(
+            follower,
+            ServiceConfig(
+                port=0,
+                batch_window_ms=0.0,
+                min_seq_wait_s=min_seq_wait_s,
+                follow_poll_wait_s=0.05,
+                replicate_listen=True,
+            ),
+            primary_url=primary.url,
+        )
+        service.start()
+        ServiceClient(base_url=service.url).wait_ready()
+        services.append(service)
+    return services
+
+
+def _shutdown_all(services):
+    for service in services:
+        try:
+            service.shutdown()
+        except Exception:
+            pass
+
+
+class TestHTTPFencing:
+    def test_fenced_write_answers_409(self, tmp_path):
+        services = _start_http_fleet(tmp_path, followers=0)
+        try:
+            client = ServiceClient(base_url=services[0].url)
+            payload = client.fence(INITIAL_EPOCH + 4)
+            assert payload["fenced"] is True and payload["changed"] is True
+            with pytest.raises(FencedError) as info:
+                client.insert(random_rows(random.Random(71), 1))
+            assert info.value.fenced_below == INITIAL_EPOCH + 4
+            assert client.status()["fenced"] is True
+        finally:
+            _shutdown_all(services)
+
+    def test_requester_epoch_fences_a_stale_upstream(self, tmp_path):
+        """The anti-entropy heartbeat: a poller proving a newer epoch
+        makes the upstream fence itself — epoch knowledge flows against
+        the direction of replication, 409-ing the zombie."""
+        services = _start_http_fleet(tmp_path, followers=0)
+        try:
+            client = ServiceClient(base_url=services[0].url)
+            assert client.topology()["fenced"] is False
+            with pytest.raises(FencedError):
+                client.replication_frames(after_seq=0, epoch=INITIAL_EPOCH + 2)
+            assert client.topology()["fenced"] is True
+            with pytest.raises(FencedError):
+                client.insert(random_rows(random.Random(73), 1))
+        finally:
+            _shutdown_all(services)
+
+    def test_topology_payload_describes_each_node(self, tmp_path):
+        services = _start_http_fleet(tmp_path, followers=1)
+        try:
+            primary, fservice = services
+            top = ServiceClient(base_url=primary.url).topology()
+            assert top["role"] == "primary"
+            assert top["epoch"] == INITIAL_EPOCH
+            assert top["upstream_url"] is None
+            ftop = ServiceClient(base_url=fservice.url).topology()
+            assert ftop["role"] == "follower"
+            assert ftop["upstream_url"] == primary.url
+        finally:
+            _shutdown_all(services)
+
+
+class TestServiceClientFailoverErgonomics:
+    def test_writes_follow_the_421_hint(self, tmp_path):
+        services = _start_http_fleet(tmp_path, followers=1)
+        try:
+            primary, fservice = services
+            plain = ServiceClient(base_url=fservice.url)
+            with pytest.raises(NotPrimaryError):
+                plain.insert(random_rows(random.Random(79), 1))
+            following = ServiceClient(
+                base_url=fservice.url, follow_writes=True
+            )
+            outcome = following.insert(random_rows(random.Random(79), 1))
+            assert outcome["status"] == "committed"
+        finally:
+            _shutdown_all(services)
+
+    def test_redirect_loops_are_cut_after_two_hops(self, tmp_path):
+        services = _start_http_fleet(tmp_path, followers=1)
+        try:
+            _, fservice = services
+            fservice.primary_url = fservice.url  # stale self-referential hint
+            client = ServiceClient(base_url=fservice.url, follow_writes=True)
+            with pytest.raises(NotPrimaryError):
+                client.insert(random_rows(random.Random(83), 1))
+        finally:
+            _shutdown_all(services)
+
+    def test_connection_refused_retries_within_budget(self, monkeypatch):
+        client = ServiceClient(
+            base_url="http://127.0.0.1:1", connect_retry_s=5.0
+        )
+        attempts = []
+
+        def fake_request(method, path, payload=None, target=None):
+            attempts.append(method)
+            if len(attempts) < 3:
+                raise ConnectionRefusedError("nobody listening yet")
+            return {"status": "committed", "seq": 1}
+
+        monkeypatch.setattr(client, "_request", fake_request)
+        outcome = client.insert([[1, "a", 1]])
+        assert outcome["status"] == "committed"
+        assert len(attempts) == 3
+
+    def test_connection_refused_not_retried_by_default(self, monkeypatch):
+        client = ServiceClient(base_url="http://127.0.0.1:1")
+
+        def fake_request(method, path, payload=None, target=None):
+            raise ConnectionRefusedError("nobody listening")
+
+        monkeypatch.setattr(client, "_request", fake_request)
+        with pytest.raises(ConnectionRefusedError):
+            client.insert([[1, "a", 1]])
+
+    def test_stale_reads_carry_retry_after(self, tmp_path):
+        services = _start_http_fleet(
+            tmp_path, followers=1, min_seq_wait_s=0.05
+        )
+        try:
+            _, fservice = services
+            client = ServiceClient(base_url=fservice.url)
+            with pytest.raises(ServiceStaleError) as info:
+                client.dcs(min_seq=10**6)
+            assert info.value.retry_after >= 1
+        finally:
+            _shutdown_all(services)
+
+
+class TestFleetEndToEnd:
+    def test_monitor_drives_http_failover(self, tmp_path):
+        """The full sequence over live services: detect the dead
+        primary, fence, promote the drained follower at a new epoch,
+        repoint the survivor — and writes keep landing."""
+        services = _start_http_fleet(tmp_path, followers=2)
+        try:
+            primary, f1, f2 = services
+            pclient = ServiceClient(base_url=primary.url, timeout=10.0)
+            acknowledged = []
+            for seed in (87, 89):
+                rows = random_rows(random.Random(seed), 2)
+                pclient.insert(rows)
+                acknowledged.append(rows)
+            target_seq = pclient.status()["seq"]
+            wait_until(
+                lambda: all(
+                    ServiceClient(base_url=s.url).status()["seq"] == target_seq
+                    for s in (f1, f2)
+                ),
+                message="followers to catch up",
+            )
+
+            clock = FakeClock()
+            monitor = FleetMonitor(
+                [HTTPNode(s.url) for s in services],
+                suspicion_s=1.0,
+                drain_s=2.0,
+                clock=clock,
+            )
+            assert monitor.step() is None
+            assert monitor.primary_url == primary.url
+
+            primary.shutdown()
+            monitor.step()  # observes the death; suspicion starts
+            clock.advance(5.0)
+            record = monitor.step()
+            assert record is not None
+            assert record["epoch"] == INITIAL_EPOCH + 1
+            new_primary = record["new_primary"]
+            survivor = f1 if new_primary == f2.url else f2
+
+            nclient = ServiceClient(base_url=new_primary, timeout=10.0)
+            top = nclient.topology()
+            assert top["role"] == "primary"
+            assert top["epoch"] == INITIAL_EPOCH + 1
+            # No acknowledged write was lost across the failover.
+            assert top["seq"] == target_seq
+            outcome = nclient.insert(random_rows(random.Random(91), 1))
+            assert outcome["status"] == "committed"
+
+            # The survivor was repointed, adopts the new epoch (clearing
+            # its fence), and replicates the post-failover write.
+            sclient = ServiceClient(base_url=survivor.url, timeout=10.0)
+            wait_until(
+                lambda: sclient.topology()["upstream_url"] == new_primary,
+                message="survivor to repoint",
+            )
+            wait_until(
+                lambda: sclient.topology()["epoch"] == INITIAL_EPOCH + 1
+                and not sclient.topology()["fenced"],
+                message="survivor to adopt the new epoch",
+            )
+            wait_until(
+                lambda: sclient.status()["seq"] == outcome["seq"],
+                message="survivor to replicate the new write",
+            )
+        finally:
+            _shutdown_all(services)
+
+    def test_chained_followers_serve_the_frame_feed(self, tmp_path):
+        """primary → follower → follower over HTTP: the middle hop
+        serves GET /replication/frames itself, and the tail converges
+        through it."""
+        services = _start_http_fleet(tmp_path, followers=1)
+        tail_service = None
+        try:
+            primary, mid = services
+            tail = FollowerSession.bootstrap(
+                tmp_path / "tail",
+                HTTPSource(mid.url),
+                primary_url=mid.url,
+            )
+            tail_service = FollowerService(
+                tail,
+                ServiceConfig(
+                    port=0,
+                    batch_window_ms=0.0,
+                    follow_poll_wait_s=0.05,
+                    replicate_listen=True,
+                ),
+                primary_url=mid.url,
+            )
+            tail_service.start()
+            ServiceClient(base_url=tail_service.url).wait_ready()
+
+            pclient = ServiceClient(base_url=primary.url, timeout=10.0)
+            outcome = pclient.insert(random_rows(random.Random(97), 3))
+            tclient = ServiceClient(base_url=tail_service.url, timeout=10.0)
+            wait_until(
+                lambda: tclient.status()["seq"] == outcome["seq"],
+                message="tail of the chain to converge",
+            )
+            assert tclient.topology()["upstream_url"] == mid.url
+            assert state_to_bytes(
+                tail_service.session.discoverer
+            ) == state_to_bytes(primary.session.discoverer)
+        finally:
+            if tail_service is not None:
+                tail_service.shutdown()
+            _shutdown_all(services)
+
+
+# -- FleetClient -------------------------------------------------------------
+
+
+class TestFleetClient:
+    def test_routes_writes_to_primary_and_reads_anywhere(self, tmp_path):
+        services = _start_http_fleet(tmp_path, followers=1)
+        try:
+            primary, fservice = services
+            fleet = FleetClient(seeds=[fservice.url, primary.url])
+            outcome = fleet.insert(random_rows(random.Random(101), 2))
+            assert outcome["status"] == "committed"
+            assert fleet.primary_url == primary.url
+            assert fleet.min_seq == outcome["seq"]
+            # Read-your-writes: whichever replica answers must be at
+            # least as fresh as the acknowledged write.
+            payload = fleet.dcs()
+            assert payload["seq"] >= outcome["seq"]
+        finally:
+            _shutdown_all(services)
+
+    def test_write_survives_a_failover(self, tmp_path):
+        services = _start_http_fleet(tmp_path, followers=1)
+        try:
+            primary, fservice = services
+            fleet = FleetClient(
+                seeds=[primary.url, fservice.url],
+                failover_timeout_s=15.0,
+                retry_backoff_s=0.05,
+            )
+            fleet.insert(random_rows(random.Random(103), 1))
+            primary.shutdown()
+            wait_until(
+                lambda: fservice.follower.lag_seq == 0
+                or fservice.role == "primary",
+                message="follower drained",
+            )
+            ServiceClient(base_url=fservice.url).promote(
+                epoch=INITIAL_EPOCH + 1
+            )
+            outcome = fleet.insert(random_rows(random.Random(107), 1))
+            assert outcome["status"] == "committed"
+            assert fleet.primary_url == fservice.url
+            assert fleet.write_retries_total >= 1
+        finally:
+            _shutdown_all(services)
+
+    def test_no_primary_raises_after_the_timeout(self):
+        fleet = FleetClient(
+            seeds=["http://127.0.0.1:1"],
+            failover_timeout_s=0.2,
+            retry_backoff_s=0.01,
+        )
+        with pytest.raises(NoPrimaryError):
+            fleet.insert([[1, "a", 1]])
+
+    def test_discovers_from_the_coordinator(self, tmp_path):
+        services = _start_http_fleet(tmp_path, followers=1)
+        coordinator = None
+        try:
+            monitor = FleetMonitor(
+                [HTTPNode(s.url) for s in services], suspicion_s=5.0
+            )
+            monitor.step()
+            coordinator = CoordinatorServer(monitor)
+            coordinator.start()
+            fleet = FleetClient(seeds=[], coordinator_url=coordinator.url)
+            outcome = fleet.insert(random_rows(random.Random(109), 1))
+            assert outcome["status"] == "committed"
+            assert fleet.primary_url == services[0].url
+            assert fleet.follower_urls == [services[1].url]
+        finally:
+            if coordinator is not None:
+                coordinator.close()
+            _shutdown_all(services)
+
+
+# -- doctor bundles know about the fleet -------------------------------------
+
+
+class TestDoctorFleetFacts:
+    def test_bundle_roundtrips_epoch_and_upstream(self, tmp_path):
+        from repro.doctor import build_bundle, read_bundle, write_bundle
+
+        services = _start_http_fleet(tmp_path, followers=1)
+        try:
+            primary, fservice = services
+            ServiceClient(base_url=primary.url).insert(
+                random_rows(random.Random(113), 2)
+            )
+            bundle = build_bundle(
+                session_dir=os.fspath(tmp_path / "primary"),
+                url=fservice.url,
+            )
+            path = os.fspath(tmp_path / "bundle.tar.gz")
+            write_bundle(bundle, path)
+            loaded = read_bundle(path)
+
+            session = loaded["session"]
+            assert session["epoch"] == INITIAL_EPOCH
+            assert session["fenced_below"] is None
+            assert session["wal"]["epochs"] == [INITIAL_EPOCH]
+            service = loaded["service"]
+            assert service["role"] == "follower"
+            assert service["epoch"] == INITIAL_EPOCH
+            assert service["upstream_url"] == primary.url
+        finally:
+            _shutdown_all(services)
+
+    def test_bundle_surfaces_a_fence(self, tmp_path):
+        from repro.doctor import inspect_session
+
+        session = make_primary(tmp_path / "s")
+        session.insert(random_rows(random.Random(127), 1))
+        session.bump_epoch()
+        session.insert(random_rows(random.Random(131), 1))
+        session.fence(session.epoch + 3)
+        session.close()
+
+        report = inspect_session(tmp_path / "s")
+        assert report["epoch"] == INITIAL_EPOCH + 1
+        assert report["fenced_below"] == INITIAL_EPOCH + 4
+        assert report["wal"]["epochs"] == [INITIAL_EPOCH, INITIAL_EPOCH + 1]

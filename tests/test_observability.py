@@ -178,6 +178,41 @@ class TestProbe:
             assert get_probe() is instrumentation
         assert get_probe() is None
 
+    def test_interleaved_thread_installs_do_not_leak(self):
+        """The probe slot is thread-local: two threads whose install
+        windows interleave (A installs, B installs, A exits, B exits —
+        a co-located fleet's writer and apply threads) must each see
+        only their own probe, and neither may leak past its exit."""
+        import threading
+
+        steps = [threading.Event() for _ in range(4)]
+        seen = {}
+
+        def worker(name, start, handoff, resume, done):
+            start.wait(5)
+            instrumentation = Instrumentation()
+            with install(instrumentation):
+                seen[name] = get_probe() is instrumentation
+                handoff.set()
+                resume.wait(5)
+            seen[name + ".after"] = get_probe()
+            done.set()
+
+        a = threading.Thread(
+            target=worker, args=("a", steps[0], steps[1], steps[2], steps[3])
+        )
+        a.start()
+        steps[0].set()
+        steps[1].wait(5)  # A is installed...
+        b_inst = Instrumentation()
+        with install(b_inst):  # ...now B (this thread) installs...
+            steps[2].set()  # ...and A exits while B is active
+            steps[3].wait(5)
+            assert get_probe() is b_inst
+        a.join(5)
+        assert seen == {"a": True, "a.after": None}
+        assert get_probe() is None
+
     def test_probe_span_without_probe_is_noop(self):
         with probe_span("nothing") as span:
             assert span is None
